@@ -1,0 +1,47 @@
+"""Experiment E1 (Figure 1): Test A under TSO and SC.
+
+The paper uses Test A to illustrate store forwarding: the outcome is allowed
+under TSO (no happens-before edge from ``Write Y <- 2`` to ``Read Y -> r2``)
+but forbidden under SC and IBM 370.  The benchmark measures the cost of a
+single admissibility check with both backends.
+"""
+
+import pytest
+
+from repro.checker.explicit import ExplicitChecker
+from repro.checker.sat_checker import SatChecker
+from repro.core.catalog import IBM370, SC, TSO
+from repro.generation.named_tests import TEST_A
+
+EXPLICIT = ExplicitChecker()
+SAT = SatChecker()
+
+
+@pytest.mark.benchmark(group="fig1-test-a")
+def test_fig1_test_a_allowed_under_tso_explicit(benchmark):
+    result = benchmark(lambda: EXPLICIT.check(TEST_A, TSO))
+    assert result.allowed
+
+
+@pytest.mark.benchmark(group="fig1-test-a")
+def test_fig1_test_a_forbidden_under_sc_explicit(benchmark):
+    result = benchmark(lambda: EXPLICIT.check(TEST_A, SC))
+    assert not result.allowed
+
+
+@pytest.mark.benchmark(group="fig1-test-a")
+def test_fig1_test_a_forbidden_under_ibm370_explicit(benchmark):
+    result = benchmark(lambda: EXPLICIT.check(TEST_A, IBM370))
+    assert not result.allowed
+
+
+@pytest.mark.benchmark(group="fig1-test-a")
+def test_fig1_test_a_allowed_under_tso_sat(benchmark):
+    result = benchmark(lambda: SAT.check(TEST_A, TSO))
+    assert result.allowed
+
+
+@pytest.mark.benchmark(group="fig1-test-a")
+def test_fig1_test_a_forbidden_under_sc_sat(benchmark):
+    result = benchmark(lambda: SAT.check(TEST_A, SC))
+    assert not result.allowed

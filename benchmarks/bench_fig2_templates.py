@@ -1,0 +1,52 @@
+"""Experiment E2 (Figure 2): the seven templates and their instantiation.
+
+Measures segment enumeration and full template-suite generation, and checks
+the per-case instantiation counts implied by the proof of Theorem 1.
+"""
+
+import pytest
+
+from repro.core.predicates import NO_DEP_PREDICATES, STANDARD_PREDICATES
+from repro.generation.counting import per_case_counts, segment_counts
+from repro.generation.segments import SegmentKind, enumerate_all_segments
+from repro.generation.suite import generate_suite
+from repro.generation.templates import TemplateCase
+
+
+@pytest.mark.benchmark(group="fig2-templates")
+def test_fig2_segment_enumeration(benchmark):
+    segments = benchmark(lambda: enumerate_all_segments(STANDARD_PREDICATES))
+    assert len(segments[SegmentKind.RW]) == 6
+    assert len(segments[SegmentKind.WW]) == 4
+
+
+@pytest.mark.benchmark(group="fig2-templates")
+def test_fig2_generate_standard_suite(benchmark):
+    suite = benchmark.pedantic(
+        lambda: generate_suite(STANDARD_PREDICATES), rounds=3, iterations=1
+    )
+    assert suite.num_instantiations() == 230
+    assert set(suite.per_case()) == {case.value for case in TemplateCase}
+
+
+@pytest.mark.benchmark(group="fig2-templates")
+def test_fig2_generate_dependency_free_suite(benchmark):
+    suite = benchmark.pedantic(
+        lambda: generate_suite(NO_DEP_PREDICATES), rounds=3, iterations=1
+    )
+    assert suite.num_instantiations() == 124
+
+
+def test_fig2_per_case_counts_match_proof_structure():
+    """Cases 1/2/4 scale with one segment count; 3a/3b/5a/5b with products."""
+    counts = segment_counts(STANDARD_PREDICATES)
+    cases = per_case_counts(counts)
+    assert cases == {
+        "1": 6,
+        "2": 4,
+        "3a": 24,
+        "3b": 144,
+        "4": 4,
+        "5a": 24,
+        "5b": 24,
+    }

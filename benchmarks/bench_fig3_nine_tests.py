@@ -1,0 +1,68 @@
+"""Experiment E3 (Figure 3): the nine contrasting litmus tests L1..L9.
+
+Checks (and times) that the nine tests are sufficient to distinguish every
+pair of non-equivalent models, first in the dependency-free 36-model space
+and then that they remain necessary: removing any one of the dependent tests
+breaks coverage of the full 90-model space.
+"""
+
+import pytest
+
+from repro.comparison.minimal_tests import (
+    find_minimal_distinguishing_set,
+    verify_distinguishing_set,
+)
+from repro.generation.named_tests import L_TESTS
+
+
+@pytest.mark.benchmark(group="fig3-nine-tests")
+def test_fig3_l_tests_distinguish_36_model_space(
+    benchmark, models_36, suite_without_dependencies
+):
+    result = benchmark.pedantic(
+        lambda: verify_distinguishing_set(
+            models_36, L_TESTS, suite_without_dependencies.tests()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.complete
+    assert result.total_pairs == 624  # 30 equivalence classes -> C(36,2) - 6 equivalent pairs
+
+
+@pytest.mark.benchmark(group="fig3-nine-tests")
+def test_fig3_l_tests_distinguish_90_model_space(
+    benchmark, models_90, suite_with_dependencies
+):
+    result = benchmark.pedantic(
+        lambda: verify_distinguishing_set(
+            models_90, L_TESTS, suite_with_dependencies.tests()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.complete
+    assert result.total_pairs == 90 * 89 // 2 - 8  # all pairs except the 8 equivalent ones
+
+
+@pytest.mark.benchmark(group="fig3-nine-tests")
+def test_fig3_greedy_cover_needs_all_nine_for_90_models(benchmark, models_90):
+    result = benchmark.pedantic(
+        lambda: find_minimal_distinguishing_set(models_90, L_TESTS), rounds=1, iterations=1
+    )
+    assert result.complete
+    assert sorted(result.test_names) == [f"L{i}" for i in range(1, 10)]
+
+
+@pytest.mark.benchmark(group="fig3-nine-tests")
+def test_fig3_greedy_cover_from_generated_suite_is_nine_tests(
+    benchmark, models_90, suite_with_dependencies
+):
+    """A minimal cover drawn from the generated 230-test suite also has size 9."""
+    result = benchmark.pedantic(
+        lambda: find_minimal_distinguishing_set(models_90, suite_with_dependencies.tests()),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.complete
+    assert len(result.test_names) == 9

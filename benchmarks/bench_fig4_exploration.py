@@ -1,0 +1,76 @@
+"""Experiment E4 (Figure 4): exploring the dependency-free 36-model space.
+
+Regenerates the weaker-to-stronger graph of Figure 4: the equivalence
+classes (the doubled-up boxes), the Hasse edges labelled with L tests, SC at
+the top and the RMO-like M1010 at the bottom.
+"""
+
+import pytest
+
+from repro.comparison.exploration import explore_models
+from repro.comparison.report import exploration_report, hasse_dot
+from repro.core.parametric import KNOWN_CORRESPONDENCES
+from repro.generation.named_tests import L_TESTS
+
+
+@pytest.fixture(scope="module")
+def fig4_result(models_36, suite_without_dependencies):
+    return explore_models(
+        models_36, suite_without_dependencies.tests(), preferred_tests=L_TESTS
+    )
+
+
+@pytest.mark.benchmark(group="fig4-exploration")
+def test_fig4_explore_36_models(benchmark, models_36, suite_without_dependencies):
+    result = benchmark.pedantic(
+        lambda: explore_models(
+            models_36, suite_without_dependencies.tests(), preferred_tests=L_TESTS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.models) == 36
+
+
+def test_fig4_equivalent_groups_match_figure(fig4_result):
+    """Figure 4 groups these model pairs into shared boxes."""
+    pairs = set(fig4_result.equivalent_pairs())
+    assert {("M1010", "M1110"), ("M1011", "M1111"), ("M4010", "M4110"), ("M4011", "M4111")} <= pairs
+    assert len(pairs) == 6
+
+
+def test_fig4_extremes_match_figure(fig4_result):
+    assert fig4_result.strongest_models() == ["M4444"]  # SC
+    assert fig4_result.weakest_models() == ["M1010"]  # RMO without dependencies
+
+
+def test_fig4_edge_labels_use_the_nine_tests(fig4_result):
+    labelled = sum(1 for edge in fig4_result.hasse_edges if edge.preferred_tests)
+    assert labelled == len(fig4_result.hasse_edges), (
+        "every Hasse edge of the dependency-free space is distinguished by an L test"
+    )
+    used = {name for edge in fig4_result.hasse_edges for name in edge.preferred_tests}
+    # The dependency-sensitive tests L4 and L6 are not needed in this space.
+    assert used <= {"L1", "L2", "L3", "L5", "L7", "L8", "L9", "L4", "L6"}
+    assert {"L1", "L2", "L3", "L5", "L7"} <= used
+
+
+def test_fig4_known_hardware_models_sit_where_the_figure_puts_them(fig4_result):
+    from repro.comparison.compare import Relation
+
+    # TSO/x86 = M4044, PSO = M1044, IBM370 = M4144, SC = M4444 (figure annotations).
+    assert fig4_result.relation("M1044", "M4044") is Relation.WEAKER
+    assert fig4_result.relation("M4044", "M4144") is Relation.WEAKER
+    assert fig4_result.relation("M4144", "M4444") is Relation.WEAKER
+
+
+@pytest.mark.benchmark(group="fig4-exploration")
+def test_fig4_render_report_and_dot(benchmark, fig4_result):
+    report, dot = benchmark(
+        lambda: (
+            exploration_report(fig4_result, KNOWN_CORRESPONDENCES),
+            hasse_dot(fig4_result, KNOWN_CORRESPONDENCES),
+        )
+    )
+    assert "Equivalence classes: 30" in report
+    assert "digraph" in dot

@@ -1,0 +1,74 @@
+"""Experiment E6 (Section 4.2): pairwise comparison of all 90 models.
+
+The paper reports that each pairwise comparison takes a few seconds and the
+whole 90-model exploration completes in 20 minutes (2011 hardware, MiniSat).
+This benchmark reproduces the exploration with the explicit backend, checks
+the headline findings — eight equivalent pairs, all differing only in the
+same-address write->read choice, with SC the unique strongest model — and
+measures the wall-clock cost.
+"""
+
+import pytest
+
+from repro.comparison.compare import ModelComparator
+from repro.comparison.exploration import explore_models
+from repro.core.catalog import TSO
+from repro.core.parametric import parametric_model
+from repro.generation.named_tests import L_TESTS
+
+
+@pytest.fixture(scope="module")
+def exploration_90(models_90, suite_with_dependencies):
+    return explore_models(
+        models_90, suite_with_dependencies.tests(), preferred_tests=L_TESTS
+    )
+
+
+@pytest.mark.benchmark(group="table-90-models")
+def test_table_explore_all_90_models(benchmark, models_90, suite_with_dependencies):
+    result = benchmark.pedantic(
+        lambda: explore_models(
+            models_90, suite_with_dependencies.tests(), preferred_tests=L_TESTS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.models) == 90
+    assert len(result.equivalent_pairs()) == 8
+    assert result.strongest_models() == ["M4444"]
+
+
+def test_table_exactly_eight_equivalent_pairs(exploration_90):
+    """Section 4.2: "Out of the 90 different models, eight pairs of models are equivalent"."""
+    pairs = exploration_90.equivalent_pairs()
+    assert len(pairs) == 8
+
+
+def test_table_equivalent_pairs_differ_only_in_same_address_write_read(exploration_90):
+    for first, second in exploration_90.equivalent_pairs():
+        assert first[1] == second[1]  # ww
+        assert first[3:] == second[3:]  # rw, rr
+        assert {first[2], second[2]} == {"0", "1"}  # wr: always vs different-address
+
+
+def test_table_sc_is_strongest_and_rmo_is_weakest(exploration_90):
+    assert exploration_90.strongest_models() == ["M4444"]
+    assert exploration_90.weakest_models() == ["M1010"]
+
+
+@pytest.mark.benchmark(group="table-90-models")
+def test_table_single_pairwise_comparison(benchmark, suite_with_dependencies):
+    """The paper: "The comparison of each pair of models was done in a few seconds"."""
+    comparator = ModelComparator(suite_with_dependencies.tests())
+    first = parametric_model("M4044")
+    second = parametric_model("M4144")
+
+    def compare_fresh_pair():
+        fresh = ModelComparator(suite_with_dependencies.tests())
+        return fresh.compare(first, second)
+
+    result = benchmark.pedantic(compare_fresh_pair, rounds=1, iterations=1)
+    assert not result.equivalent
+    # cached comparator: later comparisons reuse verdict vectors
+    comparator.compare(first, second)
+    assert comparator.compare(first, TSO).equivalent

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper (see
+DESIGN.md's experiment index and EXPERIMENTS.md for the measured results).
+Suites and model spaces are session-scoped so their construction cost is not
+charged to every benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parametric import model_space
+from repro.generation.suite import no_dependency_suite, standard_suite
+
+
+@pytest.fixture(scope="session")
+def suite_with_dependencies():
+    """The paper's 230-instantiation template suite."""
+    return standard_suite()
+
+
+@pytest.fixture(scope="session")
+def suite_without_dependencies():
+    """The paper's 124-instantiation template suite."""
+    return no_dependency_suite()
+
+
+@pytest.fixture(scope="session")
+def models_36():
+    """The dependency-free model space of Figure 4."""
+    return model_space(include_data_dependencies=False)
+
+
+@pytest.fixture(scope="session")
+def models_90():
+    """The full 90-model space of Section 4.2."""
+    return model_space(include_data_dependencies=True)

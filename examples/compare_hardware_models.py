@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare hardware memory models with bounded litmus tests.
+
+This example reproduces the paper's core use case: given two memory-model
+specifications, decide whether they are equivalent, and if not produce the
+contrasting litmus tests.  It compares the catalogued hardware models
+(SC, TSO/x86, PSO, IBM 370, Alpha) pairwise using the generated template
+suite plus the paper's nine tests, and prints a relation matrix.
+
+Run with::
+
+    python examples/compare_hardware_models.py
+"""
+
+from repro import IBM370, PSO, SC, TSO, X86, ALPHA, ModelComparator, Relation
+from repro.core.catalog import RMO_DATA_DEP_ONLY
+from repro.generation.named_tests import L_TESTS
+from repro.generation.suite import standard_suite
+from repro.io.writer import litmus_to_text
+
+MODELS = [SC, IBM370, TSO, X86, PSO, RMO_DATA_DEP_ONLY, ALPHA]
+
+RELATION_SYMBOLS = {
+    Relation.EQUIVALENT: "==",
+    Relation.STRONGER: "<<",  # row allows fewer executions than column
+    Relation.WEAKER: ">>",
+    Relation.INCOMPARABLE: "><",
+}
+
+
+def main() -> None:
+    print("Generating the 230-instantiation template suite ...")
+    suite = standard_suite()
+    tests = suite.tests() + list(L_TESTS)
+    comparator = ModelComparator(tests)
+    print(
+        f"  {suite.num_feasible()} feasible template tests "
+        f"(+{len(L_TESTS)} named tests) over {len(MODELS)} models\n"
+    )
+
+    # ------------------------------------------------------------------
+    # relation matrix
+    # ------------------------------------------------------------------
+    names = [model.name for model in MODELS]
+    width = max(len(name) for name in names) + 2
+    header = " " * width + "".join(f"{name:>{width}}" for name in names)
+    print(header)
+    for row_model in MODELS:
+        cells = []
+        for column_model in MODELS:
+            if row_model.name == column_model.name:
+                cells.append(f"{'--':>{width}}")
+                continue
+            relation = comparator.compare(row_model, column_model).relation
+            cells.append(f"{RELATION_SYMBOLS[relation]:>{width}}")
+        print(f"{row_model.name:<{width}}" + "".join(cells))
+    print("\n  '<<' row is stronger (allows fewer executions), '>>' row is weaker,")
+    print("  '==' equivalent, '><' incomparable\n")
+
+    # ------------------------------------------------------------------
+    # contrasting tests for a few interesting pairs
+    # ------------------------------------------------------------------
+    for first, second in [(TSO, X86), (TSO, IBM370), (PSO, TSO), (ALPHA, RMO_DATA_DEP_ONLY)]:
+        result = comparator.compare(first, second)
+        print(result.describe())
+        if not result.equivalent:
+            witness_name = (result.only_first or result.only_second)[0]
+            witness = next(test for test in tests if test.name == witness_name)
+            print("  one contrasting test, in litmus text format:\n")
+            print("\n".join("    " + line for line in litmus_to_text(witness).splitlines()))
+        print()
+
+    print(f"(performed {comparator.checks_performed} admissibility checks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Admissibility checking: is a litmus test allowed under a memory model?
+
+The semantics of Section 2.2 is implemented once, as the construction of a
+*forced-edge digraph* for a candidate read-from map and coherence order
+(:mod:`repro.checker.relations`), and then exposed through three backends:
+
+* :mod:`repro.checker.explicit` — enumerate read-from maps and coherence
+  orders explicitly and test the digraph for acyclicity (the default, and
+  the fastest for litmus-sized tests);
+* :mod:`repro.checker.sat_checker` — encode the whole existential question
+  into CNF (:mod:`repro.checker.encoder`) and ask the SAT solver, mirroring
+  the paper's MiniSat-based tool;
+* :mod:`repro.checker.reference` — a deliberately naive brute force over
+  global total orders, used to cross-validate the other two backends in the
+  test suite.
+
+:mod:`repro.checker.outcomes` builds on the checkers to enumerate every
+outcome a program can produce under a model.
+"""
+
+from repro.checker.explicit import ExplicitChecker, is_allowed
+from repro.checker.sat_checker import SatChecker
+from repro.checker.reference import ReferenceChecker
+from repro.checker.result import CheckResult, CheckWitness
+from repro.checker.outcomes import allowed_outcomes, enumerate_candidate_outcomes
+
+__all__ = [
+    "ExplicitChecker",
+    "SatChecker",
+    "ReferenceChecker",
+    "CheckResult",
+    "CheckWitness",
+    "is_allowed",
+    "allowed_outcomes",
+    "enumerate_candidate_outcomes",
+]

@@ -1,0 +1,184 @@
+"""CNF encoding of the admissibility question.
+
+The paper's tool decides whether a litmus test is admissible under a memory
+model by handing a propositional encoding to MiniSat.  This module builds the
+same kind of encoding for our own SAT solver:
+
+* one selector variable per (load, read-from candidate) pair, with
+  exactly-one constraints per load;
+* one orientation variable per unordered pair of same-location stores
+  (the coherence order);
+* one ordering variable per unordered pair of events representing a global
+  total order; transitivity clauses make it a genuine order, and every
+  forced happens-before edge implies the corresponding ordering literal.
+
+The formula is satisfiable iff some read-from map and coherence order yield
+an acyclic forced-edge digraph, i.e. iff the execution is allowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.checker.relations import read_from_candidates
+from repro.core.events import Event
+from repro.core.execution import Execution
+from repro.core.model import MemoryModel
+from repro.sat.cnf import CNF, Literal
+
+
+@dataclass
+class Encoding:
+    """A CNF encoding plus the variable maps needed to decode a model."""
+
+    cnf: CNF
+    #: (load uid, candidate uid or "init") -> selector variable
+    read_from_vars: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: (store uid, store uid) -> variable meaning "first is coherence-before second"
+    coherence_vars: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: (event uid, event uid) -> variable meaning "first is globally ordered before second"
+    order_vars: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: set when the encoder already knows the execution is infeasible
+    trivially_unsat: bool = False
+    events: List[Event] = field(default_factory=list)
+
+    def order_literal(self, first: str, second: str) -> Literal:
+        """Return the literal asserting ``first`` is ordered before ``second``."""
+        if (first, second) in self.order_vars:
+            return self.order_vars[(first, second)]
+        return -self.order_vars[(second, first)]
+
+    def coherence_literal(self, first: str, second: str) -> Literal:
+        """Return the literal asserting ``first`` is coherence-before ``second``."""
+        if (first, second) in self.coherence_vars:
+            return self.coherence_vars[(first, second)]
+        return -self.coherence_vars[(second, first)]
+
+
+class HappensBeforeEncoder:
+    """Builds the CNF encoding for one execution and one model."""
+
+    def __init__(self, execution: Execution, model: MemoryModel) -> None:
+        self.execution = execution
+        self.model = model
+
+    def encode(self) -> Encoding:
+        execution = self.execution
+        encoding = Encoding(cnf=CNF(), events=list(execution.events))
+        cnf = encoding.cnf
+
+        events = execution.events
+        uids = [event.uid for event in events]
+
+        # --- global-order variables and transitivity -------------------------
+        for i, first in enumerate(uids):
+            for second in uids[i + 1 :]:
+                encoding.order_vars[(first, second)] = cnf.new_var(f"ord({first},{second})")
+        for i, a in enumerate(uids):
+            for j, b in enumerate(uids):
+                if i == j:
+                    continue
+                for k, c in enumerate(uids):
+                    if k == i or k == j:
+                        continue
+                    # ord(a,b) & ord(b,c) -> ord(a,c)
+                    cnf.add_clause(
+                        [
+                            -encoding.order_literal(a, b),
+                            -encoding.order_literal(b, c),
+                            encoding.order_literal(a, c),
+                        ]
+                    )
+
+        # --- program-order edges forced by F ---------------------------------
+        for thread_events in execution.events_by_thread:
+            for i, earlier in enumerate(thread_events):
+                for later in thread_events[i + 1 :]:
+                    if self.model.ordered(execution, earlier, later):
+                        cnf.add_clause([encoding.order_literal(earlier.uid, later.uid)])
+
+        # --- coherence orientation variables ---------------------------------
+        stores_by_location: Dict[str, List[Event]] = {}
+        for store in execution.stores():
+            stores_by_location.setdefault(execution.location_of(store), []).append(store)
+        for location, stores in stores_by_location.items():
+            for i, first in enumerate(stores):
+                for second in stores[i + 1 :]:
+                    variable = cnf.new_var(f"co({first.uid},{second.uid})")
+                    encoding.coherence_vars[(first.uid, second.uid)] = variable
+                    # Coherence edges are happens-before edges in both orientations.
+                    cnf.add_clause([-variable, encoding.order_literal(first.uid, second.uid)])
+                    cnf.add_clause([variable, encoding.order_literal(second.uid, first.uid)])
+                    # Same-thread stores must follow program order ("ignore local").
+                    if first.program_order_before(second):
+                        cnf.add_clause([variable])
+                    elif second.program_order_before(first):
+                        cnf.add_clause([-variable])
+
+        # --- read-from selectors ----------------------------------------------
+        for load in execution.loads():
+            candidates = read_from_candidates(execution, load)
+            if not candidates:
+                encoding.trivially_unsat = True
+                cnf.add_clause([])
+                return encoding
+            selector_literals: List[Literal] = []
+            for candidate in candidates:
+                label = candidate.uid if candidate is not None else "init"
+                variable = cnf.new_var(f"rf({load.uid},{label})")
+                encoding.read_from_vars[(load.uid, label)] = variable
+                selector_literals.append(variable)
+                self._constrain_candidate(encoding, load, candidate, variable, stores_by_location)
+            cnf.add_clause(selector_literals)  # at least one source
+            for i, first in enumerate(selector_literals):
+                for second in selector_literals[i + 1 :]:
+                    cnf.add_clause([-first, -second])  # at most one source
+
+        return encoding
+
+    # ------------------------------------------------------------------
+    def _constrain_candidate(
+        self,
+        encoding: Encoding,
+        load: Event,
+        candidate: Optional[Event],
+        selector: int,
+        stores_by_location: Dict[str, List[Event]],
+    ) -> None:
+        """Add the write-read and read-write (from-read) consequences of one choice."""
+        cnf = encoding.cnf
+        execution = self.execution
+        location = execution.location_of(load)
+        same_location_stores = stores_by_location.get(location, [])
+
+        if candidate is not None and not candidate.same_thread(load):
+            # External read-from forces a happens-before edge.
+            cnf.add_clause([-selector, encoding.order_literal(candidate.uid, load.uid)])
+
+        for other in same_location_stores:
+            if candidate is not None and other == candidate:
+                continue
+            if candidate is None:
+                # Reading the initial value: the load precedes every store.
+                if other.program_order_before(load):
+                    cnf.add_clause([-selector])  # would force an anti-program-order edge
+                else:
+                    cnf.add_clause([-selector, encoding.order_literal(load.uid, other.uid)])
+                continue
+            # Reading from `candidate`: `other` must either be coherence-before
+            # the candidate, or the load happens before `other`.
+            coherence_before = encoding.coherence_literal(other.uid, candidate.uid)
+            if other.program_order_before(load):
+                # The from-read edge would point against program order, so the
+                # only way to keep this candidate is coherence-before.
+                cnf.add_clause([-selector, coherence_before])
+            else:
+                cnf.add_clause(
+                    [-selector, coherence_before, encoding.order_literal(load.uid, other.uid)]
+                )
+
+
+def encode(execution: Execution, model: MemoryModel) -> Encoding:
+    """Encode the admissibility of ``execution`` under ``model`` into CNF."""
+    return HappensBeforeEncoder(execution, model).encode()

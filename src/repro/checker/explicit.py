@@ -1,0 +1,88 @@
+"""Explicit-enumeration admissibility checker.
+
+This backend enumerates read-from maps and coherence orders directly (both
+spaces are tiny for litmus tests: a handful of candidates per load, at most a
+few stores per location) and tests each forced-edge digraph for acyclicity.
+It is the default backend used by the comparison and exploration code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.checker.relations import (
+    enumerate_coherence_orders,
+    enumerate_read_from_maps,
+    forced_edges,
+    happens_before_graph,
+    program_order_edges,
+)
+from repro.checker.result import CheckResult, CheckWitness
+from repro.core.execution import Execution, ExecutionError
+from repro.core.expr import ExprError
+from repro.core.litmus import LitmusTest
+from repro.core.model import MemoryModel
+
+
+class ExplicitChecker:
+    """Decide admissibility by explicit enumeration.
+
+    Instances are stateless; the class exists so the comparison code can be
+    parameterised over checker backends (explicit vs SAT).
+    """
+
+    name = "explicit"
+
+    def check(self, test: LitmusTest, model: MemoryModel) -> CheckResult:
+        """Return whether ``model`` allows the candidate execution of ``test``."""
+        try:
+            execution = test.execution()
+        except (ExecutionError, ExprError) as error:
+            return CheckResult(
+                False,
+                test_name=test.name,
+                model_name=model.name,
+                reason=f"execution cannot be evaluated: {error}",
+            )
+        return self.check_execution(execution, model, test_name=test.name)
+
+    def check_execution(
+        self, execution: Execution, model: MemoryModel, test_name: str = ""
+    ) -> CheckResult:
+        """Check an already-evaluated execution."""
+        po_edges = program_order_edges(execution, model)
+
+        saw_read_from_map = False
+        for read_from in enumerate_read_from_maps(execution):
+            saw_read_from_map = True
+            for coherence in enumerate_coherence_orders(execution):
+                edges = forced_edges(execution, model, read_from, coherence, po_edges)
+                if edges is None:
+                    continue
+                if happens_before_graph(execution, edges).is_acyclic():
+                    witness = CheckWitness(
+                        read_from=tuple(sorted(read_from.items(), key=lambda kv: kv[0].uid)),
+                        coherence=tuple(sorted(coherence.items())),
+                        edges=tuple(edges),
+                    )
+                    return CheckResult(
+                        True,
+                        test_name=test_name,
+                        model_name=model.name,
+                        witness=witness,
+                    )
+
+        reason = (
+            "every read-from/coherence choice yields a happens-before cycle"
+            if saw_read_from_map
+            else "no read-from source can produce the observed values"
+        )
+        return CheckResult(False, test_name=test_name, model_name=model.name, reason=reason)
+
+
+_DEFAULT_CHECKER = ExplicitChecker()
+
+
+def is_allowed(test: LitmusTest, model: MemoryModel) -> bool:
+    """Convenience wrapper: is ``test`` allowed under ``model``?"""
+    return _DEFAULT_CHECKER.check(test, model).allowed

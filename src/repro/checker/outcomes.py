@@ -1,0 +1,139 @@
+"""Outcome enumeration: which final results can a program produce?
+
+The litmus-test workflow of the paper always asks about one specific outcome,
+but for examples and exploratory use it is handy to ask the dual question:
+"given this program, which observable outcomes does a model allow?"  This
+module enumerates the finite space of candidate outcomes (every load observes
+either the initial value or a value some store to its location can write) and
+filters it through an admissibility checker.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.checker.explicit import ExplicitChecker
+from repro.core.execution import EventKey, Execution, ExecutionError
+from repro.core.instructions import Load, Store
+from repro.core.litmus import LitmusTest
+from repro.core.model import MemoryModel
+from repro.core.program import Program
+
+
+def _load_keys(program: Program) -> List[EventKey]:
+    keys: List[EventKey] = []
+    for thread_index, thread in enumerate(program.threads):
+        for instruction_index, instruction in enumerate(thread.instructions):
+            if isinstance(instruction, Load):
+                keys.append((thread_index, instruction_index))
+    return keys
+
+
+def _candidate_values(
+    program: Program, initial_values: Optional[Mapping[str, int]] = None, rounds: int = 4
+) -> Dict[EventKey, Set[int]]:
+    """Compute a superset of the values each load can observe.
+
+    Store values may depend on loaded values (dependency idioms), so the
+    candidate sets are grown to a fixed point: starting from the initial
+    values and constant stores, each round evaluates the program against
+    every combination discovered so far and records the store values it
+    produces.  Litmus-sized programs converge after one or two rounds.
+    """
+    initial_values = dict(initial_values or {})
+    load_keys = _load_keys(program)
+    candidates: Dict[EventKey, Set[int]] = {key: {initial_values.get("", 0)} for key in load_keys}
+    # Seed with initial values per location (default 0).
+    candidates = {key: {0} for key in load_keys}
+    for key in load_keys:
+        thread_index, instruction_index = key
+        instruction = program.threads[thread_index].instructions[instruction_index]
+        # If the address is a plain location, seed with its initial value.
+        candidates[key] = {initial_values.get(str(instruction.address), 0)}
+
+    for _round in range(rounds):
+        discovered: Dict[EventKey, Set[int]] = {key: set(values) for key, values in candidates.items()}
+        value_lists = [sorted(candidates[key]) for key in load_keys]
+        for combination in product(*value_lists):
+            read_values = dict(zip(load_keys, combination))
+            try:
+                execution = Execution(program, read_values, initial_values)
+            except ExecutionError:
+                continue
+            for store in execution.stores():
+                location = execution.location_of(store)
+                value = execution.value_of(store)
+                for key in load_keys:
+                    load_event = execution.event(*key)
+                    if execution.location_of(load_event) == location:
+                        discovered[key].add(value)
+        if discovered == candidates:
+            break
+        candidates = discovered
+    return candidates
+
+
+def enumerate_candidate_outcomes(
+    program: Program, initial_values: Optional[Mapping[str, int]] = None
+) -> Iterator[Dict[EventKey, int]]:
+    """Yield every feasible outcome (load-value assignment) of ``program``.
+
+    An outcome is *feasible* when each load's value is either the initial
+    value of its location or a value actually written to that location by
+    some store in the same execution.  Feasibility does not yet involve a
+    memory model; it only rules out values that no store can produce.
+    """
+    load_keys = _load_keys(program)
+    candidates = _candidate_values(program, initial_values)
+    value_lists = [sorted(candidates[key]) for key in load_keys]
+    for combination in product(*value_lists):
+        read_values = dict(zip(load_keys, combination))
+        try:
+            execution = Execution(program, read_values, initial_values)
+        except ExecutionError:
+            continue
+        if _is_feasible(execution):
+            yield read_values
+
+
+def _is_feasible(execution: Execution) -> bool:
+    for load in execution.loads():
+        location = execution.location_of(load)
+        value = execution.value_of(load)
+        if value == execution.initial_value(location):
+            continue
+        if any(
+            execution.value_of(store) == value for store in execution.stores_to(location)
+        ):
+            continue
+        return False
+    return True
+
+
+def allowed_outcomes(
+    program: Program,
+    model: MemoryModel,
+    checker: Optional[ExplicitChecker] = None,
+    initial_values: Optional[Mapping[str, int]] = None,
+    name: str = "outcome",
+) -> List[Dict[str, int]]:
+    """Return the register outcomes ``model`` allows for ``program``.
+
+    Each element maps load destination registers to observed values, in a
+    stable order (sorted by register name within sorted outcome tuples).
+    """
+    checker = checker or ExplicitChecker()
+    results: List[Dict[str, int]] = []
+    seen: Set[Tuple[Tuple[str, int], ...]] = set()
+    for read_values in enumerate_candidate_outcomes(program, initial_values):
+        test = LitmusTest(name, program, read_values)
+        if not checker.check(test, model).allowed:
+            continue
+        register_outcome = test.register_outcome()
+        key = tuple(sorted(register_outcome.items()))
+        if key not in seen:
+            seen.add(key)
+            results.append(register_outcome)
+    results.sort(key=lambda outcome: tuple(sorted(outcome.items())))
+    return results

@@ -1,0 +1,81 @@
+"""Brute-force reference checker.
+
+This backend exists purely for cross-validation: it enumerates read-from
+maps, coherence orders *and* global total orders of the events, and accepts
+the execution iff some total order is consistent with every forced edge.  Its
+complexity is factorial in the number of events, so it is only usable for
+programs with a handful of instructions — exactly the regime of the property
+tests in ``tests/checker/test_cross_validation.py``.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, List, Optional
+
+from repro.checker.relations import (
+    enumerate_coherence_orders,
+    enumerate_read_from_maps,
+    forced_edges,
+    program_order_edges,
+)
+from repro.checker.result import CheckResult
+from repro.core.events import Event
+from repro.core.execution import Execution, ExecutionError
+from repro.core.expr import ExprError
+from repro.core.litmus import LitmusTest
+from repro.core.model import MemoryModel
+
+
+class ReferenceChecker:
+    """Exhaustive total-order checker (for small programs only)."""
+
+    name = "reference"
+
+    def __init__(self, max_events: int = 9) -> None:
+        self.max_events = max_events
+
+    def check(self, test: LitmusTest, model: MemoryModel) -> CheckResult:
+        try:
+            execution = test.execution()
+        except (ExecutionError, ExprError) as error:
+            return CheckResult(
+                False,
+                test_name=test.name,
+                model_name=model.name,
+                reason=f"execution cannot be evaluated: {error}",
+            )
+        return self.check_execution(execution, model, test_name=test.name)
+
+    def check_execution(
+        self, execution: Execution, model: MemoryModel, test_name: str = ""
+    ) -> CheckResult:
+        events = execution.events
+        if len(events) > self.max_events:
+            raise ValueError(
+                f"reference checker limited to {self.max_events} events; "
+                f"got {len(events)} — use the explicit or SAT backend instead"
+            )
+        po_edges = program_order_edges(execution, model)
+
+        for read_from in enumerate_read_from_maps(execution):
+            for coherence in enumerate_coherence_orders(execution):
+                edges = forced_edges(execution, model, read_from, coherence, po_edges)
+                if edges is None:
+                    continue
+                if self._has_linearisation(events, edges):
+                    return CheckResult(True, test_name=test_name, model_name=model.name)
+        return CheckResult(
+            False,
+            test_name=test_name,
+            model_name=model.name,
+            reason="no global total order satisfies the forced edges",
+        )
+
+    @staticmethod
+    def _has_linearisation(events: List[Event], edges) -> bool:
+        for order in permutations(events):
+            position: Dict[Event, int] = {event: index for index, event in enumerate(order)}
+            if all(position[source] < position[target] for source, target, _kind in edges):
+                return True
+        return False

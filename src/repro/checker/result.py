@@ -1,0 +1,71 @@
+"""Result objects returned by the admissibility checkers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.events import Event
+
+#: A happens-before edge: (source event, target event, kind) where kind is
+#: one of "po", "rf", "co", "fr".
+HbEdge = Tuple[Event, Event, str]
+
+
+@dataclass(frozen=True)
+class CheckWitness:
+    """Evidence that an execution is allowed.
+
+    Attributes:
+        read_from: for every load event, the store event it reads from, or
+            ``None`` when it reads the initial value.
+        coherence: per location, the chosen total order of its stores.
+        edges: the forced happens-before edges of the witnessing choice.
+    """
+
+    read_from: Tuple[Tuple[Event, Optional[Event]], ...]
+    coherence: Tuple[Tuple[str, Tuple[Event, ...]], ...]
+    edges: Tuple[HbEdge, ...]
+
+    def read_from_map(self) -> Dict[Event, Optional[Event]]:
+        return dict(self.read_from)
+
+    def coherence_map(self) -> Dict[str, Tuple[Event, ...]]:
+        return dict(self.coherence)
+
+    def describe(self) -> str:
+        """Return a human-readable description of the witness."""
+        lines: List[str] = []
+        for load, store in self.read_from:
+            source = store.uid if store is not None else "initial value"
+            lines.append(f"  {load.uid} reads from {source}")
+        for location, stores in self.coherence:
+            if len(stores) > 1:
+                order = " -> ".join(store.uid for store in stores)
+                lines.append(f"  coherence({location}): {order}")
+        for source, target, kind in self.edges:
+            lines.append(f"  {kind}: {source.uid} -> {target.uid}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """The verdict of one admissibility check."""
+
+    allowed: bool
+    test_name: str = ""
+    model_name: str = ""
+    witness: Optional[CheckWitness] = None
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+    def describe(self) -> str:
+        verdict = "ALLOWED" if self.allowed else "FORBIDDEN"
+        header = f"{self.test_name} under {self.model_name}: {verdict}"
+        if self.reason:
+            header += f" ({self.reason})"
+        if self.witness is not None:
+            return header + "\n" + self.witness.describe()
+        return header

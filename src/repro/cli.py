@@ -1,0 +1,158 @@
+"""Command-line interface: ``repro-compare``.
+
+Subcommands:
+
+* ``check TEST.litmus --model TSO [--backend sat]`` — is the test allowed?
+* ``compare MODEL1 MODEL2 [--deps/--no-deps]`` — compare two models with the
+  template suite and print the contrasting tests.
+* ``explore [--deps/--no-deps] [--dot FILE]`` — explore the parametric model
+  space and print the Figure 4 report (optionally writing a DOT file).
+* ``catalog`` — list the built-in named models and their formulas.
+* ``outcomes TEST.litmus --model TSO`` — enumerate the outcomes a model
+  allows for the test's program.
+
+Model names accept both catalog names (``SC``, ``TSO``, ``PSO``, ...) and
+parametric names (``M4044``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.checker.explicit import ExplicitChecker
+from repro.checker.outcomes import allowed_outcomes
+from repro.checker.sat_checker import SatChecker
+from repro.comparison.compare import ModelComparator
+from repro.comparison.exploration import explore_models
+from repro.comparison.report import exploration_report, hasse_dot
+from repro.core.catalog import catalog_summary, named_models
+from repro.core.model import MemoryModel
+from repro.core.parametric import KNOWN_CORRESPONDENCES, model_space, parametric_model
+from repro.generation.named_tests import L_TESTS
+from repro.generation.suite import no_dependency_suite, standard_suite
+from repro.io.parser import parse_litmus_file
+
+
+def resolve_model(name: str) -> MemoryModel:
+    """Resolve a model name: catalog name or parametric ``Mxxxx`` name."""
+    catalog = named_models()
+    if name in catalog:
+        return catalog[name]
+    if name.upper() in catalog:
+        return catalog[name.upper()]
+    if name.startswith("M") and name[1:].isdigit():
+        return parametric_model(name)
+    raise SystemExit(
+        f"unknown model {name!r}; use one of {', '.join(catalog)} or a parametric name like M4044"
+    )
+
+
+def _make_checker(backend: str):
+    if backend == "sat":
+        return SatChecker()
+    if backend == "explicit":
+        return ExplicitChecker()
+    raise SystemExit(f"unknown backend {backend!r} (expected 'explicit' or 'sat')")
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    test = parse_litmus_file(args.test)
+    model = resolve_model(args.model)
+    checker = _make_checker(args.backend)
+    result = checker.check(test, model)
+    print(test.pretty())
+    print(result.describe())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    first = resolve_model(args.first)
+    second = resolve_model(args.second)
+    suite = standard_suite() if args.deps else no_dependency_suite()
+    comparator = ModelComparator(suite.tests() + list(L_TESTS), _make_checker(args.backend))
+    result = comparator.compare(first, second)
+    print(result.describe())
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    models = model_space(include_data_dependencies=args.deps)
+    suite = standard_suite() if args.deps else no_dependency_suite()
+    result = explore_models(
+        models, suite.tests(), checker=_make_checker(args.backend), preferred_tests=L_TESTS
+    )
+    print(exploration_report(result, KNOWN_CORRESPONDENCES))
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(hasse_dot(result, KNOWN_CORRESPONDENCES))
+        print(f"\nwrote {args.dot}")
+    return 0
+
+
+def _cmd_catalog(_args: argparse.Namespace) -> int:
+    for line in catalog_summary():
+        print(line)
+    return 0
+
+
+def _cmd_outcomes(args: argparse.Namespace) -> int:
+    test = parse_litmus_file(args.test)
+    model = resolve_model(args.model)
+    print(test.pretty())
+    print(f"\nOutcomes allowed under {model.name}:")
+    for outcome in allowed_outcomes(test.program, model, checker=_make_checker(args.backend)):
+        rendered = "; ".join(f"{register} = {value}" for register, value in sorted(outcome.items()))
+        print(f"  {rendered}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-compare",
+        description="Compare memory consistency models with bounded litmus tests (DAC 2011 reproduction).",
+    )
+    parser.add_argument(
+        "--backend", choices=("explicit", "sat"), default="explicit", help="admissibility backend"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    check = subparsers.add_parser("check", help="check one litmus test under one model")
+    check.add_argument("test", help="path to a .litmus file")
+    check.add_argument("--model", required=True, help="model name (SC, TSO, M4044, ...)")
+    check.set_defaults(func=_cmd_check)
+
+    compare = subparsers.add_parser("compare", help="compare two models")
+    compare.add_argument("first")
+    compare.add_argument("second")
+    compare.add_argument("--deps", action=argparse.BooleanOptionalAction, default=True,
+                         help="include data-dependency tests (default: yes)")
+    compare.set_defaults(func=_cmd_compare)
+
+    explore = subparsers.add_parser("explore", help="explore the parametric model space")
+    explore.add_argument("--deps", action=argparse.BooleanOptionalAction, default=False,
+                         help="use the 90-model space with dependencies (default: 36-model space)")
+    explore.add_argument("--dot", help="write the Hasse diagram to this DOT file")
+    explore.set_defaults(func=_cmd_explore)
+
+    catalog = subparsers.add_parser("catalog", help="list the built-in models")
+    catalog.set_defaults(func=_cmd_catalog)
+
+    outcomes = subparsers.add_parser("outcomes", help="enumerate allowed outcomes of a program")
+    outcomes.add_argument("test", help="path to a .litmus file")
+    outcomes.add_argument("--model", required=True)
+    outcomes.set_defaults(func=_cmd_outcomes)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-compare`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

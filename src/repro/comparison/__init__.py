@@ -1,0 +1,39 @@
+"""Comparing memory models and exploring model spaces.
+
+* :mod:`repro.comparison.compare` — verdict vectors over a test suite and
+  pairwise comparison of two models (equivalent / stronger / weaker /
+  incomparable, with witness tests);
+* :mod:`repro.comparison.exploration` — exhaustive exploration of a model
+  family: equivalence classes, the weaker-to-stronger order, and the Hasse
+  diagram with distinguishing-test labels (Figure 4);
+* :mod:`repro.comparison.minimal_tests` — greedy computation of a minimal
+  set of tests distinguishing every non-equivalent pair (the paper's nine
+  tests);
+* :mod:`repro.comparison.report` — text and Graphviz renderings of
+  exploration results.
+"""
+
+from repro.comparison.compare import (
+    ComparisonResult,
+    ModelComparator,
+    Relation,
+    compare_models,
+    verdict_vector,
+)
+from repro.comparison.exploration import ExplorationResult, explore_models
+from repro.comparison.minimal_tests import find_minimal_distinguishing_set, verify_distinguishing_set
+from repro.comparison.report import exploration_report, hasse_dot
+
+__all__ = [
+    "Relation",
+    "ComparisonResult",
+    "ModelComparator",
+    "compare_models",
+    "verdict_vector",
+    "ExplorationResult",
+    "explore_models",
+    "find_minimal_distinguishing_set",
+    "verify_distinguishing_set",
+    "exploration_report",
+    "hasse_dot",
+]

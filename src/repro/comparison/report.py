@@ -1,0 +1,91 @@
+"""Human-readable and Graphviz renderings of exploration results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.comparison.exploration import ExplorationResult
+
+
+def exploration_report(
+    result: ExplorationResult, known_names: Optional[Dict[str, str]] = None
+) -> str:
+    """Render an exploration result as a text report (Figure 4 in prose).
+
+    ``known_names`` optionally maps model names to well-known names (e.g.
+    ``{"M4444": "SC"}``) which are then shown next to the class members.
+    """
+    known_names = known_names or {}
+
+    def annotate(name: str) -> str:
+        return f"{name} ({known_names[name]})" if name in known_names else name
+
+    lines: List[str] = []
+    lines.append(
+        f"Explored {len(result.models)} models with {len(result.tests)} litmus tests "
+        f"({result.checks_performed} admissibility checks)."
+    )
+    lines.append(
+        f"Equivalence classes: {len(result.equivalence_classes)}; "
+        f"equivalent pairs: {result.num_equivalent_pairs()}."
+    )
+    lines.append("")
+    lines.append("Equivalence classes (members):")
+    for cls in result.equivalence_classes:
+        members = ", ".join(annotate(name) for name in cls)
+        lines.append(f"  {{{members}}}")
+    lines.append("")
+    lines.append("Hasse diagram (weaker -> stronger, with distinguishing tests):")
+    for edge in result.hasse_edges:
+        label = edge.label or "-"
+        lines.append(f"  {annotate(edge.weaker)} -> {annotate(edge.stronger)}   [{label}]")
+    lines.append("")
+    lines.append(f"Weakest models: {', '.join(annotate(n) for n in result.weakest_models())}")
+    lines.append(f"Strongest models: {', '.join(annotate(n) for n in result.strongest_models())}")
+    return "\n".join(lines)
+
+
+def hasse_dot(
+    result: ExplorationResult,
+    known_names: Optional[Dict[str, str]] = None,
+    graph_name: str = "model_space",
+) -> str:
+    """Render the Hasse diagram in Graphviz DOT format (Figure 4)."""
+    known_names = known_names or {}
+    lines = [f"digraph {graph_name} {{", "  rankdir=BT;", "  node [shape=box];"]
+    for cls in result.equivalence_classes:
+        representative = cls[0]
+        label_parts = []
+        for name in cls:
+            if name in known_names:
+                label_parts.append(f"{name}\\n{known_names[name]}")
+            else:
+                label_parts.append(name)
+        label = "\\n".join(label_parts)
+        lines.append(f'  "{representative}" [label="{label}"];')
+    for edge in result.hasse_edges:
+        label = edge.label
+        lines.append(f'  "{edge.weaker}" -> "{edge.stronger}" [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def verdict_table(
+    result: ExplorationResult, test_names: Optional[Sequence[str]] = None
+) -> str:
+    """Render a models x tests verdict table (``A`` allowed, ``.`` forbidden)."""
+    names = list(test_names) if test_names is not None else [t.name for t in result.tests]
+    name_to_index = {test.name: index for index, test in enumerate(result.tests)}
+    missing = [name for name in names if name not in name_to_index]
+    if missing:
+        raise KeyError(f"tests not part of the exploration: {missing}")
+    width = max(len(model.name) for model in result.models)
+    header = " " * (width + 2) + " ".join(f"{name:>4s}" for name in names)
+    lines = [header]
+    for model in result.models:
+        vector = result.vectors[model.name]
+        cells = " ".join(
+            f"{'A' if vector[name_to_index[name]] else '.':>4s}" for name in names
+        )
+        lines.append(f"{model.name:<{width}s}  {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Core data model: litmus-test IR, executions, predicates and memory models.
+
+The public API re-exported here is what the examples and most downstream
+users need:
+
+* building litmus tests (:class:`Program`, :class:`Thread`, the instruction
+  constructors and :class:`LitmusTest`);
+* defining memory models (:class:`MemoryModel`, the named catalog in
+  :mod:`repro.core.catalog`, and the parametric family in
+  :mod:`repro.core.parametric`);
+* evaluating executions (:class:`Execution`).
+"""
+
+from repro.core.expr import Const, Loc, Reg, BinOp, evaluate_expr
+from repro.core.instructions import Branch, Fence, Instruction, Load, Op, Store
+from repro.core.program import Program, Thread
+from repro.core.litmus import LitmusTest, Outcome
+from repro.core.events import Event, build_events
+from repro.core.execution import Execution
+from repro.core.formula import (
+    And,
+    Atom,
+    FalseFormula,
+    Formula,
+    Not,
+    Or,
+    TrueFormula,
+    parse_formula,
+)
+from repro.core.model import MemoryModel
+from repro.core.predicates import PredicateSet, STANDARD_PREDICATES
+from repro.core.catalog import (
+    ALPHA,
+    IBM370,
+    PSO,
+    RMO,
+    SC,
+    TSO,
+    X86,
+    named_models,
+)
+from repro.core.parametric import ParametricModel, ReorderOption, model_space
+
+__all__ = [
+    "Const",
+    "Loc",
+    "Reg",
+    "BinOp",
+    "evaluate_expr",
+    "Branch",
+    "Fence",
+    "Instruction",
+    "Load",
+    "Op",
+    "Store",
+    "Program",
+    "Thread",
+    "LitmusTest",
+    "Outcome",
+    "Event",
+    "build_events",
+    "Execution",
+    "Formula",
+    "Atom",
+    "And",
+    "Or",
+    "Not",
+    "TrueFormula",
+    "FalseFormula",
+    "parse_formula",
+    "MemoryModel",
+    "PredicateSet",
+    "STANDARD_PREDICATES",
+    "SC",
+    "TSO",
+    "X86",
+    "PSO",
+    "RMO",
+    "IBM370",
+    "ALPHA",
+    "named_models",
+    "ParametricModel",
+    "ReorderOption",
+    "model_space",
+]

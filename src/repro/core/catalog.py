@@ -1,0 +1,120 @@
+"""Named hardware memory models from Section 2.4 of the paper.
+
+All models are expressed with the formula DSL so that their definitions read
+exactly like the paper's:
+
+* **SC** — no reordering at all (``F = True``; see the note below).
+* **IBM 370** — writes may be reordered with later reads, *except* reads to
+  the same address.
+* **TSO / x86** — writes may be reordered with later reads, including reads
+  to the same address (load forwarding).
+* **PSO** — like TSO, and writes to different addresses may also be
+  reordered with later writes.
+* **RMO** — everything may be reordered except fences, dependent
+  instructions, and accesses ordered by a write to the same address.
+* **Alpha** — like RMO but without the dependency ordering requirements
+  (Alpha famously allows reordering of dependent loads).
+
+Note on SC: the paper's running text prints ``F_SC = False``, but by its own
+definition (``F(x, y)`` true means the pair *cannot* be reordered) SC needs
+``F_SC = True``.  We follow the definition; the discrepancy is documented in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.model import MemoryModel
+from repro.core.predicates import (
+    EXTENDED_PREDICATES,
+    NO_DEP_PREDICATES,
+    PredicateSet,
+    STANDARD_PREDICATES,
+)
+
+#: Sequential consistency: every pair stays in program order.
+SC = MemoryModel(
+    "SC",
+    "True",
+    NO_DEP_PREDICATES,
+    description="Sequential consistency (Lamport): no reordering of any kind.",
+)
+
+#: IBM 370: write->read reordering allowed only for different addresses.
+IBM370 = MemoryModel(
+    "IBM370",
+    "(Write(x) & Read(y) & SameAddr(x, y)) | (Write(x) & Write(y)) | Read(x) | Fence(x) | Fence(y)",
+    NO_DEP_PREDICATES,
+    description=(
+        "IBM System/370: writes may pass later reads to different addresses; "
+        "a read of the same address must wait for the write."
+    ),
+)
+
+#: SPARC TSO (equivalently, the x86 memory model in this framework).
+TSO = MemoryModel(
+    "TSO",
+    "(Write(x) & Write(y)) | Read(x) | Fence(x) | Fence(y)",
+    NO_DEP_PREDICATES,
+    description=(
+        "SPARC Total Store Order / Intel x86: only write->read reordering is allowed, "
+        "with load forwarding from the local store buffer."
+    ),
+)
+
+#: Intel x86 is the same model as TSO in this class (store-atomic fragment).
+X86 = TSO.renamed("x86")
+
+#: SPARC PSO: additionally relaxes write->write to different addresses.
+PSO = MemoryModel(
+    "PSO",
+    "(Write(x) & Write(y) & SameAddr(x, y)) | Read(x) | Fence(x) | Fence(y)",
+    NO_DEP_PREDICATES,
+    description="SPARC Partial Store Order: TSO plus write->write reordering to different addresses.",
+)
+
+#: SPARC RMO: relaxes everything except fences, dependencies and same-address
+#: accesses ordered by a later write.
+RMO = MemoryModel(
+    "RMO",
+    "(Write(y) & SameAddr(x, y)) | Fence(x) | Fence(y) | DataDep(x, y) | CtrlDep(x, y)",
+    EXTENDED_PREDICATES,
+    description=(
+        "SPARC Relaxed Memory Order: reads and writes may be reordered freely except "
+        "across fences, dependencies, and writes to the same address."
+    ),
+)
+
+#: RMO restricted to data dependencies only (the variant the paper's tool explored).
+RMO_DATA_DEP_ONLY = MemoryModel(
+    "RMO-data",
+    "(Write(y) & SameAddr(x, y)) | Fence(x) | Fence(y) | DataDep(x, y)",
+    STANDARD_PREDICATES,
+    description="RMO with only data dependencies enforced (control dependencies ignored).",
+)
+
+#: Alpha: like RMO but dependencies do not order anything.
+ALPHA = MemoryModel(
+    "Alpha",
+    "(Write(y) & SameAddr(x, y)) | Fence(x) | Fence(y)",
+    NO_DEP_PREDICATES,
+    description=(
+        "DEC Alpha (store-atomic fragment): no dependency ordering at all; only fences "
+        "and same-address write ordering constrain execution."
+    ),
+)
+
+
+def named_models() -> Dict[str, MemoryModel]:
+    """Return every catalogued model keyed by name."""
+    models = [SC, IBM370, TSO, X86, PSO, RMO, RMO_DATA_DEP_ONLY, ALPHA]
+    return {model.name: model for model in models}
+
+
+def catalog_summary() -> List[str]:
+    """Return one formatted line per catalogued model (for reports/examples)."""
+    lines = []
+    for name, model in named_models().items():
+        lines.append(f"{name:10s} F(x, y) = {model.formula}")
+    return lines

@@ -1,0 +1,91 @@
+"""Instruction executions ("events").
+
+The axiomatic semantics works over *instruction executions*: an instance of
+an instruction inside one specific thread execution.  Because litmus-test
+programs are loop-free, instruction executions are in one-to-one
+correspondence with (thread index, instruction index) pairs, which is what
+:class:`Event` records.  The concrete register values, resolved addresses and
+write values live in :class:`repro.core.execution.Execution`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.instructions import Branch, Fence, Instruction, Load, Op, Store
+from repro.core.program import Program
+
+
+@dataclass(frozen=True)
+class Event:
+    """One instruction execution.
+
+    Events are ordered within a thread by ``index`` (program order).  The
+    ``uid`` is unique across the whole program and is what the checker and
+    the SAT encoder use as node identity.
+    """
+
+    thread_index: int
+    index: int
+    instruction: Instruction
+
+    @property
+    def uid(self) -> str:
+        """A stable, human-readable identifier such as ``"T1.2"``."""
+        return f"T{self.thread_index + 1}.{self.index}"
+
+    # ------------------------------------------------------------------
+    # classification helpers used by predicates and the checker
+    # ------------------------------------------------------------------
+    @property
+    def is_read(self) -> bool:
+        return isinstance(self.instruction, Load)
+
+    @property
+    def is_write(self) -> bool:
+        return isinstance(self.instruction, Store)
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.instruction.is_memory_access
+
+    @property
+    def is_fence(self) -> bool:
+        return isinstance(self.instruction, Fence)
+
+    @property
+    def is_op(self) -> bool:
+        return isinstance(self.instruction, Op)
+
+    @property
+    def is_branch(self) -> bool:
+        return isinstance(self.instruction, Branch)
+
+    def same_thread(self, other: "Event") -> bool:
+        """Return True iff both events belong to the same thread."""
+        return self.thread_index == other.thread_index
+
+    def program_order_before(self, other: "Event") -> bool:
+        """Return True iff ``self`` precedes ``other`` in program order."""
+        return self.same_thread(other) and self.index < other.index
+
+    def __str__(self) -> str:
+        return f"{self.uid}:{self.instruction}"
+
+
+def build_events(program: Program) -> List[List[Event]]:
+    """Return the events of ``program`` grouped per thread, in program order."""
+    events: List[List[Event]] = []
+    for thread_index, thread in enumerate(program.threads):
+        thread_events = [
+            Event(thread_index, instruction_index, instruction)
+            for instruction_index, instruction in enumerate(thread.instructions)
+        ]
+        events.append(thread_events)
+    return events
+
+
+def flatten_events(events_per_thread: List[List[Event]]) -> List[Event]:
+    """Flatten per-thread event lists into one list (thread-major order)."""
+    return [event for thread_events in events_per_thread for event in thread_events]

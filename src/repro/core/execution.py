@@ -1,0 +1,235 @@
+"""Concrete program executions.
+
+A *program execution* in the paper's sense associates with every thread a
+sequence of instruction executions annotated with concrete register values.
+For a loop-free litmus program the only free choices are the values observed
+by the loads; everything else (register contents, resolved addresses, stored
+values, dependency relations) follows deterministically.  :class:`Execution`
+performs that evaluation once and exposes the derived facts that the
+predicates and the happens-before axioms consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.events import Event, build_events, flatten_events
+from repro.core.expr import ExprError, LocValue, Value, evaluate_expr, resolve_location
+from repro.core.instructions import Branch, Fence, Load, Op, Store
+from repro.core.program import Program
+
+#: Key identifying a load event: (thread index, instruction index).
+EventKey = Tuple[int, int]
+
+
+class ExecutionError(ValueError):
+    """Raised when an execution cannot be constructed (e.g. missing values)."""
+
+
+@dataclass(frozen=True)
+class MemoryAccessInfo:
+    """Resolved facts about one memory-access event."""
+
+    event: Event
+    location: str
+    value: int
+
+
+class Execution:
+    """A fully evaluated execution of a litmus program.
+
+    Args:
+        program: the litmus program.
+        read_values: the value observed by every load, keyed by
+            ``(thread_index, instruction_index)``.
+        initial_values: initial memory contents per location (default 0).
+
+    Raises:
+        ExecutionError: when a load has no specified value, an expression
+            reads an undefined register, or an address does not resolve to a
+            location.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        read_values: Mapping[EventKey, int],
+        initial_values: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        program.validate()
+        self.program = program
+        self.read_values: Dict[EventKey, int] = dict(read_values)
+        self.initial_values: Dict[str, int] = dict(initial_values or {})
+
+        self.events_by_thread: List[List[Event]] = build_events(program)
+        self.events: List[Event] = flatten_events(self.events_by_thread)
+        self._event_by_key: Dict[EventKey, Event] = {
+            (event.thread_index, event.index): event for event in self.events
+        }
+
+        #: per-thread final register valuations
+        self.registers: List[Dict[str, Value]] = []
+        #: resolved location per memory-access event key
+        self._locations: Dict[EventKey, str] = {}
+        #: concrete value per memory-access event key (read or written value)
+        self._values: Dict[EventKey, int] = {}
+        #: for each event key, the set of load event keys it data-depends on
+        self._data_sources: Dict[EventKey, FrozenSet[EventKey]] = {}
+        #: for each event key, the set of load event keys it control-depends on
+        self._control_sources: Dict[EventKey, FrozenSet[EventKey]] = {}
+
+        self._evaluate()
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _evaluate(self) -> None:
+        for thread_index, thread_events in enumerate(self.events_by_thread):
+            registers: Dict[str, Value] = {}
+            register_sources: Dict[str, Set[EventKey]] = {}
+            control_sources: Set[EventKey] = set()
+            for event in thread_events:
+                key = (event.thread_index, event.index)
+                instruction = event.instruction
+                # Data-dependency sources of the registers this instruction reads.
+                read_sources: Set[EventKey] = set()
+                for register in instruction.registers_read():
+                    read_sources |= register_sources.get(register, set())
+                self._data_sources[key] = frozenset(read_sources)
+                self._control_sources[key] = frozenset(control_sources)
+
+                if isinstance(instruction, Load):
+                    if key not in self.read_values:
+                        raise ExecutionError(
+                            f"no observed value for load {event.uid} ({instruction})"
+                        )
+                    location = self._resolve_address(instruction.address, registers, event)
+                    value = self.read_values[key]
+                    self._locations[key] = location
+                    self._values[key] = value
+                    registers[instruction.dest] = value
+                    register_sources[instruction.dest] = {key} | read_sources
+                elif isinstance(instruction, Store):
+                    location = self._resolve_address(instruction.address, registers, event)
+                    stored = evaluate_expr(instruction.value, registers)
+                    if not isinstance(stored, int):
+                        raise ExecutionError(
+                            f"store {event.uid} writes a non-integer value {stored!r}"
+                        )
+                    self._locations[key] = location
+                    self._values[key] = stored
+                elif isinstance(instruction, Op):
+                    registers[instruction.dest] = evaluate_expr(instruction.expr, registers)
+                    register_sources[instruction.dest] = set(read_sources)
+                elif isinstance(instruction, Branch):
+                    # Evaluate the condition only to surface register errors;
+                    # litmus branches always fall through.
+                    evaluate_expr(instruction.expr, registers)
+                    control_sources |= read_sources
+                elif isinstance(instruction, Fence):
+                    pass
+                else:  # pragma: no cover - new instruction kinds must be handled
+                    raise ExecutionError(f"unsupported instruction {instruction!r}")
+            self.registers.append(registers)
+
+    def _resolve_address(self, address_expr, registers: Dict[str, Value], event: Event) -> str:
+        try:
+            return resolve_location(evaluate_expr(address_expr, registers))
+        except ExprError as error:
+            raise ExecutionError(f"event {event.uid}: {error}") from error
+
+    # ------------------------------------------------------------------
+    # event access
+    # ------------------------------------------------------------------
+    def event(self, thread_index: int, instruction_index: int) -> Event:
+        """Return the event at ``(thread_index, instruction_index)``."""
+        return self._event_by_key[(thread_index, instruction_index)]
+
+    def memory_events(self) -> List[Event]:
+        """Return all load/store events in (thread, program-order) order."""
+        return [event for event in self.events if event.is_memory_access]
+
+    def loads(self) -> List[Event]:
+        return [event for event in self.events if event.is_read]
+
+    def stores(self) -> List[Event]:
+        return [event for event in self.events if event.is_write]
+
+    def stores_to(self, location: str) -> List[Event]:
+        """Return the store events to ``location``."""
+        return [event for event in self.stores() if self.location_of(event) == location]
+
+    def locations(self) -> List[str]:
+        """Return all locations touched by the execution, in first-use order."""
+        seen: List[str] = []
+        for event in self.memory_events():
+            location = self.location_of(event)
+            if location not in seen:
+                seen.append(location)
+        return seen
+
+    # ------------------------------------------------------------------
+    # per-event facts
+    # ------------------------------------------------------------------
+    def _key(self, event: Event) -> EventKey:
+        return (event.thread_index, event.index)
+
+    def location_of(self, event: Event) -> str:
+        """Return the resolved location of a memory-access event."""
+        return self._locations[self._key(event)]
+
+    def value_of(self, event: Event) -> int:
+        """Return the value read (for loads) or written (for stores)."""
+        return self._values[self._key(event)]
+
+    def initial_value(self, location: str) -> int:
+        """Return the initial value of ``location`` (0 unless overridden)."""
+        return self.initial_values.get(location, 0)
+
+    def same_address(self, x: Event, y: Event) -> bool:
+        """Return True iff both are memory accesses to the same location."""
+        if not (x.is_memory_access and y.is_memory_access):
+            return False
+        return self.location_of(x) == self.location_of(y)
+
+    def data_dependent(self, x: Event, y: Event) -> bool:
+        """Return True iff ``y`` is data-dependent on the load ``x``.
+
+        A data dependency exists when a value read by ``x`` flows (through
+        register arithmetic) into ``y``'s address or stored value.
+        """
+        if not x.is_read:
+            return False
+        return self._key(x) in self._data_sources.get(self._key(y), frozenset())
+
+    def control_dependent(self, x: Event, y: Event) -> bool:
+        """Return True iff ``y`` is control-dependent on the load ``x``.
+
+        This holds when a branch between ``x`` and ``y`` (in program order)
+        has a condition that data-depends on ``x``.
+        """
+        if not x.is_read:
+            return False
+        return self._key(x) in self._control_sources.get(self._key(y), frozenset())
+
+    def final_registers(self) -> Dict[str, int]:
+        """Return the final integer register values, keyed globally.
+
+        Registers holding location values are skipped (they only carry
+        dependency plumbing).  Names are assumed unique across threads, which
+        holds for every test this library generates; if a name repeats, the
+        later thread wins.
+        """
+        result: Dict[str, int] = {}
+        for valuation in self.registers:
+            for name, value in valuation.items():
+                if isinstance(value, int):
+                    result[name] = value
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        values = ", ".join(
+            f"{event.uid}={self.value_of(event)}" for event in self.loads()
+        )
+        return f"Execution({values})"

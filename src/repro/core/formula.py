@@ -1,0 +1,319 @@
+"""Boolean formulas over predicates, and a small text DSL.
+
+A must-not-reorder function is written as a boolean combination of predicate
+applications, for example SPARC TSO (Section 2.4)::
+
+    (Write(x) & Write(y)) | Read(x) | Fence(x) | Fence(y)
+
+The paper restricts the class to *quantifier-free positive* functions; the
+AST nevertheless supports negation (:class:`Not`) so that users can write
+experimental models, and :meth:`Formula.is_positive` reports whether a
+formula stays inside the paper's class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.events import Event
+from repro.core.execution import Execution
+from repro.core.predicates import Predicate, default_registry
+
+
+class FormulaError(ValueError):
+    """Raised for malformed formulas or parse errors."""
+
+
+class Formula:
+    """Base class for must-not-reorder formulas."""
+
+    def evaluate(
+        self,
+        execution: Execution,
+        x: Event,
+        y: Event,
+        registry: Optional[Dict[str, Predicate]] = None,
+    ) -> bool:
+        """Evaluate the formula on the ordered event pair ``(x, y)``."""
+        raise NotImplementedError
+
+    def atoms(self) -> Tuple["Atom", ...]:
+        """Return every predicate application occurring in the formula."""
+        raise NotImplementedError
+
+    def is_positive(self) -> bool:
+        """Return True iff the formula contains no negation."""
+        raise NotImplementedError
+
+    # operator sugar -----------------------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The constant ``True``: every program-order pair must stay in order.
+
+    This is the must-not-reorder function of sequential consistency.  (The
+    paper's Section 2.4 prints ``F_SC = False``, which is inconsistent with
+    its own definition that ``F(x, y)`` true means *cannot* be reordered; we
+    follow the definition, so SC uses ``True`` — see
+    :mod:`repro.core.catalog` and EXPERIMENTS.md.)
+    """
+
+    def evaluate(self, execution, x, y, registry=None) -> bool:
+        return True
+
+    def atoms(self) -> Tuple["Atom", ...]:
+        return ()
+
+    def is_positive(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "True"
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    """The constant ``False`` (no pair is forced to stay in order)."""
+
+    def evaluate(self, execution, x, y, registry=None) -> bool:
+        return False
+
+    def atoms(self) -> Tuple["Atom", ...]:
+        return ()
+
+    def is_positive(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "False"
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A predicate application, e.g. ``SameAddr(x, y)`` or ``Read(x)``.
+
+    ``args`` is a tuple of the formal names ``"x"`` and/or ``"y"``; a unary
+    predicate applied to ``"y"`` (such as ``Fence(y)``) is therefore
+    ``Atom("Fence", ("y",))``.
+    """
+
+    predicate: str
+    args: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.args or len(self.args) > 2:
+            raise FormulaError(f"predicate {self.predicate} must take one or two arguments")
+        for arg in self.args:
+            if arg not in ("x", "y"):
+                raise FormulaError(f"unknown formula variable {arg!r} (expected 'x' or 'y')")
+
+    def evaluate(self, execution, x, y, registry=None) -> bool:
+        registry = registry or default_registry()
+        if self.predicate not in registry:
+            raise FormulaError(f"unknown predicate {self.predicate!r}")
+        predicate = registry[self.predicate]
+        events = tuple(x if arg == "x" else y for arg in self.args)
+        if predicate.arity == 1:
+            if len(events) != 1:
+                raise FormulaError(f"predicate {self.predicate} is unary")
+            return predicate.evaluate(execution, events[0])
+        if len(events) != 2:
+            raise FormulaError(f"predicate {self.predicate} is binary")
+        return predicate.evaluate(execution, events[0], events[1])
+
+    def atoms(self) -> Tuple["Atom", ...]:
+        return (self,)
+
+    def is_positive(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def evaluate(self, execution, x, y, registry=None) -> bool:
+        return not self.operand.evaluate(execution, x, y, registry)
+
+    def atoms(self) -> Tuple["Atom", ...]:
+        return self.operand.atoms()
+
+    def is_positive(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"!{_parenthesise(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    operands: Tuple[Formula, ...]
+
+    def __init__(self, operands: Iterable[Formula]) -> None:
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def evaluate(self, execution, x, y, registry=None) -> bool:
+        return all(op.evaluate(execution, x, y, registry) for op in self.operands)
+
+    def atoms(self) -> Tuple["Atom", ...]:
+        return tuple(atom for op in self.operands for atom in op.atoms())
+
+    def is_positive(self) -> bool:
+        return all(op.is_positive() for op in self.operands)
+
+    def __str__(self) -> str:
+        return " & ".join(_parenthesise(op) for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    operands: Tuple[Formula, ...]
+
+    def __init__(self, operands: Iterable[Formula]) -> None:
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def evaluate(self, execution, x, y, registry=None) -> bool:
+        return any(op.evaluate(execution, x, y, registry) for op in self.operands)
+
+    def atoms(self) -> Tuple["Atom", ...]:
+        return tuple(atom for op in self.operands for atom in op.atoms())
+
+    def is_positive(self) -> bool:
+        return all(op.is_positive() for op in self.operands)
+
+    def __str__(self) -> str:
+        return " | ".join(
+            f"({op})" if isinstance(op, Or) else _parenthesise(op) for op in self.operands
+        )
+
+
+def _parenthesise(formula: Formula) -> str:
+    if isinstance(formula, (Or, And)) and len(formula.operands) > 1:
+        return f"({formula})"
+    return str(formula)
+
+
+# ----------------------------------------------------------------------
+# tiny DSL:  Write(x) & Read(y) & SameAddr(x,y) | Fence(x) | Fence(y)
+# ----------------------------------------------------------------------
+class _Tokenizer:
+    """Tokenizes the formula DSL."""
+
+    SYMBOLS = {"(": "LPAREN", ")": "RPAREN", ",": "COMMA", "&": "AND", "|": "OR", "!": "NOT"}
+
+    def __init__(self, text: str) -> None:
+        self.tokens = list(self._tokenize(text))
+        self.position = 0
+
+    def _tokenize(self, text: str):
+        index = 0
+        while index < len(text):
+            char = text[index]
+            if char.isspace():
+                index += 1
+                continue
+            if char in self.SYMBOLS:
+                yield (self.SYMBOLS[char], char)
+                index += 1
+                continue
+            if char.isalpha() or char == "_":
+                start = index
+                while index < len(text) and (text[index].isalnum() or text[index] == "_"):
+                    index += 1
+                yield ("NAME", text[start:index])
+                continue
+            raise FormulaError(f"unexpected character {char!r} in formula")
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise FormulaError("unexpected end of formula")
+        self.position += 1
+        return token
+
+    def expect(self, kind: str) -> Tuple[str, str]:
+        token = self.next()
+        if token[0] != kind:
+            raise FormulaError(f"expected {kind}, found {token[1]!r}")
+        return token
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse the formula DSL.
+
+    Grammar (``|`` binds loosest, then ``&``, then ``!``)::
+
+        or_expr   := and_expr ('|' and_expr)*
+        and_expr  := not_expr ('&' not_expr)*
+        not_expr  := '!' not_expr | atom
+        atom      := 'True' | 'False' | NAME '(' args ')' | '(' or_expr ')'
+        args      := NAME (',' NAME)*
+    """
+    tokenizer = _Tokenizer(text)
+    formula = _parse_or(tokenizer)
+    if tokenizer.peek() is not None:
+        raise FormulaError(f"trailing input after formula: {tokenizer.peek()[1]!r}")
+    return formula
+
+
+def _parse_or(tokenizer: _Tokenizer) -> Formula:
+    operands = [_parse_and(tokenizer)]
+    while tokenizer.peek() is not None and tokenizer.peek()[0] == "OR":
+        tokenizer.next()
+        operands.append(_parse_and(tokenizer))
+    return operands[0] if len(operands) == 1 else Or(operands)
+
+
+def _parse_and(tokenizer: _Tokenizer) -> Formula:
+    operands = [_parse_not(tokenizer)]
+    while tokenizer.peek() is not None and tokenizer.peek()[0] == "AND":
+        tokenizer.next()
+        operands.append(_parse_not(tokenizer))
+    return operands[0] if len(operands) == 1 else And(operands)
+
+
+def _parse_not(tokenizer: _Tokenizer) -> Formula:
+    token = tokenizer.peek()
+    if token is not None and token[0] == "NOT":
+        tokenizer.next()
+        return Not(_parse_not(tokenizer))
+    return _parse_atom(tokenizer)
+
+
+def _parse_atom(tokenizer: _Tokenizer) -> Formula:
+    kind, value = tokenizer.next()
+    if kind == "LPAREN":
+        inner = _parse_or(tokenizer)
+        tokenizer.expect("RPAREN")
+        return inner
+    if kind != "NAME":
+        raise FormulaError(f"unexpected token {value!r}")
+    if value == "True":
+        return TrueFormula()
+    if value == "False":
+        return FalseFormula()
+    tokenizer.expect("LPAREN")
+    args = [tokenizer.expect("NAME")[1]]
+    while tokenizer.peek() is not None and tokenizer.peek()[0] == "COMMA":
+        tokenizer.next()
+        args.append(tokenizer.expect("NAME")[1])
+    tokenizer.expect("RPAREN")
+    return Atom(value, tuple(args))

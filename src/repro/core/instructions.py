@@ -1,0 +1,174 @@
+"""Instruction set for litmus-test programs.
+
+The paper's class of models distinguishes *memory access* instructions
+(loads and stores) from all other instructions (fences, arithmetic, and
+branches).  That is exactly the split encoded here:
+
+* :class:`Load` — read a shared location into a register;
+* :class:`Store` — write the value of an expression to a shared location;
+* :class:`Fence` — a full memory barrier;
+* :class:`Op` — register arithmetic (used to manufacture data dependencies,
+  e.g. ``t1 = r1 - r1 + 1``);
+* :class:`Branch` — a conditional branch on a register expression (used to
+  manufacture control dependencies).
+
+Addresses are expressions so that dependencies can flow into them
+(``Read [t1] -> r2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Union
+
+from repro.core.expr import Expr, Loc, Reg, Const, _coerce
+
+
+class Instruction:
+    """Base class for all instructions."""
+
+    #: True for loads and stores; False for everything else.
+    is_memory_access: bool = False
+
+    def registers_read(self) -> FrozenSet[str]:
+        """Registers whose values this instruction uses."""
+        return frozenset()
+
+    def registers_written(self) -> FrozenSet[str]:
+        """Registers this instruction defines."""
+        return frozenset()
+
+
+def _as_address(address: Union[str, Expr]) -> Expr:
+    """Accept a bare location name or an expression as an address."""
+    if isinstance(address, str):
+        return Loc(address)
+    if isinstance(address, Expr):
+        return address
+    raise TypeError(f"invalid address {address!r}")
+
+
+def _as_value(value: Union[int, str, Expr]) -> Expr:
+    """Accept an int, a register name or an expression as a value."""
+    return _coerce(value)
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """``Read [address] -> dest``."""
+
+    dest: str
+    address: Expr
+
+    is_memory_access = True
+
+    def __init__(self, dest: str, address: Union[str, Expr]) -> None:
+        object.__setattr__(self, "dest", dest)
+        object.__setattr__(self, "address", _as_address(address))
+
+    def registers_read(self) -> FrozenSet[str]:
+        return self.address.registers()
+
+    def registers_written(self) -> FrozenSet[str]:
+        return frozenset({self.dest})
+
+    def __str__(self) -> str:
+        return f"Read {self.address} -> {self.dest}"
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """``Write [address] <- value``."""
+
+    address: Expr
+    value: Expr
+
+    is_memory_access = True
+
+    def __init__(self, address: Union[str, Expr], value: Union[int, str, Expr]) -> None:
+        object.__setattr__(self, "address", _as_address(address))
+        object.__setattr__(self, "value", _as_value(value))
+
+    def registers_read(self) -> FrozenSet[str]:
+        return self.address.registers() | self.value.registers()
+
+    def __str__(self) -> str:
+        return f"Write {self.address} <- {self.value}"
+
+
+@dataclass(frozen=True)
+class Fence(Instruction):
+    """A full memory fence.
+
+    ``kind`` is free-form ("full" by default); the standard predicate set
+    treats every fence alike, but custom predicate sets may dispatch on the
+    kind (e.g. to model SPARC's membar variants).
+    """
+
+    kind: str = "full"
+
+    def __str__(self) -> str:
+        return "Fence" if self.kind == "full" else f"Fence.{self.kind}"
+
+
+@dataclass(frozen=True)
+class Op(Instruction):
+    """Register arithmetic: ``dest = expr``."""
+
+    dest: str
+    expr: Expr
+
+    def __init__(self, dest: str, expr: Union[int, str, Expr]) -> None:
+        object.__setattr__(self, "dest", dest)
+        object.__setattr__(self, "expr", _as_value(expr))
+
+    def registers_read(self) -> FrozenSet[str]:
+        return self.expr.registers()
+
+    def registers_written(self) -> FrozenSet[str]:
+        return frozenset({self.dest})
+
+    def __str__(self) -> str:
+        return f"{self.dest} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class Branch(Instruction):
+    """A conditional branch whose condition depends on ``expr``.
+
+    In litmus tests the branch is written so that it always falls through
+    (the classic ``beq r, r, next`` idiom); its only role is to create a
+    control dependency from the loads feeding ``expr`` to every later
+    instruction of the thread.
+    """
+
+    expr: Expr
+    label: str = "L"
+
+    def __init__(self, expr: Union[int, str, Expr], label: str = "L") -> None:
+        object.__setattr__(self, "expr", _as_value(expr))
+        object.__setattr__(self, "label", label)
+
+    def registers_read(self) -> FrozenSet[str]:
+        return self.expr.registers()
+
+    def __str__(self) -> str:
+        return f"Branch({self.expr}) -> {self.label}"
+
+
+def make_dependency_op(dest: str, source_register: str, payload: Union[int, str, Expr]) -> Op:
+    """Return the paper's dependency idiom ``dest = source - source + payload``.
+
+    The resulting register always equals ``payload`` but is data-dependent on
+    ``source_register``, which is how the paper's tests L4, L6, L8 and L9
+    force an ordering through dependencies.
+    """
+    source = Reg(source_register)
+    return Op(dest, BinOp_sub_add(source, payload))
+
+
+def BinOp_sub_add(source: Reg, payload: Union[int, str, Expr]) -> Expr:
+    """Build ``source - source + payload``."""
+    from repro.core.expr import BinOp
+
+    return BinOp("+", BinOp("-", source, source), _as_value(payload))

@@ -1,0 +1,172 @@
+"""Litmus tests.
+
+A litmus test is a small parallel program together with one *candidate
+execution* (the values every load observes), usually summarised in the paper
+as a condition on the final register values, e.g.::
+
+    Test L5
+    T1              T2
+    Read X -> r1    Read Y -> r2
+    Write Y <- 1    Write X <- 1
+    Outcome: r1 = 1; r2 = 1
+
+Asking whether a memory model *allows* a litmus test means asking whether
+that candidate execution is admitted by the model's axioms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.events import Event, build_events, flatten_events
+from repro.core.execution import EventKey, Execution
+from repro.core.instructions import Load
+from repro.core.program import Program
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """The observed values of a litmus test.
+
+    ``read_values`` is the canonical form: the value observed by every load,
+    keyed by ``(thread_index, instruction_index)``.  ``registers`` is the
+    equivalent final-register condition used for display; for the
+    single-assignment programs this library works with the two are
+    interchangeable.
+    """
+
+    read_values: Tuple[Tuple[EventKey, int], ...]
+
+    def __init__(self, read_values: Mapping[EventKey, int]) -> None:
+        object.__setattr__(
+            self, "read_values", tuple(sorted(read_values.items()))
+        )
+
+    def as_dict(self) -> Dict[EventKey, int]:
+        return dict(self.read_values)
+
+    def __len__(self) -> int:
+        return len(self.read_values)
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A named litmus test: program plus candidate outcome."""
+
+    name: str
+    program: Program
+    outcome: Outcome
+    description: str = ""
+
+    def __init__(
+        self,
+        name: str,
+        program: Program,
+        outcome: Mapping[EventKey, int],
+        description: str = "",
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "program", program)
+        if isinstance(outcome, Outcome):
+            object.__setattr__(self, "outcome", outcome)
+        else:
+            object.__setattr__(self, "outcome", Outcome(outcome))
+        object.__setattr__(self, "description", description)
+        self._check_outcome_covers_loads()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_register_outcome(
+        cls,
+        name: str,
+        program: Program,
+        register_values: Mapping[str, int],
+        description: str = "",
+    ) -> "LitmusTest":
+        """Build a test from a final-register condition.
+
+        Every load destination register must appear in ``register_values``;
+        values for non-load registers (the ``t`` temporaries of dependency
+        idioms) are ignored because they are implied.
+        """
+        read_values: Dict[EventKey, int] = {}
+        for thread_index, thread in enumerate(program.threads):
+            for instruction_index, instruction in enumerate(thread.instructions):
+                if isinstance(instruction, Load):
+                    if instruction.dest not in register_values:
+                        raise ValueError(
+                            f"register outcome does not constrain load register "
+                            f"{instruction.dest!r} in thread {thread.name}"
+                        )
+                    read_values[(thread_index, instruction_index)] = register_values[
+                        instruction.dest
+                    ]
+        return cls(name, program, read_values, description)
+
+    def _check_outcome_covers_loads(self) -> None:
+        outcome = self.outcome.as_dict()
+        for thread_index, thread in enumerate(self.program.threads):
+            for instruction_index, instruction in enumerate(thread.instructions):
+                key = (thread_index, instruction_index)
+                if isinstance(instruction, Load) and key not in outcome:
+                    raise ValueError(
+                        f"test {self.name!r}: outcome does not give a value for load "
+                        f"T{thread_index + 1}.{instruction_index}"
+                    )
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def execution(self, initial_values: Optional[Mapping[str, int]] = None) -> Execution:
+        """Return the candidate :class:`Execution` described by the outcome."""
+        return Execution(self.program, self.outcome.as_dict(), initial_values)
+
+    def register_outcome(self) -> Dict[str, int]:
+        """Return the outcome as final register values (load registers only)."""
+        outcome = self.outcome.as_dict()
+        result: Dict[str, int] = {}
+        for thread_index, thread in enumerate(self.program.threads):
+            for instruction_index, instruction in enumerate(thread.instructions):
+                if isinstance(instruction, Load):
+                    result[instruction.dest] = outcome[(thread_index, instruction_index)]
+        return result
+
+    def num_memory_accesses(self) -> int:
+        return self.program.num_memory_accesses()
+
+    def num_threads(self) -> int:
+        return len(self.program)
+
+    # ------------------------------------------------------------------
+    # display
+    # ------------------------------------------------------------------
+    def pretty(self) -> str:
+        """Render the test in the paper's two-column style."""
+        columns: List[List[str]] = []
+        for thread in self.program.threads:
+            columns.append([str(instruction) for instruction in thread.instructions])
+        header = [thread.name for thread in self.program.threads]
+        widths = [
+            max([len(header[i])] + [len(line) for line in column]) for i, column in enumerate(columns)
+        ]
+        height = max(len(column) for column in columns) if columns else 0
+
+        lines = [f"Test {self.name}"]
+        lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(columns))))
+        for row in range(height):
+            cells = []
+            for i, column in enumerate(columns):
+                cell = column[row] if row < len(column) else ""
+                cells.append(cell.ljust(widths[i]))
+            lines.append("  ".join(cells).rstrip())
+        condition = "; ".join(
+            f"{register} = {value}" for register, value in sorted(self.register_outcome().items())
+        )
+        lines.append(f"Outcome: {condition}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.pretty()

@@ -1,0 +1,108 @@
+"""Memory models as must-not-reorder functions.
+
+A :class:`MemoryModel` is a named must-not-reorder function ``F(x, y)``: it
+answers, for two instruction executions of the same thread with ``x`` before
+``y`` in program order, whether the pair must be kept in order.  Together
+with the fixed happens-before axioms of Section 2.2 (implemented in
+:mod:`repro.checker`), the function determines the set of allowed program
+executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Union
+
+from repro.core.events import Event
+from repro.core.execution import Execution
+from repro.core.formula import Formula, parse_formula
+from repro.core.predicates import Predicate, PredicateSet, STANDARD_PREDICATES, default_registry
+
+ReorderCallable = Callable[[Execution, Event, Event], bool]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """A memory consistency model in the paper's restricted class.
+
+    Args:
+        name: a short identifier (``"TSO"``, ``"M4044"``, ...).
+        must_not_reorder: the function ``F``; either a :class:`Formula`, a
+            DSL string (parsed with :func:`repro.core.formula.parse_formula`)
+            or an arbitrary Python callable ``(execution, x, y) -> bool``.
+        predicates: the predicate vocabulary the model is expressed over;
+            used for litmus-test generation and documentation, defaults to
+            the paper's standard set.
+        description: free-form documentation.
+    """
+
+    name: str
+    must_not_reorder: Union[Formula, ReorderCallable]
+    predicates: PredicateSet = field(default_factory=lambda: STANDARD_PREDICATES)
+    description: str = ""
+
+    def __init__(
+        self,
+        name: str,
+        must_not_reorder: Union[Formula, str, ReorderCallable],
+        predicates: Optional[PredicateSet] = None,
+        description: str = "",
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        if isinstance(must_not_reorder, str):
+            must_not_reorder = parse_formula(must_not_reorder)
+        object.__setattr__(self, "must_not_reorder", must_not_reorder)
+        object.__setattr__(self, "predicates", predicates or STANDARD_PREDICATES)
+        object.__setattr__(self, "description", description)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def ordered(self, execution: Execution, x: Event, y: Event) -> bool:
+        """Return ``F(x, y)``: must ``x`` (earlier) and ``y`` (later) stay in order?
+
+        The checker only ever calls this for same-thread pairs with ``x``
+        before ``y`` in program order, but the function itself is total.
+        """
+        function = self.must_not_reorder
+        if isinstance(function, Formula):
+            return function.evaluate(execution, x, y, self._registry())
+        return bool(function(execution, x, y))
+
+    def _registry(self) -> Dict[str, Predicate]:
+        registry = default_registry()
+        registry.update({predicate.name: predicate for predicate in self.predicates})
+        return registry
+
+    # ------------------------------------------------------------------
+    # introspection / display
+    # ------------------------------------------------------------------
+    @property
+    def formula(self) -> Optional[Formula]:
+        """Return the formula if the model is formula-defined, else None."""
+        return self.must_not_reorder if isinstance(self.must_not_reorder, Formula) else None
+
+    def is_formula_defined(self) -> bool:
+        return self.formula is not None
+
+    def renamed(self, name: str) -> "MemoryModel":
+        """Return the same model under a different name."""
+        return MemoryModel(name, self.must_not_reorder, self.predicates, self.description)
+
+    def __str__(self) -> str:
+        if self.formula is not None:
+            return f"{self.name}: F(x, y) = {self.formula}"
+        return f"{self.name}: F(x, y) = <python function>"
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        """Syntactic identity (same name and same function object/formula).
+
+        Semantic equivalence of two models is decided by
+        :func:`repro.comparison.compare.compare_models`, not by ``==``.
+        """
+        if not isinstance(other, MemoryModel):
+            return NotImplemented
+        return self.name == other.name and self.must_not_reorder == other.must_not_reorder

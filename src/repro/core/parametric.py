@@ -1,0 +1,220 @@
+"""The parametric family of memory models explored in Section 4.2.
+
+The paper enumerates models by choosing, for each ordered pair of memory
+access kinds (write-write, write-read, read-write, read-read), when the pair
+may be *reordered*:
+
+====  =========================================
+code  reordering allowed ...
+====  =========================================
+0     always
+1     only for accesses to different addresses
+2     only when there is no data dependency
+3     only for different addresses and no data dependency
+4     never
+====  =========================================
+
+Some combinations are excluded because they would violate single-thread
+consistency or are meaningless (writes never carry dependencies), leaving
+
+* write-write: ``{1, 4}``            (2 choices)
+* write-read:  ``{0, 1, 4}``         (3 choices)
+* read-write:  ``{1, 3, 4}``         (3 choices)
+* read-read:   ``{0, 1, 2, 3, 4}``   (5 choices)
+
+for a total of ``2 * 3 * 3 * 5 = 90`` models.  Without data dependencies the
+dependency-sensitive codes collapse and the space has ``2 * 3 * 2 * 3 = 36``
+models — the space drawn in Figure 4.
+
+Models are named ``M{ww}{wr}{rw}{rr}`` exactly as in the paper, so ``M4444``
+is SC, ``M4044`` is TSO/x86, ``M4144`` is IBM 370 and ``M1044`` is PSO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.formula import And, Atom, FalseFormula, Formula, Or, TrueFormula
+from repro.core.model import MemoryModel
+from repro.core.predicates import NO_DEP_PREDICATES, PredicateSet, STANDARD_PREDICATES
+
+
+class ReorderOption(IntEnum):
+    """When a program-order pair of memory accesses may be reordered."""
+
+    ALWAYS = 0
+    DIFFERENT_ADDRESS = 1
+    NO_DATA_DEPENDENCY = 2
+    DIFFERENT_ADDRESS_AND_NO_DATA_DEPENDENCY = 3
+    NEVER = 4
+
+    def must_not_reorder_condition(self) -> Formula:
+        """Return the condition under which the pair must stay ordered.
+
+        This is the complement of the "reordering allowed" condition, kept
+        positive (negation-free) as the paper's class requires:
+
+        * ALWAYS                -> False (never forced in order)
+        * DIFFERENT_ADDRESS     -> SameAddr(x, y)
+        * NO_DATA_DEPENDENCY    -> DataDep(x, y)
+        * DIFFERENT_ADDRESS_AND_NO_DATA_DEPENDENCY -> SameAddr | DataDep
+        * NEVER                 -> True (always forced in order)
+        """
+        if self is ReorderOption.ALWAYS:
+            return FalseFormula()
+        if self is ReorderOption.DIFFERENT_ADDRESS:
+            return Atom("SameAddr", ("x", "y"))
+        if self is ReorderOption.NO_DATA_DEPENDENCY:
+            return Atom("DataDep", ("x", "y"))
+        if self is ReorderOption.DIFFERENT_ADDRESS_AND_NO_DATA_DEPENDENCY:
+            return Or((Atom("SameAddr", ("x", "y")), Atom("DataDep", ("x", "y"))))
+        return TrueFormula()
+
+    @property
+    def uses_data_dependencies(self) -> bool:
+        return self in (
+            ReorderOption.NO_DATA_DEPENDENCY,
+            ReorderOption.DIFFERENT_ADDRESS_AND_NO_DATA_DEPENDENCY,
+        )
+
+
+#: Option codes permitted for each access pair (see the module docstring).
+ALLOWED_OPTIONS: Dict[str, Tuple[ReorderOption, ...]] = {
+    "ww": (ReorderOption.DIFFERENT_ADDRESS, ReorderOption.NEVER),
+    "wr": (ReorderOption.ALWAYS, ReorderOption.DIFFERENT_ADDRESS, ReorderOption.NEVER),
+    "rw": (
+        ReorderOption.DIFFERENT_ADDRESS,
+        ReorderOption.DIFFERENT_ADDRESS_AND_NO_DATA_DEPENDENCY,
+        ReorderOption.NEVER,
+    ),
+    "rr": tuple(ReorderOption),
+}
+
+#: The dependency-free projections of the allowed options (the Figure 4 space).
+ALLOWED_OPTIONS_NO_DEP: Dict[str, Tuple[ReorderOption, ...]] = {
+    "ww": (ReorderOption.DIFFERENT_ADDRESS, ReorderOption.NEVER),
+    "wr": (ReorderOption.ALWAYS, ReorderOption.DIFFERENT_ADDRESS, ReorderOption.NEVER),
+    "rw": (ReorderOption.DIFFERENT_ADDRESS, ReorderOption.NEVER),
+    "rr": (ReorderOption.ALWAYS, ReorderOption.DIFFERENT_ADDRESS, ReorderOption.NEVER),
+}
+
+_PAIR_KINDS: Tuple[Tuple[str, str, str], ...] = (
+    ("ww", "Write", "Write"),
+    ("wr", "Write", "Read"),
+    ("rw", "Read", "Write"),
+    ("rr", "Read", "Read"),
+)
+
+
+@dataclass(frozen=True)
+class ParametricModel:
+    """A model from the parametric family, identified by its four options."""
+
+    ww: ReorderOption
+    wr: ReorderOption
+    rw: ReorderOption
+    rr: ReorderOption
+
+    @property
+    def name(self) -> str:
+        """Return the paper-style name ``M{ww}{wr}{rw}{rr}``."""
+        return f"M{int(self.ww)}{int(self.wr)}{int(self.rw)}{int(self.rr)}"
+
+    @property
+    def options(self) -> Dict[str, ReorderOption]:
+        return {"ww": self.ww, "wr": self.wr, "rw": self.rw, "rr": self.rr}
+
+    @property
+    def uses_data_dependencies(self) -> bool:
+        return any(option.uses_data_dependencies for option in self.options.values())
+
+    def formula(self) -> Formula:
+        """Build the must-not-reorder formula.
+
+        The formula is the disjunction over the four access-pair kinds of
+        ``Kind(x) & Kind(y) & condition``, plus ``Fence(x) | Fence(y)`` so
+        that a full fence orders everything around it.
+        """
+        clauses: List[Formula] = []
+        for key, x_kind, y_kind in _PAIR_KINDS:
+            condition = self.options[key].must_not_reorder_condition()
+            if isinstance(condition, FalseFormula):
+                continue
+            guard: List[Formula] = [Atom(x_kind, ("x",)), Atom(y_kind, ("y",))]
+            if not isinstance(condition, TrueFormula):
+                guard.append(condition)
+            clauses.append(And(guard))
+        clauses.append(Atom("Fence", ("x",)))
+        clauses.append(Atom("Fence", ("y",)))
+        return Or(clauses)
+
+    def to_memory_model(self) -> MemoryModel:
+        """Return the equivalent :class:`MemoryModel`."""
+        predicates: PredicateSet = (
+            STANDARD_PREDICATES if self.uses_data_dependencies else NO_DEP_PREDICATES
+        )
+        return MemoryModel(
+            self.name,
+            self.formula(),
+            predicates,
+            description=(
+                f"parametric model ww={self.ww.name}, wr={self.wr.name}, "
+                f"rw={self.rw.name}, rr={self.rr.name}"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # naming
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_name(cls, name: str) -> "ParametricModel":
+        """Parse a paper-style name such as ``"M4044"``."""
+        if len(name) != 5 or not name.startswith("M") or not name[1:].isdigit():
+            raise ValueError(f"malformed parametric model name {name!r}")
+        codes = [int(digit) for digit in name[1:]]
+        model = cls(*(ReorderOption(code) for code in codes))
+        for key, option in model.options.items():
+            if option not in ALLOWED_OPTIONS[key]:
+                raise ValueError(
+                    f"{name}: option {option.name} is not permitted for {key} pairs"
+                )
+        return model
+
+    def validate(self) -> None:
+        """Raise ValueError if an option is outside the permitted sets."""
+        for key, option in self.options.items():
+            if option not in ALLOWED_OPTIONS[key]:
+                raise ValueError(f"option {option.name} is not permitted for {key} pairs")
+
+
+def model_space(include_data_dependencies: bool = True) -> List[MemoryModel]:
+    """Enumerate the parametric model space as :class:`MemoryModel` objects.
+
+    With ``include_data_dependencies=True`` this is the 90-model space of
+    Section 4.2; with ``False`` it is the 36-model dependency-free space of
+    Figure 4.  Models are returned in lexicographic order of their names.
+    """
+    options = ALLOWED_OPTIONS if include_data_dependencies else ALLOWED_OPTIONS_NO_DEP
+    models: List[MemoryModel] = []
+    for ww, wr, rw, rr in product(options["ww"], options["wr"], options["rw"], options["rr"]):
+        models.append(ParametricModel(ww, wr, rw, rr).to_memory_model())
+    models.sort(key=lambda model: model.name)
+    return models
+
+
+#: Paper names for well-known points of the parametric space.
+KNOWN_CORRESPONDENCES: Dict[str, str] = {
+    "M4444": "SC",
+    "M4144": "IBM370",
+    "M4044": "TSO/x86",
+    "M1044": "PSO",
+    "M1010": "RMO (without dependencies)",
+}
+
+
+def parametric_model(name: str) -> MemoryModel:
+    """Return the :class:`MemoryModel` for a paper-style name like ``"M4044"``."""
+    return ParametricModel.from_name(name).to_memory_model()

@@ -1,0 +1,151 @@
+"""Predicates on instruction executions.
+
+Must-not-reorder functions are boolean combinations of predicates drawn from
+a set ``D`` (Section 2.3 of the paper).  Each predicate is either unary
+(``Read(x)``, ``Write(x)``, ``Fence(x)``) or binary (``SameAddr(x, y)``,
+``DataDep(x, y)``, ``CtrlDep(x, y)``) and is evaluated on events of a
+concrete :class:`~repro.core.execution.Execution`.
+
+The choice of predicate set also drives litmus-test generation: it determines
+how many distinct *local segments* exist (Section 3.3), and therefore how
+many template instantiations are needed (Corollary 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.core.events import Event
+from repro.core.execution import Execution
+
+UnaryEvaluator = Callable[[Execution, Event], bool]
+BinaryEvaluator = Callable[[Execution, Event, Event], bool]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A named predicate with its arity and evaluator."""
+
+    name: str
+    arity: int
+    _unary: Optional[UnaryEvaluator] = None
+    _binary: Optional[BinaryEvaluator] = None
+
+    def evaluate(self, execution: Execution, x: Event, y: Optional[Event] = None) -> bool:
+        """Evaluate the predicate on ``x`` (and ``y`` for binary predicates)."""
+        if self.arity == 1:
+            assert self._unary is not None
+            return self._unary(execution, x)
+        if y is None:
+            raise ValueError(f"binary predicate {self.name} needs two events")
+        assert self._binary is not None
+        return self._binary(execution, x, y)
+
+
+def unary(name: str, evaluator: UnaryEvaluator) -> Predicate:
+    """Build a unary predicate."""
+    return Predicate(name, 1, _unary=evaluator)
+
+
+def binary(name: str, evaluator: BinaryEvaluator) -> Predicate:
+    """Build a binary predicate."""
+    return Predicate(name, 2, _binary=evaluator)
+
+
+# ----------------------------------------------------------------------
+# the standard predicates used throughout the paper
+# ----------------------------------------------------------------------
+READ = unary("Read", lambda execution, event: event.is_read)
+WRITE = unary("Write", lambda execution, event: event.is_write)
+FENCE = unary("Fence", lambda execution, event: event.is_fence)
+MEMORY_ACCESS = unary("MemAccess", lambda execution, event: event.is_memory_access)
+SAME_ADDR = binary("SameAddr", lambda execution, x, y: execution.same_address(x, y))
+DATA_DEP = binary("DataDep", lambda execution, x, y: execution.data_dependent(x, y))
+CTRL_DEP = binary("CtrlDep", lambda execution, x, y: execution.control_dependent(x, y))
+#: Dependency of either kind; convenient for RMO/Alpha style specifications.
+ANY_DEP = binary(
+    "Dep",
+    lambda execution, x, y: execution.data_dependent(x, y) or execution.control_dependent(x, y),
+)
+
+
+class PredicateSet:
+    """The predicate vocabulary ``D`` available to a family of models.
+
+    Besides predicate lookup for formula evaluation, the set records which
+    *features* are present, which is what segment enumeration needs:
+
+    * ``has_fence`` — fences may appear between two accesses of a segment;
+    * ``has_data_dep`` — data dependencies may link a read to a later access;
+    * ``has_ctrl_dep`` — control dependencies may link a read to a later
+      access (an extension; the paper's tool did not implement them);
+    * ``has_same_addr`` — segments distinguish same-address from
+      different-address access pairs.
+    """
+
+    def __init__(self, predicates: Iterable[Predicate]) -> None:
+        self._predicates: Dict[str, Predicate] = {}
+        for predicate in predicates:
+            if predicate.name in self._predicates:
+                raise ValueError(f"duplicate predicate name {predicate.name!r}")
+            self._predicates[predicate.name] = predicate
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._predicates
+
+    def __iter__(self):
+        return iter(self._predicates.values())
+
+    def __len__(self) -> int:
+        return len(self._predicates)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._predicates)
+
+    def get(self, name: str) -> Predicate:
+        """Return the predicate called ``name`` (KeyError if absent)."""
+        return self._predicates[name]
+
+    def with_predicates(self, extra: Iterable[Predicate]) -> "PredicateSet":
+        """Return a new set extended with ``extra`` predicates."""
+        return PredicateSet(list(self._predicates.values()) + list(extra))
+
+    # feature flags used by segment enumeration -------------------------------
+    @property
+    def has_fence(self) -> bool:
+        return "Fence" in self
+
+    @property
+    def has_same_addr(self) -> bool:
+        return "SameAddr" in self
+
+    @property
+    def has_data_dep(self) -> bool:
+        return "DataDep" in self
+
+    @property
+    def has_ctrl_dep(self) -> bool:
+        return "CtrlDep" in self
+
+    def __repr__(self) -> str:
+        return f"PredicateSet({', '.join(self.names())})"
+
+
+#: The predicate set used for the paper's experimental exploration
+#: (Section 4.2): Read, Write, Fence, SameAddr and DataDep.
+STANDARD_PREDICATES = PredicateSet([READ, WRITE, FENCE, SAME_ADDR, DATA_DEP])
+
+#: The same set without data dependencies (the Figure 4 space).
+NO_DEP_PREDICATES = PredicateSet([READ, WRITE, FENCE, SAME_ADDR])
+
+#: The extended set including control dependencies (needed for full RMO/Alpha).
+EXTENDED_PREDICATES = PredicateSet([READ, WRITE, FENCE, SAME_ADDR, DATA_DEP, CTRL_DEP])
+
+
+def default_registry() -> Dict[str, Predicate]:
+    """Return a name -> predicate mapping of every built-in predicate."""
+    return {
+        predicate.name: predicate
+        for predicate in (READ, WRITE, FENCE, MEMORY_ACCESS, SAME_ADDR, DATA_DEP, CTRL_DEP, ANY_DEP)
+    }

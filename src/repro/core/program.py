@@ -1,0 +1,139 @@
+"""Threads and programs.
+
+A parallel program is a tuple of threads; each thread is a straight-line
+sequence of instructions (litmus tests never loop, so there is no need for
+loop unrolling here — the framework's definitions assume it has already been
+done).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.expr import Loc
+from repro.core.instructions import Instruction, Load, Store
+
+
+@dataclass(frozen=True)
+class Thread:
+    """A single thread: a name and an instruction sequence."""
+
+    name: str
+    instructions: Tuple[Instruction, ...]
+
+    def __init__(self, name: str, instructions: Iterable[Instruction]) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "instructions", tuple(instructions))
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def memory_accesses(self) -> List[Instruction]:
+        """Return the loads and stores of this thread, in program order."""
+        return [inst for inst in self.instructions if inst.is_memory_access]
+
+    def registers(self) -> Set[str]:
+        """Return every register read or written by this thread."""
+        result: Set[str] = set()
+        for instruction in self.instructions:
+            result |= instruction.registers_read()
+            result |= instruction.registers_written()
+        return result
+
+    def validate(self) -> None:
+        """Check single-thread well-formedness.
+
+        Every register must be defined (by a Load or an Op) before it is
+        used, and no register may be defined twice — litmus tests in the
+        paper use single-assignment registers, and the outcome semantics of
+        :class:`repro.core.litmus.LitmusTest` relies on it.
+        """
+        defined: Set[str] = set()
+        for index, instruction in enumerate(self.instructions):
+            for register in sorted(instruction.registers_read()):
+                if register not in defined:
+                    raise ValueError(
+                        f"thread {self.name}: instruction {index} ({instruction}) reads "
+                        f"undefined register {register!r}"
+                    )
+            for register in sorted(instruction.registers_written()):
+                if register in defined:
+                    raise ValueError(
+                        f"thread {self.name}: register {register!r} is assigned more than once"
+                    )
+                defined.add(register)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parallel program: an ordered collection of threads."""
+
+    threads: Tuple[Thread, ...]
+
+    def __init__(self, threads: Iterable[Thread]) -> None:
+        object.__setattr__(self, "threads", tuple(threads))
+
+    def __len__(self) -> int:
+        return len(self.threads)
+
+    def __iter__(self):
+        return iter(self.threads)
+
+    @classmethod
+    def from_lists(cls, *thread_bodies: Sequence[Instruction], names: Sequence[str] = ()) -> "Program":
+        """Build a program from bare instruction lists.
+
+        Threads are named ``T1``, ``T2``, ... unless ``names`` is given.
+        """
+        threads = []
+        for index, body in enumerate(thread_bodies):
+            name = names[index] if index < len(names) else f"T{index + 1}"
+            threads.append(Thread(name, body))
+        return cls(threads)
+
+    def locations(self) -> List[str]:
+        """Return the shared locations named syntactically, in first-use order."""
+        seen: List[str] = []
+        for thread in self.threads:
+            for instruction in thread.instructions:
+                candidates = []
+                if isinstance(instruction, Load):
+                    candidates.append(instruction.address)
+                elif isinstance(instruction, Store):
+                    candidates.append(instruction.address)
+                for expr in candidates:
+                    for loc in _locations_in(expr):
+                        if loc not in seen:
+                            seen.append(loc)
+        return seen
+
+    def registers(self) -> Dict[str, Set[str]]:
+        """Return the registers used by each thread, keyed by thread name."""
+        return {thread.name: thread.registers() for thread in self.threads}
+
+    def num_memory_accesses(self) -> int:
+        """Return the total number of loads and stores in the program."""
+        return sum(len(thread.memory_accesses()) for thread in self.threads)
+
+    def validate(self) -> None:
+        """Check program well-formedness (thread validity + unique names)."""
+        names = [thread.name for thread in self.threads]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate thread names: {names}")
+        for thread in self.threads:
+            thread.validate()
+
+
+def _locations_in(expr) -> List[str]:
+    """Return the location names syntactically present in an expression."""
+    from repro.core.expr import BinOp
+
+    if isinstance(expr, Loc):
+        return [expr.name]
+    if isinstance(expr, BinOp):
+        return _locations_in(expr.left) + _locations_in(expr.right)
+    return []

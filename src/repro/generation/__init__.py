@@ -1,0 +1,44 @@
+"""Litmus-test generation.
+
+* :mod:`repro.generation.segments` — enumeration of *local segments* (the
+  building blocks of Section 3.3): an access pair, an optional fence or
+  dependency between them, and a same/different address relation.
+* :mod:`repro.generation.templates` — the seven templates extracted from the
+  proof of Theorem 1 (Figure 2) and their instantiation into concrete
+  litmus tests.
+* :mod:`repro.generation.suite` — the complete template suite for a
+  predicate set (the paper's 230- and 124-test suites).
+* :mod:`repro.generation.counting` — Corollary 1 in closed form.
+* :mod:`repro.generation.enumeration` — naive bounded enumeration (the
+  ~10^6-test baseline the paper improves on).
+* :mod:`repro.generation.named_tests` — Test A (Figure 1) and the nine
+  contrasting tests L1–L9 (Figure 3).
+"""
+
+from repro.generation.segments import Segment, SegmentKind, LinkKind, AddressRelation, enumerate_segments
+from repro.generation.templates import TemplateCase, TemplateInstance, instantiate_template
+from repro.generation.suite import TemplateSuite, generate_suite
+from repro.generation.counting import corollary1_count, segment_counts
+from repro.generation.named_tests import TEST_A, L_TESTS, all_named_tests
+from repro.generation.enumeration import NaiveEnumerationConfig, count_naive_tests, enumerate_naive_tests
+
+__all__ = [
+    "Segment",
+    "SegmentKind",
+    "LinkKind",
+    "AddressRelation",
+    "enumerate_segments",
+    "TemplateCase",
+    "TemplateInstance",
+    "instantiate_template",
+    "TemplateSuite",
+    "generate_suite",
+    "corollary1_count",
+    "segment_counts",
+    "TEST_A",
+    "L_TESTS",
+    "all_named_tests",
+    "NaiveEnumerationConfig",
+    "count_naive_tests",
+    "enumerate_naive_tests",
+]

@@ -1,0 +1,74 @@
+"""Corollary 1: counting the template instantiations.
+
+For segment counts ``N_WW, N_WR, N_RW, N_RR`` the number of template
+instantiations needed to contrast any two models in the class is::
+
+    N_RW                                   (case 1)
+    + N_WW                                 (case 2)
+    + N_RR * (N_WW + N_WR * N_RW)          (cases 3a and 3b)
+    + N_WR * (1 + N_RR + N_RW)             (cases 4, 5a and 5b)
+
+With the paper's standard predicate set (Read, Write, Fence, SameAddr,
+DataDep) the segment counts are ``N_RW = N_RR = 6`` and ``N_WR = N_WW = 4``,
+giving **230** instantiations; dropping data dependencies gives ``6 -> 4``
+and **124** instantiations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.predicates import PredicateSet, STANDARD_PREDICATES
+from repro.generation.segments import SegmentKind, segment_count
+
+
+@dataclass(frozen=True)
+class SegmentCounts:
+    """The number of distinct local segments of each kind."""
+
+    ww: int
+    wr: int
+    rw: int
+    rr: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"ww": self.ww, "wr": self.wr, "rw": self.rw, "rr": self.rr}
+
+
+def segment_counts(predicates: PredicateSet = STANDARD_PREDICATES) -> SegmentCounts:
+    """Return the segment counts for a predicate set."""
+    return SegmentCounts(
+        ww=segment_count(SegmentKind.WW, predicates),
+        wr=segment_count(SegmentKind.WR, predicates),
+        rw=segment_count(SegmentKind.RW, predicates),
+        rr=segment_count(SegmentKind.RR, predicates),
+    )
+
+
+def corollary1_count(counts: SegmentCounts) -> int:
+    """Evaluate Corollary 1 for the given segment counts."""
+    return (
+        counts.rw
+        + counts.ww
+        + counts.rr * (counts.ww + counts.wr * counts.rw)
+        + counts.wr * (1 + counts.rr + counts.rw)
+    )
+
+
+def corollary1_count_for(predicates: PredicateSet = STANDARD_PREDICATES) -> int:
+    """Evaluate Corollary 1 directly for a predicate set."""
+    return corollary1_count(segment_counts(predicates))
+
+
+def per_case_counts(counts: SegmentCounts) -> Dict[str, int]:
+    """Return the instantiation count contributed by every template case."""
+    return {
+        "1": counts.rw,
+        "2": counts.ww,
+        "3a": counts.rr * counts.ww,
+        "3b": counts.rr * counts.wr * counts.rw,
+        "4": counts.wr,
+        "5a": counts.wr * counts.rr,
+        "5b": counts.wr * counts.rw,
+    }

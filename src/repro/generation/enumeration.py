@@ -1,0 +1,183 @@
+"""Naive bounded enumeration of litmus tests.
+
+Section 3.4 observes that enumerating *all* two-thread tests within the
+Theorem 1 bound (up to three memory accesses per thread, optional fences,
+all address and outcome choices) yields roughly a million tests even without
+dependencies, that the optimisations of earlier work reduce this to a few
+thousand, and that the template construction needs only a few hundred.  This
+module implements the naive baseline so the benchmark suite can reproduce the
+comparison:
+
+* :func:`count_naive_tests` counts the space without materialising it;
+* :func:`enumerate_naive_tests` yields the tests (optionally capped), using
+  canonical location naming so the count is not inflated by pure renamings.
+
+The enumeration is parameterised so that both the paper's "no dependencies"
+setting and richer settings can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.instructions import Fence, Instruction, Load, Store
+from repro.core.litmus import LitmusTest
+from repro.core.program import Program, Thread
+from repro.util.naming import location_name
+
+
+@dataclass(frozen=True)
+class NaiveEnumerationConfig:
+    """Parameters of the naive enumeration.
+
+    The defaults mirror the Theorem 1 bound for the dependency-free setting:
+    two threads, one to three memory accesses per thread, an optional fence
+    between consecutive accesses, and at most four distinct locations.
+    """
+
+    max_accesses_per_thread: int = 3
+    min_accesses_per_thread: int = 1
+    num_threads: int = 2
+    max_locations: int = 4
+    allow_fences: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_accesses_per_thread < 1:
+            raise ValueError("threads need at least one access")
+        if self.max_accesses_per_thread < self.min_accesses_per_thread:
+            raise ValueError("max accesses must be at least min accesses")
+        if self.num_threads < 1:
+            raise ValueError("at least one thread is required")
+
+
+#: One symbolic access: kind ("R" or "W") and location index.
+_Access = Tuple[str, int]
+#: One thread shape: accesses plus fence positions (between consecutive accesses).
+_ThreadShape = Tuple[Tuple[_Access, ...], Tuple[bool, ...]]
+
+
+def _thread_shapes(config: NaiveEnumerationConfig) -> List[_ThreadShape]:
+    """Enumerate the per-thread shapes (accesses, fences), canonically."""
+    shapes: List[_ThreadShape] = []
+    for length in range(config.min_accesses_per_thread, config.max_accesses_per_thread + 1):
+        for kinds in product("RW", repeat=length):
+            for locations in product(range(config.max_locations), repeat=length):
+                accesses = tuple(zip(kinds, locations))
+                fence_slots = max(length - 1, 0)
+                fence_options = (
+                    product((False, True), repeat=fence_slots)
+                    if config.allow_fences
+                    else [tuple([False] * fence_slots)]
+                )
+                for fences in fence_options:
+                    shapes.append((accesses, tuple(fences)))
+    return shapes
+
+
+def _canonical_locations(thread_shapes: Sequence[_ThreadShape]) -> Optional[Dict[int, int]]:
+    """Relabel locations by first appearance; None if the program skips indices."""
+    mapping: Dict[int, int] = {}
+    for accesses, _fences in thread_shapes:
+        for _kind, location in accesses:
+            if location not in mapping:
+                mapping[location] = len(mapping)
+    # Canonical form: the locations used must be exactly 0..n-1 in first-use order.
+    if any(original != canonical for original, canonical in mapping.items()):
+        return None
+    return mapping
+
+
+def _outcome_choices(thread_shapes: Sequence[_ThreadShape]) -> List[List[int]]:
+    """For every read, the values it could observe (0 or any same-location write value)."""
+    # Assign write values: per location, writes numbered 1.. in thread-major order.
+    write_values: Dict[Tuple[int, int], int] = {}
+    counter: Dict[int, int] = {}
+    for thread_index, (accesses, _fences) in enumerate(thread_shapes):
+        for access_index, (kind, location) in enumerate(accesses):
+            if kind == "W":
+                counter[location] = counter.get(location, 0) + 1
+                write_values[(thread_index, access_index)] = counter[location]
+
+    choices: List[List[int]] = []
+    for thread_index, (accesses, _fences) in enumerate(thread_shapes):
+        for access_index, (kind, location) in enumerate(accesses):
+            if kind == "R":
+                values = [0]
+                for (other_thread, other_index), value in write_values.items():
+                    other_location = thread_shapes[other_thread][0][other_index][1]
+                    if other_location == location:
+                        values.append(value)
+                choices.append(sorted(set(values)))
+    return choices
+
+
+def count_naive_tests(config: NaiveEnumerationConfig = NaiveEnumerationConfig()) -> int:
+    """Count the naive enumeration space without building the tests."""
+    shapes = _thread_shapes(config)
+    total = 0
+    for combination in product(shapes, repeat=config.num_threads):
+        if _canonical_locations(combination) is None:
+            continue
+        outcomes = 1
+        for values in _outcome_choices(combination):
+            outcomes *= len(values)
+        total += outcomes
+    return total
+
+
+def enumerate_naive_tests(
+    config: NaiveEnumerationConfig = NaiveEnumerationConfig(),
+    limit: Optional[int] = None,
+) -> Iterator[LitmusTest]:
+    """Yield the naive enumeration as litmus tests (optionally capped)."""
+    shapes = _thread_shapes(config)
+    produced = 0
+    test_index = 0
+    for combination in product(shapes, repeat=config.num_threads):
+        if _canonical_locations(combination) is None:
+            continue
+        outcome_choices = _outcome_choices(combination)
+        for outcome in product(*outcome_choices):
+            test_index += 1
+            if limit is not None and produced >= limit:
+                return
+            test = _build_test(combination, outcome, f"N{test_index}")
+            produced += 1
+            yield test
+
+
+def _build_test(
+    thread_shapes: Sequence[_ThreadShape], outcome: Sequence[int], name: str
+) -> LitmusTest:
+    threads: List[Thread] = []
+    read_values: Dict[Tuple[int, int], int] = {}
+    outcome_iter = iter(outcome)
+    write_counter: Dict[int, int] = {}
+
+    # First pass for write values (must match _outcome_choices numbering).
+    write_values: Dict[Tuple[int, int], int] = {}
+    for thread_index, (accesses, _fences) in enumerate(thread_shapes):
+        for access_index, (kind, location) in enumerate(accesses):
+            if kind == "W":
+                write_counter[location] = write_counter.get(location, 0) + 1
+                write_values[(thread_index, access_index)] = write_counter[location]
+
+    for thread_index, (accesses, fences) in enumerate(thread_shapes):
+        instructions: List[Instruction] = []
+        register_serial = 0
+        for access_index, (kind, location) in enumerate(accesses):
+            if access_index > 0 and fences[access_index - 1]:
+                instructions.append(Fence())
+            location_label = location_name(location)
+            if kind == "R":
+                register = f"r{thread_index + 1}{register_serial}"
+                register_serial += 1
+                instructions.append(Load(register, location_label))
+                read_values[(thread_index, len(instructions) - 1)] = next(outcome_iter)
+            else:
+                instructions.append(Store(location_label, write_values[(thread_index, access_index)]))
+        threads.append(Thread(f"T{thread_index + 1}", instructions))
+
+    return LitmusTest(name, Program(threads), read_values, description="naive enumeration")

@@ -1,0 +1,212 @@
+"""The paper's named litmus tests.
+
+* ``TEST_A`` — Figure 1's Test A, the store-forwarding example that is
+  allowed under TSO but forbidden under SC and IBM 370.
+* ``L1`` .. ``L9`` — Figure 3's nine contrasting litmus tests, which are
+  sufficient to distinguish every pair of non-equivalent models in the
+  paper's 90-model space.
+
+Each test is written exactly as printed in the paper, including the
+``t = r - r + k`` idiom used to manufacture data dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.expr import BinOp, Loc, Reg
+from repro.core.instructions import Fence, Load, Op, Store
+from repro.core.litmus import LitmusTest
+from repro.core.program import Program, Thread
+
+
+def _dep(dest: str, source: str, payload) -> Op:
+    """Return ``dest = source - source + payload`` (a data dependency)."""
+    return Op(dest, BinOp("+", BinOp("-", Reg(source), Reg(source)), payload))
+
+
+# ----------------------------------------------------------------------
+# Figure 1: Test A (TSO store forwarding)
+# ----------------------------------------------------------------------
+TEST_A = LitmusTest.from_register_outcome(
+    "A",
+    Program(
+        [
+            Thread("T1", [Store("X", 1), Fence(), Load("r1", "Y")]),
+            Thread("T2", [Store("Y", 2), Load("r2", "Y"), Load("r3", "X")]),
+        ]
+    ),
+    {"r1": 0, "r2": 2, "r3": 0},
+    description=(
+        "Figure 1: T2 forwards its own store to Y while its read of X is "
+        "satisfied before T1's store becomes visible.  Allowed under TSO, "
+        "forbidden under SC and IBM370."
+    ),
+)
+
+# ----------------------------------------------------------------------
+# Figure 3: the nine contrasting tests
+# ----------------------------------------------------------------------
+L1 = LitmusTest.from_register_outcome(
+    "L1",
+    Program(
+        [
+            Thread("T1", [Store("X", 1), Store("Y", 1)]),
+            Thread("T2", [Load("r1", "Y"), Fence(), Load("r2", "X")]),
+        ]
+    ),
+    {"r1": 1, "r2": 0},
+    description="Message passing with a fenced observer: detects write-write reordering.",
+)
+
+L2 = LitmusTest.from_register_outcome(
+    "L2",
+    Program(
+        [
+            Thread("T1", [Store("X", 1), Store("X", 2)]),
+            Thread("T2", [Load("r1", "X"), Load("r2", "X")]),
+        ]
+    ),
+    {"r1": 2, "r2": 0},
+    description="Same-address reads observed out of order: detects read-read reordering to the same address.",
+)
+
+L3 = LitmusTest.from_register_outcome(
+    "L3",
+    Program(
+        [
+            Thread("T1", [Store("X", 1), Fence(), Store("Y", 2)]),
+            Thread("T2", [Load("r1", "Y"), Load("r2", "X")]),
+        ]
+    ),
+    {"r1": 2, "r2": 0},
+    description="Message passing with fenced writer: detects read-read reordering (different addresses).",
+)
+
+L4 = LitmusTest.from_register_outcome(
+    "L4",
+    Program(
+        [
+            Thread("T1", [Store("X", 1), Fence(), Store("Y", 2)]),
+            Thread(
+                "T2",
+                [
+                    Load("r1", "Y"),
+                    _dep("t1", "r1", Loc("X")),
+                    Load("r2", Reg("t1")),
+                ],
+            ),
+        ]
+    ),
+    {"r1": 2, "r2": 0},
+    description="Like L3 but the second read is address-dependent on the first: detects dependent read-read reordering.",
+)
+
+L5 = LitmusTest.from_register_outcome(
+    "L5",
+    Program(
+        [
+            Thread("T1", [Load("r1", "X"), Store("Y", 1)]),
+            Thread("T2", [Load("r2", "Y"), Store("X", 1)]),
+        ]
+    ),
+    {"r1": 1, "r2": 1},
+    description="Load buffering: detects read-write reordering (independent, different addresses).",
+)
+
+L6 = LitmusTest.from_register_outcome(
+    "L6",
+    Program(
+        [
+            Thread("T1", [Load("r1", "X"), _dep("t1", "r1", 1), Store("Y", Reg("t1"))]),
+            Thread("T2", [Load("r2", "Y"), _dep("t2", "r2", 1), Store("X", Reg("t2"))]),
+        ]
+    ),
+    {"r1": 1, "r2": 1},
+    description="Load buffering with data-dependent writes: detects dependent read-write reordering.",
+)
+
+L7 = LitmusTest.from_register_outcome(
+    "L7",
+    Program(
+        [
+            Thread("T1", [Store("X", 1), Load("r1", "Y")]),
+            Thread("T2", [Store("Y", 1), Load("r2", "X")]),
+        ]
+    ),
+    {"r1": 0, "r2": 0},
+    description="Store buffering: detects write-read reordering to different addresses.",
+)
+
+L8 = LitmusTest.from_register_outcome(
+    "L8",
+    Program(
+        [
+            Thread(
+                "T1",
+                [
+                    Store("X", 1),
+                    Load("r1", "X"),
+                    _dep("t1", "r1", Loc("Y")),
+                    Load("r2", Reg("t1")),
+                ],
+            ),
+            Thread(
+                "T2",
+                [
+                    Store("Y", 1),
+                    Load("r3", "Y"),
+                    _dep("t2", "r3", Loc("X")),
+                    Load("r4", Reg("t2")),
+                ],
+            ),
+        ]
+    ),
+    {"r1": 1, "r2": 0, "r3": 1, "r4": 0},
+    description=(
+        "Store forwarding observed through dependent reads: detects write-read "
+        "reordering to the same address in models that order (dependent) reads."
+    ),
+)
+
+L9 = LitmusTest.from_register_outcome(
+    "L9",
+    Program(
+        [
+            Thread(
+                "T1",
+                [
+                    Store("X", 1),
+                    Load("r1", "X"),
+                    _dep("t1", "r1", 1),
+                    Store("Y", Reg("t1")),
+                ],
+            ),
+            Thread(
+                "T2",
+                [
+                    Load("r2", "Y"),
+                    _dep("t2", "r2", 2),
+                    Store("X", Reg("t2")),
+                    Load("r3", "X"),
+                ],
+            ),
+        ]
+    ),
+    {"r1": 1, "r2": 1, "r3": 1},
+    description=(
+        "Store forwarding observed through a dependent write chain: detects write-read "
+        "reordering to the same address in models that order (dependent) read-write pairs."
+    ),
+)
+
+#: The nine contrasting tests of Figure 3, in order.
+L_TESTS: List[LitmusTest] = [L1, L2, L3, L4, L5, L6, L7, L8, L9]
+
+
+def all_named_tests() -> Dict[str, LitmusTest]:
+    """Return every named test keyed by name (Test A plus L1..L9)."""
+    tests = {"A": TEST_A}
+    for test in L_TESTS:
+        tests[test.name] = test
+    return tests

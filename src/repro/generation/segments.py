@@ -1,0 +1,135 @@
+"""Local segments (Section 3.3).
+
+A *segment* is a sequence of instructions that starts and ends with a memory
+access and has no other memory access in between.  For litmus-test generation
+a segment is characterised by
+
+* the kinds of its two accesses (read/write, giving the four segment types
+  RR, RW, WR, WW);
+* the *link* between them: nothing, a fence, a data dependency or a control
+  dependency (dependencies only exist when the first access is a read);
+* whether the two accesses touch the same address or different addresses.
+
+The number of distinct segments of each type, for a given predicate set, is
+exactly what Corollary 1 needs: with the paper's standard predicate set the
+counts are ``N_RW = N_RR = 6`` and ``N_WR = N_WW = 4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+from repro.core.predicates import PredicateSet, STANDARD_PREDICATES
+
+
+class AccessKind(str, Enum):
+    """The kind of one memory access."""
+
+    READ = "R"
+    WRITE = "W"
+
+
+class SegmentKind(str, Enum):
+    """The kind of a segment: first and second access kinds."""
+
+    RR = "RR"
+    RW = "RW"
+    WR = "WR"
+    WW = "WW"
+
+    @property
+    def first(self) -> AccessKind:
+        return AccessKind(self.value[0])
+
+    @property
+    def second(self) -> AccessKind:
+        return AccessKind(self.value[1])
+
+
+class LinkKind(str, Enum):
+    """What separates the two accesses of a segment."""
+
+    NONE = "none"
+    FENCE = "fence"
+    DATA_DEP = "data"
+    CTRL_DEP = "ctrl"
+
+
+class AddressRelation(str, Enum):
+    """Whether the two accesses of a segment touch the same location."""
+
+    SAME = "same"
+    DIFFERENT = "diff"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A local segment: two accesses, a link, and an address relation."""
+
+    kind: SegmentKind
+    link: LinkKind
+    relation: AddressRelation
+
+    def __post_init__(self) -> None:
+        if self.link in (LinkKind.DATA_DEP, LinkKind.CTRL_DEP) and self.kind.first is not AccessKind.READ:
+            raise ValueError(
+                f"{self.kind.value} segments cannot carry a {self.link.value} dependency: "
+                "writes do not produce values for later instructions to depend on"
+            )
+
+    @property
+    def label(self) -> str:
+        """A compact label such as ``"RW[data,diff]"``."""
+        return f"{self.kind.value}[{self.link.value},{self.relation.value}]"
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def available_links(kind: SegmentKind, predicates: PredicateSet) -> List[LinkKind]:
+    """Return the link kinds available for ``kind`` segments under ``predicates``."""
+    links = [LinkKind.NONE]
+    if predicates.has_fence:
+        links.append(LinkKind.FENCE)
+    if kind.first is AccessKind.READ:
+        if predicates.has_data_dep:
+            links.append(LinkKind.DATA_DEP)
+        if predicates.has_ctrl_dep:
+            links.append(LinkKind.CTRL_DEP)
+    return links
+
+
+def available_relations(predicates: PredicateSet) -> List[AddressRelation]:
+    """Return the address relations distinguishable under ``predicates``."""
+    if predicates.has_same_addr:
+        return [AddressRelation.SAME, AddressRelation.DIFFERENT]
+    return [AddressRelation.DIFFERENT]
+
+
+def enumerate_segments(
+    kind: SegmentKind, predicates: PredicateSet = STANDARD_PREDICATES
+) -> List[Segment]:
+    """Enumerate the distinct segments of one kind for a predicate set.
+
+    The enumeration order is deterministic: links in declaration order, then
+    relations (same before different).
+    """
+    segments: List[Segment] = []
+    for link in available_links(kind, predicates):
+        for relation in available_relations(predicates):
+            segments.append(Segment(kind, link, relation))
+    return segments
+
+
+def enumerate_all_segments(
+    predicates: PredicateSet = STANDARD_PREDICATES,
+) -> Dict[SegmentKind, List[Segment]]:
+    """Enumerate the segments of every kind."""
+    return {kind: enumerate_segments(kind, predicates) for kind in SegmentKind}
+
+
+def segment_count(kind: SegmentKind, predicates: PredicateSet = STANDARD_PREDICATES) -> int:
+    """Return the number of distinct segments of ``kind``."""
+    return len(enumerate_segments(kind, predicates))

@@ -1,0 +1,215 @@
+"""Test sketches: the intermediate form between templates and litmus tests.
+
+A template instantiation first produces a *sketch*: per thread, a list of
+memory accesses with symbolic address variables and the link that connects
+each access to its predecessor; plus
+
+* address equality and disequality constraints (from the segments' address
+  relations and from the cycle structure of the template);
+* a read-from specification saying, for every read slot, which write slot it
+  observes (or that it observes the initial value).
+
+Concretising a sketch resolves the address constraints with a union-find,
+names the resulting location classes ``X, Y, Z, W, ...``, gives every write a
+distinct value per location, materialises fences and dependency idioms, and
+derives the outcome from the read-from specification.  Sketches whose address
+constraints are contradictory are *infeasible* and produce no test (the
+paper's Corollary 1 still counts them, which is how the 230/124 totals
+arise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.expr import BinOp, Loc, Reg
+from repro.core.instructions import Branch, Fence, Instruction, Load, Op, Store
+from repro.core.litmus import LitmusTest
+from repro.core.program import Program, Thread
+from repro.generation.segments import AccessKind, LinkKind
+from repro.util.naming import location_name
+from repro.util.unionfind import UnionFind
+
+#: A slot identifies one access in a sketch: (thread index, access index).
+Slot = Tuple[int, int]
+#: A read-from source: a write slot, or None for the initial value.
+RfSource = Optional[Slot]
+
+
+@dataclass(frozen=True)
+class AccessSketch:
+    """One memory access of a sketch.
+
+    ``link`` describes what sits between this access and the *previous*
+    access of the same thread (it is ignored for the first access).
+    """
+
+    kind: AccessKind
+    address_var: str
+    link: LinkKind = LinkKind.NONE
+
+
+@dataclass
+class TestSketch:
+    """A symbolic two-thread (or n-thread) litmus-test skeleton."""
+
+    threads: List[List[AccessSketch]] = field(default_factory=list)
+    equalities: List[Tuple[str, str]] = field(default_factory=list)
+    disequalities: List[Tuple[str, str]] = field(default_factory=list)
+    read_from: Dict[Slot, RfSource] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction helpers used by the templates
+    # ------------------------------------------------------------------
+    def add_thread(self, accesses: List[AccessSketch]) -> int:
+        """Append a thread; return its index."""
+        self.threads.append(list(accesses))
+        return len(self.threads) - 1
+
+    def require_equal(self, first: str, second: str) -> None:
+        self.equalities.append((first, second))
+
+    def require_different(self, first: str, second: str) -> None:
+        self.disequalities.append((first, second))
+
+    def set_read_from(self, reader: Slot, source: RfSource) -> None:
+        self.read_from[reader] = source
+
+    # ------------------------------------------------------------------
+    # feasibility and concretisation
+    # ------------------------------------------------------------------
+    def _address_classes(self) -> Optional[Dict[str, str]]:
+        """Resolve address constraints; return var -> location name, or None."""
+        union_find = UnionFind()
+        for thread in self.threads:
+            for access in thread:
+                union_find.add(access.address_var)
+        for first, second in self.equalities:
+            union_find.union(first, second)
+        for first, second in self.disequalities:
+            if union_find.connected(first, second):
+                return None
+
+        assignment: Dict[str, str] = {}
+        next_index = 0
+        for thread in self.threads:
+            for access in thread:
+                root = union_find.find(access.address_var)
+                if root not in assignment:
+                    assignment[root] = location_name(next_index)
+                    next_index += 1
+        return {
+            access.address_var: assignment[union_find.find(access.address_var)]
+            for thread in self.threads
+            for access in thread
+        }
+
+    def is_feasible(self) -> bool:
+        """Return True iff the address constraints are satisfiable."""
+        return self._address_classes() is not None
+
+    def slots(self) -> List[Slot]:
+        """Return every access slot in thread-major order."""
+        return [
+            (thread_index, access_index)
+            for thread_index, thread in enumerate(self.threads)
+            for access_index in range(len(thread))
+        ]
+
+    def access(self, slot: Slot) -> AccessSketch:
+        return self.threads[slot[0]][slot[1]]
+
+    def to_litmus_test(self, name: str, description: str = "") -> Optional[LitmusTest]:
+        """Concretise the sketch into a litmus test (None if infeasible)."""
+        locations = self._address_classes()
+        if locations is None:
+            return None
+
+        # Assign one distinct value to every write, numbered per location so
+        # that read-from sources are identifiable from values alone.
+        write_values: Dict[Slot, int] = {}
+        per_location_counter: Dict[str, int] = {}
+        for slot in self.slots():
+            access = self.access(slot)
+            if access.kind is AccessKind.WRITE:
+                location = locations[access.address_var]
+                per_location_counter[location] = per_location_counter.get(location, 0) + 1
+                write_values[slot] = per_location_counter[location]
+
+        threads: List[Thread] = []
+        read_values: Dict[Slot, int] = {}
+        load_slot_to_key: Dict[Slot, Tuple[int, int]] = {}
+        for thread_index, thread in enumerate(self.threads):
+            instructions: List[Instruction] = []
+            register_serial = 0
+            previous_read_register: Optional[str] = None
+            for access_index, access in enumerate(thread):
+                slot = (thread_index, access_index)
+                location = locations[access.address_var]
+                link = access.link if access_index > 0 else LinkKind.NONE
+
+                if link is LinkKind.FENCE:
+                    instructions.append(Fence())
+                elif link is LinkKind.CTRL_DEP:
+                    if previous_read_register is None:
+                        raise ValueError("control dependency without a preceding read")
+                    instructions.append(Branch(Reg(previous_read_register)))
+
+                dependency_register: Optional[str] = None
+                if link is LinkKind.DATA_DEP:
+                    if previous_read_register is None:
+                        raise ValueError("data dependency without a preceding read")
+                    dependency_register = f"t{thread_index + 1}{register_serial}"
+                    register_serial += 1
+
+                if access.kind is AccessKind.READ:
+                    register = f"r{thread_index + 1}{register_serial}"
+                    register_serial += 1
+                    if dependency_register is not None:
+                        # address dependency: t = r_prev - r_prev + location
+                        instructions.append(
+                            Op(
+                                dependency_register,
+                                BinOp(
+                                    "+",
+                                    BinOp("-", Reg(previous_read_register), Reg(previous_read_register)),
+                                    Loc(location),
+                                ),
+                            )
+                        )
+                        instructions.append(Load(register, Reg(dependency_register)))
+                    else:
+                        instructions.append(Load(register, location))
+                    load_slot_to_key[slot] = (thread_index, len(instructions) - 1)
+                    previous_read_register = register
+                else:
+                    value = write_values[slot]
+                    if dependency_register is not None:
+                        # value dependency: t = r_prev - r_prev + value
+                        instructions.append(
+                            Op(
+                                dependency_register,
+                                BinOp(
+                                    "+",
+                                    BinOp("-", Reg(previous_read_register), Reg(previous_read_register)),
+                                    value,
+                                ),
+                            )
+                        )
+                        instructions.append(Store(location, Reg(dependency_register)))
+                    else:
+                        instructions.append(Store(location, value))
+            threads.append(Thread(f"T{thread_index + 1}", instructions))
+
+        # Outcome: every read observes either the initial value or the value
+        # of the write slot named in the read-from specification.
+        outcome: Dict[Tuple[int, int], int] = {}
+        for slot, key in load_slot_to_key.items():
+            source = self.read_from.get(slot)
+            if source is None:
+                outcome[key] = 0
+            else:
+                outcome[key] = write_values[source]
+
+        return LitmusTest(name, Program(threads), outcome, description)

@@ -1,0 +1,114 @@
+"""The complete template suite for a predicate set.
+
+``generate_suite`` instantiates every template of Figure 2 with every
+compatible combination of local segments.  Instantiations whose address
+constraints are contradictory (for example a same-address read-read segment
+against a different-address write-write segment in case 3a) are counted but
+produce no test; the remaining tests form the suite used by the comparison
+and exploration machinery.
+
+For the paper's standard predicate set the suite has 230 instantiations
+(124 without data dependencies), which is the number reported at the end of
+Section 3.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.litmus import LitmusTest
+from repro.core.predicates import NO_DEP_PREDICATES, PredicateSet, STANDARD_PREDICATES
+from repro.generation.counting import SegmentCounts, corollary1_count, segment_counts
+from repro.generation.segments import Segment, SegmentKind, enumerate_segments
+from repro.generation.templates import TemplateCase, TemplateInstance, instantiate_template
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One template instantiation and (when feasible) its litmus test."""
+
+    instance: TemplateInstance
+    test: Optional[LitmusTest]
+
+    @property
+    def feasible(self) -> bool:
+        return self.test is not None
+
+
+@dataclass
+class TemplateSuite:
+    """All template instantiations for a predicate set."""
+
+    predicates: PredicateSet
+    entries: List[SuiteEntry] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def tests(self) -> List[LitmusTest]:
+        """Return the feasible litmus tests, in generation order."""
+        return [entry.test for entry in self.entries if entry.test is not None]
+
+    def num_instantiations(self) -> int:
+        """Return the Corollary 1 count (feasible or not)."""
+        return len(self.entries)
+
+    def num_feasible(self) -> int:
+        return sum(1 for entry in self.entries if entry.feasible)
+
+    def per_case(self) -> Dict[str, int]:
+        """Return the instantiation count per template case."""
+        result: Dict[str, int] = {}
+        for entry in self.entries:
+            key = entry.instance.case.value
+            result[key] = result.get(key, 0) + 1
+        return result
+
+    def segment_counts(self) -> SegmentCounts:
+        return segment_counts(self.predicates)
+
+    def __len__(self) -> int:
+        return self.num_instantiations()
+
+    def __iter__(self) -> Iterator[SuiteEntry]:
+        return iter(self.entries)
+
+
+def _segment_combinations(
+    case: TemplateCase, predicates: PredicateSet
+) -> Iterator[Tuple[Segment, ...]]:
+    pools = [enumerate_segments(kind, predicates) for kind in case.expected_segment_kinds]
+    for combination in product(*pools):
+        yield combination
+
+
+def generate_suite(predicates: PredicateSet = STANDARD_PREDICATES) -> TemplateSuite:
+    """Generate the full template suite for ``predicates``.
+
+    The result's :meth:`~TemplateSuite.num_instantiations` equals the
+    Corollary 1 count for the same predicate set.
+    """
+    suite = TemplateSuite(predicates)
+    for case in TemplateCase:
+        for segments in _segment_combinations(case, predicates):
+            instance = instantiate_template(case, segments)
+            suite.entries.append(SuiteEntry(instance, instance.to_litmus_test()))
+    expected = corollary1_count(segment_counts(predicates))
+    actual = suite.num_instantiations()
+    if actual != expected:  # defensive: the generator must agree with Corollary 1
+        raise AssertionError(
+            f"template suite has {actual} instantiations but Corollary 1 predicts {expected}"
+        )
+    return suite
+
+
+def standard_suite() -> TemplateSuite:
+    """The paper's 230-instantiation suite (with data dependencies)."""
+    return generate_suite(STANDARD_PREDICATES)
+
+
+def no_dependency_suite() -> TemplateSuite:
+    """The paper's 124-instantiation suite (without data dependencies)."""
+    return generate_suite(NO_DEP_PREDICATES)

@@ -1,0 +1,345 @@
+"""The seven litmus-test templates of Figure 2.
+
+The proof of Theorem 1 (Section 3.2) constructs, for every possible *critical
+segment* (the segment containing the edge on which two models disagree), a
+two-thread litmus test with at most six memory accesses.  The case analysis
+gives seven templates:
+
+====  =================================================================
+case  critical segment / construction
+====  =================================================================
+1     read-write segment; duplicated with swapped addresses (load buffering)
+2     write-write segment; duplicated with swapped addresses plus one
+      observer read per thread (the 2+2W shape)
+3a    read-read segment against a write-write segment (message passing)
+3b    read-read segment against a merged write-read + read-write segment
+4     write-read segment to different addresses; duplicated with swapped
+      addresses (store buffering)
+5a    write-read segment to the same address followed by a read-read
+      segment; duplicated (the L8 shape)
+5b    write-read segment to the same address followed by a read-write
+      segment; the read-write segment is copied to the second thread and an
+      observer read witnesses the coherence edge (the L9 shape)
+====  =================================================================
+
+Every template is instantiated with concrete local segments
+(:class:`~repro.generation.segments.Segment`); instantiation produces a
+:class:`~repro.generation.sketch.TestSketch` whose address constraints may be
+unsatisfiable (for example a same-address read-read segment paired with a
+different-address write-write segment in case 3a) — such instantiations are
+counted but yield no test, exactly as in Corollary 1's counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.litmus import LitmusTest
+from repro.generation.segments import AccessKind, AddressRelation, LinkKind, Segment, SegmentKind
+from repro.generation.sketch import AccessSketch, TestSketch
+
+
+class TemplateCase(str, Enum):
+    """The seven template cases of Figure 2."""
+
+    CASE_1_READ_WRITE = "1"
+    CASE_2_WRITE_WRITE = "2"
+    CASE_3A_READ_READ_VS_WRITE_WRITE = "3a"
+    CASE_3B_READ_READ_VS_WRITE_READ_WRITE = "3b"
+    CASE_4_WRITE_READ_DIFFERENT = "4"
+    CASE_5A_WRITE_READ_SAME_PLUS_READ_READ = "5a"
+    CASE_5B_WRITE_READ_SAME_PLUS_READ_WRITE = "5b"
+
+    @property
+    def expected_segment_kinds(self) -> Tuple[SegmentKind, ...]:
+        """The segment kinds this template consumes, in order."""
+        return {
+            TemplateCase.CASE_1_READ_WRITE: (SegmentKind.RW,),
+            TemplateCase.CASE_2_WRITE_WRITE: (SegmentKind.WW,),
+            TemplateCase.CASE_3A_READ_READ_VS_WRITE_WRITE: (SegmentKind.RR, SegmentKind.WW),
+            TemplateCase.CASE_3B_READ_READ_VS_WRITE_READ_WRITE: (
+                SegmentKind.RR,
+                SegmentKind.WR,
+                SegmentKind.RW,
+            ),
+            TemplateCase.CASE_4_WRITE_READ_DIFFERENT: (SegmentKind.WR,),
+            TemplateCase.CASE_5A_WRITE_READ_SAME_PLUS_READ_READ: (SegmentKind.WR, SegmentKind.RR),
+            TemplateCase.CASE_5B_WRITE_READ_SAME_PLUS_READ_WRITE: (SegmentKind.WR, SegmentKind.RW),
+        }[self]
+
+
+@dataclass(frozen=True)
+class TemplateInstance:
+    """One template applied to concrete segments."""
+
+    case: TemplateCase
+    segments: Tuple[Segment, ...]
+
+    @property
+    def label(self) -> str:
+        parts = "+".join(segment.label for segment in self.segments)
+        return f"C{self.case.value}({parts})"
+
+    def sketch(self) -> TestSketch:
+        """Build the symbolic sketch for this instantiation."""
+        builder = _BUILDERS[self.case]
+        return builder(*self.segments)
+
+    def to_litmus_test(self) -> Optional[LitmusTest]:
+        """Concretise into a litmus test, or None when infeasible."""
+        description = f"template case {self.case.value} with segments " + ", ".join(
+            segment.label for segment in self.segments
+        )
+        return self.sketch().to_litmus_test(self.label, description)
+
+
+def instantiate_template(case: TemplateCase, segments: Sequence[Segment]) -> TemplateInstance:
+    """Build a :class:`TemplateInstance`, validating segment kinds."""
+    expected = case.expected_segment_kinds
+    if len(segments) != len(expected):
+        raise ValueError(
+            f"template case {case.value} needs {len(expected)} segments, got {len(segments)}"
+        )
+    for segment, kind in zip(segments, expected):
+        if segment.kind is not kind:
+            raise ValueError(
+                f"template case {case.value} expects segment kinds "
+                f"{[k.value for k in expected]}, got {[s.kind.value for s in segments]}"
+            )
+    return TemplateInstance(case, tuple(segments))
+
+
+# ----------------------------------------------------------------------
+# sketch builders, one per case
+# ----------------------------------------------------------------------
+def _apply_relation(sketch: TestSketch, relation: AddressRelation, first: str, second: str) -> None:
+    if relation is AddressRelation.SAME:
+        sketch.require_equal(first, second)
+    else:
+        sketch.require_different(first, second)
+
+
+def _build_case_1(segment: Segment) -> TestSketch:
+    """Critical read-write segment, duplicated with swapped addresses (LB)."""
+    sketch = TestSketch()
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.READ, "a0"),
+            AccessSketch(AccessKind.WRITE, "a1", segment.link),
+        ]
+    )
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.READ, "b0"),
+            AccessSketch(AccessKind.WRITE, "b1", segment.link),
+        ]
+    )
+    _apply_relation(sketch, segment.relation, "a0", "a1")
+    _apply_relation(sketch, segment.relation, "b0", "b1")
+    # The copy reads what the original writes and vice versa.
+    sketch.require_equal("b0", "a1")
+    sketch.require_equal("b1", "a0")
+    sketch.set_read_from((0, 0), (1, 1))
+    sketch.set_read_from((1, 0), (0, 1))
+    return sketch
+
+
+def _build_case_2(segment: Segment) -> TestSketch:
+    """Critical write-write segment, duplicated, plus observer reads (2+2W)."""
+    sketch = TestSketch()
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.WRITE, "a0"),
+            AccessSketch(AccessKind.WRITE, "a1", segment.link),
+            AccessSketch(AccessKind.READ, "a2"),
+        ]
+    )
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.WRITE, "b0"),
+            AccessSketch(AccessKind.WRITE, "b1", segment.link),
+            AccessSketch(AccessKind.READ, "b2"),
+        ]
+    )
+    _apply_relation(sketch, segment.relation, "a0", "a1")
+    _apply_relation(sketch, segment.relation, "b0", "b1")
+    # Addresses are swapped between the threads.
+    sketch.require_equal("b0", "a1")
+    sketch.require_equal("b1", "a0")
+    # Each observer read sees the value of the *first* write of the other thread.
+    sketch.require_equal("a2", "b0")
+    sketch.require_equal("b2", "a0")
+    sketch.set_read_from((0, 2), (1, 0))
+    sketch.set_read_from((1, 2), (0, 0))
+    return sketch
+
+
+def _build_case_3a(read_read: Segment, write_write: Segment) -> TestSketch:
+    """Critical read-read segment against a write-write segment (MP)."""
+    sketch = TestSketch()
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.READ, "a0"),
+            AccessSketch(AccessKind.READ, "a1", read_read.link),
+        ]
+    )
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.WRITE, "b0"),
+            AccessSketch(AccessKind.WRITE, "b1", write_write.link),
+        ]
+    )
+    _apply_relation(sketch, read_read.relation, "a0", "a1")
+    _apply_relation(sketch, write_write.relation, "b0", "b1")
+    # The first read observes the second write; the second read observes the
+    # initial value of the first write's location.
+    sketch.require_equal("a0", "b1")
+    sketch.require_equal("a1", "b0")
+    sketch.set_read_from((0, 0), (1, 1))
+    sketch.set_read_from((0, 1), None)
+    return sketch
+
+
+def _build_case_3b(read_read: Segment, write_read: Segment, read_write: Segment) -> TestSketch:
+    """Critical read-read segment against a merged write-read-write thread."""
+    sketch = TestSketch()
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.READ, "a0"),
+            AccessSketch(AccessKind.READ, "a1", read_read.link),
+        ]
+    )
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.WRITE, "b0"),
+            AccessSketch(AccessKind.READ, "b1", write_read.link),
+            AccessSketch(AccessKind.WRITE, "b2", read_write.link),
+        ]
+    )
+    _apply_relation(sketch, read_read.relation, "a0", "a1")
+    _apply_relation(sketch, write_read.relation, "b0", "b1")
+    _apply_relation(sketch, read_write.relation, "b1", "b2")
+    # Cycle structure: T2's final write feeds T1's first read; T1's second
+    # read observes the initial value of T2's first write's location.
+    sketch.require_equal("b2", "a0")
+    sketch.require_equal("a1", "b0")
+    sketch.set_read_from((0, 0), (1, 2))
+    sketch.set_read_from((0, 1), None)
+    # T2's middle read: forwarded from its own first write when the
+    # write-read segment is same-address, otherwise it reads the initial
+    # value of its (otherwise unconstrained) location.
+    if write_read.relation is AddressRelation.SAME:
+        sketch.set_read_from((1, 1), (1, 0))
+    else:
+        sketch.set_read_from((1, 1), None)
+    return sketch
+
+
+def _build_case_4(segment: Segment) -> TestSketch:
+    """Critical write-read segment, duplicated with swapped addresses (SB)."""
+    sketch = TestSketch()
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.WRITE, "a0"),
+            AccessSketch(AccessKind.READ, "a1", segment.link),
+        ]
+    )
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.WRITE, "b0"),
+            AccessSketch(AccessKind.READ, "b1", segment.link),
+        ]
+    )
+    _apply_relation(sketch, segment.relation, "a0", "a1")
+    _apply_relation(sketch, segment.relation, "b0", "b1")
+    sketch.require_equal("b1", "a0")
+    sketch.require_equal("b0", "a1")
+    sketch.set_read_from((0, 1), None)
+    sketch.set_read_from((1, 1), None)
+    return sketch
+
+
+def _build_case_5a(write_read: Segment, read_read: Segment) -> TestSketch:
+    """Same-address write-read segment followed by a read-read segment (L8 shape)."""
+    sketch = TestSketch()
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.WRITE, "a0"),
+            AccessSketch(AccessKind.READ, "a1", write_read.link),
+            AccessSketch(AccessKind.READ, "a2", read_read.link),
+        ]
+    )
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.WRITE, "b0"),
+            AccessSketch(AccessKind.READ, "b1", write_read.link),
+            AccessSketch(AccessKind.READ, "b2", read_read.link),
+        ]
+    )
+    _apply_relation(sketch, write_read.relation, "a0", "a1")
+    _apply_relation(sketch, write_read.relation, "b0", "b1")
+    _apply_relation(sketch, read_read.relation, "a1", "a2")
+    _apply_relation(sketch, read_read.relation, "b1", "b2")
+    # The duplicated thread uses the other thread's location and vice versa.
+    sketch.require_equal("a2", "b0")
+    sketch.require_equal("b2", "a0")
+    # Store forwarding in each thread when the critical segment is
+    # same-address; otherwise the middle read sees the initial value.
+    if write_read.relation is AddressRelation.SAME:
+        sketch.set_read_from((0, 1), (0, 0))
+        sketch.set_read_from((1, 1), (1, 0))
+    else:
+        sketch.set_read_from((0, 1), None)
+        sketch.set_read_from((1, 1), None)
+    sketch.set_read_from((0, 2), None)
+    sketch.set_read_from((1, 2), None)
+    return sketch
+
+
+def _build_case_5b(write_read: Segment, read_write: Segment) -> TestSketch:
+    """Same-address write-read segment followed by a read-write segment (L9 shape)."""
+    sketch = TestSketch()
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.WRITE, "a0"),
+            AccessSketch(AccessKind.READ, "a1", write_read.link),
+            AccessSketch(AccessKind.WRITE, "a2", read_write.link),
+        ]
+    )
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.READ, "b0"),
+            AccessSketch(AccessKind.WRITE, "b1", read_write.link),
+            AccessSketch(AccessKind.READ, "b2"),
+        ]
+    )
+    _apply_relation(sketch, write_read.relation, "a0", "a1")
+    _apply_relation(sketch, read_write.relation, "a1", "a2")
+    _apply_relation(sketch, read_write.relation, "b0", "b1")
+    # T2's read observes T1's final write; T2's write targets T1's first
+    # location and the trailing observer read witnesses the coherence edge by
+    # seeing T1's first write.
+    sketch.require_equal("b0", "a2")
+    sketch.require_equal("b1", "a0")
+    sketch.require_equal("b2", "a0")
+    sketch.set_read_from((1, 0), (0, 2))
+    sketch.set_read_from((1, 2), (0, 0))
+    # Store forwarding (or initial value) for T1's middle read.
+    if write_read.relation is AddressRelation.SAME:
+        sketch.set_read_from((0, 1), (0, 0))
+    else:
+        sketch.set_read_from((0, 1), None)
+    return sketch
+
+
+_BUILDERS = {
+    TemplateCase.CASE_1_READ_WRITE: _build_case_1,
+    TemplateCase.CASE_2_WRITE_WRITE: _build_case_2,
+    TemplateCase.CASE_3A_READ_READ_VS_WRITE_WRITE: _build_case_3a,
+    TemplateCase.CASE_3B_READ_READ_VS_WRITE_READ_WRITE: _build_case_3b,
+    TemplateCase.CASE_4_WRITE_READ_DIFFERENT: _build_case_4,
+    TemplateCase.CASE_5A_WRITE_READ_SAME_PLUS_READ_READ: _build_case_5a,
+    TemplateCase.CASE_5B_WRITE_READ_SAME_PLUS_READ_WRITE: _build_case_5b,
+}

@@ -1,0 +1,30 @@
+"""Reading and writing litmus tests as text files.
+
+The format is a small, line-oriented litmus dialect::
+
+    litmus "SB"
+    thread T1 {
+      write X 1
+      read Y r1
+    }
+    thread T2 {
+      write Y 1
+      read X r2
+    }
+    exists r1 = 0 & r2 = 0
+
+Fences are written ``fence``; register arithmetic ``let t1 = r1 - r1 + 1``;
+dependent addresses ``read [t1] r2``; branches ``branch r1``.  See
+:mod:`repro.io.parser` for the full grammar.
+"""
+
+from repro.io.parser import ParseError, parse_litmus, parse_litmus_file
+from repro.io.writer import litmus_to_text, write_litmus_file
+
+__all__ = [
+    "ParseError",
+    "parse_litmus",
+    "parse_litmus_file",
+    "litmus_to_text",
+    "write_litmus_file",
+]

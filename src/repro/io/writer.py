@@ -1,0 +1,67 @@
+"""Writer for the litmus text format (inverse of :mod:`repro.io.parser`)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.core.expr import BinOp, Const, Expr, Loc, Reg
+from repro.core.instructions import Branch, Fence, Load, Op, Store
+from repro.core.litmus import LitmusTest
+
+
+def _expr_to_text(expr: Expr) -> str:
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, (Reg, Loc)):
+        return expr.name
+    if isinstance(expr, BinOp):
+        return f"{_expr_to_text(expr.left)} {expr.op} {_expr_to_text(expr.right)}"
+    raise TypeError(f"cannot serialise expression {expr!r}")
+
+
+def _address_to_text(expr: Expr) -> str:
+    if isinstance(expr, Loc):
+        return expr.name
+    if isinstance(expr, Reg):
+        return f"[{expr.name}]"
+    raise TypeError(
+        f"cannot serialise address {expr!r}: the text format only supports plain "
+        "locations and register-indirect addresses"
+    )
+
+
+def litmus_to_text(test: LitmusTest) -> str:
+    """Serialise a litmus test to the text format."""
+    lines: List[str] = [f'litmus "{test.name}"']
+    if test.description:
+        lines.append(f"# {test.description}")
+    for thread in test.program.threads:
+        lines.append(f"thread {thread.name} {{")
+        for instruction in thread.instructions:
+            if isinstance(instruction, Load):
+                lines.append(f"  read {_address_to_text(instruction.address)} {instruction.dest}")
+            elif isinstance(instruction, Store):
+                lines.append(
+                    f"  write {_address_to_text(instruction.address)} {_expr_to_text(instruction.value)}"
+                )
+            elif isinstance(instruction, Fence):
+                suffix = "" if instruction.kind == "full" else f" {instruction.kind}"
+                lines.append(f"  fence{suffix}")
+            elif isinstance(instruction, Op):
+                lines.append(f"  let {instruction.dest} = {_expr_to_text(instruction.expr)}")
+            elif isinstance(instruction, Branch):
+                lines.append(f"  branch {_expr_to_text(instruction.expr)}")
+            else:  # pragma: no cover - new instruction kinds must be handled
+                raise TypeError(f"cannot serialise instruction {instruction!r}")
+        lines.append("}")
+    condition = " & ".join(
+        f"{register} = {value}" for register, value in sorted(test.register_outcome().items())
+    )
+    lines.append(f"exists {condition}")
+    return "\n".join(lines) + "\n"
+
+
+def write_litmus_file(test: LitmusTest, path: Union[str, Path]) -> None:
+    """Write a litmus test to ``path``."""
+    Path(path).write_text(litmus_to_text(test))

@@ -1,0 +1,148 @@
+"""CNF formulas in DIMACS-style integer-literal representation.
+
+A literal is a non-zero integer: ``v`` for the positive literal of variable
+``v`` and ``-v`` for its negation (exactly the DIMACS convention, so encoding
+and debugging against external tools is straightforward).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+Literal = int
+Clause = Tuple[Literal, ...]
+Assignment = Dict[int, bool]
+
+
+def literal_variable(literal: Literal) -> int:
+    """Return the variable of a literal (always positive)."""
+    return abs(literal)
+
+
+def literal_sign(literal: Literal) -> bool:
+    """Return True for a positive literal, False for a negated one."""
+    return literal > 0
+
+
+def negate_literal(literal: Literal) -> Literal:
+    """Return the complementary literal."""
+    return -literal
+
+
+class CNF:
+    """A conjunction of clauses plus a variable allocator.
+
+    The class owns the variable counter so that encoders can freely allocate
+    auxiliary (Tseitin) variables without clashing with problem variables.
+    """
+
+    def __init__(self, num_vars: int = 0, clauses: Iterable[Sequence[Literal]] = ()) -> None:
+        self.num_vars = num_vars
+        self.clauses: List[Clause] = []
+        self._names: Dict[int, str] = {}
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def new_var(self, name: Optional[str] = None) -> int:
+        """Allocate and return a fresh variable (1-based)."""
+        self.num_vars += 1
+        if name is not None:
+            self._names[self.num_vars] = name
+        return self.num_vars
+
+    def name_of(self, variable: int) -> Optional[str]:
+        """Return the debug name of ``variable`` if one was given."""
+        return self._names.get(variable)
+
+    def add_clause(self, literals: Sequence[Literal]) -> None:
+        """Add a clause (a disjunction of literals).
+
+        The empty clause is legal and makes the formula trivially
+        unsatisfiable.  Literals referring to variables beyond the current
+        counter grow the counter.
+        """
+        clause = tuple(literals)
+        for literal in clause:
+            if literal == 0:
+                raise ValueError("0 is not a valid DIMACS literal")
+            self.num_vars = max(self.num_vars, abs(literal))
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Sequence[Literal]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def extend(self, other: "CNF") -> None:
+        """Append all clauses of ``other`` (variables are shared, not shifted)."""
+        self.num_vars = max(self.num_vars, other.num_vars)
+        self.clauses.extend(other.clauses)
+
+    # ------------------------------------------------------------------
+    # inspection / evaluation
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def variables(self) -> List[int]:
+        """Return the sorted list of variables that occur in some clause."""
+        return sorted({abs(literal) for clause in self.clauses for literal in clause})
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        """Evaluate the formula under a (total for occurring vars) assignment."""
+        for clause in self.clauses:
+            if not any(assignment.get(abs(lit), False) == (lit > 0) for lit in clause):
+                return False
+        return True
+
+    def copy(self) -> "CNF":
+        clone = CNF(self.num_vars)
+        clone.clauses = list(self.clauses)
+        clone._names = dict(self._names)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CNF(num_vars={self.num_vars}, clauses={len(self.clauses)})"
+
+    # ------------------------------------------------------------------
+    # DIMACS I/O
+    # ------------------------------------------------------------------
+    def to_dimacs(self) -> str:
+        """Serialize in DIMACS CNF format."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        """Parse a DIMACS CNF string (comments and blank lines allowed)."""
+        cnf = cls()
+        declared_vars = 0
+        pending: List[int] = []
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"malformed problem line: {line!r}")
+                declared_vars = int(parts[2])
+                continue
+            for token in line.split():
+                literal = int(token)
+                if literal == 0:
+                    cnf.add_clause(pending)
+                    pending = []
+                else:
+                    pending.append(literal)
+        if pending:
+            raise ValueError("last clause is not terminated by 0")
+        cnf.num_vars = max(cnf.num_vars, declared_vars)
+        return cnf

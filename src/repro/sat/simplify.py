@@ -1,0 +1,132 @@
+"""Lightweight CNF preprocessing.
+
+These transformations are not needed for correctness (the CDCL solver handles
+raw formulas fine) but they shrink the tiny litmus encodings further and give
+the benchmark suite an ablation point: solving with and without
+preprocessing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sat.cnf import CNF, Clause, Literal
+
+
+class Unsatisfiable(Exception):
+    """Raised internally when preprocessing proves the formula unsatisfiable."""
+
+
+def remove_tautologies(cnf: CNF) -> CNF:
+    """Drop clauses containing both a literal and its negation."""
+    result = CNF(cnf.num_vars)
+    for clause in cnf.clauses:
+        literals = set(clause)
+        if any(-literal in literals for literal in literals):
+            continue
+        result.add_clause(sorted(literals, key=abs))
+    return result
+
+
+def propagate_units(cnf: CNF) -> Tuple[CNF, Dict[int, bool]]:
+    """Exhaustively apply unit propagation.
+
+    Returns the simplified CNF and the forced partial assignment.  Raises
+    :class:`Unsatisfiable` when propagation derives a contradiction.
+    """
+    forced: Dict[int, bool] = {}
+    clauses: List[List[Literal]] = [list(clause) for clause in cnf.clauses]
+
+    changed = True
+    while changed:
+        changed = False
+        units: Set[Literal] = set()
+        for clause in clauses:
+            if len(clause) == 1:
+                units.add(clause[0])
+        for unit in units:
+            variable, value = abs(unit), unit > 0
+            if variable in forced and forced[variable] != value:
+                raise Unsatisfiable()
+            if variable not in forced:
+                forced[variable] = value
+                changed = True
+        if not changed:
+            break
+        new_clauses: List[List[Literal]] = []
+        for clause in clauses:
+            satisfied = False
+            remaining: List[Literal] = []
+            for literal in clause:
+                variable = abs(literal)
+                if variable in forced:
+                    if forced[variable] == (literal > 0):
+                        satisfied = True
+                        break
+                else:
+                    remaining.append(literal)
+            if satisfied:
+                continue
+            if not remaining:
+                raise Unsatisfiable()
+            new_clauses.append(remaining)
+        clauses = new_clauses
+
+    result = CNF(cnf.num_vars)
+    for clause in clauses:
+        result.add_clause(clause)
+    return result, forced
+
+
+def eliminate_pure_literals(cnf: CNF) -> Tuple[CNF, Dict[int, bool]]:
+    """Assign variables that occur with a single polarity.
+
+    Returns the simplified CNF and the chosen assignment for eliminated
+    variables (any clause containing a pure literal is satisfied and dropped).
+    """
+    polarity: Dict[int, Set[bool]] = {}
+    for clause in cnf.clauses:
+        for literal in clause:
+            polarity.setdefault(abs(literal), set()).add(literal > 0)
+    pure: Dict[int, bool] = {
+        variable: next(iter(signs)) for variable, signs in polarity.items() if len(signs) == 1
+    }
+    result = CNF(cnf.num_vars)
+    for clause in cnf.clauses:
+        if any(abs(literal) in pure and pure[abs(literal)] == (literal > 0) for literal in clause):
+            continue
+        result.add_clause(clause)
+    return result, pure
+
+
+def remove_duplicate_clauses(cnf: CNF) -> CNF:
+    """Drop repeated clauses (as literal sets)."""
+    seen: Set[Tuple[Literal, ...]] = set()
+    result = CNF(cnf.num_vars)
+    for clause in cnf.clauses:
+        key = tuple(sorted(set(clause)))
+        if key in seen:
+            continue
+        seen.add(key)
+        result.add_clause(key)
+    return result
+
+
+def preprocess(cnf: CNF) -> Tuple[Optional[CNF], Dict[int, bool]]:
+    """Run the full preprocessing pipeline.
+
+    Returns ``(simplified_cnf, forced_assignment)``; the CNF is ``None`` when
+    preprocessing alone proves unsatisfiability.
+    """
+    forced: Dict[int, bool] = {}
+    current = remove_duplicate_clauses(remove_tautologies(cnf))
+    try:
+        current, units = propagate_units(current)
+        forced.update(units)
+        current, pure = eliminate_pure_literals(current)
+        forced.update(pure)
+        current, units = propagate_units(current)
+        forced.update(units)
+    except Unsatisfiable:
+        return None, forced
+    return current, forced

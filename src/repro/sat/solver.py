@@ -1,0 +1,426 @@
+"""A CDCL SAT solver.
+
+This module plays the role MiniSat plays in the paper's tool: deciding the
+satisfiability of the CNF encodings produced by
+:mod:`repro.checker.encoder`.  It implements the standard conflict-driven
+clause-learning loop:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping,
+* VSIDS-style exponential variable activities with decay,
+* phase saving,
+* Luby-sequence restarts,
+* learned-clause database reduction by activity.
+
+The instances produced by litmus-test encodings are tiny (tens of variables),
+but the solver is written to be a genuinely general-purpose solver and is
+exercised on random and crafted instances in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sat.cnf import CNF, Assignment, Clause, Literal
+
+
+@dataclass
+class SolverStats:
+    """Counters describing one :meth:`SatSolver.solve` run."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    max_decision_level: int = 0
+
+
+@dataclass
+class SatResult:
+    """Outcome of a SAT call.
+
+    Attributes:
+        satisfiable: whether a model was found.
+        assignment: a satisfying assignment (variable -> bool) when
+            satisfiable, otherwise ``None``.  Variables that never occurred in
+            any clause default to ``False``.
+        stats: solver counters for benchmarking and diagnostics.
+    """
+
+    satisfiable: bool
+    assignment: Optional[Assignment]
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+class _ClauseRef:
+    """Internal clause representation with watched literals and activity."""
+
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: List[Literal], learned: bool) -> None:
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+
+def _luby(i: int) -> int:
+    """Return the i-th element (1-based) of the Luby restart sequence.
+
+    The sequence is 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+    """
+    if i < 1:
+        raise ValueError("the Luby sequence is 1-indexed")
+    k = 1
+    while (1 << k) - 1 < i:
+        k += 1
+    if i == (1 << k) - 1:
+        return 1 << (k - 1)
+    return _luby(i - ((1 << (k - 1)) - 1))
+
+
+class SatSolver:
+    """Conflict-driven clause-learning solver for a single CNF instance."""
+
+    _UNASSIGNED = 0
+    _TRUE = 1
+    _FALSE = -1
+
+    def __init__(self, cnf: CNF) -> None:
+        self._num_vars = cnf.num_vars
+        self.stats = SolverStats()
+
+        self._assign: List[int] = [self._UNASSIGNED] * (self._num_vars + 1)
+        self._level: List[int] = [0] * (self._num_vars + 1)
+        self._reason: List[Optional[_ClauseRef]] = [None] * (self._num_vars + 1)
+        self._phase: List[bool] = [False] * (self._num_vars + 1)
+        self._activity: List[float] = [0.0] * (self._num_vars + 1)
+        self._activity_inc = 1.0
+        self._activity_decay = 0.95
+        self._clause_activity_inc = 1.0
+
+        self._trail: List[Literal] = []
+        self._trail_limits: List[int] = []
+        self._propagation_head = 0
+
+        self._clauses: List[_ClauseRef] = []
+        self._learned: List[_ClauseRef] = []
+        # watches[lit] = clauses currently watching literal `lit`
+        self._watches: Dict[Literal, List[_ClauseRef]] = {}
+
+        self._unsatisfiable = False
+        for clause in cnf.clauses:
+            self._add_input_clause(clause)
+
+    # ------------------------------------------------------------------
+    # clause management
+    # ------------------------------------------------------------------
+    def _add_input_clause(self, clause: Clause) -> None:
+        if self._unsatisfiable:
+            return
+        # Remove duplicate literals; drop tautological clauses.
+        seen = set()
+        literals: List[Literal] = []
+        for literal in clause:
+            if -literal in seen:
+                return  # tautology: always satisfied
+            if literal not in seen:
+                seen.add(literal)
+                literals.append(literal)
+        if not literals:
+            self._unsatisfiable = True
+            return
+        if len(literals) == 1:
+            if not self._enqueue(literals[0], None):
+                self._unsatisfiable = True
+            return
+        ref = _ClauseRef(literals, learned=False)
+        self._clauses.append(ref)
+        self._watch(ref)
+
+    def _watch(self, ref: _ClauseRef) -> None:
+        self._watches.setdefault(ref.literals[0], []).append(ref)
+        self._watches.setdefault(ref.literals[1], []).append(ref)
+
+    def _ensure_variable(self, variable: int) -> None:
+        """Grow the per-variable arrays to accommodate ``variable``.
+
+        Needed when assumptions mention variables that never occur in any
+        clause of the input formula.
+        """
+        while self._num_vars < variable:
+            self._num_vars += 1
+            self._assign.append(self._UNASSIGNED)
+            self._level.append(0)
+            self._reason.append(None)
+            self._phase.append(False)
+            self._activity.append(0.0)
+
+    # ------------------------------------------------------------------
+    # assignment helpers
+    # ------------------------------------------------------------------
+    def _value(self, literal: Literal) -> int:
+        value = self._assign[abs(literal)]
+        if value == self._UNASSIGNED:
+            return self._UNASSIGNED
+        return value if literal > 0 else -value
+
+    def _enqueue(self, literal: Literal, reason: Optional[_ClauseRef]) -> bool:
+        current = self._value(literal)
+        if current == self._TRUE:
+            return True
+        if current == self._FALSE:
+            return False
+        variable = abs(literal)
+        self._assign[variable] = self._TRUE if literal > 0 else self._FALSE
+        self._level[variable] = self._decision_level()
+        self._reason[variable] = reason
+        self._phase[variable] = literal > 0
+        self._trail.append(literal)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self._trail_limits)
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[_ClauseRef]:
+        """Run unit propagation; return a conflicting clause or None."""
+        while self._propagation_head < len(self._trail):
+            literal = self._trail[self._propagation_head]
+            self._propagation_head += 1
+            self.stats.propagations += 1
+            falsified = -literal
+            watchers = self._watches.get(falsified, [])
+            new_watchers: List[_ClauseRef] = []
+            conflict: Optional[_ClauseRef] = None
+            for index, ref in enumerate(watchers):
+                if conflict is not None:
+                    new_watchers.extend(watchers[index:])
+                    break
+                literals = ref.literals
+                # Ensure the falsified literal is at position 1.
+                if literals[0] == falsified:
+                    literals[0], literals[1] = literals[1], literals[0]
+                first = literals[0]
+                if self._value(first) == self._TRUE:
+                    new_watchers.append(ref)
+                    continue
+                # Look for a replacement watch.
+                replaced = False
+                for position in range(2, len(literals)):
+                    if self._value(literals[position]) != self._FALSE:
+                        literals[1], literals[position] = literals[position], literals[1]
+                        self._watches.setdefault(literals[1], []).append(ref)
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                # Clause is unit or conflicting.
+                new_watchers.append(ref)
+                if not self._enqueue(first, ref):
+                    conflict = ref
+            self._watches[falsified] = new_watchers
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # conflict analysis
+    # ------------------------------------------------------------------
+    def _bump_variable(self, variable: int) -> None:
+        self._activity[variable] += self._activity_inc
+        if self._activity[variable] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._activity_inc *= 1e-100
+
+    def _decay_activities(self) -> None:
+        self._activity_inc /= self._activity_decay
+
+    def _analyze(self, conflict: _ClauseRef) -> (List[Literal], int):
+        """First-UIP conflict analysis.
+
+        Returns the learned clause (with the asserting literal first) and the
+        backjump level.
+        """
+        learned: List[Literal] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        literal: Optional[Literal] = None
+        reason: Optional[_ClauseRef] = conflict
+        trail_index = len(self._trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            assert reason is not None
+            reason.activity += self._clause_activity_inc
+            for clause_literal in reason.literals:
+                if literal is not None and abs(clause_literal) == abs(literal):
+                    continue  # skip the literal being resolved on
+                variable = abs(clause_literal)
+                if seen[variable] or self._level[variable] == 0:
+                    continue
+                seen[variable] = True
+                self._bump_variable(variable)
+                if self._level[variable] >= current_level:
+                    counter += 1
+                else:
+                    learned.append(clause_literal)
+            # Find the next literal to resolve on (most recent seen literal).
+            while not seen[abs(self._trail[trail_index])]:
+                trail_index -= 1
+            resolved = self._trail[trail_index]
+            literal = -resolved
+            variable = abs(resolved)
+            seen[variable] = False
+            counter -= 1
+            trail_index -= 1
+            if counter == 0:
+                learned[0] = literal
+                break
+            reason = self._reason[variable]
+
+        # Compute backjump level: second-highest level in the clause.
+        if len(learned) == 1:
+            backjump_level = 0
+        else:
+            levels = sorted((self._level[abs(l)] for l in learned[1:]), reverse=True)
+            backjump_level = levels[0]
+        return learned, backjump_level
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_limits[level]
+        for literal in reversed(self._trail[limit:]):
+            variable = abs(literal)
+            self._assign[variable] = self._UNASSIGNED
+            self._reason[variable] = None
+        del self._trail[limit:]
+        del self._trail_limits[level:]
+        self._propagation_head = len(self._trail)
+
+    def _record_learned(self, literals: List[Literal], backjump_level: int) -> None:
+        self._backtrack(backjump_level)
+        if len(literals) == 1:
+            self._enqueue(literals[0], None)
+            return
+        # Put a literal from the backjump level in the second watch position.
+        for position in range(1, len(literals)):
+            if self._level[abs(literals[position])] == backjump_level:
+                literals[1], literals[position] = literals[position], literals[1]
+                break
+        ref = _ClauseRef(literals, learned=True)
+        ref.activity = self._clause_activity_inc
+        self._learned.append(ref)
+        self._watch(ref)
+        self.stats.learned_clauses += 1
+        self._enqueue(literals[0], ref)
+
+    def _reduce_learned(self) -> None:
+        """Drop the less active half of the learned clauses."""
+        if len(self._learned) < 200:
+            return
+        locked = {id(self._reason[abs(lit)]) for lit in self._trail if self._reason[abs(lit)] is not None}
+        self._learned.sort(key=lambda ref: ref.activity)
+        keep_from = len(self._learned) // 2
+        dropped = [ref for ref in self._learned[:keep_from] if id(ref) not in locked and len(ref.literals) > 2]
+        kept = [ref for ref in self._learned if ref not in dropped]
+        for ref in dropped:
+            for watched in (ref.literals[0], ref.literals[1]):
+                bucket = self._watches.get(watched, [])
+                if ref in bucket:
+                    bucket.remove(ref)
+        self._learned = kept
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def _pick_branch_variable(self) -> Optional[int]:
+        best_variable = None
+        best_activity = -1.0
+        for variable in range(1, self._num_vars + 1):
+            if self._assign[variable] == self._UNASSIGNED and self._activity[variable] > best_activity:
+                best_variable = variable
+                best_activity = self._activity[variable]
+        return best_variable
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[Literal] = ()) -> SatResult:
+        """Decide satisfiability (optionally under unit assumptions)."""
+        if self._unsatisfiable:
+            return SatResult(False, None, self.stats)
+
+        conflict = self._propagate()
+        if conflict is not None:
+            return SatResult(False, None, self.stats)
+
+        for literal in assumptions:
+            self._ensure_variable(abs(literal))
+        for literal in assumptions:
+            if self._value(literal) == self._FALSE:
+                return SatResult(False, None, self.stats)
+            if self._value(literal) == self._UNASSIGNED:
+                self._trail_limits.append(len(self._trail))
+                self._enqueue(literal, None)
+                conflict = self._propagate()
+                if conflict is not None:
+                    self._backtrack(0)
+                    return SatResult(False, None, self.stats)
+        assumption_level = self._decision_level()
+
+        conflicts_since_restart = 0
+        restart_index = 1
+        restart_limit = 16 * _luby(restart_index)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() <= assumption_level:
+                    self._backtrack(0)
+                    return SatResult(False, None, self.stats)
+                learned, backjump_level = self._analyze(conflict)
+                backjump_level = max(backjump_level, assumption_level)
+                self._record_learned(learned, backjump_level)
+                self._decay_activities()
+                self._clause_activity_inc *= 1.001
+                continue
+
+            if conflicts_since_restart >= restart_limit:
+                self.stats.restarts += 1
+                conflicts_since_restart = 0
+                restart_index += 1
+                restart_limit = 16 * _luby(restart_index)
+                self._backtrack(assumption_level)
+                self._reduce_learned()
+                continue
+
+            variable = self._pick_branch_variable()
+            if variable is None:
+                assignment = {
+                    v: self._assign[v] == self._TRUE for v in range(1, self._num_vars + 1)
+                }
+                self._backtrack(0)
+                return SatResult(True, assignment, self.stats)
+
+            self.stats.decisions += 1
+            self._trail_limits.append(len(self._trail))
+            self.stats.max_decision_level = max(self.stats.max_decision_level, self._decision_level())
+            literal = variable if self._phase[variable] else -variable
+            self._enqueue(literal, None)
+
+
+def solve(cnf: CNF, assumptions: Sequence[Literal] = ()) -> SatResult:
+    """Convenience wrapper: solve ``cnf`` with a fresh :class:`SatSolver`."""
+    return SatSolver(cnf).solve(assumptions)

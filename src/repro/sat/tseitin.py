@@ -1,0 +1,204 @@
+"""Boolean expressions and Tseitin transformation to CNF.
+
+The happens-before encoder builds constraints as small boolean circuits
+(implications between edge selectors, conjunctions of read-from choices, ...)
+and then lowers them to CNF with the classic Tseitin transformation so the
+formula size stays linear in the circuit size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.sat.cnf import CNF, Literal
+
+
+class BoolExpr:
+    """Base class of the tiny boolean-expression AST."""
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return conjoin([self, other])
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return disjoin([self, other])
+
+    def __invert__(self) -> "BoolExpr":
+        return negate(self)
+
+
+@dataclass(frozen=True)
+class BoolConst(BoolExpr):
+    """A constant True/False."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class BoolVar(BoolExpr):
+    """A named problem variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BoolNot(BoolExpr):
+    operand: BoolExpr
+
+
+@dataclass(frozen=True)
+class BoolAnd(BoolExpr):
+    operands: Tuple[BoolExpr, ...]
+
+
+@dataclass(frozen=True)
+class BoolOr(BoolExpr):
+    operands: Tuple[BoolExpr, ...]
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+def conjoin(operands: Iterable[BoolExpr]) -> BoolExpr:
+    """Return the conjunction of ``operands`` with light simplification."""
+    flat: List[BoolExpr] = []
+    for operand in operands:
+        if isinstance(operand, BoolConst):
+            if not operand.value:
+                return FALSE
+            continue
+        if isinstance(operand, BoolAnd):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return BoolAnd(tuple(flat))
+
+
+def disjoin(operands: Iterable[BoolExpr]) -> BoolExpr:
+    """Return the disjunction of ``operands`` with light simplification."""
+    flat: List[BoolExpr] = []
+    for operand in operands:
+        if isinstance(operand, BoolConst):
+            if operand.value:
+                return TRUE
+            continue
+        if isinstance(operand, BoolOr):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return BoolOr(tuple(flat))
+
+
+def negate(operand: BoolExpr) -> BoolExpr:
+    """Return the negation of ``operand`` with double-negation elimination."""
+    if isinstance(operand, BoolConst):
+        return BoolConst(not operand.value)
+    if isinstance(operand, BoolNot):
+        return operand.operand
+    return BoolNot(operand)
+
+
+def implies(antecedent: BoolExpr, consequent: BoolExpr) -> BoolExpr:
+    """Return ``antecedent -> consequent``."""
+    return disjoin([negate(antecedent), consequent])
+
+
+def iff(left: BoolExpr, right: BoolExpr) -> BoolExpr:
+    """Return ``left <-> right``."""
+    return conjoin([implies(left, right), implies(right, left)])
+
+
+class TseitinEncoder:
+    """Incrementally lowers boolean expressions into a shared CNF."""
+
+    def __init__(self, cnf: CNF) -> None:
+        self.cnf = cnf
+        self._var_ids: Dict[str, int] = {}
+        self._cache: Dict[BoolExpr, Literal] = {}
+        self._true_literal: Union[Literal, None] = None
+
+    def variable(self, name: str) -> int:
+        """Return (allocating if necessary) the CNF variable for ``name``."""
+        if name not in self._var_ids:
+            self._var_ids[name] = self.cnf.new_var(name)
+        return self._var_ids[name]
+
+    def variables(self) -> Dict[str, int]:
+        """Return the mapping from names to CNF variables."""
+        return dict(self._var_ids)
+
+    def _constant_literal(self, value: bool) -> Literal:
+        if self._true_literal is None:
+            self._true_literal = self.cnf.new_var("__true__")
+            self.cnf.add_clause([self._true_literal])
+        return self._true_literal if value else -self._true_literal
+
+    def literal_for(self, expression: BoolExpr) -> Literal:
+        """Return a literal equisatisfiably equivalent to ``expression``."""
+        if expression in self._cache:
+            return self._cache[expression]
+        literal = self._encode(expression)
+        self._cache[expression] = literal
+        return literal
+
+    def _encode(self, expression: BoolExpr) -> Literal:
+        if isinstance(expression, BoolConst):
+            return self._constant_literal(expression.value)
+        if isinstance(expression, BoolVar):
+            return self.variable(expression.name)
+        if isinstance(expression, BoolNot):
+            return -self.literal_for(expression.operand)
+        if isinstance(expression, BoolAnd):
+            operand_literals = [self.literal_for(op) for op in expression.operands]
+            output = self.cnf.new_var()
+            for literal in operand_literals:
+                self.cnf.add_clause([-output, literal])
+            self.cnf.add_clause([output] + [-lit for lit in operand_literals])
+            return output
+        if isinstance(expression, BoolOr):
+            operand_literals = [self.literal_for(op) for op in expression.operands]
+            output = self.cnf.new_var()
+            for literal in operand_literals:
+                self.cnf.add_clause([-literal, output])
+            self.cnf.add_clause([-output] + list(operand_literals))
+            return output
+        raise TypeError(f"unknown boolean expression: {expression!r}")
+
+    def assert_true(self, expression: BoolExpr) -> None:
+        """Add clauses forcing ``expression`` to be true."""
+        # Top-level conjunctions can be asserted clause by clause, which keeps
+        # the CNF smaller and avoids a needless auxiliary variable.
+        if isinstance(expression, BoolConst):
+            if not expression.value:
+                self.cnf.add_clause([])
+            return
+        if isinstance(expression, BoolAnd):
+            for operand in expression.operands:
+                self.assert_true(operand)
+            return
+        if isinstance(expression, BoolOr):
+            literals = [self.literal_for(op) for op in expression.operands]
+            self.cnf.add_clause(literals)
+            return
+        self.cnf.add_clause([self.literal_for(expression)])
+
+
+def tseitin_encode(expression: BoolExpr) -> Tuple[CNF, Dict[str, int]]:
+    """Encode a single boolean expression into CNF.
+
+    Returns the CNF together with the mapping from variable names to DIMACS
+    variable indices.  The CNF is satisfiable iff the expression is.
+    """
+    cnf = CNF()
+    encoder = TseitinEncoder(cnf)
+    encoder.assert_true(expression)
+    return cnf, encoder.variables()

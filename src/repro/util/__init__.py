@@ -1,0 +1,12 @@
+"""Generic utilities used across the library.
+
+The algorithms here (directed-graph reachability, cycle detection, transitive
+closure/reduction, topological sorting, union-find) are deliberately
+self-contained so that the memory-model machinery has no third-party runtime
+dependencies.
+"""
+
+from repro.util.digraph import Digraph
+from repro.util.unionfind import UnionFind
+
+__all__ = ["Digraph", "UnionFind"]

@@ -1,0 +1,230 @@
+"""A small directed-graph toolkit.
+
+The happens-before machinery only needs a handful of graph operations on very
+small graphs (litmus tests have at most ~12 events): cycle detection,
+reachability, transitive closure and reduction, and topological sorting.  The
+model-space exploration additionally uses transitive reduction to draw the
+Hasse diagram of Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class CycleError(ValueError):
+    """Raised when an operation requires an acyclic graph but found a cycle."""
+
+
+class Digraph:
+    """A directed graph with hashable nodes.
+
+    Parallel edges are collapsed; self-loops are allowed (and count as
+    cycles).  Node insertion order is preserved, which keeps all derived
+    output (topological sorts, reports, DOT files) deterministic.
+    """
+
+    def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[Edge] = ()) -> None:
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+        self._order: List[Node] = []
+        for node in nodes:
+            self.add_node(node)
+        for src, dst in edges:
+            self.add_edge(src, dst)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` (no-op if already present)."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+            self._order.append(node)
+
+    def add_edge(self, src: Node, dst: Node) -> None:
+        """Add the edge ``src -> dst`` (adding the endpoints if needed)."""
+        self.add_node(src)
+        self.add_node(dst)
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    def copy(self) -> "Digraph":
+        """Return an independent copy of this graph."""
+        return Digraph(self.nodes(), self.edges())
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[Node]:
+        """Return nodes in insertion order."""
+        return list(self._order)
+
+    def edges(self) -> List[Edge]:
+        """Return edges, ordered by source insertion order."""
+        result: List[Edge] = []
+        for src in self._order:
+            for dst in sorted(self._succ[src], key=self._sort_key):
+                result.append((src, dst))
+        return result
+
+    def _sort_key(self, node: Node):
+        try:
+            return (0, self._order.index(node))
+        except ValueError:  # pragma: no cover - node always present
+            return (1, repr(node))
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._succ
+
+    def has_edge(self, src: Node, dst: Node) -> bool:
+        return src in self._succ and dst in self._succ[src]
+
+    def successors(self, node: Node) -> Set[Node]:
+        return set(self._succ.get(node, set()))
+
+    def predecessors(self, node: Node) -> Set[Node]:
+        return set(self._pred.get(node, set()))
+
+    def num_nodes(self) -> int:
+        return len(self._order)
+
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    def __contains__(self, node: Node) -> bool:
+        return self.has_node(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Digraph(nodes={self.num_nodes()}, edges={self.num_edges()})"
+
+    # ------------------------------------------------------------------
+    # algorithms
+    # ------------------------------------------------------------------
+    def has_cycle(self) -> bool:
+        """Return True iff the graph contains a directed cycle."""
+        return self.find_cycle() is not None
+
+    def is_acyclic(self) -> bool:
+        """Return True iff the graph contains no directed cycle."""
+        return not self.has_cycle()
+
+    def find_cycle(self) -> Optional[List[Node]]:
+        """Return one directed cycle as a node list, or None if acyclic.
+
+        The returned list ``[n0, n1, ..., nk]`` satisfies ``n0 == nk`` and
+        every consecutive pair is an edge.
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        color: Dict[Node, int] = {node: WHITE for node in self._order}
+        parent: Dict[Node, Optional[Node]] = {}
+
+        for root in self._order:
+            if color[root] != WHITE:
+                continue
+            stack: List[Tuple[Node, Iterator[Node]]] = [(root, iter(sorted(self._succ[root], key=self._sort_key)))]
+            color[root] = GREY
+            parent[root] = None
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if color[child] == WHITE:
+                        color[child] = GREY
+                        parent[child] = node
+                        stack.append((child, iter(sorted(self._succ[child], key=self._sort_key))))
+                        advanced = True
+                        break
+                    if color[child] == GREY:
+                        # Found a cycle: walk back from node to child.
+                        cycle = [child, node]
+                        walker = node
+                        while walker != child:
+                            walker = parent[walker]
+                            cycle.append(walker)
+                        cycle.reverse()
+                        return cycle
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
+
+    def topological_sort(self) -> List[Node]:
+        """Return a topological order of the nodes.
+
+        Raises :class:`CycleError` if the graph has a cycle.  Ties are broken
+        by node insertion order so the result is deterministic.
+        """
+        in_degree: Dict[Node, int] = {node: len(self._pred[node]) for node in self._order}
+        ready = [node for node in self._order if in_degree[node] == 0]
+        result: List[Node] = []
+        while ready:
+            node = ready.pop(0)
+            result.append(node)
+            newly_ready = []
+            for succ in sorted(self._succ[node], key=self._sort_key):
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    newly_ready.append(succ)
+            # Keep insertion-order determinism.
+            ready = sorted(ready + newly_ready, key=self._order.index)
+        if len(result) != len(self._order):
+            raise CycleError("graph has a cycle; no topological order exists")
+        return result
+
+    def reachable_from(self, node: Node) -> Set[Node]:
+        """Return the set of nodes reachable from ``node`` (excluding itself
+        unless it lies on a cycle through itself)."""
+        seen: Set[Node] = set()
+        frontier = list(self._succ.get(node, set()))
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._succ[current] - seen)
+        return seen
+
+    def transitive_closure(self) -> "Digraph":
+        """Return a new graph with an edge wherever a path exists."""
+        closure = Digraph(self.nodes())
+        for node in self._order:
+            for target in self.reachable_from(node):
+                closure.add_edge(node, target)
+        return closure
+
+    def transitive_reduction(self) -> "Digraph":
+        """Return the transitive reduction (requires an acyclic graph).
+
+        The transitive reduction keeps an edge ``u -> v`` only if there is no
+        other path from ``u`` to ``v``.  This is what turns the full
+        stronger-than relation into the Hasse diagram of Figure 4.
+        """
+        if self.has_cycle():
+            raise CycleError("transitive reduction requires an acyclic graph")
+        reduction = Digraph(self.nodes())
+        for src in self._order:
+            direct = set(self._succ[src])
+            # An edge src->dst is redundant if some other successor reaches dst.
+            redundant: Set[Node] = set()
+            for mid in direct:
+                if mid in redundant:
+                    continue
+                reach_mid = self.reachable_from(mid)
+                redundant |= direct & reach_mid
+            for dst in direct - redundant:
+                reduction.add_edge(src, dst)
+        return reduction
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Digraph":
+        """Return the induced subgraph on ``nodes``."""
+        keep = set(nodes)
+        sub = Digraph(node for node in self._order if node in keep)
+        for src, dst in self.edges():
+            if src in keep and dst in keep:
+                sub.add_edge(src, dst)
+        return sub

@@ -1,0 +1,41 @@
+"""Small naming helpers shared by generation and reporting code."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+#: Location names in the order the paper uses them (X, Y, Z, W, then V1, V2, ...).
+CANONICAL_LOCATIONS = ("X", "Y", "Z", "W")
+
+
+def location_name(index: int) -> str:
+    """Return the canonical name of the ``index``-th distinct memory location."""
+    if index < 0:
+        raise ValueError("location index must be non-negative")
+    if index < len(CANONICAL_LOCATIONS):
+        return CANONICAL_LOCATIONS[index]
+    return f"V{index - len(CANONICAL_LOCATIONS) + 1}"
+
+
+def register_name(thread_index: int, serial: int) -> str:
+    """Return a register name unique across a whole litmus test.
+
+    The paper numbers registers globally (r1..r4 across both threads); we do
+    the same by deriving the name from the thread and a per-thread serial.
+    """
+    return f"r{thread_index * 10 + serial + 1}"
+
+
+def temp_name(thread_index: int, serial: int) -> str:
+    """Return a temporary (dependency-carrying) register name."""
+    return f"t{thread_index * 10 + serial + 1}"
+
+
+def fresh_names(prefix: str, count: int) -> List[str]:
+    """Return ``count`` distinct names ``prefix1 .. prefixN``."""
+    return [f"{prefix}{i + 1}" for i in range(count)]
+
+
+def join_nonempty(parts: Iterable[str], separator: str = " ") -> str:
+    """Join the non-empty strings in ``parts`` with ``separator``."""
+    return separator.join(part for part in parts if part)

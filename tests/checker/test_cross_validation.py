@@ -1,0 +1,71 @@
+"""Cross-validation of the three checker backends on random inputs.
+
+The explicit, SAT and brute-force reference backends implement the same
+semantics through very different mechanisms (enumeration + graph cycle
+detection, CNF + CDCL, and total-order enumeration).  Agreement on random
+litmus tests and random parametric models is strong evidence that the axioms
+are implemented correctly.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checker.explicit import ExplicitChecker
+from repro.checker.reference import ReferenceChecker
+from repro.checker.sat_checker import SatChecker
+from repro.core.catalog import SC
+
+from tests.conftest import parametric_models, small_litmus_tests
+
+EXPLICIT = ExplicitChecker()
+SAT = SatChecker()
+REFERENCE = ReferenceChecker(max_events=9)
+
+_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@_SETTINGS
+@given(test=small_litmus_tests(), model=parametric_models())
+def test_explicit_and_sat_agree_on_random_inputs(test, model):
+    memory_model = model.to_memory_model()
+    assert (
+        EXPLICIT.check(test, memory_model).allowed == SAT.check(test, memory_model).allowed
+    )
+
+
+@_SETTINGS
+@given(test=small_litmus_tests(), model=parametric_models())
+def test_explicit_and_reference_agree_on_random_inputs(test, model):
+    memory_model = model.to_memory_model()
+    assert (
+        EXPLICIT.check(test, memory_model).allowed
+        == REFERENCE.check(test, memory_model).allowed
+    )
+
+
+@_SETTINGS
+@given(test=small_litmus_tests())
+def test_sc_allows_only_what_every_model_allows(test):
+    """SC is the strongest model: anything SC allows, every parametric model allows."""
+    if EXPLICIT.check(test, SC).allowed:
+        from repro.core.parametric import parametric_model
+
+        for name in ("M1010", "M4044", "M1044", "M4144"):
+            assert EXPLICIT.check(test, parametric_model(name)).allowed
+
+
+@_SETTINGS
+@given(test=small_litmus_tests(), model=parametric_models())
+def test_weakening_the_model_preserves_allowed_outcomes(test, model):
+    """Dropping the rr constraint to ALWAYS never forbids previously allowed tests."""
+    from dataclasses import replace
+    from repro.core.parametric import ReorderOption
+
+    weaker = replace(model, rr=ReorderOption.ALWAYS)
+    strong_allowed = EXPLICIT.check(test, model.to_memory_model()).allowed
+    weak_allowed = EXPLICIT.check(test, weaker.to_memory_model()).allowed
+    assert (not strong_allowed) or weak_allowed

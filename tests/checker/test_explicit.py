@@ -1,0 +1,152 @@
+"""Tests for the explicit-enumeration checker."""
+
+import pytest
+
+from repro.checker.explicit import ExplicitChecker, is_allowed
+from repro.core.catalog import PSO, SC, TSO
+from repro.core.instructions import Fence, Load, Store
+from repro.core.litmus import LitmusTest
+from repro.core.model import MemoryModel
+from repro.core.program import Program, Thread
+from repro.generation.named_tests import L_TESTS, TEST_A
+
+
+def make_test(name, threads, outcome):
+    return LitmusTest.from_register_outcome(name, Program(threads), outcome)
+
+
+def test_sequential_outcome_is_allowed_under_sc():
+    test = make_test(
+        "MP-ok",
+        [
+            Thread("T1", [Store("X", 1), Store("Y", 1)]),
+            Thread("T2", [Load("r1", "Y"), Load("r2", "X")]),
+        ],
+        {"r1": 1, "r2": 1},
+    )
+    result = ExplicitChecker().check(test, SC)
+    assert result.allowed
+    assert result.witness is not None
+    assert "reads from" in result.witness.describe()
+
+
+def test_message_passing_violation_forbidden_under_sc_and_tso():
+    test = make_test(
+        "MP",
+        [
+            Thread("T1", [Store("X", 1), Store("Y", 1)]),
+            Thread("T2", [Load("r1", "Y"), Load("r2", "X")]),
+        ],
+        {"r1": 1, "r2": 0},
+    )
+    assert not is_allowed(test, SC)
+    assert not is_allowed(test, TSO)
+    # PSO reorders the two (different-address) writes, so it allows MP.
+    assert is_allowed(test, PSO)
+
+
+def test_single_thread_coherence_violation_is_forbidden_everywhere():
+    test = make_test(
+        "own-write",
+        [Thread("T1", [Store("X", 1), Load("r1", "X")])],
+        {"r1": 0},
+    )
+    weakest = MemoryModel("nothing-ordered", "False")
+    assert not is_allowed(test, weakest)
+    assert not is_allowed(test, SC)
+
+
+def test_store_forwarding_is_allowed_everywhere():
+    test = make_test(
+        "forward",
+        [Thread("T1", [Store("X", 1), Load("r1", "X")])],
+        {"r1": 1},
+    )
+    assert is_allowed(test, SC)
+    assert is_allowed(test, MemoryModel("nothing-ordered", "False"))
+
+
+def test_unobtainable_value_is_forbidden_with_reason():
+    test = make_test(
+        "bogus",
+        [Thread("T1", [Load("r1", "X")]), Thread("T2", [Store("X", 1)])],
+        {"r1": 9},
+    )
+    result = ExplicitChecker().check(test, SC)
+    assert not result.allowed
+    assert "no read-from source" in result.reason
+
+
+def test_coherence_order_is_respected():
+    # Reads must not observe two same-address writes in opposite orders.
+    test = make_test(
+        "coRR",
+        [
+            Thread("T1", [Store("X", 1), Store("X", 2)]),
+            Thread("T2", [Load("r1", "X"), Load("r2", "X")]),
+            ],
+        {"r1": 2, "r2": 1},
+    )
+    assert not is_allowed(test, SC)
+    # But a model that reorders reads may observe them inverted.
+    assert is_allowed(test, MemoryModel("weak-reads", "Write(x) & Write(y)"))
+
+
+def test_fence_restores_order_in_store_buffering():
+    fenced = make_test(
+        "SB+fences",
+        [
+            Thread("T1", [Store("X", 1), Fence(), Load("r1", "Y")]),
+            Thread("T2", [Store("Y", 1), Fence(), Load("r2", "X")]),
+        ],
+        {"r1": 0, "r2": 0},
+    )
+    assert not is_allowed(fenced, TSO)
+    unfenced = make_test(
+        "SB",
+        [
+            Thread("T1", [Store("X", 1), Load("r1", "Y")]),
+            Thread("T2", [Store("Y", 1), Load("r2", "X")]),
+        ],
+        {"r1": 0, "r2": 0},
+    )
+    assert is_allowed(unfenced, TSO)
+
+
+def test_check_result_describe_mentions_test_and_model():
+    result = ExplicitChecker().check(TEST_A, TSO)
+    text = result.describe()
+    assert "A" in text and "TSO" in text and "ALLOWED" in text
+    forbidden = ExplicitChecker().check(TEST_A, SC)
+    assert "FORBIDDEN" in forbidden.describe()
+
+
+def test_witness_coherence_and_read_from_are_consistent():
+    result = ExplicitChecker().check(TEST_A, TSO)
+    witness = result.witness
+    rf = witness.read_from_map()
+    execution = TEST_A.execution()
+    for load, store in rf.items():
+        if store is not None:
+            assert execution.location_of(load) == execution.location_of(store)
+            assert execution.value_of(load) == execution.value_of(store)
+
+
+def test_check_execution_accepts_prebuilt_execution():
+    checker = ExplicitChecker()
+    execution = TEST_A.execution()
+    assert checker.check_execution(execution, TSO).allowed
+    assert not checker.check_execution(execution, SC).allowed
+
+
+def test_monotonicity_on_named_tests():
+    """Adding conjuncts to F can only forbid more executions."""
+    weaker = MemoryModel("w", "Fence(x) | Fence(y)")
+    stronger = MemoryModel("s", "Fence(x) | Fence(y) | Read(x)")
+    strongest = MemoryModel("ss", "True")
+    for test in [TEST_A] + L_TESTS:
+        a = is_allowed(test, weaker)
+        b = is_allowed(test, stronger)
+        c = is_allowed(test, strongest)
+        assert (not b) or a  # allowed under stronger => allowed under weaker
+        assert (not c) or b

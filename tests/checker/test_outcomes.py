@@ -1,0 +1,82 @@
+"""Tests for outcome enumeration."""
+
+import pytest
+
+from repro.checker.outcomes import allowed_outcomes, enumerate_candidate_outcomes
+from repro.core.catalog import ALPHA, SC, TSO
+from repro.core.instructions import Load, Store
+from repro.core.program import Program, Thread
+
+
+def sb_program() -> Program:
+    return Program(
+        [
+            Thread("T1", [Store("X", 1), Load("r1", "Y")]),
+            Thread("T2", [Store("Y", 1), Load("r2", "X")]),
+        ]
+    )
+
+
+def lb_program() -> Program:
+    return Program(
+        [
+            Thread("T1", [Load("r1", "X"), Store("Y", 1)]),
+            Thread("T2", [Load("r2", "Y"), Store("X", 1)]),
+        ]
+    )
+
+
+def test_candidate_outcomes_cover_the_value_space():
+    outcomes = list(enumerate_candidate_outcomes(sb_program()))
+    assert len(outcomes) == 4  # each read is 0 or 1
+
+
+def test_sc_forbids_exactly_the_store_buffering_outcome():
+    outcomes = allowed_outcomes(sb_program(), SC)
+    as_tuples = {tuple(sorted(o.items())) for o in outcomes}
+    assert (("r1", 0), ("r2", 0)) not in as_tuples
+    assert len(outcomes) == 3
+
+
+def test_tso_allows_all_four_store_buffering_outcomes():
+    outcomes = allowed_outcomes(sb_program(), TSO)
+    assert len(outcomes) == 4
+
+
+def test_load_buffering_outcome_only_under_weak_models():
+    sc_outcomes = {tuple(sorted(o.items())) for o in allowed_outcomes(lb_program(), SC)}
+    tso_outcomes = {tuple(sorted(o.items())) for o in allowed_outcomes(lb_program(), TSO)}
+    alpha_outcomes = {tuple(sorted(o.items())) for o in allowed_outcomes(lb_program(), ALPHA)}
+    lb = (("r1", 1), ("r2", 1))
+    assert lb not in sc_outcomes
+    assert lb not in tso_outcomes
+    assert lb in alpha_outcomes
+
+
+def test_allowed_outcomes_subset_relationship():
+    """Every SC outcome is also a TSO outcome (SC is stronger)."""
+    sc_outcomes = {tuple(sorted(o.items())) for o in allowed_outcomes(sb_program(), SC)}
+    tso_outcomes = {tuple(sorted(o.items())) for o in allowed_outcomes(sb_program(), TSO)}
+    assert sc_outcomes <= tso_outcomes
+
+
+def test_dependent_store_values_reach_candidate_sets():
+    """A store whose value comes from a load is discovered by the fixed point."""
+    from repro.core.expr import BinOp, Reg
+
+    program = Program(
+        [
+            Thread("T1", [Load("r1", "X"), Store("Y", Reg("r1"))]),
+            Thread("T2", [Store("X", 3), Load("r2", "Y")]),
+        ]
+    )
+    outcomes = allowed_outcomes(program, SC)
+    observed_r2 = {o["r2"] for o in outcomes}
+    assert 3 in observed_r2  # value 3 flowed X -> r1 -> Y -> r2
+    assert 0 in observed_r2
+
+
+def test_single_thread_program_has_single_outcome_under_sc():
+    program = Program([Thread("T1", [Store("X", 2), Load("r1", "X")])])
+    outcomes = allowed_outcomes(program, SC)
+    assert outcomes == [{"r1": 2}]

@@ -1,0 +1,110 @@
+"""The paper's concrete admissibility facts (Figure 1 and Figure 3).
+
+These tests pin down exactly which named models allow Test A and L1..L9.
+They constitute the ground truth that Section 4.2's exploration builds on:
+each L test isolates one reordering axis of the parametric space.
+"""
+
+import pytest
+
+from repro.checker.explicit import ExplicitChecker
+from repro.core.catalog import ALPHA, IBM370, PSO, RMO, RMO_DATA_DEP_ONLY, SC, TSO, X86
+from repro.core.parametric import parametric_model
+from repro.generation.named_tests import L_TESTS, TEST_A, all_named_tests
+
+CHECKER = ExplicitChecker()
+
+
+def allowed(test, model) -> bool:
+    return CHECKER.check(test, model).allowed
+
+
+# ----------------------------------------------------------------------
+# Figure 1: Test A
+# ----------------------------------------------------------------------
+def test_test_a_is_allowed_under_tso_and_forbidden_under_sc():
+    assert allowed(TEST_A, TSO)
+    assert allowed(TEST_A, X86)
+    assert not allowed(TEST_A, SC)
+
+
+def test_test_a_distinguishes_ibm370_from_tso():
+    """IBM370 orders same-address write->read, so it forbids Test A."""
+    assert not allowed(TEST_A, IBM370)
+    assert allowed(TEST_A, PSO)
+    assert allowed(TEST_A, ALPHA)
+
+
+# ----------------------------------------------------------------------
+# Figure 3: L1 .. L9 under the named models
+# ----------------------------------------------------------------------
+EXPECTED = {
+    # test: (SC, TSO, IBM370, PSO, RMO-data, Alpha)
+    "L1": (False, False, False, True, True, True),
+    "L2": (False, False, False, False, True, True),
+    "L3": (False, False, False, False, True, True),
+    "L4": (False, False, False, False, False, True),
+    "L5": (False, False, False, False, True, True),
+    "L6": (False, False, False, False, False, True),
+    "L7": (False, True, True, True, True, True),
+    "L8": (False, True, False, True, True, True),
+    "L9": (False, False, False, True, True, True),
+}
+
+MODELS = (SC, TSO, IBM370, PSO, RMO_DATA_DEP_ONLY, ALPHA)
+
+
+@pytest.mark.parametrize("test_name", sorted(EXPECTED))
+def test_l_tests_verdicts_under_named_models(test_name):
+    test = all_named_tests()[test_name]
+    verdicts = tuple(allowed(test, model) for model in MODELS)
+    assert verdicts == EXPECTED[test_name], (
+        f"{test_name}: expected {EXPECTED[test_name]} for "
+        f"{[m.name for m in MODELS]}, got {verdicts}"
+    )
+
+
+def test_sc_forbids_every_contrasting_test():
+    for test in L_TESTS:
+        assert not allowed(test, SC)
+
+
+def test_each_l_test_detects_its_documented_reordering_axis():
+    """L1..L7 correspond directly to the enumeration choices (Section 4.2)."""
+    # L1: write-write reordering (ww digit)
+    assert not allowed(all_named_tests()["L1"], parametric_model("M4010"))
+    assert allowed(all_named_tests()["L1"], parametric_model("M1010"))
+    # L2: same-address read-read reordering (rr = ALWAYS vs DIFFERENT_ADDRESS)
+    assert allowed(all_named_tests()["L2"], parametric_model("M1010"))
+    assert not allowed(all_named_tests()["L2"], parametric_model("M1011"))
+    # L3: different-address read-read reordering
+    assert allowed(all_named_tests()["L3"], parametric_model("M1011"))
+    assert not allowed(all_named_tests()["L3"], parametric_model("M1014"))
+    # L4: dependent read-read reordering (needs the with-dependency space)
+    assert allowed(all_named_tests()["L4"], parametric_model("M1011"))
+    assert not allowed(all_named_tests()["L4"], parametric_model("M1013"))
+    # L5: read-write reordering
+    assert allowed(all_named_tests()["L5"], parametric_model("M1010"))
+    assert not allowed(all_named_tests()["L5"], parametric_model("M1040"))
+    # L6: dependent read-write reordering
+    assert allowed(all_named_tests()["L6"], parametric_model("M1010"))
+    assert not allowed(all_named_tests()["L6"], parametric_model("M1030"))
+    # L7: write-read reordering to different addresses
+    assert allowed(all_named_tests()["L7"], parametric_model("M4044"))
+    assert not allowed(all_named_tests()["L7"], parametric_model("M4444"))
+    # L8: write-read reordering to the same address, observed through reads
+    assert allowed(all_named_tests()["L8"], parametric_model("M4044"))
+    assert not allowed(all_named_tests()["L8"], parametric_model("M4144"))
+    # L9: write-read reordering to the same address, observed through a write.
+    # It applies when the dependent read-write pair is ordered (rw = NEVER
+    # here) and the write-write pair is not (ww = DIFFERENT_ADDRESS), so that
+    # no other edge closes the cycle.
+    assert allowed(all_named_tests()["L9"], parametric_model("M1044"))
+    assert not allowed(all_named_tests()["L9"], parametric_model("M1144"))
+
+
+def test_bounds_of_named_tests_match_theorem_1():
+    """Every contrasting test uses two threads and at most six memory accesses."""
+    for test in L_TESTS:
+        assert test.num_threads() == 2
+        assert test.num_memory_accesses() <= 6

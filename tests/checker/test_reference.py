@@ -1,0 +1,28 @@
+"""Tests for the brute-force reference checker."""
+
+import pytest
+
+from repro.checker.reference import ReferenceChecker
+from repro.core.catalog import SC, TSO
+from repro.core.instructions import Load, Store
+from repro.core.litmus import LitmusTest
+from repro.core.program import Program, Thread
+from repro.generation.named_tests import TEST_A
+
+
+def test_reference_agrees_on_test_a():
+    checker = ReferenceChecker()
+    assert checker.check(TEST_A, TSO).allowed
+    assert not checker.check(TEST_A, SC).allowed
+
+
+def test_reference_refuses_large_programs():
+    checker = ReferenceChecker(max_events=3)
+    with pytest.raises(ValueError, match="limited to 3 events"):
+        checker.check(TEST_A, SC)
+
+
+def test_reference_handles_unobtainable_values():
+    program = Program([Thread("T1", [Load("r1", "X")])])
+    test = LitmusTest.from_register_outcome("bogus", program, {"r1": 3})
+    assert not ReferenceChecker().check(test, SC).allowed

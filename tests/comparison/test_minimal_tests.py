@@ -1,0 +1,71 @@
+"""Tests for minimal distinguishing test sets (the paper's nine tests)."""
+
+import pytest
+
+from repro.comparison.minimal_tests import (
+    find_minimal_distinguishing_set,
+    verify_distinguishing_set,
+)
+from repro.core.parametric import model_space, parametric_model
+from repro.generation.named_tests import L_TESTS
+from repro.generation.suite import no_dependency_suite
+
+
+@pytest.fixture(scope="module")
+def dep_free_models():
+    return model_space(include_data_dependencies=False)
+
+
+@pytest.fixture(scope="module")
+def dep_free_suite():
+    return no_dependency_suite().tests()
+
+
+def test_l_tests_distinguish_every_non_equivalent_pair(dep_free_models, dep_free_suite):
+    """Section 4.2: the nine tests are sufficient for the whole space."""
+    result = verify_distinguishing_set(dep_free_models, L_TESTS, dep_free_suite)
+    assert result.complete
+    assert result.total_pairs > 0
+    assert result.covered_pairs == result.total_pairs
+
+
+def test_a_single_test_is_not_sufficient(dep_free_models, dep_free_suite):
+    result = verify_distinguishing_set(dep_free_models, [L_TESTS[0]], dep_free_suite)
+    assert not result.complete
+    assert result.uncovered
+
+
+def test_greedy_cover_over_l_tests_is_small_and_complete(dep_free_models):
+    result = find_minimal_distinguishing_set(dep_free_models, L_TESTS)
+    assert result.complete
+    # Without dependencies the dependent tests L4/L6 are never needed.
+    assert len(result.test_names) <= 9
+    assert set(result.test_names) <= {test.name for test in L_TESTS}
+
+
+def test_greedy_cover_on_a_small_family():
+    models = [parametric_model(name) for name in ("M4444", "M4044", "M4144")]
+    result = find_minimal_distinguishing_set(models, L_TESTS)
+    assert result.complete
+    # Three mutually distinct models need at least two tests.
+    assert 2 <= len(result.test_names) <= 3
+
+
+def test_greedy_cover_counts_only_pairs_its_pool_can_separate():
+    """TSO and IBM370 look identical through L1 alone, so the pool sees no
+    pair to cover; verify_distinguishing_set (judged against the full suite)
+    is the function that exposes the gap."""
+    models = [parametric_model(name) for name in ("M4044", "M4144")]
+    result = find_minimal_distinguishing_set(models, [L_TESTS[0]])
+    assert result.total_pairs == 0
+    assert result.test_names == ()
+    reference = verify_distinguishing_set(models, [L_TESTS[0]], no_dependency_suite().tests())
+    assert not reference.complete
+    assert reference.uncovered == (("M4044", "M4144"),)
+
+
+def test_seed_tests_join_the_candidate_pool():
+    models = [parametric_model(name) for name in ("M4044", "M4144")]
+    result = find_minimal_distinguishing_set(models, [L_TESTS[0]], seed_tests=[L_TESTS[7]])
+    assert result.complete
+    assert result.test_names == ("L8",)

@@ -1,0 +1,51 @@
+"""Tests for exploration reports and DOT output."""
+
+import pytest
+
+from repro.comparison.exploration import explore_models
+from repro.comparison.report import exploration_report, hasse_dot, verdict_table
+from repro.core.parametric import KNOWN_CORRESPONDENCES, parametric_model
+from repro.generation.named_tests import L_TESTS
+
+
+@pytest.fixture(scope="module")
+def small_exploration():
+    models = [parametric_model(name) for name in ("M4444", "M4144", "M4044", "M1044", "M1010")]
+    return explore_models(models, L_TESTS, preferred_tests=L_TESTS)
+
+
+def test_report_mentions_models_and_counts(small_exploration):
+    report = exploration_report(small_exploration, KNOWN_CORRESPONDENCES)
+    assert "Explored 5 models" in report
+    assert "M4444 (SC)" in report
+    assert "Hasse diagram" in report
+    assert "Strongest models" in report
+
+
+def test_report_without_known_names(small_exploration):
+    report = exploration_report(small_exploration)
+    assert "M4444" in report and "(SC)" not in report
+
+
+def test_dot_output_is_well_formed(small_exploration):
+    dot = hasse_dot(small_exploration, KNOWN_CORRESPONDENCES)
+    assert dot.startswith("digraph model_space {")
+    assert dot.rstrip().endswith("}")
+    assert '"M4444"' in dot
+    assert "->" in dot
+    assert "label=" in dot
+
+
+def test_verdict_table_layout(small_exploration):
+    table = verdict_table(small_exploration)
+    lines = table.splitlines()
+    assert len(lines) == 1 + 5  # header + one row per model
+    assert "L1" in lines[0]
+    assert lines[1].startswith("M1010") or "M1010" in table
+
+
+def test_verdict_table_with_selected_tests(small_exploration):
+    table = verdict_table(small_exploration, ["L7", "L8"])
+    assert "L7" in table and "L1" not in table
+    with pytest.raises(KeyError):
+        verdict_table(small_exploration, ["not-a-test"])

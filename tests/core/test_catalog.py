@@ -1,0 +1,108 @@
+"""Tests for the catalog of named hardware models."""
+
+import pytest
+
+from repro.core.catalog import ALPHA, IBM370, PSO, RMO, SC, TSO, X86, catalog_summary, named_models
+from repro.core.execution import Execution
+from repro.core.instructions import Fence, Load, Store
+from repro.core.program import Program, Thread
+
+
+@pytest.fixture()
+def execution():
+    program = Program(
+        [
+            Thread("T1", [Store("X", 1), Load("r1", "X"), Load("r2", "Y"), Fence(), Store("Y", 2)]),
+        ]
+    )
+    return Execution(program, {(0, 1): 1, (0, 2): 0})
+
+
+def test_named_models_contains_the_paper_models():
+    models = named_models()
+    for name in ("SC", "TSO", "x86", "PSO", "RMO", "IBM370", "Alpha"):
+        assert name in models
+
+
+def test_sc_orders_everything(execution):
+    store_x, load_x, load_y, fence, store_y = execution.events
+    assert SC.ordered(execution, store_x, load_y)
+    assert SC.ordered(execution, load_y, store_y)
+
+
+def test_tso_relaxes_only_write_to_read(execution):
+    store_x, load_x, load_y, fence, store_y = execution.events
+    # write -> read (same or different address) may be reordered
+    assert not TSO.ordered(execution, store_x, load_x)
+    assert not TSO.ordered(execution, store_x, load_y)
+    # read -> anything stays ordered; write -> write stays ordered
+    assert TSO.ordered(execution, load_x, load_y)
+    assert TSO.ordered(execution, load_y, store_y)
+    assert TSO.ordered(execution, store_x, store_y)
+    # fences order everything around them
+    assert TSO.ordered(execution, fence, store_y)
+    assert TSO.ordered(execution, load_y, fence)
+
+
+def test_x86_is_the_same_function_as_tso():
+    assert X86.must_not_reorder == TSO.must_not_reorder
+    assert X86.name == "x86"
+
+
+def test_ibm370_orders_same_address_write_read(execution):
+    store_x, load_x, load_y, fence, store_y = execution.events
+    assert IBM370.ordered(execution, store_x, load_x)  # same address
+    assert not IBM370.ordered(execution, store_x, load_y)  # different address
+
+
+def test_pso_relaxes_different_address_writes(execution):
+    store_x, load_x, load_y, fence, store_y = execution.events
+    assert not PSO.ordered(execution, store_x, store_y)
+    assert PSO.ordered(execution, load_x, load_y)
+
+
+def test_rmo_orders_dependencies_and_same_address_writes(execution):
+    store_x, load_x, load_y, fence, store_y = execution.events
+    assert not RMO.ordered(execution, load_x, load_y)
+    assert not RMO.ordered(execution, store_x, load_y)
+    # a write to the same address after a read is ordered
+    program = Program([Thread("T1", [Load("r1", "X"), Store("X", 1)])])
+    ex2 = Execution(program, {(0, 0): 0})
+    load, store = ex2.events
+    assert RMO.ordered(ex2, load, store)
+    assert ALPHA.ordered(ex2, load, store)
+
+
+def test_alpha_ignores_dependencies():
+    from repro.core.expr import BinOp, Reg, Loc
+    from repro.core.instructions import Op
+
+    program = Program(
+        [
+            Thread(
+                "T1",
+                [
+                    Load("r1", "X"),
+                    Op("t1", BinOp("+", BinOp("-", Reg("r1"), Reg("r1")), Loc("Y"))),
+                    Load("r2", Reg("t1")),
+                ],
+            )
+        ]
+    )
+    execution = Execution(program, {(0, 0): 0, (0, 2): 0})
+    first, _, second = execution.events
+    assert execution.data_dependent(first, second)
+    assert not ALPHA.ordered(execution, first, second)
+    assert RMO.ordered(execution, first, second)
+
+
+def test_all_catalog_formulas_are_positive():
+    for model in named_models().values():
+        assert model.formula is not None
+        assert model.formula.is_positive()
+
+
+def test_catalog_summary_mentions_every_model():
+    summary = "\n".join(catalog_summary())
+    for name in named_models():
+        assert name in summary

@@ -1,0 +1,56 @@
+"""Tests for instruction executions (events)."""
+
+from repro.core.events import build_events, flatten_events
+from repro.core.instructions import Branch, Fence, Load, Op, Store
+from repro.core.expr import Reg
+from repro.core.program import Program, Thread
+
+
+def make_events():
+    program = Program(
+        [
+            Thread("T1", [Store("X", 1), Fence(), Load("r1", "Y")]),
+            Thread("T2", [Load("r2", "Y"), Op("t1", Reg("r2") + 1), Branch(Reg("r2")), Store("X", Reg("t1"))]),
+        ]
+    )
+    return build_events(program)
+
+
+def test_build_events_shape():
+    events = make_events()
+    assert len(events) == 2
+    assert [len(thread_events) for thread_events in events] == [3, 4]
+
+
+def test_event_uids_are_unique_and_readable():
+    events = flatten_events(make_events())
+    uids = [event.uid for event in events]
+    assert len(set(uids)) == len(uids)
+    assert uids[0] == "T1.0"
+
+
+def test_event_classification():
+    events = make_events()
+    store, fence, load = events[0]
+    assert store.is_write and store.is_memory_access and not store.is_read
+    assert fence.is_fence and not fence.is_memory_access
+    assert load.is_read
+    read, op, branch, write = events[1]
+    assert op.is_op and branch.is_branch
+    assert write.is_write
+
+
+def test_program_order_relation():
+    events = make_events()
+    store, fence, load = events[0]
+    other_read = events[1][0]
+    assert store.program_order_before(load)
+    assert not load.program_order_before(store)
+    assert not store.program_order_before(other_read)  # different threads
+    assert store.same_thread(fence)
+    assert not store.same_thread(other_read)
+
+
+def test_flatten_is_thread_major():
+    events = flatten_events(make_events())
+    assert [event.thread_index for event in events] == [0, 0, 0, 1, 1, 1, 1]

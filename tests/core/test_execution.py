@@ -1,0 +1,151 @@
+"""Tests for concrete execution evaluation (registers, addresses, dependencies)."""
+
+import pytest
+
+from repro.core.execution import Execution, ExecutionError
+from repro.core.expr import BinOp, Loc, Reg
+from repro.core.instructions import Branch, Fence, Load, Op, Store
+from repro.core.program import Program, Thread
+
+
+def dependent_read_program() -> Program:
+    """T1: MP writer with fence; T2: address-dependent reader (the L4 shape)."""
+    return Program(
+        [
+            Thread("T1", [Store("X", 1), Fence(), Store("Y", 2)]),
+            Thread(
+                "T2",
+                [
+                    Load("r1", "Y"),
+                    Op("t1", BinOp("+", BinOp("-", Reg("r1"), Reg("r1")), Loc("X"))),
+                    Load("r2", Reg("t1")),
+                ],
+            ),
+        ]
+    )
+
+
+def test_missing_load_value_raises():
+    with pytest.raises(ExecutionError, match="no observed value"):
+        Execution(dependent_read_program(), {(1, 0): 2})
+
+
+def test_addresses_and_values_resolve():
+    execution = Execution(dependent_read_program(), {(1, 0): 2, (1, 2): 0})
+    writes = execution.stores()
+    assert [execution.location_of(w) for w in writes] == ["X", "Y"]
+    assert [execution.value_of(w) for w in writes] == [1, 2]
+    dependent_load = execution.event(1, 2)
+    assert execution.location_of(dependent_load) == "X"
+    assert execution.value_of(dependent_load) == 0
+
+
+def test_register_values_follow_loads_and_ops():
+    execution = Execution(dependent_read_program(), {(1, 0): 2, (1, 2): 0})
+    assert execution.registers[1]["r1"] == 2
+    assert execution.registers[1]["r2"] == 0
+    assert execution.final_registers() == {"r1": 2, "r2": 0}
+
+
+def test_data_dependency_through_address():
+    execution = Execution(dependent_read_program(), {(1, 0): 2, (1, 2): 0})
+    first = execution.event(1, 0)
+    second = execution.event(1, 2)
+    assert execution.data_dependent(first, second)
+    assert not execution.data_dependent(second, first)
+
+
+def test_data_dependency_through_value():
+    program = Program(
+        [
+            Thread(
+                "T1",
+                [
+                    Load("r1", "X"),
+                    Op("t1", BinOp("+", BinOp("-", Reg("r1"), Reg("r1")), 1)),
+                    Store("Y", Reg("t1")),
+                ],
+            )
+        ]
+    )
+    execution = Execution(program, {(0, 0): 0})
+    load = execution.event(0, 0)
+    store = execution.event(0, 2)
+    assert execution.data_dependent(load, store)
+    assert execution.value_of(store) == 1
+
+
+def test_independent_accesses_are_not_data_dependent():
+    program = Program([Thread("T1", [Load("r1", "X"), Store("Y", 1)])])
+    execution = Execution(program, {(0, 0): 0})
+    assert not execution.data_dependent(execution.event(0, 0), execution.event(0, 1))
+
+
+def test_control_dependency_via_branch():
+    program = Program(
+        [
+            Thread(
+                "T1",
+                [
+                    Load("r1", "X"),
+                    Branch(Reg("r1")),
+                    Store("Y", 1),
+                    Load("r2", "Z"),
+                ],
+            )
+        ]
+    )
+    execution = Execution(program, {(0, 0): 1, (0, 3): 0})
+    load = execution.event(0, 0)
+    assert execution.control_dependent(load, execution.event(0, 2))
+    assert execution.control_dependent(load, execution.event(0, 3))
+    assert not execution.control_dependent(load, execution.event(0, 1))  # not the branch itself
+    assert not execution.data_dependent(load, execution.event(0, 2))
+
+
+def test_no_control_dependency_before_branch():
+    program = Program(
+        [Thread("T1", [Load("r1", "X"), Store("Y", 1), Branch(Reg("r1")), Store("Z", 1)])]
+    )
+    execution = Execution(program, {(0, 0): 0})
+    load = execution.event(0, 0)
+    assert not execution.control_dependent(load, execution.event(0, 1))
+    assert execution.control_dependent(load, execution.event(0, 3))
+
+
+def test_same_address_predicate():
+    program = Program(
+        [Thread("T1", [Store("X", 1), Load("r1", "X"), Load("r2", "Y")])]
+    )
+    execution = Execution(program, {(0, 1): 1, (0, 2): 0})
+    store = execution.event(0, 0)
+    assert execution.same_address(store, execution.event(0, 1))
+    assert not execution.same_address(store, execution.event(0, 2))
+
+
+def test_same_address_is_false_for_non_memory_events():
+    program = Program([Thread("T1", [Store("X", 1), Fence()])])
+    execution = Execution(program, {})
+    assert not execution.same_address(execution.event(0, 0), execution.event(0, 1))
+
+
+def test_initial_values_default_to_zero_and_can_be_overridden():
+    program = Program([Thread("T1", [Load("r1", "X")])])
+    execution = Execution(program, {(0, 0): 7}, initial_values={"X": 7})
+    assert execution.initial_value("X") == 7
+    assert execution.initial_value("Y") == 0
+
+
+def test_stores_to_filters_by_location():
+    program = Program(
+        [Thread("T1", [Store("X", 1), Store("Y", 2), Store("X", 3)])]
+    )
+    execution = Execution(program, {})
+    assert [execution.value_of(s) for s in execution.stores_to("X")] == [1, 3]
+    assert execution.locations() == ["X", "Y"]
+
+
+def test_store_of_location_value_is_rejected():
+    program = Program([Thread("T1", [Store("X", Loc("Y"))])])
+    with pytest.raises(ExecutionError, match="non-integer"):
+        Execution(program, {})

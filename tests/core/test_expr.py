@@ -1,0 +1,100 @@
+"""Tests for the expression language."""
+
+import pytest
+
+from repro.core.expr import (
+    BinOp,
+    Const,
+    ExprError,
+    Loc,
+    LocValue,
+    Reg,
+    evaluate_expr,
+    resolve_location,
+)
+
+
+def test_const_evaluates_to_itself():
+    assert evaluate_expr(Const(7), {}) == 7
+
+
+def test_reg_reads_valuation():
+    assert evaluate_expr(Reg("r1"), {"r1": 3}) == 3
+
+
+def test_undefined_register_raises():
+    with pytest.raises(ExprError):
+        evaluate_expr(Reg("r1"), {})
+
+
+def test_loc_evaluates_to_location_value():
+    value = evaluate_expr(Loc("X"), {})
+    assert isinstance(value, LocValue)
+    assert value.name == "X" and value.offset == 0
+
+
+def test_integer_arithmetic():
+    expr = BinOp("+", BinOp("-", Const(5), Const(2)), Const(4))
+    assert evaluate_expr(expr, {}) == 7
+
+
+def test_dependency_idiom_cancels_to_payload():
+    # t = r1 - r1 + 1
+    expr = BinOp("+", BinOp("-", Reg("r1"), Reg("r1")), Const(1))
+    assert evaluate_expr(expr, {"r1": 42}) == 1
+    assert evaluate_expr(expr, {"r1": 0}) == 1
+
+
+def test_address_dependency_idiom_resolves_to_location():
+    # t = r1 - r1 + X
+    expr = BinOp("+", BinOp("-", Reg("r1"), Reg("r1")), Loc("X"))
+    value = evaluate_expr(expr, {"r1": 5})
+    assert resolve_location(value) == "X"
+
+
+def test_location_plus_offset_is_not_a_plain_location():
+    value = evaluate_expr(BinOp("+", Loc("X"), Const(1)), {})
+    assert isinstance(value, LocValue) and value.offset == 1
+    with pytest.raises(ExprError):
+        resolve_location(value)
+
+
+def test_resolve_location_rejects_integers():
+    with pytest.raises(ExprError):
+        resolve_location(3)
+
+
+def test_combining_two_locations_is_an_error():
+    with pytest.raises(ExprError):
+        evaluate_expr(BinOp("+", Loc("X"), Loc("Y")), {})
+
+
+def test_subtracting_location_from_integer_is_an_error():
+    with pytest.raises(ExprError):
+        evaluate_expr(BinOp("-", Const(3), Loc("X")), {})
+
+
+def test_unsupported_operator_rejected():
+    with pytest.raises(ExprError):
+        BinOp("*", Const(1), Const(2))
+
+
+def test_binop_coerces_ints_and_register_names():
+    expr = BinOp("+", "r1", 2)
+    assert expr.left == Reg("r1")
+    assert expr.right == Const(2)
+    assert evaluate_expr(expr, {"r1": 3}) == 5
+
+
+def test_operator_sugar_builds_binops():
+    expr = Reg("r1") + 1
+    assert isinstance(expr, BinOp)
+    assert evaluate_expr(expr, {"r1": 2}) == 3
+    expr2 = 5 - Const(2)
+    assert evaluate_expr(expr2, {}) == 3
+
+
+def test_registers_collects_register_names():
+    expr = BinOp("+", BinOp("-", Reg("a"), Reg("b")), Const(1))
+    assert expr.registers() == frozenset({"a", "b"})
+    assert Loc("X").registers() == frozenset()

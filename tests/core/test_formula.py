@@ -1,0 +1,126 @@
+"""Tests for must-not-reorder formulas and the DSL parser."""
+
+import pytest
+
+from repro.core.execution import Execution
+from repro.core.formula import (
+    And,
+    Atom,
+    FalseFormula,
+    FormulaError,
+    Not,
+    Or,
+    TrueFormula,
+    parse_formula,
+)
+from repro.core.instructions import Fence, Load, Store
+from repro.core.program import Program, Thread
+
+
+@pytest.fixture()
+def execution():
+    program = Program(
+        [Thread("T1", [Store("X", 1), Fence(), Load("r1", "X"), Load("r2", "Y")])]
+    )
+    return Execution(program, {(0, 2): 1, (0, 3): 0})
+
+
+def events(execution):
+    return execution.events
+
+
+def test_constants(execution):
+    store, fence, load_x, load_y = events(execution)
+    assert TrueFormula().evaluate(execution, store, load_x)
+    assert not FalseFormula().evaluate(execution, store, load_x)
+
+
+def test_unary_atoms(execution):
+    store, fence, load_x, load_y = events(execution)
+    assert Atom("Write", ("x",)).evaluate(execution, store, load_x)
+    assert Atom("Read", ("y",)).evaluate(execution, store, load_x)
+    assert Atom("Fence", ("x",)).evaluate(execution, fence, load_x)
+    assert not Atom("Fence", ("x",)).evaluate(execution, store, load_x)
+
+
+def test_binary_atoms(execution):
+    store, fence, load_x, load_y = events(execution)
+    assert Atom("SameAddr", ("x", "y")).evaluate(execution, store, load_x)
+    assert not Atom("SameAddr", ("x", "y")).evaluate(execution, store, load_y)
+
+
+def test_atom_argument_validation():
+    with pytest.raises(FormulaError):
+        Atom("Read", ())
+    with pytest.raises(FormulaError):
+        Atom("Read", ("z",))
+    with pytest.raises(FormulaError):
+        Atom("SameAddr", ("x", "y", "x"))
+
+
+def test_unknown_predicate_raises(execution):
+    store, _, load_x, _ = events(execution)
+    with pytest.raises(FormulaError, match="unknown predicate"):
+        Atom("Bogus", ("x",)).evaluate(execution, store, load_x)
+
+
+def test_connectives(execution):
+    store, fence, load_x, load_y = events(execution)
+    conjunction = And([Atom("Write", ("x",)), Atom("Read", ("y",))])
+    disjunction = Or([Atom("Fence", ("x",)), Atom("Fence", ("y",))])
+    negation = Not(Atom("Write", ("x",)))
+    assert conjunction.evaluate(execution, store, load_x)
+    assert not conjunction.evaluate(execution, load_x, load_y)
+    assert disjunction.evaluate(execution, fence, load_x)
+    assert not disjunction.evaluate(execution, store, load_x)
+    assert not negation.evaluate(execution, store, load_x)
+    assert negation.is_positive() is False
+    assert conjunction.is_positive() and disjunction.is_positive()
+
+
+def test_operator_sugar():
+    a = Atom("Read", ("x",))
+    b = Atom("Write", ("y",))
+    assert isinstance(a & b, And)
+    assert isinstance(a | b, Or)
+    assert isinstance(~a, Not)
+
+
+def test_atoms_collection():
+    formula = parse_formula("(Write(x) & Read(y)) | Fence(x)")
+    names = sorted(atom.predicate for atom in formula.atoms())
+    assert names == ["Fence", "Read", "Write"]
+
+
+def test_parse_tso_formula_matches_paper(execution):
+    formula = parse_formula("(Write(x) & Write(y)) | Read(x) | Fence(x) | Fence(y)")
+    store, fence, load_x, load_y = events(execution)
+    assert formula.evaluate(execution, load_x, load_y)  # Read(x)
+    assert formula.evaluate(execution, fence, load_x)  # Fence(x)
+    assert not formula.evaluate(execution, store, load_y)  # W->R may reorder
+
+
+def test_parse_precedence_and_parentheses():
+    formula = parse_formula("Read(x) | Write(x) & Write(y)")
+    # '&' binds tighter than '|'
+    assert isinstance(formula, Or)
+    formula2 = parse_formula("(Read(x) | Write(x)) & Write(y)")
+    assert isinstance(formula2, And)
+
+
+def test_parse_constants_and_negation():
+    assert isinstance(parse_formula("True"), TrueFormula)
+    assert isinstance(parse_formula("False"), FalseFormula)
+    assert isinstance(parse_formula("!Read(x)"), Not)
+
+
+def test_parse_errors():
+    for text in ["Read(x", "Read(x) &", "Read(x) Write(y)", "", "Read(x) @ Write(y)", "(Read(x)"]:
+        with pytest.raises(FormulaError):
+            parse_formula(text)
+
+
+def test_roundtrip_through_str():
+    formula = parse_formula("(Write(x) & Read(y) & SameAddr(x, y)) | Fence(x)")
+    reparsed = parse_formula(str(formula))
+    assert str(reparsed) == str(formula)

@@ -1,0 +1,59 @@
+"""Tests for the instruction set."""
+
+from repro.core.expr import Loc, Reg
+from repro.core.instructions import Branch, Fence, Load, Op, Store, make_dependency_op
+
+
+def test_load_accepts_string_address():
+    load = Load("r1", "X")
+    assert load.address == Loc("X")
+    assert load.is_memory_access
+    assert load.registers_written() == frozenset({"r1"})
+    assert load.registers_read() == frozenset()
+
+
+def test_load_with_register_indirect_address():
+    load = Load("r2", Reg("t1"))
+    assert load.registers_read() == frozenset({"t1"})
+    assert "t1" in str(load)
+
+
+def test_store_accepts_int_and_register_values():
+    store = Store("X", 1)
+    assert store.is_memory_access
+    assert store.registers_read() == frozenset()
+    dependent = Store("Y", Reg("t1"))
+    assert dependent.registers_read() == frozenset({"t1"})
+
+
+def test_fence_is_not_a_memory_access():
+    fence = Fence()
+    assert not fence.is_memory_access
+    assert str(fence) == "Fence"
+    assert str(Fence("acquire")) == "Fence.acquire"
+
+
+def test_op_reads_and_writes_registers():
+    op = Op("t1", Reg("r1") + 1)
+    assert op.registers_read() == frozenset({"r1"})
+    assert op.registers_written() == frozenset({"t1"})
+    assert not op.is_memory_access
+
+
+def test_branch_reads_condition_registers():
+    branch = Branch(Reg("r1"))
+    assert branch.registers_read() == frozenset({"r1"})
+    assert not branch.is_memory_access
+
+
+def test_make_dependency_op_builds_cancelling_expression():
+    op = make_dependency_op("t1", "r1", 5)
+    assert op.dest == "t1"
+    assert op.registers_read() == frozenset({"r1"})
+    assert "r1-r1" in str(op).replace(" ", "")
+
+
+def test_instructions_are_hashable_and_comparable():
+    assert Load("r1", "X") == Load("r1", "X")
+    assert Load("r1", "X") != Load("r1", "Y")
+    assert len({Store("X", 1), Store("X", 1), Store("X", 2)}) == 2

@@ -1,0 +1,73 @@
+"""Tests for litmus tests and outcomes."""
+
+import pytest
+
+from repro.core.instructions import Fence, Load, Store
+from repro.core.litmus import LitmusTest, Outcome
+from repro.core.program import Program, Thread
+
+
+def sb_program() -> Program:
+    return Program(
+        [
+            Thread("T1", [Store("X", 1), Load("r1", "Y")]),
+            Thread("T2", [Store("Y", 1), Load("r2", "X")]),
+        ]
+    )
+
+
+def test_outcome_canonicalises_order():
+    outcome = Outcome({(1, 1): 0, (0, 1): 0})
+    assert outcome.read_values == (((0, 1), 0), ((1, 1), 0))
+    assert len(outcome) == 2
+
+
+def test_litmus_requires_values_for_every_load():
+    with pytest.raises(ValueError, match="does not give a value"):
+        LitmusTest("SB", sb_program(), {(0, 1): 0})
+
+
+def test_from_register_outcome():
+    test = LitmusTest.from_register_outcome("SB", sb_program(), {"r1": 0, "r2": 0})
+    assert test.outcome.as_dict() == {(0, 1): 0, (1, 1): 0}
+    assert test.register_outcome() == {"r1": 0, "r2": 0}
+
+
+def test_from_register_outcome_requires_all_load_registers():
+    with pytest.raises(ValueError, match="does not constrain"):
+        LitmusTest.from_register_outcome("SB", sb_program(), {"r1": 0})
+
+
+def test_counts():
+    test = LitmusTest.from_register_outcome("SB", sb_program(), {"r1": 0, "r2": 0})
+    assert test.num_memory_accesses() == 4
+    assert test.num_threads() == 2
+
+
+def test_execution_reflects_outcome():
+    test = LitmusTest.from_register_outcome("SB", sb_program(), {"r1": 0, "r2": 1})
+    execution = test.execution()
+    assert execution.value_of(execution.event(0, 1)) == 0
+    assert execution.value_of(execution.event(1, 1)) == 1
+
+
+def test_pretty_contains_threads_and_outcome():
+    test = LitmusTest.from_register_outcome("SB", sb_program(), {"r1": 0, "r2": 0})
+    rendered = test.pretty()
+    assert "Test SB" in rendered
+    assert "T1" in rendered and "T2" in rendered
+    assert "Write X <- 1" in rendered
+    assert "r1 = 0" in rendered and "r2 = 0" in rendered
+    assert str(test) == rendered
+
+
+def test_pretty_handles_threads_of_different_lengths():
+    program = Program(
+        [
+            Thread("T1", [Store("X", 1)]),
+            Thread("T2", [Load("r1", "X"), Fence(), Load("r2", "X")]),
+        ]
+    )
+    test = LitmusTest.from_register_outcome("W+RR", program, {"r1": 1, "r2": 0})
+    lines = test.pretty().splitlines()
+    assert len(lines) == 2 + 3 + 1  # header + 3 instruction rows + outcome

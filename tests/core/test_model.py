@@ -1,0 +1,61 @@
+"""Tests for the MemoryModel wrapper."""
+
+import pytest
+
+from repro.core.execution import Execution
+from repro.core.formula import Atom, parse_formula
+from repro.core.instructions import Fence, Load, Store
+from repro.core.model import MemoryModel
+from repro.core.predicates import NO_DEP_PREDICATES
+from repro.core.program import Program, Thread
+
+
+@pytest.fixture()
+def execution():
+    program = Program([Thread("T1", [Store("X", 1), Fence(), Load("r1", "X"), Load("r2", "Y")])])
+    return Execution(program, {(0, 2): 1, (0, 3): 0})
+
+
+def test_model_from_dsl_string(execution):
+    model = MemoryModel("WW-only", "Write(x) & Write(y)")
+    store, fence, load_x, load_y = execution.events
+    assert not model.ordered(execution, store, load_x)
+    assert model.formula is not None
+    assert model.is_formula_defined()
+
+
+def test_model_from_formula_object(execution):
+    model = MemoryModel("reads", Atom("Read", ("x",)))
+    _, _, load_x, load_y = execution.events
+    assert model.ordered(execution, load_x, load_y)
+
+
+def test_model_from_callable(execution):
+    model = MemoryModel("same-thread", lambda e, x, y: x.same_thread(y))
+    store, fence, load_x, load_y = execution.events
+    assert model.ordered(execution, store, load_y)
+    assert model.formula is None
+    assert "python function" in str(model)
+
+
+def test_renamed_keeps_function(execution):
+    model = MemoryModel("TSO-like", "Read(x)")
+    renamed = model.renamed("x86-like")
+    assert renamed.name == "x86-like"
+    store, fence, load_x, load_y = execution.events
+    assert renamed.ordered(execution, load_x, load_y) == model.ordered(execution, load_x, load_y)
+
+
+def test_model_equality_is_syntactic():
+    first = MemoryModel("A", "Read(x)")
+    second = MemoryModel("A", parse_formula("Read(x)"))
+    third = MemoryModel("B", "Read(x)")
+    assert first == second
+    assert first != third
+    assert hash(first) == hash(second)
+
+
+def test_model_uses_custom_predicate_set(execution):
+    model = MemoryModel("nodep", "Read(x)", NO_DEP_PREDICATES)
+    assert model.predicates is NO_DEP_PREDICATES
+    assert "Read(x)" in str(model)

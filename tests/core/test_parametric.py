@@ -1,0 +1,103 @@
+"""Tests for the parametric model family M{ww}{wr}{rw}{rr}."""
+
+import pytest
+
+from repro.checker.explicit import ExplicitChecker
+from repro.core.catalog import IBM370, PSO, SC, TSO
+from repro.core.parametric import (
+    ALLOWED_OPTIONS,
+    ALLOWED_OPTIONS_NO_DEP,
+    KNOWN_CORRESPONDENCES,
+    ParametricModel,
+    ReorderOption,
+    model_space,
+    parametric_model,
+)
+from repro.generation.named_tests import L_TESTS, TEST_A
+
+
+def test_option_conditions():
+    assert str(ReorderOption.ALWAYS.must_not_reorder_condition()) == "False"
+    assert str(ReorderOption.NEVER.must_not_reorder_condition()) == "True"
+    assert "SameAddr" in str(ReorderOption.DIFFERENT_ADDRESS.must_not_reorder_condition())
+    assert "DataDep" in str(ReorderOption.NO_DATA_DEPENDENCY.must_not_reorder_condition())
+    combined = str(
+        ReorderOption.DIFFERENT_ADDRESS_AND_NO_DATA_DEPENDENCY.must_not_reorder_condition()
+    )
+    assert "SameAddr" in combined and "DataDep" in combined
+
+
+def test_option_dependency_flag():
+    assert ReorderOption.NO_DATA_DEPENDENCY.uses_data_dependencies
+    assert not ReorderOption.DIFFERENT_ADDRESS.uses_data_dependencies
+
+
+def test_model_space_sizes_match_paper():
+    assert len(model_space(include_data_dependencies=True)) == 90
+    assert len(model_space(include_data_dependencies=False)) == 36
+
+
+def test_model_space_names_are_unique_and_sorted():
+    names = [model.name for model in model_space()]
+    assert names == sorted(names)
+    assert len(set(names)) == len(names)
+
+
+def test_naming_roundtrip():
+    model = ParametricModel.from_name("M4044")
+    assert model.name == "M4044"
+    assert model.ww is ReorderOption.NEVER
+    assert model.wr is ReorderOption.ALWAYS
+    assert model.rw is ReorderOption.NEVER
+    assert model.rr is ReorderOption.NEVER
+
+
+def test_from_name_rejects_malformed_and_forbidden_names():
+    with pytest.raises(ValueError):
+        ParametricModel.from_name("4044")
+    with pytest.raises(ValueError):
+        ParametricModel.from_name("M40444")
+    with pytest.raises(ValueError):
+        ParametricModel.from_name("M0444")  # ww = ALWAYS is not permitted
+    with pytest.raises(ValueError):
+        ParametricModel.from_name("M4244")  # wr = NO_DATA_DEPENDENCY is not permitted
+
+
+def test_allowed_option_counts():
+    assert len(ALLOWED_OPTIONS["ww"]) == 2
+    assert len(ALLOWED_OPTIONS["wr"]) == 3
+    assert len(ALLOWED_OPTIONS["rw"]) == 3
+    assert len(ALLOWED_OPTIONS["rr"]) == 5
+    assert len(ALLOWED_OPTIONS_NO_DEP["rr"]) == 3
+
+
+@pytest.mark.parametrize(
+    "name, reference",
+    [("M4444", SC), ("M4044", TSO), ("M4144", IBM370), ("M1044", PSO)],
+)
+def test_known_correspondences_agree_on_named_tests(name, reference):
+    """M4444=SC, M4044=TSO/x86, M4144=IBM370, M1044=PSO (Figure 4 annotations)."""
+    checker = ExplicitChecker()
+    parametric = parametric_model(name)
+    for test in [TEST_A] + L_TESTS:
+        assert (
+            checker.check(test, parametric).allowed == checker.check(test, reference).allowed
+        ), f"{name} and {reference.name} disagree on {test.name}"
+
+
+def test_known_correspondences_table_mentions_sc_and_tso():
+    assert KNOWN_CORRESPONDENCES["M4444"] == "SC"
+    assert "TSO" in KNOWN_CORRESPONDENCES["M4044"]
+
+
+def test_formula_contains_fence_ordering():
+    model = parametric_model("M1010")
+    assert "Fence(x)" in str(model.formula)
+    assert "Fence(y)" in str(model.formula)
+
+
+def test_dependency_free_models_use_no_dep_predicates():
+    model = parametric_model("M1010")
+    assert not model.predicates.has_data_dep
+    dependent = parametric_model("M1013")
+    assert dependent.predicates.has_data_dep

@@ -1,0 +1,109 @@
+"""Tests for predicates and predicate sets."""
+
+import pytest
+
+from repro.core.execution import Execution
+from repro.core.instructions import Fence, Load, Op, Store
+from repro.core.expr import BinOp, Reg
+from repro.core.predicates import (
+    ANY_DEP,
+    CTRL_DEP,
+    DATA_DEP,
+    EXTENDED_PREDICATES,
+    FENCE,
+    NO_DEP_PREDICATES,
+    PredicateSet,
+    READ,
+    SAME_ADDR,
+    STANDARD_PREDICATES,
+    WRITE,
+    binary,
+    default_registry,
+    unary,
+)
+from repro.core.program import Program, Thread
+
+
+@pytest.fixture()
+def execution():
+    program = Program(
+        [
+            Thread(
+                "T1",
+                [
+                    Load("r1", "X"),
+                    Op("t1", BinOp("+", BinOp("-", Reg("r1"), Reg("r1")), 1)),
+                    Store("Y", Reg("t1")),
+                    Fence(),
+                    Store("X", 2),
+                ],
+            )
+        ]
+    )
+    return Execution(program, {(0, 0): 0})
+
+
+def test_unary_predicates(execution):
+    load, op, store_y, fence, store_x = execution.events
+    assert READ.evaluate(execution, load)
+    assert WRITE.evaluate(execution, store_y)
+    assert FENCE.evaluate(execution, fence)
+    assert not READ.evaluate(execution, store_y)
+
+
+def test_binary_predicates(execution):
+    load, op, store_y, fence, store_x = execution.events
+    assert SAME_ADDR.evaluate(execution, load, store_x)
+    assert not SAME_ADDR.evaluate(execution, load, store_y)
+    assert DATA_DEP.evaluate(execution, load, store_y)
+    assert not DATA_DEP.evaluate(execution, load, store_x)
+    assert not CTRL_DEP.evaluate(execution, load, store_y)
+    assert ANY_DEP.evaluate(execution, load, store_y)
+
+
+def test_binary_predicate_requires_second_event(execution):
+    load = execution.events[0]
+    with pytest.raises(ValueError):
+        SAME_ADDR.evaluate(execution, load)
+
+
+def test_predicate_set_features():
+    assert STANDARD_PREDICATES.has_fence
+    assert STANDARD_PREDICATES.has_data_dep
+    assert not STANDARD_PREDICATES.has_ctrl_dep
+    assert NO_DEP_PREDICATES.has_same_addr
+    assert not NO_DEP_PREDICATES.has_data_dep
+    assert EXTENDED_PREDICATES.has_ctrl_dep
+
+
+def test_predicate_set_lookup_and_iteration():
+    assert "Read" in STANDARD_PREDICATES
+    assert STANDARD_PREDICATES.get("Read") is READ
+    assert len(list(STANDARD_PREDICATES)) == len(STANDARD_PREDICATES)
+    assert set(STANDARD_PREDICATES.names()) == {"Read", "Write", "Fence", "SameAddr", "DataDep"}
+
+
+def test_predicate_set_rejects_duplicates():
+    with pytest.raises(ValueError):
+        PredicateSet([READ, READ])
+
+
+def test_with_predicates_extends():
+    extended = NO_DEP_PREDICATES.with_predicates([DATA_DEP])
+    assert extended.has_data_dep
+    assert not NO_DEP_PREDICATES.has_data_dep  # original unchanged
+
+
+def test_custom_predicate(execution):
+    is_store_to_x = unary("StoreToX", lambda e, x: x.is_write and e.location_of(x) == "X")
+    load, op, store_y, fence, store_x = execution.events
+    assert is_store_to_x.evaluate(execution, store_x)
+    assert not is_store_to_x.evaluate(execution, store_y)
+    same_thread = binary("SameThread", lambda e, x, y: x.same_thread(y))
+    assert same_thread.evaluate(execution, load, store_x)
+
+
+def test_default_registry_contains_all_builtins():
+    registry = default_registry()
+    for name in ("Read", "Write", "Fence", "SameAddr", "DataDep", "CtrlDep", "Dep", "MemAccess"):
+        assert name in registry

@@ -1,0 +1,75 @@
+"""Tests for threads and programs."""
+
+import pytest
+
+from repro.core.instructions import Fence, Load, Op, Store
+from repro.core.expr import Reg
+from repro.core.program import Program, Thread
+
+
+def make_mp_program() -> Program:
+    return Program(
+        [
+            Thread("T1", [Store("X", 1), Store("Y", 1)]),
+            Thread("T2", [Load("r1", "Y"), Fence(), Load("r2", "X")]),
+        ]
+    )
+
+
+def test_thread_memory_accesses():
+    thread = Thread("T1", [Store("X", 1), Fence(), Load("r1", "Y")])
+    assert len(thread.memory_accesses()) == 2
+    assert len(thread) == 3
+
+
+def test_thread_registers():
+    thread = Thread("T1", [Load("r1", "X"), Op("t1", Reg("r1") + 1), Store("Y", Reg("t1"))])
+    assert thread.registers() == {"r1", "t1"}
+
+
+def test_thread_validate_rejects_use_before_def():
+    thread = Thread("T1", [Store("X", Reg("r1"))])
+    with pytest.raises(ValueError, match="undefined register"):
+        thread.validate()
+
+
+def test_thread_validate_rejects_double_assignment():
+    thread = Thread("T1", [Load("r1", "X"), Load("r1", "Y")])
+    with pytest.raises(ValueError, match="more than once"):
+        thread.validate()
+
+
+def test_program_locations_in_first_use_order():
+    program = make_mp_program()
+    assert program.locations() == ["X", "Y"]
+
+
+def test_program_counts_memory_accesses():
+    assert make_mp_program().num_memory_accesses() == 4
+
+
+def test_program_validate_rejects_duplicate_thread_names():
+    program = Program([Thread("T1", [Store("X", 1)]), Thread("T1", [Store("Y", 1)])])
+    with pytest.raises(ValueError, match="duplicate thread names"):
+        program.validate()
+
+
+def test_program_from_lists_names_threads():
+    program = Program.from_lists([Store("X", 1)], [Load("r1", "X")])
+    assert [thread.name for thread in program.threads] == ["T1", "T2"]
+    assert len(program) == 2
+
+
+def test_program_from_lists_with_custom_names():
+    program = Program.from_lists([Store("X", 1)], names=["writer"])
+    assert program.threads[0].name == "writer"
+
+
+def test_program_registers_per_thread():
+    registers = make_mp_program().registers()
+    assert registers["T2"] == {"r1", "r2"}
+    assert registers["T1"] == set()
+
+
+def test_valid_program_passes_validation():
+    make_mp_program().validate()

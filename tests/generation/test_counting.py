@@ -1,0 +1,49 @@
+"""Tests for Corollary 1 counting."""
+
+from repro.core.predicates import (
+    EXTENDED_PREDICATES,
+    NO_DEP_PREDICATES,
+    STANDARD_PREDICATES,
+)
+from repro.generation.counting import (
+    SegmentCounts,
+    corollary1_count,
+    corollary1_count_for,
+    per_case_counts,
+    segment_counts,
+)
+
+
+def test_segment_counts_for_standard_predicates():
+    counts = segment_counts(STANDARD_PREDICATES)
+    assert counts.as_dict() == {"ww": 4, "wr": 4, "rw": 6, "rr": 6}
+
+
+def test_corollary1_reproduces_230():
+    """Section 3.4: 230 tests with data dependencies."""
+    assert corollary1_count_for(STANDARD_PREDICATES) == 230
+
+
+def test_corollary1_reproduces_124():
+    """Section 3.4: 124 tests without data dependencies."""
+    assert corollary1_count_for(NO_DEP_PREDICATES) == 124
+
+
+def test_corollary1_with_control_dependencies_extension():
+    counts = segment_counts(EXTENDED_PREDICATES)
+    assert counts.rw == counts.rr == 8
+    assert corollary1_count(counts) == 8 + 4 + 8 * (4 + 4 * 8) + 4 * (1 + 8 + 8)
+
+
+def test_corollary1_formula_matches_manual_expansion():
+    counts = SegmentCounts(ww=2, wr=3, rw=5, rr=7)
+    expected = 5 + 2 + 7 * (2 + 3 * 5) + 3 * (1 + 7 + 5)
+    assert corollary1_count(counts) == expected
+
+
+def test_per_case_counts_sum_to_total():
+    counts = segment_counts(STANDARD_PREDICATES)
+    cases = per_case_counts(counts)
+    assert sum(cases.values()) == corollary1_count(counts)
+    assert cases["3b"] == 6 * 4 * 6
+    assert cases["4"] == 4

@@ -1,0 +1,77 @@
+"""Tests for the naive bounded enumeration baseline."""
+
+import pytest
+
+from repro.checker.explicit import is_allowed
+from repro.core.catalog import SC
+from repro.generation.enumeration import (
+    NaiveEnumerationConfig,
+    count_naive_tests,
+    enumerate_naive_tests,
+)
+
+
+def small_config() -> NaiveEnumerationConfig:
+    return NaiveEnumerationConfig(
+        max_accesses_per_thread=2, max_locations=2, allow_fences=False
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        NaiveEnumerationConfig(min_accesses_per_thread=0)
+    with pytest.raises(ValueError):
+        NaiveEnumerationConfig(max_accesses_per_thread=1, min_accesses_per_thread=2)
+    with pytest.raises(ValueError):
+        NaiveEnumerationConfig(num_threads=0)
+
+
+def test_count_matches_enumeration_for_small_config():
+    config = small_config()
+    count = count_naive_tests(config)
+    enumerated = sum(1 for _ in enumerate_naive_tests(config))
+    assert count == enumerated
+    assert count > 0
+
+
+def test_limit_caps_the_enumeration():
+    config = small_config()
+    limited = list(enumerate_naive_tests(config, limit=10))
+    assert len(limited) == 10
+
+
+def test_generated_tests_are_well_formed_and_within_bounds():
+    config = small_config()
+    for test in enumerate_naive_tests(config, limit=50):
+        test.program.validate()
+        assert test.num_threads() == 2
+        assert test.num_memory_accesses() <= 4
+        test.execution()  # evaluates without error
+
+
+def test_naive_space_is_much_larger_than_the_template_suite():
+    """The paper's point: naive enumeration is orders of magnitude larger than 124."""
+    config = NaiveEnumerationConfig(
+        max_accesses_per_thread=2, max_locations=3, allow_fences=True
+    )
+    assert count_naive_tests(config) > 10 * 124
+
+
+def test_single_thread_enumeration():
+    config = NaiveEnumerationConfig(
+        num_threads=1, max_accesses_per_thread=2, max_locations=1, allow_fences=False
+    )
+    tests = list(enumerate_naive_tests(config))
+    assert count_naive_tests(config) == len(tests)
+    # Single-thread tests under SC: allowed iff they respect per-thread coherence.
+    assert any(is_allowed(test, SC) for test in tests)
+    assert any(not is_allowed(test, SC) for test in tests)
+
+
+def test_canonical_location_naming_avoids_renaming_duplicates():
+    config = NaiveEnumerationConfig(
+        max_accesses_per_thread=1, max_locations=2, allow_fences=False
+    )
+    tests = list(enumerate_naive_tests(config))
+    # With one access per thread, the first access always uses location X.
+    assert all(test.program.locations()[0] == "X" for test in tests)

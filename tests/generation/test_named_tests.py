@@ -1,0 +1,61 @@
+"""Tests for the named tests (Test A, L1..L9) as data objects."""
+
+from repro.core.instructions import Fence, Load, Op, Store
+from repro.generation.named_tests import L_TESTS, TEST_A, all_named_tests
+
+
+def test_there_are_nine_l_tests_with_the_paper_names():
+    assert [test.name for test in L_TESTS] == [f"L{i}" for i in range(1, 10)]
+
+
+def test_all_named_tests_includes_test_a():
+    named = all_named_tests()
+    assert set(named) == {"A"} | {f"L{i}" for i in range(1, 10)}
+    assert named["A"] is TEST_A
+
+
+def test_every_named_test_is_two_threads_and_at_most_six_accesses():
+    for test in all_named_tests().values():
+        assert test.num_threads() == 2
+        assert test.num_memory_accesses() <= 6
+
+
+def test_test_a_matches_figure_1():
+    assert TEST_A.register_outcome() == {"r1": 0, "r2": 2, "r3": 0}
+    t1, t2 = TEST_A.program.threads
+    assert [type(i) for i in t1.instructions] == [Store, Fence, Load]
+    assert [type(i) for i in t2.instructions] == [Store, Load, Load]
+
+
+def test_l4_l6_l8_l9_carry_data_dependencies():
+    named = all_named_tests()
+    for name in ("L4", "L6", "L8", "L9"):
+        execution = named[name].execution()
+        loads = execution.loads()
+        dependent = any(
+            execution.data_dependent(x, y)
+            for x in loads
+            for y in execution.memory_events()
+            if x != y
+        )
+        assert dependent, f"{name} should contain a data dependency"
+
+
+def test_l1_l2_l3_l5_l7_are_dependency_free():
+    named = all_named_tests()
+    for name in ("L1", "L2", "L3", "L5", "L7"):
+        for thread in named[name].program.threads:
+            assert not any(isinstance(i, Op) for i in thread.instructions)
+
+
+def test_outcomes_match_figure_3():
+    named = all_named_tests()
+    assert named["L5"].register_outcome() == {"r1": 1, "r2": 1}
+    assert named["L7"].register_outcome() == {"r1": 0, "r2": 0}
+    assert named["L8"].register_outcome() == {"r1": 1, "r2": 0, "r3": 1, "r4": 0}
+    assert named["L9"].register_outcome() == {"r1": 1, "r2": 1, "r3": 1}
+
+
+def test_descriptions_present():
+    for test in all_named_tests().values():
+        assert test.description

@@ -1,0 +1,80 @@
+"""Tests for local-segment enumeration."""
+
+import pytest
+
+from repro.core.predicates import (
+    EXTENDED_PREDICATES,
+    NO_DEP_PREDICATES,
+    PredicateSet,
+    READ,
+    SAME_ADDR,
+    STANDARD_PREDICATES,
+    WRITE,
+)
+from repro.generation.segments import (
+    AccessKind,
+    AddressRelation,
+    LinkKind,
+    Segment,
+    enumerate_all_segments,
+    enumerate_segments,
+    segment_count,
+    SegmentKind,
+)
+
+
+def test_segment_kind_accessors():
+    assert SegmentKind.RW.first is AccessKind.READ
+    assert SegmentKind.RW.second is AccessKind.WRITE
+    assert SegmentKind.WW.first is AccessKind.WRITE
+
+
+def test_dependency_links_require_a_leading_read():
+    Segment(SegmentKind.RW, LinkKind.DATA_DEP, AddressRelation.DIFFERENT)  # fine
+    with pytest.raises(ValueError):
+        Segment(SegmentKind.WR, LinkKind.DATA_DEP, AddressRelation.DIFFERENT)
+    with pytest.raises(ValueError):
+        Segment(SegmentKind.WW, LinkKind.CTRL_DEP, AddressRelation.SAME)
+
+
+def test_segment_counts_match_paper_standard_set():
+    """Section 3.4: N_RW = N_RR = 6 and N_WR = N_WW = 4."""
+    assert segment_count(SegmentKind.RW, STANDARD_PREDICATES) == 6
+    assert segment_count(SegmentKind.RR, STANDARD_PREDICATES) == 6
+    assert segment_count(SegmentKind.WR, STANDARD_PREDICATES) == 4
+    assert segment_count(SegmentKind.WW, STANDARD_PREDICATES) == 4
+
+
+def test_segment_counts_without_dependencies():
+    for kind in SegmentKind:
+        assert segment_count(kind, NO_DEP_PREDICATES) == 4
+
+
+def test_segment_counts_with_control_dependencies():
+    assert segment_count(SegmentKind.RR, EXTENDED_PREDICATES) == 8
+    assert segment_count(SegmentKind.WW, EXTENDED_PREDICATES) == 4
+
+
+def test_segment_counts_without_same_addr_predicate():
+    predicates = PredicateSet([READ, WRITE])
+    assert segment_count(SegmentKind.RR, predicates) == 1
+    assert segment_count(SegmentKind.RW, predicates) == 1
+
+
+def test_enumerate_segments_are_distinct():
+    segments = enumerate_segments(SegmentKind.RR, STANDARD_PREDICATES)
+    assert len(set(segments)) == len(segments)
+    labels = {segment.label for segment in segments}
+    assert "RR[data,same]" in labels
+    assert "RR[fence,diff]" in labels
+
+
+def test_enumerate_all_segments_covers_every_kind():
+    by_kind = enumerate_all_segments(STANDARD_PREDICATES)
+    assert set(by_kind) == set(SegmentKind)
+    assert sum(len(v) for v in by_kind.values()) == 20
+
+
+def test_segment_label_and_str():
+    segment = Segment(SegmentKind.WR, LinkKind.FENCE, AddressRelation.SAME)
+    assert str(segment) == "WR[fence,same]" == segment.label

@@ -1,0 +1,142 @@
+"""Tests for test sketches (address constraints and concretisation)."""
+
+import pytest
+
+from repro.core.instructions import Branch, Fence, Load, Op, Store
+from repro.generation.segments import AccessKind, LinkKind
+from repro.generation.sketch import AccessSketch, TestSketch
+
+
+def simple_sketch() -> TestSketch:
+    sketch = TestSketch()
+    sketch.add_thread(
+        [AccessSketch(AccessKind.WRITE, "a0"), AccessSketch(AccessKind.READ, "a1")]
+    )
+    sketch.add_thread(
+        [AccessSketch(AccessKind.WRITE, "b0"), AccessSketch(AccessKind.READ, "b1")]
+    )
+    sketch.require_different("a0", "a1")
+    sketch.require_different("b0", "b1")
+    sketch.require_equal("b1", "a0")
+    sketch.require_equal("b0", "a1")
+    sketch.set_read_from((0, 1), None)
+    sketch.set_read_from((1, 1), None)
+    return sketch
+
+
+def test_feasible_sketch_produces_store_buffering():
+    test = simple_sketch().to_litmus_test("SB")
+    assert test is not None
+    assert test.num_memory_accesses() == 4
+    assert test.program.locations() == ["X", "Y"]
+    assert all(value == 0 for value in test.register_outcome().values())
+
+
+def test_contradictory_constraints_are_infeasible():
+    sketch = simple_sketch()
+    sketch.require_equal("a0", "a1")  # contradicts require_different
+    assert not sketch.is_feasible()
+    assert sketch.to_litmus_test("broken") is None
+
+
+def test_fence_link_materialises_a_fence():
+    sketch = TestSketch()
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.WRITE, "a0"),
+            AccessSketch(AccessKind.WRITE, "a1", LinkKind.FENCE),
+        ]
+    )
+    sketch.require_different("a0", "a1")
+    test = sketch.to_litmus_test("fenced")
+    kinds = [type(i) for i in test.program.threads[0].instructions]
+    assert kinds == [Store, Fence, Store]
+
+
+def test_data_dependency_to_read_uses_address_idiom():
+    sketch = TestSketch()
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.READ, "a0"),
+            AccessSketch(AccessKind.READ, "a1", LinkKind.DATA_DEP),
+        ]
+    )
+    sketch.require_different("a0", "a1")
+    sketch.set_read_from((0, 0), None)
+    sketch.set_read_from((0, 1), None)
+    test = sketch.to_litmus_test("dep-read")
+    instructions = test.program.threads[0].instructions
+    assert [type(i) for i in instructions] == [Load, Op, Load]
+    execution = test.execution()
+    assert execution.data_dependent(execution.event(0, 0), execution.event(0, 2))
+
+
+def test_data_dependency_to_write_uses_value_idiom():
+    sketch = TestSketch()
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.READ, "a0"),
+            AccessSketch(AccessKind.WRITE, "a1", LinkKind.DATA_DEP),
+        ]
+    )
+    sketch.require_different("a0", "a1")
+    sketch.set_read_from((0, 0), None)
+    test = sketch.to_litmus_test("dep-write")
+    instructions = test.program.threads[0].instructions
+    assert [type(i) for i in instructions] == [Load, Op, Store]
+    execution = test.execution()
+    assert execution.data_dependent(execution.event(0, 0), execution.event(0, 2))
+    assert execution.value_of(execution.event(0, 2)) == 1
+
+
+def test_control_dependency_inserts_branch():
+    sketch = TestSketch()
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.READ, "a0"),
+            AccessSketch(AccessKind.WRITE, "a1", LinkKind.CTRL_DEP),
+        ]
+    )
+    sketch.require_different("a0", "a1")
+    sketch.set_read_from((0, 0), None)
+    test = sketch.to_litmus_test("ctrl")
+    instructions = test.program.threads[0].instructions
+    assert [type(i) for i in instructions] == [Load, Branch, Store]
+    execution = test.execution()
+    assert execution.control_dependent(execution.event(0, 0), execution.event(0, 2))
+
+
+def test_dependency_without_preceding_read_is_an_error():
+    sketch = TestSketch()
+    sketch.add_thread(
+        [
+            AccessSketch(AccessKind.WRITE, "a0"),
+            AccessSketch(AccessKind.WRITE, "a1", LinkKind.DATA_DEP),
+        ]
+    )
+    with pytest.raises(ValueError, match="without a preceding read"):
+        sketch.to_litmus_test("bad")
+
+
+def test_write_values_are_distinct_per_location():
+    sketch = TestSketch()
+    sketch.add_thread(
+        [AccessSketch(AccessKind.WRITE, "a0"), AccessSketch(AccessKind.WRITE, "a1")]
+    )
+    sketch.add_thread([AccessSketch(AccessKind.READ, "b0")])
+    sketch.require_equal("a0", "a1")
+    sketch.require_equal("b0", "a0")
+    sketch.set_read_from((1, 0), (0, 1))
+    test = sketch.to_litmus_test("coherence")
+    execution = test.execution()
+    values = [execution.value_of(store) for store in execution.stores()]
+    assert values == [1, 2]
+    assert test.register_outcome() == {"r20": 2}
+
+
+def test_read_from_specification_sets_outcome_values():
+    sketch = simple_sketch()
+    sketch.set_read_from((0, 1), (1, 0))  # T1's read now observes T2's write
+    test = sketch.to_litmus_test("SB-variant")
+    outcome = test.register_outcome()
+    assert sorted(outcome.values()) == [0, 1]

@@ -1,0 +1,86 @@
+"""Tests for the template suite generator."""
+
+import pytest
+
+from repro.core.predicates import EXTENDED_PREDICATES, NO_DEP_PREDICATES, STANDARD_PREDICATES
+from repro.generation.counting import corollary1_count, per_case_counts, segment_counts
+from repro.generation.suite import generate_suite, no_dependency_suite, standard_suite
+
+
+@pytest.fixture(scope="module")
+def std_suite():
+    return standard_suite()
+
+
+@pytest.fixture(scope="module")
+def nodep_suite():
+    return no_dependency_suite()
+
+
+def test_standard_suite_has_230_instantiations(std_suite):
+    assert std_suite.num_instantiations() == 230
+    assert len(std_suite) == 230
+
+
+def test_no_dependency_suite_has_124_instantiations(nodep_suite):
+    assert nodep_suite.num_instantiations() == 124
+
+
+def test_per_case_counts_match_corollary(std_suite):
+    expected = per_case_counts(segment_counts(STANDARD_PREDICATES))
+    assert std_suite.per_case() == expected
+
+
+def test_feasible_tests_are_a_strict_subset(std_suite):
+    assert 0 < std_suite.num_feasible() < std_suite.num_instantiations()
+    assert len(std_suite.tests()) == std_suite.num_feasible()
+
+
+def test_suite_test_names_are_unique(std_suite):
+    names = [test.name for test in std_suite.tests()]
+    assert len(set(names)) == len(names)
+
+
+def test_every_feasible_test_is_well_formed(std_suite):
+    for test in std_suite.tests():
+        test.program.validate()
+        execution = test.execution()  # must evaluate without errors
+        assert execution.loads() or execution.stores()
+        assert test.num_threads() == 2
+        assert test.num_memory_accesses() <= 6
+
+
+def test_every_feasible_test_values_are_obtainable(std_suite):
+    """Each observed load value is the initial value or some same-location store value."""
+    for test in std_suite.tests():
+        execution = test.execution()
+        for load in execution.loads():
+            value = execution.value_of(load)
+            location = execution.location_of(load)
+            store_values = {execution.value_of(s) for s in execution.stores_to(location)}
+            assert value == execution.initial_value(location) or value in store_values
+
+
+def test_no_dependency_suite_contains_no_dependency_ops(nodep_suite):
+    from repro.core.instructions import Op
+
+    for test in nodep_suite.tests():
+        for thread in test.program.threads:
+            assert not any(isinstance(i, Op) for i in thread.instructions)
+
+
+def test_extended_suite_with_control_dependencies():
+    suite = generate_suite(EXTENDED_PREDICATES)
+    assert suite.num_instantiations() == corollary1_count(segment_counts(EXTENDED_PREDICATES))
+    from repro.core.instructions import Branch
+
+    assert any(
+        isinstance(instruction, Branch)
+        for test in suite.tests()
+        for thread in test.program.threads
+        for instruction in thread.instructions
+    )
+
+
+def test_suite_segment_counts_accessor(std_suite):
+    assert std_suite.segment_counts().as_dict() == {"ww": 4, "wr": 4, "rw": 6, "rr": 6}

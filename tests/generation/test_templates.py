@@ -1,0 +1,143 @@
+"""Tests for the seven templates of Figure 2."""
+
+import pytest
+
+from repro.checker.explicit import is_allowed
+from repro.core.catalog import SC
+from repro.core.parametric import parametric_model
+from repro.generation.segments import AddressRelation, LinkKind, Segment, SegmentKind
+from repro.generation.templates import TemplateCase, TemplateInstance, instantiate_template
+
+
+def seg(kind, link=LinkKind.NONE, relation=AddressRelation.DIFFERENT) -> Segment:
+    return Segment(kind, link, relation)
+
+
+def test_expected_segment_kinds_per_case():
+    assert TemplateCase.CASE_1_READ_WRITE.expected_segment_kinds == (SegmentKind.RW,)
+    assert TemplateCase.CASE_3B_READ_READ_VS_WRITE_READ_WRITE.expected_segment_kinds == (
+        SegmentKind.RR,
+        SegmentKind.WR,
+        SegmentKind.RW,
+    )
+
+
+def test_instantiate_validates_segment_kinds():
+    with pytest.raises(ValueError, match="expects segment kinds"):
+        instantiate_template(TemplateCase.CASE_1_READ_WRITE, [seg(SegmentKind.WW)])
+    with pytest.raises(ValueError, match="needs 2 segments"):
+        instantiate_template(TemplateCase.CASE_5A_WRITE_READ_SAME_PLUS_READ_READ, [seg(SegmentKind.WR)])
+
+
+def test_case_1_produces_load_buffering():
+    instance = instantiate_template(TemplateCase.CASE_1_READ_WRITE, [seg(SegmentKind.RW)])
+    test = instance.to_litmus_test()
+    assert test is not None
+    assert test.num_threads() == 2
+    assert test.num_memory_accesses() == 4
+    # The LB outcome is forbidden under SC but allowed when read-write reorders.
+    assert not is_allowed(test, SC)
+    assert is_allowed(test, parametric_model("M1010"))
+    assert not is_allowed(test, parametric_model("M1040"))
+
+
+def test_case_2_produces_2_plus_2w_shape():
+    instance = instantiate_template(TemplateCase.CASE_2_WRITE_WRITE, [seg(SegmentKind.WW)])
+    test = instance.to_litmus_test()
+    assert test.num_memory_accesses() == 6
+    assert not is_allowed(test, SC)
+    assert is_allowed(test, parametric_model("M1010"))  # ww relaxed
+    assert not is_allowed(test, parametric_model("M4010"))  # ww ordered
+
+
+def test_case_3a_produces_message_passing():
+    instance = instantiate_template(
+        TemplateCase.CASE_3A_READ_READ_VS_WRITE_WRITE,
+        [seg(SegmentKind.RR, LinkKind.FENCE), seg(SegmentKind.WW)],
+    )
+    test = instance.to_litmus_test()
+    assert test.num_memory_accesses() == 4
+    assert not is_allowed(test, SC)
+    # With the reads fenced, only write-write reordering can produce the outcome.
+    assert is_allowed(test, parametric_model("M1044"))
+    assert not is_allowed(test, parametric_model("M4044"))
+
+
+def test_case_3a_with_mismatched_relations_is_infeasible():
+    instance = instantiate_template(
+        TemplateCase.CASE_3A_READ_READ_VS_WRITE_WRITE,
+        [
+            seg(SegmentKind.RR, relation=AddressRelation.SAME),
+            seg(SegmentKind.WW, relation=AddressRelation.DIFFERENT),
+        ],
+    )
+    assert instance.to_litmus_test() is None
+    assert not instance.sketch().is_feasible()
+
+
+def test_case_3a_same_same_produces_coherence_test():
+    instance = instantiate_template(
+        TemplateCase.CASE_3A_READ_READ_VS_WRITE_WRITE,
+        [
+            seg(SegmentKind.RR, relation=AddressRelation.SAME),
+            seg(SegmentKind.WW, relation=AddressRelation.SAME),
+        ],
+    )
+    test = instance.to_litmus_test()
+    assert test is not None
+    assert len(test.program.locations()) == 1
+    assert not is_allowed(test, SC)
+    assert is_allowed(test, parametric_model("M1010"))  # rr fully relaxed
+
+
+def test_case_4_produces_store_buffering():
+    instance = instantiate_template(TemplateCase.CASE_4_WRITE_READ_DIFFERENT, [seg(SegmentKind.WR)])
+    test = instance.to_litmus_test()
+    assert test.num_memory_accesses() == 4
+    assert not is_allowed(test, SC)
+    assert is_allowed(test, parametric_model("M4044"))  # TSO-like
+    assert not is_allowed(test, parametric_model("M4444"))
+
+
+def test_case_5a_produces_l8_shape():
+    instance = instantiate_template(
+        TemplateCase.CASE_5A_WRITE_READ_SAME_PLUS_READ_READ,
+        [
+            seg(SegmentKind.WR, relation=AddressRelation.SAME),
+            seg(SegmentKind.RR, LinkKind.DATA_DEP, AddressRelation.DIFFERENT),
+        ],
+    )
+    test = instance.to_litmus_test()
+    assert test.num_memory_accesses() == 6
+    assert is_allowed(test, parametric_model("M4044"))  # TSO forwards
+    assert not is_allowed(test, parametric_model("M4144"))  # IBM370 does not
+
+
+def test_case_5b_produces_l9_shape():
+    instance = instantiate_template(
+        TemplateCase.CASE_5B_WRITE_READ_SAME_PLUS_READ_WRITE,
+        [
+            seg(SegmentKind.WR, relation=AddressRelation.SAME),
+            seg(SegmentKind.RW, LinkKind.DATA_DEP, AddressRelation.DIFFERENT),
+        ],
+    )
+    test = instance.to_litmus_test()
+    assert test.num_memory_accesses() == 6
+    assert is_allowed(test, parametric_model("M1044"))
+    assert not is_allowed(test, parametric_model("M1144"))
+
+
+def test_labels_identify_case_and_segments():
+    instance = instantiate_template(TemplateCase.CASE_1_READ_WRITE, [seg(SegmentKind.RW)])
+    assert instance.label == "C1(RW[none,diff])"
+    assert instance.to_litmus_test().name == instance.label
+
+
+def test_all_feasible_templates_satisfy_theorem_bounds():
+    from repro.generation.suite import standard_suite
+
+    for entry in standard_suite():
+        if entry.test is None:
+            continue
+        assert entry.test.num_threads() == 2
+        assert entry.test.num_memory_accesses() <= 6

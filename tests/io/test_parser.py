@@ -1,0 +1,143 @@
+"""Tests for the litmus text parser."""
+
+import pytest
+
+from repro.checker.explicit import is_allowed
+from repro.core.catalog import SC, TSO
+from repro.core.instructions import Branch, Fence, Load, Op, Store
+from repro.io.parser import ParseError, parse_litmus, parse_litmus_file
+
+SB_TEXT = """
+litmus "SB"
+# the classic store-buffering test
+thread T1 {
+  write X 1
+  read Y r1
+}
+thread T2 {
+  write Y 1
+  read X r2
+}
+exists r1 = 0 & r2 = 0
+"""
+
+
+def test_parse_store_buffering():
+    test = parse_litmus(SB_TEXT)
+    assert test.name == "SB"
+    assert test.num_threads() == 2
+    assert test.register_outcome() == {"r1": 0, "r2": 0}
+    assert is_allowed(test, TSO)
+    assert not is_allowed(test, SC)
+
+
+def test_parse_fence_and_kinds():
+    text = """
+litmus "fenced"
+thread T1 {
+  write X 1
+  fence
+  read Y r1
+}
+thread T2 {
+  fence acquire
+  read X r2
+}
+exists r1 = 0 & r2 = 0
+"""
+    test = parse_litmus(text)
+    instructions = test.program.threads[0].instructions
+    assert isinstance(instructions[1], Fence)
+    assert test.program.threads[1].instructions[0].kind == "acquire"
+
+
+def test_parse_dependency_idiom():
+    text = """
+litmus "dep"
+thread T1 {
+  read X r1
+  let t1 = r1 - r1 + Y
+  read [t1] r2
+}
+thread T2 {
+  write Y 1
+  write X 1
+}
+exists r1 = 1 & r2 = 0
+"""
+    test = parse_litmus(text)
+    t1 = test.program.threads[0].instructions
+    assert isinstance(t1[1], Op)
+    assert isinstance(t1[2], Load)
+    execution = test.execution()
+    assert execution.data_dependent(execution.event(0, 0), execution.event(0, 2))
+    assert execution.location_of(execution.event(0, 2)) == "Y"
+
+
+def test_parse_branch_and_register_value_store():
+    text = """
+litmus "ctrl"
+thread T1 {
+  read X r1
+  branch r1
+  write Y r1 + 1
+}
+exists r1 = 0
+"""
+    test = parse_litmus(text)
+    instructions = test.program.threads[0].instructions
+    assert isinstance(instructions[1], Branch)
+    assert isinstance(instructions[2], Store)
+    execution = test.execution()
+    assert execution.control_dependent(execution.event(0, 0), execution.event(0, 2))
+    assert execution.value_of(execution.event(0, 2)) == 1
+
+
+def test_parse_file(tmp_path):
+    path = tmp_path / "sb.litmus"
+    path.write_text(SB_TEXT)
+    test = parse_litmus_file(path)
+    assert test.name == "SB"
+
+
+@pytest.mark.parametrize(
+    "text, message",
+    [
+        ("thread T1 {\n write X 1\n}\nexists r1 = 0", "missing 'litmus"),
+        ('litmus "t"\nexists r1 = 0', "no threads"),
+        ('litmus "t"\nthread T1 {\n write X 1\n}\n', "missing 'exists'"),
+        ('litmus "t"\nthread T1 {\n write X 1\nexists r1 = 0', "not closed"),
+        ('litmus "t"\nthread T1 {\n bogus X 1\n}\nexists r1 = 0', "unknown statement"),
+        ('litmus "t"\nthread T1 {\n read X r1\n}\nexists r1 = x', "form 'reg = value'"),
+        ('litmus "t"\nthread T1 {\n read X r1\n}\nexists', "empty condition"),
+        ('litmus "t"\nthread T1 {\n read X r1\n}\nexists r1 =', "malformed condition"),
+        ('litmus "t"\nread X r1\nexists r1 = 0', "outside a thread"),
+        ('litmus "t"\nthread T1 {\n read X r1 r2\n}\nexists r1 = 0', "exactly one destination"),
+        ('litmus "t"\nthread T1 {\n let t1 r1\n}\nexists r1 = 0', "expected 'let"),
+    ],
+)
+def test_parse_errors(text, message):
+    with pytest.raises(ParseError, match=message):
+        parse_litmus(text)
+
+
+def test_parse_error_reports_line_numbers():
+    try:
+        parse_litmus('litmus "t"\nthread T1 {\n bogus\n}\nexists r1 = 0')
+    except ParseError as error:
+        assert error.line_number == 3
+    else:  # pragma: no cover
+        raise AssertionError("expected a ParseError")
+
+
+def test_condition_must_cover_every_load_register():
+    text = """
+litmus "partial"
+thread T1 {
+  read X r1
+  read Y r2
+}
+exists r1 = 0
+"""
+    with pytest.raises(ValueError, match="does not constrain"):
+        parse_litmus(text)

@@ -1,0 +1,48 @@
+"""Tests for the litmus text writer (and parser round trips)."""
+
+import pytest
+
+from repro.checker.explicit import ExplicitChecker
+from repro.core.catalog import ALPHA, IBM370, SC, TSO
+from repro.generation.named_tests import L_TESTS, TEST_A, all_named_tests
+from repro.generation.suite import no_dependency_suite
+from repro.io.parser import parse_litmus
+from repro.io.writer import litmus_to_text, write_litmus_file
+
+
+def test_writer_output_contains_header_threads_and_condition():
+    text = litmus_to_text(TEST_A)
+    assert text.startswith('litmus "A"')
+    assert "thread T1 {" in text and "thread T2 {" in text
+    assert "exists r1 = 0 & r2 = 2 & r3 = 0" in text
+
+
+def test_roundtrip_named_tests_preserve_verdicts():
+    checker = ExplicitChecker()
+    models = (SC, TSO, IBM370, ALPHA)
+    for test in all_named_tests().values():
+        reparsed = parse_litmus(litmus_to_text(test))
+        assert reparsed.register_outcome() == test.register_outcome()
+        for model in models:
+            assert (
+                checker.check(reparsed, model).allowed == checker.check(test, model).allowed
+            ), f"{test.name} changed verdict after round trip under {model.name}"
+
+
+def test_roundtrip_generated_suite_sample():
+    sample = no_dependency_suite().tests()[:25]
+    for test in sample:
+        reparsed = parse_litmus(litmus_to_text(test))
+        assert reparsed.register_outcome() == test.register_outcome()
+        assert reparsed.num_memory_accesses() == test.num_memory_accesses()
+
+
+def test_write_litmus_file(tmp_path):
+    path = tmp_path / "a.litmus"
+    write_litmus_file(TEST_A, path)
+    assert path.read_text() == litmus_to_text(TEST_A)
+
+
+def test_description_is_emitted_as_comment():
+    text = litmus_to_text(L_TESTS[0])
+    assert "# " in text

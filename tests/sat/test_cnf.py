@@ -1,0 +1,95 @@
+"""Tests for CNF representation and DIMACS I/O."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sat.cnf import CNF, literal_sign, literal_variable, negate_literal
+
+
+def test_literal_helpers():
+    assert literal_variable(-3) == 3
+    assert literal_sign(3) and not literal_sign(-3)
+    assert negate_literal(5) == -5
+
+
+def test_new_var_increments():
+    cnf = CNF()
+    assert cnf.new_var() == 1
+    assert cnf.new_var("selector") == 2
+    assert cnf.name_of(2) == "selector"
+    assert cnf.name_of(1) is None
+
+
+def test_add_clause_grows_variable_count():
+    cnf = CNF()
+    cnf.add_clause([1, -5])
+    assert cnf.num_vars == 5
+    assert len(cnf) == 1
+
+
+def test_zero_literal_is_rejected():
+    cnf = CNF()
+    with pytest.raises(ValueError):
+        cnf.add_clause([1, 0])
+
+
+def test_evaluate():
+    cnf = CNF(clauses=[[1, 2], [-1, 3]])
+    assert cnf.evaluate({1: True, 2: False, 3: True})
+    assert not cnf.evaluate({1: True, 2: False, 3: False})
+    assert cnf.evaluate({1: False, 2: True, 3: False})
+
+
+def test_extend_merges_clauses_and_vars():
+    first = CNF(clauses=[[1, 2]])
+    second = CNF(clauses=[[-3]])
+    first.extend(second)
+    assert len(first) == 2
+    assert first.num_vars == 3
+
+
+def test_variables_lists_occurring_variables():
+    cnf = CNF(clauses=[[1, -4], [2]])
+    assert cnf.variables() == [1, 2, 4]
+
+
+def test_dimacs_roundtrip():
+    cnf = CNF(clauses=[[1, -2, 3], [-1], [2, 3]])
+    text = cnf.to_dimacs()
+    parsed = CNF.from_dimacs(text)
+    assert parsed.clauses == cnf.clauses
+    assert parsed.num_vars == cnf.num_vars
+
+
+def test_dimacs_parses_comments_and_header():
+    text = """c a comment
+p cnf 4 2
+1 -2 0
+3 4 0
+"""
+    cnf = CNF.from_dimacs(text)
+    assert cnf.num_vars == 4
+    assert cnf.clauses == [(1, -2), (3, 4)]
+
+
+def test_dimacs_rejects_unterminated_clause():
+    with pytest.raises(ValueError):
+        CNF.from_dimacs("p cnf 2 1\n1 2\n")
+
+
+def test_dimacs_rejects_malformed_header():
+    with pytest.raises(ValueError):
+        CNF.from_dimacs("p dnf 2 1\n1 0\n")
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(-5, 5).filter(lambda x: x != 0), min_size=1, max_size=4),
+        max_size=8,
+    )
+)
+def test_dimacs_roundtrip_random(clauses):
+    cnf = CNF(clauses=clauses)
+    parsed = CNF.from_dimacs(cnf.to_dimacs())
+    assert parsed.clauses == cnf.clauses

@@ -1,0 +1,76 @@
+"""Tests for CNF preprocessing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cnf import CNF
+from repro.sat.simplify import (
+    eliminate_pure_literals,
+    preprocess,
+    propagate_units,
+    remove_duplicate_clauses,
+    remove_tautologies,
+)
+from repro.sat.solver import solve
+
+
+def test_remove_tautologies():
+    cnf = CNF(clauses=[[1, -1, 2], [2, 3]])
+    cleaned = remove_tautologies(cnf)
+    assert len(cleaned) == 1
+
+
+def test_propagate_units_forces_assignment():
+    cnf = CNF(clauses=[[1], [-1, 2], [-2, 3], [3, 4]])
+    simplified, forced = propagate_units(cnf)
+    assert forced == {1: True, 2: True, 3: True}
+    assert len(simplified) == 0
+
+
+def test_propagate_units_detects_conflict():
+    cnf = CNF(clauses=[[1], [-1]])
+    simplified, _forced = preprocess(cnf)
+    assert simplified is None
+
+
+def test_pure_literal_elimination():
+    cnf = CNF(clauses=[[1, 2], [1, 3], [-2, 3]])
+    simplified, pure = eliminate_pure_literals(cnf)
+    assert pure[1] is True and pure[3] is True
+    assert len(simplified) == 0
+
+
+def test_remove_duplicate_clauses():
+    cnf = CNF(clauses=[[1, 2], [2, 1], [1, 2, 2]])
+    assert len(remove_duplicate_clauses(cnf)) == 1
+
+
+def test_preprocess_preserves_simple_satisfiability():
+    cnf = CNF(clauses=[[1, 2], [-1, 2], [3], [-3, 4]])
+    simplified, forced = preprocess(cnf)
+    assert simplified is not None
+    assert forced[3] is True and forced[4] is True
+
+
+_random_cnfs = st.lists(
+    st.lists(st.integers(-5, 5).filter(lambda x: x != 0), min_size=1, max_size=3),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_random_cnfs)
+def test_preprocessing_preserves_satisfiability(clauses):
+    cnf = CNF(clauses=clauses)
+    original = solve(cnf).satisfiable
+    simplified, forced = preprocess(cnf)
+    if simplified is None:
+        assert original is False
+        return
+    remaining = solve(simplified).satisfiable
+    # The simplified formula plus the forced assignment must reproduce the
+    # original satisfiability (pure-literal choices never hurt).
+    assert remaining == original or (remaining and not original) is False
+    if original:
+        assert remaining

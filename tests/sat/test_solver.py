@@ -1,0 +1,155 @@
+"""Tests for the CDCL SAT solver, including a truth-table cross-check."""
+
+from itertools import combinations, product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import SatSolver, solve
+
+
+def brute_force_satisfiable(cnf: CNF) -> bool:
+    variables = cnf.variables()
+    for values in product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if cnf.evaluate(assignment):
+            return True
+    return False
+
+
+def test_empty_formula_is_satisfiable():
+    assert solve(CNF()).satisfiable
+
+
+def test_empty_clause_is_unsatisfiable():
+    cnf = CNF()
+    cnf.add_clause([])
+    assert not solve(cnf).satisfiable
+
+
+def test_single_unit_clause():
+    result = solve(CNF(clauses=[[3]]))
+    assert result.satisfiable
+    assert result.assignment[3] is True
+
+
+def test_contradicting_units_unsat():
+    assert not solve(CNF(clauses=[[1], [-1]])).satisfiable
+
+
+def test_simple_satisfiable_instance():
+    cnf = CNF(clauses=[[1, 2], [-1, 2], [1, -2]])
+    result = solve(cnf)
+    assert result.satisfiable
+    assert cnf.evaluate(result.assignment)
+
+
+def test_simple_unsatisfiable_instance():
+    cnf = CNF(clauses=[[1, 2], [-1, 2], [1, -2], [-1, -2]])
+    assert not solve(cnf).satisfiable
+
+
+def test_implication_chain_propagates():
+    # x1 and (x1 -> x2 -> ... -> x20)
+    clauses = [[1]] + [[-i, i + 1] for i in range(1, 20)]
+    result = solve(CNF(clauses=clauses))
+    assert result.satisfiable
+    assert all(result.assignment[i] for i in range(1, 21))
+
+
+def test_tautological_clause_is_ignored():
+    result = solve(CNF(clauses=[[1, -1], [2]]))
+    assert result.satisfiable
+    assert result.assignment[2] is True
+
+
+def pigeonhole(holes: int) -> CNF:
+    """PHP(holes+1, holes): unsatisfiable for every holes >= 1."""
+    pigeons = holes + 1
+    cnf = CNF()
+    var = {}
+    for p in range(pigeons):
+        for h in range(holes):
+            var[(p, h)] = cnf.new_var()
+    for p in range(pigeons):
+        cnf.add_clause([var[(p, h)] for h in range(holes)])
+    for h in range(holes):
+        for p1, p2 in combinations(range(pigeons), 2):
+            cnf.add_clause([-var[(p1, h)], -var[(p2, h)]])
+    return cnf
+
+
+@pytest.mark.parametrize("holes", [1, 2, 3, 4])
+def test_pigeonhole_unsatisfiable(holes):
+    assert not solve(pigeonhole(holes)).satisfiable
+
+
+def test_graph_coloring_satisfiable():
+    """A 5-cycle is 3-colourable (but not 2-colourable)."""
+    def coloring_cnf(colors):
+        cnf = CNF()
+        var = {(v, c): cnf.new_var() for v in range(5) for c in range(colors)}
+        for v in range(5):
+            cnf.add_clause([var[(v, c)] for c in range(colors)])
+            for c1, c2 in combinations(range(colors), 2):
+                cnf.add_clause([-var[(v, c1)], -var[(v, c2)]])
+        for v in range(5):
+            u = (v + 1) % 5
+            for c in range(colors):
+                cnf.add_clause([-var[(v, c)], -var[(u, c)]])
+        return cnf
+
+    assert solve(coloring_cnf(3)).satisfiable
+    assert not solve(coloring_cnf(2)).satisfiable
+
+
+def test_assumptions_restrict_models():
+    cnf = CNF(clauses=[[1, 2]])
+    assert solve(cnf, assumptions=[-1]).satisfiable
+    assert not solve(cnf, assumptions=[-1, -2]).satisfiable
+
+
+def test_assumption_conflicting_with_unit_clause():
+    cnf = CNF(clauses=[[1]])
+    assert not solve(cnf, assumptions=[-1]).satisfiable
+
+
+def test_solver_is_reusable_after_solve():
+    cnf = CNF(clauses=[[1, 2], [-1, 2]])
+    solver = SatSolver(cnf)
+    first = solver.solve()
+    second = solver.solve()
+    assert first.satisfiable and second.satisfiable
+
+
+def test_stats_are_populated():
+    result = solve(pigeonhole(3))
+    assert result.stats.conflicts > 0
+
+
+_random_cnfs = st.lists(
+    st.lists(st.integers(-6, 6).filter(lambda x: x != 0), min_size=1, max_size=3),
+    min_size=1,
+    max_size=14,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_random_cnfs)
+def test_solver_agrees_with_truth_table(clauses):
+    cnf = CNF(clauses=clauses)
+    result = solve(cnf)
+    assert result.satisfiable == brute_force_satisfiable(cnf)
+    if result.satisfiable:
+        assert cnf.evaluate(result.assignment)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_random_cnfs, st.lists(st.integers(-6, 6).filter(lambda x: x != 0), max_size=3))
+def test_solver_with_assumptions_agrees_with_truth_table(clauses, assumptions):
+    cnf = CNF(clauses=clauses)
+    augmented = CNF(clauses=clauses + [[a] for a in assumptions])
+    result = solve(cnf, assumptions=assumptions)
+    assert result.satisfiable == brute_force_satisfiable(augmented)

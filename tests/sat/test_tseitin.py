@@ -1,0 +1,133 @@
+"""Tests for boolean expressions and the Tseitin transformation."""
+
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import solve
+from repro.sat.tseitin import (
+    FALSE,
+    TRUE,
+    BoolAnd,
+    BoolConst,
+    BoolNot,
+    BoolOr,
+    BoolVar,
+    TseitinEncoder,
+    conjoin,
+    disjoin,
+    iff,
+    implies,
+    negate,
+    tseitin_encode,
+)
+
+
+def evaluate_expression(expression, valuation):
+    if isinstance(expression, BoolConst):
+        return expression.value
+    if isinstance(expression, BoolVar):
+        return valuation[expression.name]
+    if isinstance(expression, BoolNot):
+        return not evaluate_expression(expression.operand, valuation)
+    if isinstance(expression, BoolAnd):
+        return all(evaluate_expression(op, valuation) for op in expression.operands)
+    if isinstance(expression, BoolOr):
+        return any(evaluate_expression(op, valuation) for op in expression.operands)
+    raise TypeError(expression)
+
+
+def test_conjoin_simplifications():
+    a = BoolVar("a")
+    assert conjoin([]) == TRUE
+    assert conjoin([a]) == a
+    assert conjoin([a, FALSE]) == FALSE
+    assert conjoin([a, TRUE]) == a
+
+
+def test_disjoin_simplifications():
+    a = BoolVar("a")
+    assert disjoin([]) == FALSE
+    assert disjoin([a]) == a
+    assert disjoin([a, TRUE]) == TRUE
+    assert disjoin([a, FALSE]) == a
+
+
+def test_negate_eliminates_double_negation():
+    a = BoolVar("a")
+    assert negate(negate(a)) == a
+    assert negate(TRUE) == FALSE
+
+
+def test_operator_sugar():
+    a, b = BoolVar("a"), BoolVar("b")
+    assert isinstance(a & b, BoolAnd)
+    assert isinstance(a | b, BoolOr)
+    assert isinstance(~a, BoolNot)
+
+
+def test_implies_and_iff_truth_tables():
+    a, b = BoolVar("a"), BoolVar("b")
+    for va, vb in product([False, True], repeat=2):
+        valuation = {"a": va, "b": vb}
+        assert evaluate_expression(implies(a, b), valuation) == ((not va) or vb)
+        assert evaluate_expression(iff(a, b), valuation) == (va == vb)
+
+
+def test_tseitin_encode_simple_formula():
+    a, b = BoolVar("a"), BoolVar("b")
+    cnf, variables = tseitin_encode(a & ~b)
+    result = solve(cnf)
+    assert result.satisfiable
+    assert result.assignment[variables["a"]] is True
+    assert result.assignment[variables["b"]] is False
+
+
+def test_tseitin_encode_unsatisfiable_formula():
+    a = BoolVar("a")
+    cnf, _ = tseitin_encode(a & ~a)
+    assert not solve(cnf).satisfiable
+
+
+def test_assert_true_on_constant_false_makes_unsat():
+    cnf = CNF()
+    encoder = TseitinEncoder(cnf)
+    encoder.assert_true(FALSE)
+    assert not solve(cnf).satisfiable
+
+
+def test_encoder_shares_variables_across_expressions():
+    cnf = CNF()
+    encoder = TseitinEncoder(cnf)
+    a = BoolVar("a")
+    encoder.assert_true(a | BoolVar("b"))
+    encoder.assert_true(~a)
+    result = solve(cnf)
+    assert result.satisfiable
+    assert result.assignment[encoder.variable("a")] is False
+    assert result.assignment[encoder.variable("b")] is True
+
+
+@st.composite
+def random_expressions(draw, depth=3):
+    if depth == 0 or draw(st.integers(0, 3)) == 0:
+        return BoolVar(draw(st.sampled_from(["a", "b", "c", "d"])))
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        return negate(draw(random_expressions(depth=depth - 1)))
+    operands = draw(st.lists(random_expressions(depth=depth - 1), min_size=1, max_size=3))
+    return conjoin(operands) if kind == "and" else disjoin(operands)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_expressions())
+def test_tseitin_is_equisatisfiable_with_truth_table(expression):
+    cnf, variables = tseitin_encode(expression)
+    names = ["a", "b", "c", "d"]
+    expected = any(
+        evaluate_expression(expression, dict(zip(names, values)))
+        for values in product([False, True], repeat=len(names))
+    )
+    assert solve(cnf).satisfiable == expected

@@ -1,0 +1,80 @@
+"""End-to-end tests of the public API surface and the command-line interface."""
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main, resolve_model
+from repro.io.writer import write_litmus_file
+
+
+def test_package_exports_are_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+    assert repro.__version__
+
+
+def test_quickstart_snippet_from_module_docstring():
+    from repro import SC, TEST_A, TSO, is_allowed
+
+    assert is_allowed(TEST_A, TSO)
+    assert not is_allowed(TEST_A, SC)
+
+
+def test_compare_models_via_top_level_api():
+    from repro import L_TESTS, SC, TSO, Relation, compare_models
+
+    result = compare_models(SC, TSO, L_TESTS)
+    assert result.relation is Relation.STRONGER
+
+
+def test_resolve_model_accepts_catalog_and_parametric_names():
+    assert resolve_model("TSO").name == "TSO"
+    assert resolve_model("M4044").name == "M4044"
+    with pytest.raises(SystemExit):
+        resolve_model("NotAModel")
+
+
+def test_cli_catalog(capsys):
+    assert main(["catalog"]) == 0
+    output = capsys.readouterr().out
+    assert "TSO" in output and "SC" in output
+
+
+def test_cli_check_litmus_file(tmp_path, capsys):
+    path = tmp_path / "a.litmus"
+    write_litmus_file(repro.TEST_A, path)
+    assert main(["check", str(path), "--model", "TSO"]) == 0
+    assert "ALLOWED" in capsys.readouterr().out
+    assert main(["--backend", "sat", "check", str(path), "--model", "SC"]) == 0
+    assert "FORBIDDEN" in capsys.readouterr().out
+
+
+def test_cli_compare(capsys):
+    assert main(["compare", "TSO", "x86", "--no-deps"]) == 0
+    assert "equivalent" in capsys.readouterr().out
+    assert main(["compare", "SC", "M4044", "--no-deps"]) == 0
+    assert "stronger" in capsys.readouterr().out
+
+
+def test_cli_outcomes(tmp_path, capsys):
+    path = tmp_path / "a.litmus"
+    write_litmus_file(repro.L_TESTS[6], path)  # store buffering (L7)
+    assert main(["outcomes", str(path), "--model", "SC"]) == 0
+    output = capsys.readouterr().out
+    assert "Outcomes allowed under SC" in output
+    assert output.count("r1") >= 3
+
+
+def test_cli_explore_small_space(tmp_path, capsys):
+    dot_path = tmp_path / "space.dot"
+    assert main(["explore", "--no-deps", "--dot", str(dot_path)]) == 0
+    output = capsys.readouterr().out
+    assert "Explored 36 models" in output
+    assert dot_path.exists()
+    assert dot_path.read_text().startswith("digraph")
+
+
+def test_cli_parser_rejects_unknown_backend():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["--backend", "bogus", "catalog"])

@@ -1,0 +1,132 @@
+"""Tests for the directed-graph toolkit."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.digraph import CycleError, Digraph
+
+
+def test_nodes_preserve_insertion_order():
+    graph = Digraph(["c", "a", "b"])
+    assert graph.nodes() == ["c", "a", "b"]
+
+
+def test_add_edge_adds_endpoints():
+    graph = Digraph()
+    graph.add_edge(1, 2)
+    assert graph.has_node(1) and graph.has_node(2)
+    assert graph.has_edge(1, 2)
+    assert not graph.has_edge(2, 1)
+
+
+def test_parallel_edges_collapse():
+    graph = Digraph()
+    graph.add_edge("a", "b")
+    graph.add_edge("a", "b")
+    assert graph.num_edges() == 1
+
+
+def test_acyclic_graph_has_no_cycle():
+    graph = Digraph(edges=[(1, 2), (2, 3), (1, 3)])
+    assert graph.is_acyclic()
+    assert graph.find_cycle() is None
+
+
+def test_simple_cycle_is_found():
+    graph = Digraph(edges=[(1, 2), (2, 3), (3, 1)])
+    cycle = graph.find_cycle()
+    assert cycle is not None
+    assert cycle[0] == cycle[-1]
+    # every consecutive pair is an edge
+    for src, dst in zip(cycle, cycle[1:]):
+        assert graph.has_edge(src, dst)
+
+
+def test_self_loop_is_a_cycle():
+    graph = Digraph(edges=[("x", "x")])
+    assert graph.has_cycle()
+
+
+def test_topological_sort_respects_edges():
+    graph = Digraph(edges=[("a", "b"), ("b", "c"), ("a", "c"), ("d", "c")])
+    order = graph.topological_sort()
+    assert set(order) == {"a", "b", "c", "d"}
+    for src, dst in graph.edges():
+        assert order.index(src) < order.index(dst)
+
+
+def test_topological_sort_raises_on_cycle():
+    graph = Digraph(edges=[(1, 2), (2, 1)])
+    with pytest.raises(CycleError):
+        graph.topological_sort()
+
+
+def test_reachability():
+    graph = Digraph(edges=[(1, 2), (2, 3), (4, 1)])
+    assert graph.reachable_from(1) == {2, 3}
+    assert graph.reachable_from(4) == {1, 2, 3}
+    assert graph.reachable_from(3) == set()
+
+
+def test_transitive_closure_adds_paths_as_edges():
+    graph = Digraph(edges=[(1, 2), (2, 3)])
+    closure = graph.transitive_closure()
+    assert closure.has_edge(1, 3)
+    assert closure.has_edge(1, 2) and closure.has_edge(2, 3)
+
+
+def test_transitive_reduction_removes_redundant_edges():
+    graph = Digraph(edges=[(1, 2), (2, 3), (1, 3)])
+    reduction = graph.transitive_reduction()
+    assert reduction.has_edge(1, 2) and reduction.has_edge(2, 3)
+    assert not reduction.has_edge(1, 3)
+
+
+def test_transitive_reduction_requires_acyclic():
+    graph = Digraph(edges=[(1, 2), (2, 1)])
+    with pytest.raises(CycleError):
+        graph.transitive_reduction()
+
+
+def test_subgraph_keeps_only_selected_nodes():
+    graph = Digraph(edges=[(1, 2), (2, 3), (3, 4)])
+    sub = graph.subgraph([2, 3])
+    assert sub.nodes() == [2, 3]
+    assert sub.has_edge(2, 3)
+    assert not sub.has_node(1)
+
+
+def _random_dags():
+    """Random DAG edge lists: only edges from smaller to larger integers."""
+    return st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6)).map(lambda p: (min(p), max(p))).filter(
+            lambda p: p[0] != p[1]
+        ),
+        max_size=20,
+    )
+
+
+@given(_random_dags())
+def test_dags_are_acyclic_and_sortable(edges):
+    graph = Digraph(nodes=range(7), edges=edges)
+    assert graph.is_acyclic()
+    order = graph.topological_sort()
+    for src, dst in graph.edges():
+        assert order.index(src) < order.index(dst)
+
+
+@given(_random_dags())
+def test_transitive_reduction_preserves_reachability(edges):
+    graph = Digraph(nodes=range(7), edges=edges)
+    reduction = graph.transitive_reduction()
+    for node in graph.nodes():
+        assert graph.reachable_from(node) == reduction.reachable_from(node)
+
+
+@given(_random_dags())
+def test_closure_of_reduction_equals_closure(edges):
+    graph = Digraph(nodes=range(7), edges=edges)
+    closure = graph.transitive_closure()
+    reduced_closure = graph.transitive_reduction().transitive_closure()
+    assert sorted(closure.edges()) == sorted(reduced_closure.edges())

@@ -1,0 +1,32 @@
+"""Tests for naming helpers."""
+
+import pytest
+
+from repro.util.naming import fresh_names, join_nonempty, location_name, register_name, temp_name
+
+
+def test_canonical_location_names():
+    assert [location_name(i) for i in range(6)] == ["X", "Y", "Z", "W", "V1", "V2"]
+
+
+def test_location_name_rejects_negative_index():
+    with pytest.raises(ValueError):
+        location_name(-1)
+
+
+def test_register_names_are_unique_across_threads():
+    names = {register_name(t, s) for t in range(3) for s in range(5)}
+    assert len(names) == 15
+
+
+def test_temp_names_do_not_collide_with_registers():
+    assert temp_name(0, 0) != register_name(0, 0)
+
+
+def test_fresh_names():
+    assert fresh_names("v", 3) == ["v1", "v2", "v3"]
+
+
+def test_join_nonempty_drops_empty_strings():
+    assert join_nonempty(["a", "", "b"]) == "a b"
+    assert join_nonempty([], "-") == ""

@@ -1,0 +1,77 @@
+"""Tests for the union-find structure."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.unionfind import UnionFind
+
+
+def test_singletons_are_their_own_representatives():
+    uf = UnionFind(["a", "b", "c"])
+    assert uf.find("a") == "a"
+    assert not uf.connected("a", "b")
+    assert len(uf) == 3
+
+
+def test_union_connects_elements():
+    uf = UnionFind()
+    uf.union("a", "b")
+    uf.union("b", "c")
+    assert uf.connected("a", "c")
+    assert not uf.connected("a", "d")
+    assert "d" in uf  # find/connected adds lazily
+
+
+def test_union_is_idempotent():
+    uf = UnionFind()
+    uf.union("a", "b")
+    root = uf.find("a")
+    assert uf.union("a", "b") == root
+
+
+def test_groups_partition_all_elements():
+    uf = UnionFind(["a", "b", "c", "d"])
+    uf.union("a", "b")
+    uf.union("c", "d")
+    groups = uf.groups()
+    assert sorted(sorted(group) for group in groups) == [["a", "b"], ["c", "d"]]
+
+
+def test_lazy_add_through_find():
+    uf = UnionFind()
+    assert uf.find(42) == 42
+    assert 42 in uf
+
+
+@given(st.lists(st.tuples(st.integers(0, 10), st.integers(0, 10)), max_size=30))
+def test_connectivity_matches_naive_model(pairs):
+    """Union-find connectivity agrees with a naive set-merging model."""
+    uf = UnionFind(range(11))
+    naive = [{i} for i in range(11)]
+
+    def naive_find(x):
+        for group in naive:
+            if x in group:
+                return group
+        raise AssertionError
+
+    for a, b in pairs:
+        uf.union(a, b)
+        group_a, group_b = naive_find(a), naive_find(b)
+        if group_a is not group_b:
+            group_a |= group_b
+            naive.remove(group_b)
+
+    for a in range(11):
+        for b in range(11):
+            assert uf.connected(a, b) == (naive_find(a) is naive_find(b))
+
+
+@given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=20))
+def test_groups_cover_every_element_exactly_once(pairs):
+    uf = UnionFind(range(9))
+    for a, b in pairs:
+        uf.union(a, b)
+    groups = uf.groups()
+    flattened = [element for group in groups for element in group]
+    assert sorted(flattened) == list(range(9))
