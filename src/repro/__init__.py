@@ -11,6 +11,8 @@ The package provides:
   and the paper's 90-model parametric family (:mod:`repro.core`);
 * admissibility checking via explicit enumeration or a built-in SAT solver
   (:mod:`repro.checker`, :mod:`repro.sat`);
+* a batched, cached, incremental checking engine behind every comparison
+  and exploration entry point (:mod:`repro.engine`);
 * litmus-test generation from the seven templates of Figure 2
   (:mod:`repro.generation`);
 * model comparison, exploration of model spaces and minimal distinguishing
@@ -64,6 +66,7 @@ from repro.comparison import (
     find_minimal_distinguishing_set,
     verify_distinguishing_set,
 )
+from repro.engine import CheckEngine, EngineStats
 from repro.generation import (
     L_TESTS,
     TEST_A,
@@ -108,6 +111,9 @@ __all__ = [
     "CheckResult",
     "is_allowed",
     "allowed_outcomes",
+    # engine
+    "CheckEngine",
+    "EngineStats",
     # comparison
     "ModelComparator",
     "Relation",

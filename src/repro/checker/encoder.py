@@ -14,6 +14,22 @@ same kind of encoding for our own SAT solver:
 
 The formula is satisfiable iff some read-from map and coherence order yield
 an acyclic forced-edge digraph, i.e. iff the execution is allowed.
+
+The encoding comes in two flavours:
+
+* :meth:`HappensBeforeEncoder.encode` — the one-shot, model-specific CNF:
+  every program-order pair the model's ``F`` forces in order becomes a unit
+  ordering clause.  This is what :class:`~repro.checker.sat_checker.SatChecker`
+  solves from scratch for each (test, model) pair.
+* :meth:`HappensBeforeEncoder.encode_skeleton` — the *model-independent*
+  skeleton used by :mod:`repro.engine`: only the model-dependent
+  program-order units differ between models, so the skeleton replaces each
+  with a fresh **selector variable** ``posel(x, y)`` and the implication
+  ``posel(x, y) -> ord(x, y)``.  A concrete model is then expressed purely
+  as unit *assumptions* over the selectors
+  (:meth:`Encoding.po_assumptions`), which lets one persistent incremental
+  SAT solver answer every model of a family over the same skeleton while
+  keeping its learned clauses.
 """
 
 from __future__ import annotations
@@ -39,9 +55,19 @@ class Encoding:
     coherence_vars: Dict[Tuple[str, str], int] = field(default_factory=dict)
     #: (event uid, event uid) -> variable meaning "first is globally ordered before second"
     order_vars: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: skeleton encodings only: (earlier uid, later uid) -> selector variable
+    #: meaning "the model forces this program-order pair in order"
+    po_selector_vars: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: skeleton encodings only: the same-thread program-order pairs, in
+    #: encoding order (parallel to ``po_selector_vars``)
+    po_pairs: List[Tuple[Event, Event]] = field(default_factory=list)
     #: set when the encoder already knows the execution is infeasible
     trivially_unsat: bool = False
     events: List[Event] = field(default_factory=list)
+    #: the execution this encoding was built from
+    execution: Optional[Execution] = None
+    #: True for model-independent skeleton encodings (with po selectors)
+    is_skeleton: bool = False
 
     def order_literal(self, first: str, second: str) -> Literal:
         """Return the literal asserting ``first`` is ordered before ``second``."""
@@ -55,17 +81,53 @@ class Encoding:
             return self.coherence_vars[(first, second)]
         return -self.coherence_vars[(second, first)]
 
+    def po_assumptions(self, model: MemoryModel) -> List[Literal]:
+        """Instantiate a skeleton encoding for ``model`` as assumption literals.
+
+        For every same-thread program-order pair the selector is assumed true
+        when the model's must-not-reorder function forces the pair in order,
+        and false otherwise (a false selector leaves the implication clause
+        vacuously satisfied, i.e. the edge is simply not forced).
+        """
+        if not self.is_skeleton or self.execution is None:
+            raise ValueError(
+                "assumptions require a model-independent skeleton; build it with encode_skeleton()"
+            )
+        literals: List[Literal] = []
+        for earlier, later in self.po_pairs:
+            selector = self.po_selector_vars[(earlier.uid, later.uid)]
+            if model.ordered(self.execution, earlier, later):
+                literals.append(selector)
+            else:
+                literals.append(-selector)
+        return literals
+
 
 class HappensBeforeEncoder:
-    """Builds the CNF encoding for one execution and one model."""
+    """Builds the CNF encoding for one execution (and optionally one model)."""
 
-    def __init__(self, execution: Execution, model: MemoryModel) -> None:
+    def __init__(self, execution: Execution, model: Optional[MemoryModel] = None) -> None:
         self.execution = execution
         self.model = model
 
     def encode(self) -> Encoding:
+        """Build the one-shot, model-specific encoding."""
+        if self.model is None:
+            raise ValueError("encode() needs a model; use encode_skeleton() without one")
+        return self._encode(use_selectors=False)
+
+    def encode_skeleton(self) -> Encoding:
+        """Build the model-independent skeleton with program-order selectors."""
+        return self._encode(use_selectors=True)
+
+    def _encode(self, use_selectors: bool) -> Encoding:
         execution = self.execution
-        encoding = Encoding(cnf=CNF(), events=list(execution.events))
+        encoding = Encoding(
+            cnf=CNF(),
+            events=list(execution.events),
+            execution=execution,
+            is_skeleton=use_selectors,
+        )
         cnf = encoding.cnf
 
         events = execution.events
@@ -95,7 +157,14 @@ class HappensBeforeEncoder:
         for thread_events in execution.events_by_thread:
             for i, earlier in enumerate(thread_events):
                 for later in thread_events[i + 1 :]:
-                    if self.model.ordered(execution, earlier, later):
+                    if use_selectors:
+                        selector = cnf.new_var(f"posel({earlier.uid},{later.uid})")
+                        encoding.po_selector_vars[(earlier.uid, later.uid)] = selector
+                        encoding.po_pairs.append((earlier, later))
+                        cnf.add_clause(
+                            [-selector, encoding.order_literal(earlier.uid, later.uid)]
+                        )
+                    elif self.model.ordered(execution, earlier, later):
                         cnf.add_clause([encoding.order_literal(earlier.uid, later.uid)])
 
         # --- coherence orientation variables ---------------------------------
@@ -182,3 +251,13 @@ class HappensBeforeEncoder:
 def encode(execution: Execution, model: MemoryModel) -> Encoding:
     """Encode the admissibility of ``execution`` under ``model`` into CNF."""
     return HappensBeforeEncoder(execution, model).encode()
+
+
+def encode_skeleton(execution: Execution) -> Encoding:
+    """Encode the model-independent skeleton of ``execution``.
+
+    The skeleton is satisfiable under the assumptions
+    :meth:`Encoding.po_assumptions` returns for a model iff the one-shot
+    encoding :func:`encode` builds for that model is satisfiable.
+    """
+    return HappensBeforeEncoder(execution).encode_skeleton()

@@ -13,7 +13,6 @@ from __future__ import annotations
 from itertools import product
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.checker.explicit import ExplicitChecker
 from repro.core.execution import EventKey, Execution, ExecutionError
 from repro.core.instructions import Load, Store
 from repro.core.litmus import LitmusTest
@@ -114,21 +113,28 @@ def _is_feasible(execution: Execution) -> bool:
 def allowed_outcomes(
     program: Program,
     model: MemoryModel,
-    checker: Optional[ExplicitChecker] = None,
+    checker: Optional[object] = None,
     initial_values: Optional[Mapping[str, int]] = None,
     name: str = "outcome",
 ) -> List[Dict[str, int]]:
     """Return the register outcomes ``model`` allows for ``program``.
 
-    Each element maps load destination registers to observed values, in a
-    stable order (sorted by register name within sorted outcome tuples).
+    ``checker`` is a backend name, a legacy checker object, or a
+    :class:`~repro.engine.engine.CheckEngine` to share; explicit enumeration
+    by default.  Each element maps load destination registers to observed
+    values, in a stable order (sorted by register name within sorted outcome
+    tuples).
     """
-    checker = checker or ExplicitChecker()
+    from repro.engine.engine import CheckEngine
+
+    engine = CheckEngine.ensure(checker)
     results: List[Dict[str, int]] = []
     seen: Set[Tuple[Tuple[str, int], ...]] = set()
     for read_values in enumerate_candidate_outcomes(program, initial_values):
         test = LitmusTest(name, program, read_values)
-        if not checker.check(test, model).allowed:
+        # cache=False: each candidate outcome is a fresh one-shot test, so
+        # caching its context in a shared engine could never pay off.
+        if not engine.check(test, model, cache=False):
             continue
         register_outcome = test.register_outcome()
         key = tuple(sorted(register_outcome.items()))

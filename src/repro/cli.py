@@ -5,14 +5,18 @@ Subcommands:
 * ``check TEST.litmus --model TSO [--backend sat]`` — is the test allowed?
 * ``compare MODEL1 MODEL2 [--deps/--no-deps]`` — compare two models with the
   template suite and print the contrasting tests.
-* ``explore [--deps/--no-deps] [--dot FILE]`` — explore the parametric model
-  space and print the Figure 4 report (optionally writing a DOT file).
+* ``explore [--deps/--no-deps] [--jobs N] [--dot FILE]`` — explore the
+  parametric model space through the batched
+  :class:`~repro.engine.engine.CheckEngine` and print the Figure 4 report
+  (optionally writing a DOT file).
 * ``catalog`` — list the built-in named models and their formulas.
 * ``outcomes TEST.litmus --model TSO`` — enumerate the outcomes a model
   allows for the test's program.
 
 Model names accept both catalog names (``SC``, ``TSO``, ``PSO``, ...) and
-parametric names (``M4044``).
+parametric names (``M4044``).  ``--backend`` selects the admissibility
+strategy (explicit enumeration or incremental SAT) and ``--jobs`` fans the
+exploration out over worker processes.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.comparison.report import exploration_report, hasse_dot
 from repro.core.catalog import catalog_summary, named_models
 from repro.core.model import MemoryModel
 from repro.core.parametric import KNOWN_CORRESPONDENCES, model_space, parametric_model
+from repro.engine import CheckEngine
 from repro.generation.named_tests import L_TESTS
 from repro.generation.suite import no_dependency_suite, standard_suite
 from repro.io.parser import parse_litmus_file
@@ -50,11 +55,20 @@ def resolve_model(name: str) -> MemoryModel:
 
 
 def _make_checker(backend: str):
+    """Build a witness-producing checker for single-test subcommands."""
     if backend == "sat":
         return SatChecker()
     if backend == "explicit":
         return ExplicitChecker()
     raise SystemExit(f"unknown backend {backend!r} (expected 'explicit' or 'sat')")
+
+
+def _make_engine(args: argparse.Namespace) -> CheckEngine:
+    """Build the batched engine for the comparison/exploration subcommands."""
+    try:
+        return CheckEngine(backend=args.backend, jobs=getattr(args, "jobs", 1))
+    except ValueError as error:
+        raise SystemExit(str(error))
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -71,7 +85,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     first = resolve_model(args.first)
     second = resolve_model(args.second)
     suite = standard_suite() if args.deps else no_dependency_suite()
-    comparator = ModelComparator(suite.tests() + list(L_TESTS), _make_checker(args.backend))
+    comparator = ModelComparator(suite.tests() + list(L_TESTS), _make_engine(args))
     result = comparator.compare(first, second)
     print(result.describe())
     return 0
@@ -81,7 +95,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     models = model_space(include_data_dependencies=args.deps)
     suite = standard_suite() if args.deps else no_dependency_suite()
     result = explore_models(
-        models, suite.tests(), checker=_make_checker(args.backend), preferred_tests=L_TESTS
+        models, suite.tests(), checker=_make_engine(args), preferred_tests=L_TESTS
     )
     print(exploration_report(result, KNOWN_CORRESPONDENCES))
     if args.dot:
@@ -102,7 +116,7 @@ def _cmd_outcomes(args: argparse.Namespace) -> int:
     model = resolve_model(args.model)
     print(test.pretty())
     print(f"\nOutcomes allowed under {model.name}:")
-    for outcome in allowed_outcomes(test.program, model, checker=_make_checker(args.backend)):
+    for outcome in allowed_outcomes(test.program, model, checker=_make_engine(args)):
         rendered = "; ".join(f"{register} = {value}" for register, value in sorted(outcome.items()))
         print(f"  {rendered}")
     return 0
@@ -133,6 +147,8 @@ def build_parser() -> argparse.ArgumentParser:
     explore = subparsers.add_parser("explore", help="explore the parametric model space")
     explore.add_argument("--deps", action=argparse.BooleanOptionalAction, default=False,
                          help="use the 90-model space with dependencies (default: 36-model space)")
+    explore.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="number of worker processes for the verdict matrix (default: 1)")
     explore.add_argument("--dot", help="write the Hasse diagram to this DOT file")
     explore.set_defaults(func=_cmd_explore)
 

@@ -16,9 +16,9 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.checker.explicit import ExplicitChecker
 from repro.core.litmus import LitmusTest
 from repro.core.model import MemoryModel
+from repro.engine.engine import CheckEngine
 
 #: A verdict vector: one boolean (allowed?) per test, in suite order.
 VerdictVector = Tuple[bool, ...]
@@ -79,14 +79,22 @@ class ComparisonResult:
 class ModelComparator:
     """Compares models over a fixed test suite, caching verdict vectors.
 
+    All admissibility checks are routed through a
+    :class:`~repro.engine.engine.CheckEngine`, so the per-test execution and
+    candidate-space work is shared across every model this comparator (or
+    anything else holding the same engine) ever sees.
+
     Args:
         tests: the litmus tests to compare over (typically a template suite).
-        checker: the admissibility backend (explicit by default).
+        checker: the admissibility backend — a backend name (``"explicit"``,
+            ``"sat"``), a legacy checker object, or a ready-made
+            :class:`~repro.engine.engine.CheckEngine` to share. Explicit
+            enumeration by default.
     """
 
     def __init__(self, tests: Sequence[LitmusTest], checker: Optional[object] = None) -> None:
         self.tests: List[LitmusTest] = list(tests)
-        self.checker = checker or ExplicitChecker()
+        self.engine = CheckEngine.ensure(checker)
         self._vectors: Dict[str, VerdictVector] = {}
         self._checks_performed = 0
 
@@ -96,11 +104,8 @@ class ModelComparator:
     def verdict_vector(self, model: MemoryModel) -> VerdictVector:
         """Return (computing and caching) the model's verdict vector."""
         if model.name not in self._vectors:
-            verdicts = []
-            for test in self.tests:
-                verdicts.append(self.checker.check(test, model).allowed)
-                self._checks_performed += 1
-            self._vectors[model.name] = tuple(verdicts)
+            self._vectors[model.name] = self.engine.verdict_vector(model, self.tests)
+            self._checks_performed += len(self.tests)
         return self._vectors[model.name]
 
     @property

@@ -17,9 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.comparison.compare import ModelComparator, Relation, VerdictVector
+from repro.comparison.compare import Relation, VerdictVector
 from repro.core.litmus import LitmusTest
 from repro.core.model import MemoryModel
+from repro.engine.engine import CheckEngine, EngineStats
 from repro.util.digraph import Digraph
 
 
@@ -53,6 +54,9 @@ class ExplorationResult:
     hasse_edges: List[HasseEdge]
     #: number of admissibility checks performed
     checks_performed: int = 0
+    #: engine counters for this exploration (executions evaluated, cache
+    #: hits, SAT calls, learned clauses reused, ...)
+    stats: Optional[EngineStats] = None
 
     # ------------------------------------------------------------------
     def class_of(self, model_name: str) -> Tuple[str, ...]:
@@ -131,16 +135,26 @@ def explore_models(
     tests: Sequence[LitmusTest],
     checker: Optional[object] = None,
     preferred_tests: Sequence[LitmusTest] = (),
+    jobs: int = 1,
 ) -> ExplorationResult:
     """Explore a family of models over a test suite.
+
+    The whole verdict matrix is computed in one batch by a
+    :class:`~repro.engine.engine.CheckEngine`, which evaluates each test's
+    execution exactly once and shares its candidate spaces (or its
+    incremental SAT solver) across every model of the family.
 
     Args:
         models: the family to explore (e.g. the 36- or 90-model space).
         tests: the comparison suite (e.g. the template suite).
-        checker: admissibility backend; explicit enumeration by default.
+        checker: admissibility backend — a backend name, a legacy checker
+            object, or a shared :class:`~repro.engine.engine.CheckEngine`;
+            explicit enumeration by default.
         preferred_tests: tests whose names should be preferred when labelling
             Hasse edges (the paper uses L1..L9).  They are appended to the
             comparison suite if not already present.
+        jobs: fan the per-test work out over this many worker processes
+            (ignored when ``checker`` is already an engine).
     """
     suite: List[LitmusTest] = list(tests)
     existing_names = {test.name for test in suite}
@@ -150,10 +164,10 @@ def explore_models(
             existing_names.add(test.name)
     preferred_names = [test.name for test in preferred_tests]
 
-    comparator = ModelComparator(suite, checker)
-    vectors: Dict[str, VerdictVector] = {}
-    for model in models:
-        vectors[model.name] = comparator.verdict_vector(model)
+    engine = CheckEngine.ensure(checker, jobs=jobs)
+    before = engine.stats.snapshot()
+    vectors: Dict[str, VerdictVector] = engine.verdict_matrix(models, suite)
+    stats = engine.stats.since(before)
 
     # Equivalence classes: group models by verdict vector.
     by_vector: Dict[VerdictVector, List[str]] = {}
@@ -169,7 +183,8 @@ def explore_models(
         vectors=vectors,
         equivalence_classes=equivalence_classes,
         hasse_edges=[],
-        checks_performed=comparator.checks_performed,
+        checks_performed=stats.checks_performed,
+        stats=stats,
     )
 
     # Hasse diagram: transitive reduction of the weaker -> stronger order.

@@ -14,6 +14,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from repro.comparison.compare import ModelComparator
 from repro.core.litmus import LitmusTest
 from repro.core.model import MemoryModel
+from repro.engine.engine import CheckEngine
 
 #: An unordered pair of model names.
 ModelPair = Tuple[str, str]
@@ -72,7 +73,7 @@ def find_minimal_distinguishing_set(
         if test.name not in names:
             pool.append(test)
             names.add(test.name)
-    comparator = ModelComparator(pool, checker)
+    comparator = ModelComparator(pool, CheckEngine.ensure(checker))
     pairs, per_test = _distinguishable_pairs(models, comparator)
 
     uncovered: Set[ModelPair] = set(pairs)
@@ -105,10 +106,13 @@ def verify_distinguishing_set(
     must also be separated by some candidate test for the candidate set to be
     complete.
     """
-    reference = ModelComparator(list(reference_tests), checker)
+    engine = CheckEngine.ensure(checker)
+    reference = ModelComparator(list(reference_tests), engine)
     reference_vectors = {model.name: reference.verdict_vector(model) for model in models}
 
-    candidates = ModelComparator(list(candidate_tests), checker)
+    # Sharing the engine lets the candidate comparator reuse the contexts of
+    # every candidate test that also appears in the reference suite.
+    candidates = ModelComparator(list(candidate_tests), engine)
     candidate_vectors = {model.name: candidates.verdict_vector(model) for model in models}
 
     names = [model.name for model in models]

@@ -25,6 +25,8 @@ def exploration_report(
         f"Explored {len(result.models)} models with {len(result.tests)} litmus tests "
         f"({result.checks_performed} admissibility checks)."
     )
+    if result.stats is not None:
+        lines.append(f"Engine: {result.stats.describe()}.")
     lines.append(
         f"Equivalence classes: {len(result.equivalence_classes)}; "
         f"equivalent pairs: {result.num_equivalent_pairs()}."

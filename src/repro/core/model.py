@@ -11,6 +11,7 @@ executions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Callable, Dict, Optional, Union
 
 from repro.core.events import Event
@@ -66,10 +67,13 @@ class MemoryModel:
         """
         function = self.must_not_reorder
         if isinstance(function, Formula):
-            return function.evaluate(execution, x, y, self._registry())
+            return function.evaluate(execution, x, y, self._registry)
         return bool(function(execution, x, y))
 
+    @cached_property
     def _registry(self) -> Dict[str, Predicate]:
+        # The registry only depends on the (immutable) predicate set, and
+        # ``ordered`` is the hottest call of every exploration: build once.
         registry = default_registry()
         registry.update({predicate.name: predicate for predicate in self.predicates})
         return registry

@@ -1,0 +1,38 @@
+"""Batched, cached, incremental admissibility checking.
+
+This package is the single entry point the comparison, exploration,
+outcome-enumeration and CLI layers use to compute verdicts:
+
+* :class:`~repro.engine.engine.CheckEngine` — owns the
+  ``models × tests -> bool`` verdict-matrix computation, with per-test
+  caching, an incremental assumption-based SAT mode, an optional
+  multiprocessing fan-out, and :class:`~repro.engine.engine.EngineStats`
+  reporting;
+* :class:`~repro.engine.context.TestContext` — the per-test
+  model-independent caches (execution, candidate spaces, CNF skeleton,
+  persistent solver);
+* :mod:`repro.engine.strategies` — the explicit / incremental-SAT / legacy
+  checking strategies beneath the engine.
+"""
+
+from repro.engine.context import TestContext
+from repro.engine.engine import CheckEngine, EngineStats, VerdictVector
+from repro.engine.strategies import (
+    CheckStrategy,
+    ExplicitStrategy,
+    IncrementalSatStrategy,
+    LegacyCheckerStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "CheckEngine",
+    "EngineStats",
+    "VerdictVector",
+    "TestContext",
+    "CheckStrategy",
+    "ExplicitStrategy",
+    "IncrementalSatStrategy",
+    "LegacyCheckerStrategy",
+    "make_strategy",
+]

@@ -1,0 +1,96 @@
+"""Per-test cached state shared by every model of an exploration.
+
+A :class:`TestContext` owns everything about one litmus test that does *not*
+depend on the memory model being checked:
+
+* the evaluated :class:`~repro.core.execution.Execution` (or the evaluation
+  error when the candidate outcome is malformed) — evaluated exactly once,
+  however many models are checked against the test;
+* the enumerated read-from candidate lists and coherence orders the explicit
+  backend iterates over (today this enumeration is repeated per model);
+* the model-independent CNF skeleton and the persistent incremental
+  :class:`~repro.sat.solver.SatSolver` the SAT backend instantiates per
+  model through assumption literals, reusing learned clauses across models.
+
+Everything is built lazily so a context only pays for the strategy that
+actually uses it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.checker.encoder import Encoding, encode_skeleton
+from repro.checker.relations import (
+    CoherenceOrder,
+    enumerate_coherence_orders,
+    read_from_candidates,
+)
+from repro.core.events import Event
+from repro.core.execution import Execution, ExecutionError
+from repro.core.expr import ExprError
+from repro.core.litmus import LitmusTest
+from repro.sat.solver import SatSolver
+
+
+class TestContext:
+    """Cached model-independent state for one litmus test."""
+
+    def __init__(self, test: LitmusTest) -> None:
+        self.test = test
+        self.execution: Optional[Execution] = None
+        self.error: str = ""
+        try:
+            self.execution = test.execution()
+        except (ExecutionError, ExprError) as error:
+            self.error = f"execution cannot be evaluated: {error}"
+
+        # Explicit-strategy caches.
+        self._loads: Optional[List[Event]] = None
+        self._rf_candidate_lists: Optional[List[List[Optional[Event]]]] = None
+        self._coherence_orders: Optional[List[CoherenceOrder]] = None
+
+        # SAT-strategy caches.
+        self._skeleton: Optional[Encoding] = None
+        self._solver: Optional[SatSolver] = None
+
+    # ------------------------------------------------------------------
+    # explicit-strategy caches
+    # ------------------------------------------------------------------
+    @property
+    def candidate_space_built(self) -> bool:
+        """True once either strategy has built its candidate space."""
+        return self._rf_candidate_lists is not None or self._skeleton is not None
+
+    def read_from_space(self) -> Tuple[List[Event], List[List[Optional[Event]]]]:
+        """Return (loads, per-load read-from candidates), computing once."""
+        assert self.execution is not None
+        if self._rf_candidate_lists is None:
+            self._loads = self.execution.loads()
+            self._rf_candidate_lists = [
+                read_from_candidates(self.execution, load) for load in self._loads
+            ]
+        return self._loads, self._rf_candidate_lists
+
+    def coherence_orders(self) -> List[CoherenceOrder]:
+        """Return every admissible per-location store order, computing once."""
+        assert self.execution is not None
+        if self._coherence_orders is None:
+            self._coherence_orders = list(enumerate_coherence_orders(self.execution))
+        return self._coherence_orders
+
+    # ------------------------------------------------------------------
+    # SAT-strategy caches
+    # ------------------------------------------------------------------
+    def skeleton(self) -> Encoding:
+        """Return the model-independent CNF skeleton, encoding once."""
+        assert self.execution is not None
+        if self._skeleton is None:
+            self._skeleton = encode_skeleton(self.execution)
+        return self._skeleton
+
+    def solver(self) -> SatSolver:
+        """Return the persistent incremental solver over the skeleton."""
+        if self._solver is None:
+            self._solver = SatSolver(self.skeleton().cnf)
+        return self._solver

@@ -1,0 +1,229 @@
+"""The batched, cached, incremental checking engine.
+
+:class:`CheckEngine` owns the full verdict-matrix computation
+(``models × tests -> bool``) behind the comparison, exploration and
+outcome-enumeration entry points.  Compared with dispatching one independent
+admissibility check per (model, test) pair, the engine:
+
+* evaluates each test's :class:`~repro.core.execution.Execution` exactly
+  once and shares it — plus the enumerated read-from/coherence candidate
+  spaces or the CNF skeleton — across every model
+  (:class:`~repro.engine.context.TestContext`);
+* on the SAT backend, keeps one persistent incremental solver per test and
+  answers each model through ``solve(assumptions=...)`` over per-pair
+  selector literals, reusing learned clauses between models;
+* optionally fans the per-test columns of the matrix out over a
+  ``jobs``-wide multiprocessing pool;
+* reports what it did through :class:`EngineStats`.
+
+The matrix is computed test-major: all models of one test are answered
+consecutively, which is exactly the access pattern the per-test caches and
+the incremental solver are built for.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.litmus import LitmusTest
+from repro.core.model import MemoryModel
+from repro.engine.context import TestContext
+from repro.engine.strategies import CheckStrategy, make_strategy
+
+#: One model's verdicts over a test suite, in suite order.
+VerdictVector = Tuple[bool, ...]
+
+
+@dataclass
+class EngineStats:
+    """Counters describing the work a :class:`CheckEngine` performed."""
+
+    #: individual (test, model) admissibility checks answered
+    checks_performed: int = 0
+    #: litmus-test executions evaluated (one per distinct test)
+    executions_evaluated: int = 0
+    #: tests whose candidate outcome could not be evaluated at all
+    execution_failures: int = 0
+    #: checks answered from an already-built test context
+    context_cache_hits: int = 0
+    #: read-from/coherence spaces or CNF skeletons built (one per test)
+    candidate_spaces_built: int = 0
+    #: incremental SAT calls issued (SAT backend only)
+    solver_calls: int = 0
+    #: learned clauses already present at the start of a SAT call, summed
+    #: over all calls (SAT backend only) — the clause-reuse metric
+    clauses_reused: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+    def merge(self, other: Dict[str, int]) -> None:
+        """Fold a worker's counters into this one."""
+        for key, value in other.items():
+            setattr(self, key, getattr(self, key) + value)
+
+    def snapshot(self) -> "EngineStats":
+        return replace(self)
+
+    def since(self, before: "EngineStats") -> "EngineStats":
+        """Return the counter deltas relative to an earlier snapshot."""
+        return EngineStats(
+            **{key: value - getattr(before, key) for key, value in self.as_dict().items()}
+        )
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.checks_performed} checks",
+            f"{self.executions_evaluated} executions evaluated",
+            f"{self.context_cache_hits} cache hits",
+        ]
+        if self.solver_calls:
+            parts.append(f"{self.solver_calls} SAT calls")
+            parts.append(f"{self.clauses_reused} learned clauses reused")
+        return ", ".join(parts)
+
+
+class CheckEngine:
+    """Single entry point for batched admissibility checking.
+
+    Args:
+        backend: ``"explicit"`` (default), ``"sat"``, a strategy instance, or
+            a legacy checker object (``ExplicitChecker``, ``SatChecker``,
+            ``ReferenceChecker``, ...).
+        jobs: number of worker processes for :meth:`verdict_matrix`; ``1``
+            computes serially in-process.
+    """
+
+    def __init__(self, backend: object = "explicit", jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.backend = backend
+        self.jobs = jobs
+        self.strategy: CheckStrategy = make_strategy(backend)
+        self.stats = EngineStats()
+        # id(test) -> (test, context); the test reference keeps the id stable.
+        self._contexts: Dict[int, Tuple[LitmusTest, TestContext]] = {}
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def ensure(cls, checker: Optional[object] = None, jobs: int = 1) -> "CheckEngine":
+        """Return ``checker`` if it already is an engine, else wrap it."""
+        if isinstance(checker, CheckEngine):
+            return checker
+        return cls(backend=checker if checker is not None else "explicit", jobs=jobs)
+
+    # ------------------------------------------------------------------
+    # contexts
+    # ------------------------------------------------------------------
+    def context(self, test: LitmusTest, cache: bool = True) -> TestContext:
+        """Return (building and, by default, caching) the test's context.
+
+        ``cache=False`` builds a throwaway context: callers checking a
+        one-shot test (e.g. outcome enumeration, where every candidate
+        outcome is a fresh ``LitmusTest``) would otherwise grow the
+        identity-keyed cache without any chance of a later hit.
+        """
+        key = id(test)
+        entry = self._contexts.get(key)
+        if entry is not None and entry[0] is test:
+            self.stats.context_cache_hits += 1
+            return entry[1]
+        context = TestContext(test)
+        self.stats.executions_evaluated += 1
+        if context.execution is None:
+            self.stats.execution_failures += 1
+        if cache:
+            self._contexts[key] = (test, context)
+        return context
+
+    # ------------------------------------------------------------------
+    # checking
+    # ------------------------------------------------------------------
+    def check(self, test: LitmusTest, model: MemoryModel, cache: bool = True) -> bool:
+        """Return whether ``model`` allows the candidate execution of ``test``."""
+        context = self.context(test, cache=cache)
+        self.stats.checks_performed += 1
+        if context.execution is None:
+            return False
+        return self.strategy.check(context, model, self.stats)
+
+    def verdict_vector(
+        self, model: MemoryModel, tests: Sequence[LitmusTest]
+    ) -> VerdictVector:
+        """Return one model's verdicts over a suite, in suite order."""
+        return tuple(self.check(test, model) for test in tests)
+
+    def verdict_matrix(
+        self, models: Sequence[MemoryModel], tests: Sequence[LitmusTest]
+    ) -> Dict[str, VerdictVector]:
+        """Compute every model's verdict vector over the suite.
+
+        The computation is test-major and, with ``jobs > 1``, fans the
+        per-test columns out over a multiprocessing pool.
+        """
+        models = list(models)
+        tests = list(tests)
+        if self.jobs > 1 and len(tests) > 1:
+            columns = self._columns_parallel(models, tests)
+        else:
+            columns = [self._column(test, models) for test in tests]
+        return {
+            model.name: tuple(columns[t][m] for t in range(len(tests)))
+            for m, model in enumerate(models)
+        }
+
+    def _column(self, test: LitmusTest, models: Sequence[MemoryModel]) -> List[bool]:
+        """One test's verdicts for every model (the unit of parallel work)."""
+        return [self.check(test, model) for model in models]
+
+    # ------------------------------------------------------------------
+    # parallel fan-out
+    # ------------------------------------------------------------------
+    def _columns_parallel(
+        self, models: List[MemoryModel], tests: List[LitmusTest]
+    ) -> List[List[bool]]:
+        import multiprocessing
+
+        global _WORKER_STATE
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            # No fork on this platform: fall back to the serial path rather
+            # than requiring models/tests to be picklable.
+            return [self._column(test, models) for test in tests]
+
+        # Workers inherit the state through fork, so nothing but the column
+        # index travels down and nothing but booleans + counters travels up.
+        # The lock keeps concurrent engines in one process from clobbering
+        # each other's state between set and fork.
+        with _WORKER_STATE_LOCK:
+            _WORKER_STATE = (self.backend, models, tests)
+            processes = min(self.jobs, len(tests))
+            try:
+                with context.Pool(processes=processes) as pool:
+                    results = pool.map(_worker_column, range(len(tests)))
+            finally:
+                _WORKER_STATE = None
+
+        columns: List[List[bool]] = [[] for _ in tests]
+        for index, column, worker_stats in results:
+            columns[index] = column
+            self.stats.merge(worker_stats)
+        return columns
+
+
+#: State inherited by forked workers; see :meth:`CheckEngine._columns_parallel`.
+_WORKER_STATE: Optional[Tuple[object, List[MemoryModel], List[LitmusTest]]] = None
+_WORKER_STATE_LOCK = threading.Lock()
+
+
+def _worker_column(index: int) -> Tuple[int, List[bool], Dict[str, int]]:
+    assert _WORKER_STATE is not None
+    backend, models, tests = _WORKER_STATE
+    engine = CheckEngine(backend=backend, jobs=1)
+    column = engine._column(tests[index], models)
+    return index, column, engine.stats.as_dict()

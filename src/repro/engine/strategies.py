@@ -1,0 +1,139 @@
+"""Checking strategies: how the engine decides one (test, model) verdict.
+
+Each strategy answers "does ``model`` allow ``test``'s candidate execution?"
+for a :class:`~repro.engine.context.TestContext`, exploiting the context's
+model-independent caches:
+
+* :class:`ExplicitStrategy` — the explicit-enumeration semantics of
+  :class:`~repro.checker.explicit.ExplicitChecker`, but iterating cached
+  read-from candidate lists and coherence orders instead of re-enumerating
+  them for every model;
+* :class:`IncrementalSatStrategy` — the SAT semantics of
+  :class:`~repro.checker.sat_checker.SatChecker`, but answering every model
+  with one persistent incremental solver over the shared CNF skeleton via
+  ``solve(assumptions=...)``, so learned clauses carry over between models;
+* :class:`LegacyCheckerStrategy` — adapter for any object with the classic
+  ``check(test, model)`` interface (e.g. the brute-force
+  :class:`~repro.checker.reference.ReferenceChecker`), still benefiting
+  from the cached execution when the checker exposes ``check_execution``.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import TYPE_CHECKING, Protocol
+
+from repro.checker.relations import (
+    forced_edges,
+    happens_before_graph,
+    program_order_edges,
+)
+from repro.core.model import MemoryModel
+from repro.engine.context import TestContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.engine.engine import EngineStats
+
+
+class CheckStrategy(Protocol):
+    """The strategy interface the engine dispatches to."""
+
+    name: str
+
+    def check(self, context: TestContext, model: MemoryModel, stats: "EngineStats") -> bool:
+        """Return whether the model allows the context's execution."""
+        ...
+
+
+class ExplicitStrategy:
+    """Explicit enumeration over the context's cached candidate spaces."""
+
+    name = "explicit"
+
+    def check(self, context: TestContext, model: MemoryModel, stats: "EngineStats") -> bool:
+        execution = context.execution
+        assert execution is not None
+        first_visit = not context.candidate_space_built
+        loads, candidate_lists = context.read_from_space()
+        if first_visit:
+            stats.candidate_spaces_built += 1
+        if any(not candidates for candidates in candidate_lists):
+            return False  # some load's observed value is unobtainable
+
+        po_edges = program_order_edges(execution, model)
+        coherence_orders = context.coherence_orders()
+        for choice in product(*candidate_lists):
+            read_from = dict(zip(loads, choice))
+            for coherence in coherence_orders:
+                edges = forced_edges(execution, model, read_from, coherence, po_edges)
+                if edges is None:
+                    continue
+                if happens_before_graph(execution, edges).is_acyclic():
+                    return True
+        return False
+
+
+class IncrementalSatStrategy:
+    """One persistent assumption-based SAT solver per test."""
+
+    name = "sat"
+
+    def check(self, context: TestContext, model: MemoryModel, stats: "EngineStats") -> bool:
+        execution = context.execution
+        assert execution is not None
+        first_visit = not context.candidate_space_built
+        skeleton = context.skeleton()
+        if first_visit:
+            stats.candidate_spaces_built += 1
+        if skeleton.trivially_unsat:
+            return False
+
+        solver = context.solver()
+        stats.clauses_reused += solver.num_learned_clauses()
+        stats.solver_calls += 1
+        return solver.solve(skeleton.po_assumptions(model)).satisfiable
+
+
+class LegacyCheckerStrategy:
+    """Adapter around a classic ``check(test, model)`` backend object."""
+
+    def __init__(self, checker: object) -> None:
+        self.checker = checker
+        self.name = getattr(checker, "name", type(checker).__name__)
+
+    def check(self, context: TestContext, model: MemoryModel, stats: "EngineStats") -> bool:
+        check_execution = getattr(self.checker, "check_execution", None)
+        if context.execution is not None and callable(check_execution):
+            result = check_execution(context.execution, model, test_name=context.test.name)
+        else:
+            result = self.checker.check(context.test, model)
+        return bool(result.allowed)
+
+
+def make_strategy(backend: object) -> CheckStrategy:
+    """Resolve a backend specification into a strategy.
+
+    ``backend`` is either a strategy name (``"explicit"`` or ``"sat"``), an
+    existing strategy instance, or a legacy checker object exposing
+    ``check(test, model)``.
+    """
+    from repro.checker.explicit import ExplicitChecker
+    from repro.checker.sat_checker import SatChecker
+
+    if isinstance(backend, str):
+        if backend == "explicit":
+            return ExplicitStrategy()
+        if backend == "sat":
+            return IncrementalSatStrategy()
+        raise ValueError(f"unknown engine backend {backend!r} (expected 'explicit' or 'sat')")
+    if isinstance(backend, (ExplicitStrategy, IncrementalSatStrategy, LegacyCheckerStrategy)):
+        return backend
+    # The two classic backends become the engine's native strategies.  A
+    # preprocessing-enabled SatChecker keeps its own per-check pipeline.
+    if isinstance(backend, ExplicitChecker):
+        return ExplicitStrategy()
+    if isinstance(backend, SatChecker) and not backend.use_preprocessing:
+        return IncrementalSatStrategy()
+    if hasattr(backend, "check"):
+        return LegacyCheckerStrategy(backend)
+    raise TypeError(f"cannot build a checking strategy from {backend!r}")

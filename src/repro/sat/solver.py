@@ -20,15 +20,21 @@ exercised on random and crafted instances in the test suite.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sat.cnf import CNF, Assignment, Clause, Literal
 
 
 @dataclass
 class SolverStats:
-    """Counters describing one :meth:`SatSolver.solve` run."""
+    """Lifetime counters for one :class:`SatSolver` instance.
+
+    A solver may be reused for many :meth:`SatSolver.solve` calls (the
+    engine keeps one per litmus test); the counters accumulate across every
+    call, so per-call figures require snapshotting deltas around a call.
+    """
 
     decisions: int = 0
     propagations: int = 0
@@ -113,6 +119,18 @@ class SatSolver:
         # watches[lit] = clauses currently watching literal `lit`
         self._watches: Dict[Literal, List[_ClauseRef]] = {}
 
+        #: learned clauses are reduced once their count reaches this bound
+        self.reduce_learned_threshold = 200
+
+        # Max-heap (via negated activities) of branching candidates, with lazy
+        # deletion: entries whose variable is assigned or whose recorded
+        # activity is stale are discarded at pop time.  Every bump, unassign
+        # and rescale pushes/rebuilds fresh entries, so an unassigned variable
+        # always has at least one up-to-date entry in the heap.
+        self._order_heap: List[Tuple[float, int]] = [
+            (0.0, variable) for variable in range(1, self._num_vars + 1)
+        ]
+
         self._unsatisfiable = False
         for clause in cnf.clauses:
             self._add_input_clause(clause)
@@ -160,6 +178,7 @@ class SatSolver:
             self._reason.append(None)
             self._phase.append(False)
             self._activity.append(0.0)
+            heapq.heappush(self._order_heap, (0.0, self._num_vars))
 
     # ------------------------------------------------------------------
     # assignment helpers
@@ -240,6 +259,16 @@ class SatSolver:
             for v in range(1, self._num_vars + 1):
                 self._activity[v] *= 1e-100
             self._activity_inc *= 1e-100
+            # Rescaling invalidates every heap entry; rebuild from scratch.
+            # Assigned variables re-enter the heap when they are unassigned.
+            self._order_heap = [
+                (-self._activity[v], v)
+                for v in range(1, self._num_vars + 1)
+                if self._assign[v] == self._UNASSIGNED
+            ]
+            heapq.heapify(self._order_heap)
+        else:
+            heapq.heappush(self._order_heap, (-self._activity[variable], variable))
 
     def _decay_activities(self) -> None:
         self._activity_inc /= self._activity_decay
@@ -303,6 +332,7 @@ class SatSolver:
             variable = abs(literal)
             self._assign[variable] = self._UNASSIGNED
             self._reason[variable] = None
+            heapq.heappush(self._order_heap, (-self._activity[variable], variable))
         del self._trail[limit:]
         del self._trail_limits[level:]
         self._propagation_head = len(self._trail)
@@ -326,31 +356,38 @@ class SatSolver:
 
     def _reduce_learned(self) -> None:
         """Drop the less active half of the learned clauses."""
-        if len(self._learned) < 200:
+        if len(self._learned) < self.reduce_learned_threshold:
             return
         locked = {id(self._reason[abs(lit)]) for lit in self._trail if self._reason[abs(lit)] is not None}
         self._learned.sort(key=lambda ref: ref.activity)
         keep_from = len(self._learned) // 2
         dropped = [ref for ref in self._learned[:keep_from] if id(ref) not in locked and len(ref.literals) > 2]
-        kept = [ref for ref in self._learned if ref not in dropped]
-        for ref in dropped:
-            for watched in (ref.literals[0], ref.literals[1]):
-                bucket = self._watches.get(watched, [])
-                if ref in bucket:
-                    bucket.remove(ref)
-        self._learned = kept
+        if not dropped:
+            return
+        dropped_ids = {id(ref) for ref in dropped}
+        self._learned = [ref for ref in self._learned if id(ref) not in dropped_ids]
+        watched_literals = {ref.literals[0] for ref in dropped} | {ref.literals[1] for ref in dropped}
+        for watched in watched_literals:
+            bucket = self._watches.get(watched)
+            if bucket:
+                self._watches[watched] = [ref for ref in bucket if id(ref) not in dropped_ids]
+
+    def num_learned_clauses(self) -> int:
+        """Number of learned clauses currently in the database (reuse metric)."""
+        return len(self._learned)
 
     # ------------------------------------------------------------------
     # decisions
     # ------------------------------------------------------------------
     def _pick_branch_variable(self) -> Optional[int]:
-        best_variable = None
-        best_activity = -1.0
-        for variable in range(1, self._num_vars + 1):
-            if self._assign[variable] == self._UNASSIGNED and self._activity[variable] > best_activity:
-                best_variable = variable
-                best_activity = self._activity[variable]
-        return best_variable
+        while self._order_heap:
+            negated_activity, variable = heapq.heappop(self._order_heap)
+            if self._assign[variable] != self._UNASSIGNED:
+                continue
+            if -negated_activity != self._activity[variable]:
+                continue  # stale entry; a fresher one is further down the heap
+            return variable
+        return None
 
     # ------------------------------------------------------------------
     # main loop
@@ -362,12 +399,19 @@ class SatSolver:
 
         conflict = self._propagate()
         if conflict is not None:
+            # A root-level conflict refutes the formula itself, not just this
+            # call: remember it so a reused solver stays sound (the
+            # propagation head has already advanced past the conflict).
+            self._unsatisfiable = True
             return SatResult(False, None, self.stats)
 
         for literal in assumptions:
             self._ensure_variable(abs(literal))
         for literal in assumptions:
             if self._value(literal) == self._FALSE:
+                # Undo any assumption levels already installed by this call;
+                # leaking them would poison later calls on a reused solver.
+                self._backtrack(0)
                 return SatResult(False, None, self.stats)
             if self._value(literal) == self._UNASSIGNED:
                 self._trail_limits.append(len(self._trail))
@@ -388,6 +432,10 @@ class SatSolver:
                 self.stats.conflicts += 1
                 conflicts_since_restart += 1
                 if self._decision_level() <= assumption_level:
+                    if self._decision_level() == 0:
+                        # Conflict below every assumption: the formula itself
+                        # is unsatisfiable, for this and every future call.
+                        self._unsatisfiable = True
                     self._backtrack(0)
                     return SatResult(False, None, self.stats)
                 learned, backjump_level = self._analyze(conflict)

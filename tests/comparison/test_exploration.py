@@ -106,3 +106,33 @@ def test_exploration_of_a_small_subset_is_consistent_with_pairwise():
     graph = result.stronger_graph()
     assert graph.has_edge("M4044", "M4444")
     assert graph.has_edge("M1044", "M4044")
+
+
+def test_exploration_reports_engine_stats(exploration):
+    """Each suite test's execution is evaluated exactly once per exploration."""
+    stats = exploration.stats
+    assert stats is not None
+    assert stats.executions_evaluated == len(exploration.tests)
+    assert stats.checks_performed == exploration.checks_performed
+    assert stats.checks_performed == len(exploration.models) * len(exploration.tests)
+    assert stats.context_cache_hits == len(exploration.tests) * (len(exploration.models) - 1)
+
+
+def test_exploration_is_identical_on_both_engine_backends():
+    models = [parametric_model(name) for name in ("M4444", "M4044", "M1044", "M4144", "M1010")]
+    suite = no_dependency_suite().tests()
+    explicit = explore_models(models, suite, checker="explicit", preferred_tests=L_TESTS)
+    sat = explore_models(models, suite, checker="sat", preferred_tests=L_TESTS)
+    assert explicit.vectors == sat.vectors
+    assert explicit.equivalence_classes == sat.equivalence_classes
+    assert explicit.hasse_edges == sat.hasse_edges
+    assert sat.stats.solver_calls == len(models) * len(explicit.tests)
+
+
+def test_exploration_with_jobs_matches_serial():
+    models = [parametric_model(name) for name in ("M4444", "M4044", "M1044", "M4144")]
+    serial = explore_models(models, L_TESTS, preferred_tests=L_TESTS)
+    parallel = explore_models(models, L_TESTS, preferred_tests=L_TESTS, jobs=2)
+    assert parallel.vectors == serial.vectors
+    assert parallel.hasse_edges == serial.hasse_edges
+    assert parallel.stats.executions_evaluated == serial.stats.executions_evaluated

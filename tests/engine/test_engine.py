@@ -1,0 +1,155 @@
+"""Tests for the batched checking engine (:mod:`repro.engine`)."""
+
+import pytest
+
+from repro.checker.explicit import ExplicitChecker
+from repro.checker.reference import ReferenceChecker
+from repro.checker.sat_checker import SatChecker
+from repro.core.instructions import Load, Store
+from repro.core.litmus import LitmusTest
+from repro.core.parametric import model_space, parametric_model
+from repro.core.program import Program, Thread
+from repro.engine import (
+    CheckEngine,
+    ExplicitStrategy,
+    IncrementalSatStrategy,
+    LegacyCheckerStrategy,
+    make_strategy,
+)
+from repro.generation.named_tests import L_TESTS, TEST_A
+
+TESTS = [TEST_A] + list(L_TESTS)
+MODELS = [parametric_model(name) for name in ("M4444", "M4144", "M4044", "M1044", "M1010")]
+
+
+@pytest.fixture(scope="module")
+def legacy_matrix():
+    checker = ExplicitChecker()
+    return {
+        model.name: tuple(checker.check(test, model).allowed for test in TESTS)
+        for model in MODELS
+    }
+
+
+# ----------------------------------------------------------------------
+# strategy resolution
+# ----------------------------------------------------------------------
+def test_make_strategy_resolves_names_and_checkers():
+    assert isinstance(make_strategy("explicit"), ExplicitStrategy)
+    assert isinstance(make_strategy("sat"), IncrementalSatStrategy)
+    assert isinstance(make_strategy(ExplicitChecker()), ExplicitStrategy)
+    assert isinstance(make_strategy(SatChecker()), IncrementalSatStrategy)
+    # A preprocessing SatChecker keeps its own per-check pipeline.
+    assert isinstance(make_strategy(SatChecker(use_preprocessing=True)), LegacyCheckerStrategy)
+    assert isinstance(make_strategy(ReferenceChecker()), LegacyCheckerStrategy)
+    with pytest.raises(ValueError):
+        make_strategy("bogus")
+    with pytest.raises(TypeError):
+        make_strategy(42)
+
+
+def test_ensure_returns_existing_engine_unchanged():
+    engine = CheckEngine("sat")
+    assert CheckEngine.ensure(engine) is engine
+    assert isinstance(CheckEngine.ensure(None).strategy, ExplicitStrategy)
+    assert isinstance(CheckEngine.ensure("sat").strategy, IncrementalSatStrategy)
+
+
+def test_engine_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        CheckEngine(jobs=0)
+
+
+# ----------------------------------------------------------------------
+# verdict matrices
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["explicit", "sat"])
+def test_matrix_matches_legacy_checkers(backend, legacy_matrix):
+    engine = CheckEngine(backend)
+    assert engine.verdict_matrix(MODELS, TESTS) == legacy_matrix
+
+
+def test_matrix_agrees_with_reference_checker_strategy(legacy_matrix):
+    engine = CheckEngine(ReferenceChecker(max_events=9))
+    assert engine.verdict_matrix(MODELS, TESTS) == legacy_matrix
+
+
+def test_parallel_matrix_matches_serial(legacy_matrix):
+    engine = CheckEngine("explicit", jobs=2)
+    assert engine.verdict_matrix(MODELS, TESTS) == legacy_matrix
+    # Worker counters are folded back into the parent engine.
+    assert engine.stats.checks_performed == len(MODELS) * len(TESTS)
+    assert engine.stats.executions_evaluated == len(TESTS)
+
+
+# ----------------------------------------------------------------------
+# caching and statistics
+# ----------------------------------------------------------------------
+def test_each_execution_is_evaluated_exactly_once():
+    engine = CheckEngine("explicit")
+    engine.verdict_matrix(MODELS, TESTS)
+    assert engine.stats.executions_evaluated == len(TESTS)
+    assert engine.stats.candidate_spaces_built == len(TESTS)
+    assert engine.stats.checks_performed == len(MODELS) * len(TESTS)
+    assert engine.stats.context_cache_hits == len(TESTS) * (len(MODELS) - 1)
+    # A second sweep over the same suite reuses every context.
+    engine.verdict_matrix(MODELS, TESTS)
+    assert engine.stats.executions_evaluated == len(TESTS)
+    assert engine.stats.context_cache_hits == len(TESTS) * (2 * len(MODELS) - 1)
+
+
+def test_sat_engine_counts_solver_calls():
+    engine = CheckEngine("sat")
+    engine.verdict_matrix(MODELS, TESTS)
+    assert engine.stats.solver_calls == len(MODELS) * len(TESTS)
+
+
+def test_stats_snapshot_and_since():
+    engine = CheckEngine("explicit")
+    engine.check(TEST_A, MODELS[0])
+    before = engine.stats.snapshot()
+    engine.check(TEST_A, MODELS[1])
+    delta = engine.stats.since(before)
+    assert delta.checks_performed == 1
+    assert delta.executions_evaluated == 0
+    assert delta.context_cache_hits == 1
+
+
+def test_stats_describe_mentions_sat_counters_only_when_present():
+    explicit = CheckEngine("explicit")
+    explicit.check(TEST_A, MODELS[0])
+    assert "SAT calls" not in explicit.stats.describe()
+    sat = CheckEngine("sat")
+    sat.check(TEST_A, MODELS[0])
+    assert "SAT calls" in sat.stats.describe()
+
+
+# ----------------------------------------------------------------------
+# edge cases
+# ----------------------------------------------------------------------
+def infeasible_test() -> LitmusTest:
+    """A load observing a value no store writes and no initial value provides."""
+    program = Program(
+        [
+            Thread("T1", [Store("X", 1)]),
+            Thread("T2", [Load("r1", "X")]),
+        ]
+    )
+    return LitmusTest("infeasible", program, {(1, 0): 7})
+
+
+@pytest.mark.parametrize("backend", ["explicit", "sat"])
+def test_infeasible_outcome_is_forbidden_under_every_model(backend):
+    engine = CheckEngine(backend)
+    test = infeasible_test()
+    for model in MODELS:
+        assert engine.check(test, model) is False
+    legacy = ExplicitChecker().check(test, MODELS[0])
+    assert not legacy.allowed
+
+
+def test_full_36_model_space_agrees_across_backends():
+    models = model_space(include_data_dependencies=False)
+    explicit = CheckEngine("explicit").verdict_matrix(models, TESTS)
+    sat = CheckEngine("sat").verdict_matrix(models, TESTS)
+    assert explicit == sat

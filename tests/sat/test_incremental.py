@@ -1,0 +1,142 @@
+"""Incremental assumption solving: one solver, many ``solve(assumptions)`` calls.
+
+The engine keeps one :class:`SatSolver` per litmus test alive across a whole
+model family, so a reused solver must give exactly the answers a fresh solver
+would — including after conflicts, learned-clause reduction, restarts and
+UNSAT-under-assumptions calls.
+"""
+
+import random
+from itertools import combinations, product
+
+import pytest
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import SatSolver
+
+
+def brute_force_satisfiable(cnf: CNF, assumptions=()) -> bool:
+    variables = sorted(set(cnf.variables()) | {abs(lit) for lit in assumptions})
+    for values in product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if all(assignment[abs(lit)] == (lit > 0) for lit in assumptions) and cnf.evaluate(
+            assignment
+        ):
+            return True
+    return False
+
+
+def random_cnf(rng: random.Random, num_vars: int, num_clauses: int) -> CNF:
+    clauses = []
+    for _ in range(num_clauses):
+        size = rng.randint(1, 3)
+        variables = rng.sample(range(1, num_vars + 1), size)
+        clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+    return CNF(clauses=clauses)
+
+
+def random_assumptions(rng: random.Random, num_vars: int):
+    count = rng.randint(0, 4)
+    variables = rng.sample(range(1, num_vars + 1), count)
+    return [v if rng.random() < 0.5 else -v for v in variables]
+
+
+def relaxed_pigeonhole(holes: int):
+    """PHP(holes+1, holes) with a relaxation variable guarding every at-most-one.
+
+    Under the assumption ``-relax`` the instance is the (conflict-heavy)
+    unsatisfiable pigeonhole problem; under ``relax`` it is trivially
+    satisfiable.  Alternating the two exercises learned clauses that mention
+    the assumption literal.
+    """
+    pigeons = holes + 1
+    cnf = CNF()
+    var = {}
+    for p in range(pigeons):
+        for h in range(holes):
+            var[(p, h)] = cnf.new_var()
+    relax = cnf.new_var()
+    for p in range(pigeons):
+        cnf.add_clause([var[(p, h)] for h in range(holes)])
+    for h in range(holes):
+        for p1, p2 in combinations(range(pigeons), 2):
+            cnf.add_clause([-var[(p1, h)], -var[(p2, h)], relax])
+    return cnf, relax
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_persistent_solver_agrees_with_fresh_and_truth_table(seed):
+    rng = random.Random(seed)
+    cnf = random_cnf(rng, 10, 42)
+    persistent = SatSolver(cnf)
+    for _ in range(12):
+        assumptions = random_assumptions(rng, 10)
+        expected = SatSolver(cnf).solve(assumptions).satisfiable
+        assert expected == brute_force_satisfiable(cnf, assumptions)
+        result = persistent.solve(assumptions)
+        assert result.satisfiable == expected
+        if result.satisfiable:
+            assignment = dict(result.assignment)
+            assert cnf.evaluate(assignment)
+            assert all(assignment[abs(lit)] == (lit > 0) for lit in assumptions)
+
+
+def test_unsat_under_assumptions_does_not_poison_later_calls():
+    """Regression: an assumption falsified by an earlier assumption's
+    propagation used to leave its decision levels on the trail, making the
+    reused solver treat the stale assumptions as permanent facts."""
+    cnf = CNF(clauses=[[-1, 2]])
+    solver = SatSolver(cnf)
+    assert not solver.solve([1, -2]).satisfiable  # 1 propagates 2, -2 is false
+    assert solver.solve([]).satisfiable
+    assert solver.solve([1]).satisfiable
+    assert solver.solve([-2]).satisfiable
+    assert not solver.solve([1, -2]).satisfiable
+
+
+def test_root_level_conflict_persists_across_calls():
+    cnf = CNF(clauses=[[1], [-1, 2], [-2]])
+    solver = SatSolver(cnf)
+    assert not solver.solve().satisfiable
+    assert not solver.solve().satisfiable
+    assert not solver.solve([2]).satisfiable
+
+
+def test_incremental_answers_survive_reduction_and_restarts():
+    cnf, relax = relaxed_pigeonhole(5)
+    solver = SatSolver(cnf)
+    solver.reduce_learned_threshold = 20  # force frequent clause reduction
+    for _ in range(3):
+        assert not solver.solve([-relax]).satisfiable
+        result = solver.solve([relax])
+        assert result.satisfiable
+        assert cnf.evaluate(dict(result.assignment))
+    # The run must actually have exercised the machinery under test.
+    assert solver.stats.restarts > 0
+    assert solver.stats.learned_clauses > solver.reduce_learned_threshold
+    assert solver.num_learned_clauses() < solver.stats.learned_clauses
+
+
+def test_learned_clauses_are_reused_across_calls():
+    """The second UNSAT call is answered from reused learned clauses."""
+    cnf, relax = relaxed_pigeonhole(4)
+    solver = SatSolver(cnf)
+    assert not solver.solve([-relax]).satisfiable
+    conflicts_first = solver.stats.conflicts
+    assert conflicts_first > 0
+    assert not solver.solve([-relax]).satisfiable
+    assert solver.stats.conflicts <= conflicts_first * 2  # far fewer new conflicts
+    assert solver.num_learned_clauses() > 0
+
+
+def test_persistent_solver_interleaves_sat_and_unsat_assumption_sets():
+    rng = random.Random(1234)
+    cnf = random_cnf(rng, 8, 30)
+    solver = SatSolver(cnf)
+    fresh_answers = []
+    persistent_answers = []
+    for _ in range(20):
+        assumptions = random_assumptions(rng, 8)
+        fresh_answers.append(SatSolver(cnf).solve(assumptions).satisfiable)
+        persistent_answers.append(solver.solve(assumptions).satisfiable)
+    assert persistent_answers == fresh_answers
