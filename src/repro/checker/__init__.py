@@ -4,15 +4,15 @@ The semantics of Section 2.2 is implemented once, as the construction of a
 *forced-edge digraph* for a candidate read-from map and coherence order
 (:mod:`repro.checker.relations`), and then exposed through three backends:
 
-* :mod:`repro.checker.explicit` — enumerate read-from maps and coherence
-  orders explicitly and test the digraph for acyclicity (the default, and
-  the fastest for litmus-sized tests);
+* :mod:`repro.checker.explicit` — pruned backtracking over the bitset
+  relation kernel of :mod:`repro.checker.kernel` (the default, and the
+  fastest for litmus-sized tests);
 * :mod:`repro.checker.sat_checker` — encode the whole existential question
   into CNF (:mod:`repro.checker.encoder`) and ask the SAT solver, mirroring
   the paper's MiniSat-based tool;
-* :mod:`repro.checker.reference` — a deliberately naive brute force over
-  global total orders, used to cross-validate the other two backends in the
-  test suite.
+* :mod:`repro.checker.reference` — the brute-force oracles: the pre-kernel
+  (rf, co) product enumerator and a total-order enumerator, used to
+  cross-validate the fast backends in the test suite.
 
 :mod:`repro.checker.outcomes` builds on the checkers to enumerate every
 outcome a program can produce under a model.
@@ -20,12 +20,13 @@ outcome a program can produce under a model.
 
 from repro.checker.explicit import ExplicitChecker, is_allowed
 from repro.checker.sat_checker import SatChecker
-from repro.checker.reference import ReferenceChecker
+from repro.checker.reference import EnumerationChecker, ReferenceChecker
 from repro.checker.result import CheckResult, CheckWitness
 from repro.checker.outcomes import allowed_outcomes, enumerate_candidate_outcomes
 
 __all__ = [
     "ExplicitChecker",
+    "EnumerationChecker",
     "SatChecker",
     "ReferenceChecker",
     "CheckResult",

@@ -1,22 +1,23 @@
-"""Explicit-enumeration admissibility checker.
+"""Explicit admissibility checker over the bitset relation kernel.
 
-This backend enumerates read-from maps and coherence orders directly (both
-spaces are tiny for litmus tests: a handful of candidates per load, at most a
-few stores per location) and tests each forced-edge digraph for acyclicity.
-It is the default backend used by the comparison and exploration code.
+This backend decides admissibility with the backtracking search of
+:mod:`repro.checker.kernel`: read-from sources and per-location coherence
+positions are assigned one decision at a time, forced ``co``/``rf``/``fr``
+edges are propagated through an incremental reachability kernel, and a whole
+subtree is pruned the moment the partial forced-edge graph acquires a cycle
+or an anti-program-order edge.  It is the default backend used by the
+comparison and exploration code.
+
+The pre-kernel implementation — enumerate the full Cartesian product of
+read-from maps and coherence orders and test each complete combination — is
+preserved as :class:`repro.checker.reference.EnumerationChecker` and serves
+as the oracle this search is cross-validated against.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-from repro.checker.relations import (
-    enumerate_coherence_orders,
-    enumerate_read_from_maps,
-    forced_edges,
-    happens_before_graph,
-    program_order_edges,
-)
+from repro.checker.kernel import INITIAL, IndexedExecution, KernelSearch
+from repro.checker.relations import forced_edges
 from repro.checker.result import CheckResult, CheckWitness
 from repro.core.execution import Execution, ExecutionError
 from repro.core.expr import ExprError
@@ -25,10 +26,13 @@ from repro.core.model import MemoryModel
 
 
 class ExplicitChecker:
-    """Decide admissibility by explicit enumeration.
+    """Decide admissibility by pruned backtracking over indexed relations.
 
     Instances are stateless; the class exists so the comparison code can be
-    parameterised over checker backends (explicit vs SAT).
+    parameterised over checker backends (explicit vs SAT).  Batch callers
+    should go through :class:`~repro.engine.engine.CheckEngine`, which caches
+    the indexed execution and the per-model program-order edges across
+    checks.
     """
 
     name = "explicit"
@@ -50,34 +54,47 @@ class ExplicitChecker:
         self, execution: Execution, model: MemoryModel, test_name: str = ""
     ) -> CheckResult:
         """Check an already-evaluated execution."""
-        po_edges = program_order_edges(execution, model)
+        indexed = IndexedExecution(execution)
+        if indexed.infeasible:
+            return CheckResult(
+                False,
+                test_name=test_name,
+                model_name=model.name,
+                reason="no read-from source can produce the observed values",
+            )
 
-        saw_read_from_map = False
-        for read_from in enumerate_read_from_maps(execution):
-            saw_read_from_map = True
-            for coherence in enumerate_coherence_orders(execution):
-                edges = forced_edges(execution, model, read_from, coherence, po_edges)
-                if edges is None:
-                    continue
-                if happens_before_graph(execution, edges).is_acyclic():
-                    witness = CheckWitness(
-                        read_from=tuple(sorted(read_from.items(), key=lambda kv: kv[0].uid)),
-                        coherence=tuple(sorted(coherence.items())),
-                        edges=tuple(edges),
-                    )
-                    return CheckResult(
-                        True,
-                        test_name=test_name,
-                        model_name=model.name,
-                        witness=witness,
-                    )
+        po_edges = indexed.po_edge_pairs(model)
+        assignment = KernelSearch(indexed, po_edges).run()
+        if assignment is None:
+            return CheckResult(
+                False,
+                test_name=test_name,
+                model_name=model.name,
+                reason="every read-from/coherence choice yields a happens-before cycle",
+            )
 
-        reason = (
-            "every read-from/coherence choice yields a happens-before cycle"
-            if saw_read_from_map
-            else "no read-from source can produce the observed values"
+        rf_choice, co_choice = assignment
+        read_from = {
+            indexed.events[load]: None if source == INITIAL else indexed.events[source]
+            for load, source in zip(indexed.loads, rf_choice)
+        }
+        coherence = {
+            location: tuple(indexed.events[store] for store in order)
+            for location, order in co_choice.items()
+        }
+        edges = forced_edges(execution, model, read_from, coherence)
+        assert edges is not None  # the search only returns valid assignments
+        witness = CheckWitness(
+            read_from=tuple(sorted(read_from.items(), key=lambda kv: kv[0].uid)),
+            coherence=tuple(sorted(coherence.items())),
+            edges=tuple(edges),
         )
-        return CheckResult(False, test_name=test_name, model_name=model.name, reason=reason)
+        return CheckResult(
+            True,
+            test_name=test_name,
+            model_name=model.name,
+            witness=witness,
+        )
 
 
 _DEFAULT_CHECKER = ExplicitChecker()

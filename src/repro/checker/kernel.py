@@ -1,0 +1,415 @@
+"""Bitset relation kernel for the explicit checker.
+
+The explicit backend used to materialise the full Cartesian product of
+read-from maps and coherence orders and run a fresh :class:`Digraph`
+acyclicity check over :class:`Event` objects for every combination.  This
+module replaces that machinery with an *indexed* view of an execution and a
+backtracking search with constraint propagation:
+
+* :class:`IndexedExecution` numbers the events ``0..n-1`` and precomputes,
+  once per test, every model-independent relation the search needs as Python
+  ints used as bitmasks: program order, same-thread and same-location masks,
+  per-load read-from candidates and per-location program-order-respecting
+  store orders.  It also evaluates must-not-reorder *formulas* vectorised:
+  each predicate atom becomes one bitmask over the same-thread event pairs,
+  so deriving a model's program-order edges is a single formula traversal of
+  bitwise operations instead of one evaluator call per pair.
+* :class:`ReachabilityKernel` is an incremental cycle detector: it maintains
+  per-node reachability bitsets under edge insertion (``O(n)`` int
+  operations per edge) and undoes insertions in ``O(edges)`` on backtrack.
+* :class:`KernelSearch` assigns per-location coherence orders and per-load
+  read-from sources one decision at a time, emitting the forced ``co`` /
+  ``rf`` / ``fr`` edges as they become determined and pruning the entire
+  subtree the moment the partial forced-edge graph acquires a cycle or an
+  anti-program-order edge.
+
+The semantics is exactly that of :mod:`repro.checker.relations`; the
+enumerating oracle in :mod:`repro.checker.reference` cross-validates it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.events import Event
+from repro.core.execution import Execution
+from repro.core.formula import (
+    And,
+    Atom,
+    FalseFormula,
+    Formula,
+    FormulaError,
+    Not,
+    Or,
+    TrueFormula,
+)
+from repro.core.model import MemoryModel
+from repro.core.predicates import Predicate
+from repro.checker.relations import po_respecting_store_orders, read_from_candidates
+
+#: Read-from source index standing for "reads the initial value".
+INITIAL = -1
+
+#: An edge between event indices.
+IndexEdge = Tuple[int, int]
+
+#: A complete assignment found by the search: (read-from source per load, in
+#: ``IndexedExecution.loads`` order, and the chosen store order per location).
+KernelWitness = Tuple[Tuple[int, ...], Dict[str, Tuple[int, ...]]]
+
+
+class _UnsupportedFormula(Exception):
+    """A formula node the vectorised evaluator does not know (user subclass)."""
+
+
+class IndexedExecution:
+    """An execution indexed for the bitset kernel.
+
+    Everything here is model-independent and is computed exactly once per
+    test; :class:`~repro.engine.context.TestContext` caches instances across
+    the models of an exploration.  The search itself consumes ``po_before``,
+    ``thread_of``, ``location_of``, ``stores_at``, ``rf_candidates`` and
+    ``coherence_orders_at``; the ``same_thread`` / ``same_location`` masks
+    round out the relation view for predicate-style consumers and tests.
+    """
+
+    def __init__(self, execution: Execution) -> None:
+        self.execution = execution
+        self.events: List[Event] = list(execution.events)
+        self.n = len(self.events)
+        self.index_of: Dict[Event, int] = {event: i for i, event in enumerate(self.events)}
+        self.thread_of: List[int] = [event.thread_index for event in self.events]
+
+        #: bit ``j`` of ``po_before[i]``: event j is program-order-before event i
+        self.po_before: List[int] = [0] * self.n
+        #: bit ``j`` of ``same_thread[i]``: events i and j share a thread
+        self.same_thread: List[int] = [0] * self.n
+        for i, x in enumerate(self.events):
+            for j, y in enumerate(self.events):
+                if i != j and x.same_thread(y):
+                    self.same_thread[i] |= 1 << j
+                    if y.program_order_before(x):
+                        self.po_before[i] |= 1 << j
+
+        #: load event indices, in event order
+        self.loads: Tuple[int, ...] = tuple(
+            i for i, event in enumerate(self.events) if event.is_read
+        )
+        #: store event indices, in event order
+        self.stores: Tuple[int, ...] = tuple(
+            i for i, event in enumerate(self.events) if event.is_write
+        )
+        #: locations in first-use order, and per-location store indices
+        self.locations: Tuple[str, ...] = tuple(execution.locations())
+        self.stores_at: Dict[str, Tuple[int, ...]] = {
+            location: tuple(
+                self.index_of[store] for store in execution.stores_to(location)
+            )
+            for location in self.locations
+        }
+        #: bit ``j`` of ``same_location[i]``: j accesses the same location as i
+        self.same_location: List[int] = [0] * self.n
+        for location in self.locations:
+            members = [
+                i
+                for i, event in enumerate(self.events)
+                if event.is_memory_access and execution.location_of(event) == location
+            ]
+            mask = 0
+            for i in members:
+                mask |= 1 << i
+            for i in members:
+                self.same_location[i] = mask & ~(1 << i)
+
+        self.location_of: List[Optional[str]] = [
+            execution.location_of(event) if event.is_memory_access else None
+            for event in self.events
+        ]
+
+        #: per-load read-from candidates as indices (``INITIAL`` = initial value)
+        self.rf_candidates: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(
+                INITIAL if source is None else self.index_of[source]
+                for source in read_from_candidates(execution, self.events[load])
+            )
+            for load in self.loads
+        )
+        #: True iff some load's observed value is unobtainable
+        self.infeasible = any(not candidates for candidates in self.rf_candidates)
+
+        # Built lazily: infeasible executions (common among enumerated
+        # candidate outcomes) never pay for materialising the store orders.
+        self._coherence_orders_at: Optional[Dict[str, Tuple[Tuple[int, ...], ...]]] = None
+
+        # Same-thread program-order pairs in the order program_order_edges()
+        # visits them: per thread, (earlier, later) with earlier first.
+        pairs: List[IndexEdge] = []
+        for thread_events in execution.events_by_thread:
+            indices = [self.index_of[event] for event in thread_events]
+            for a, u in enumerate(indices):
+                for v in indices[a + 1 :]:
+                    pairs.append((u, v))
+        self.po_pairs: Tuple[IndexEdge, ...] = tuple(pairs)
+        self.all_pairs_mask = (1 << len(pairs)) - 1
+
+        self._atom_masks: Dict[Tuple[Predicate, Tuple[str, ...]], int] = {}
+
+    @property
+    def coherence_orders_at(self) -> Dict[str, Tuple[Tuple[int, ...], ...]]:
+        """Per-location program-order-respecting store orders (index tuples)."""
+        if self._coherence_orders_at is None:
+            self._coherence_orders_at = {
+                location: tuple(
+                    tuple(self.index_of[store] for store in order)
+                    for order in po_respecting_store_orders(
+                        self.execution.stores_to(location)
+                    )
+                )
+                for location in self.locations
+            }
+        return self._coherence_orders_at
+
+    # ------------------------------------------------------------------
+    # vectorised program-order edges
+    # ------------------------------------------------------------------
+    def po_edge_pairs(self, model: MemoryModel) -> List[IndexEdge]:
+        """Return the model's forced program-order edges as index pairs.
+
+        Formula-defined models are evaluated vectorised over bitmasks (one
+        traversal per model); callable models and user formula subclasses
+        fall back to one ``F(x, y)`` call per pair.
+        """
+        formula = model.formula
+        if formula is not None:
+            try:
+                mask = self._formula_mask(formula, model.registry)
+            except _UnsupportedFormula:
+                mask = self._callable_mask(model)
+        else:
+            mask = self._callable_mask(model)
+        return [pair for p, pair in enumerate(self.po_pairs) if (mask >> p) & 1]
+
+    def _callable_mask(self, model: MemoryModel) -> int:
+        mask = 0
+        for p, (u, v) in enumerate(self.po_pairs):
+            if model.ordered(self.execution, self.events[u], self.events[v]):
+                mask |= 1 << p
+        return mask
+
+    def _formula_mask(self, formula: Formula, registry: Dict[str, Predicate]) -> int:
+        if isinstance(formula, TrueFormula):
+            return self.all_pairs_mask
+        if isinstance(formula, FalseFormula):
+            return 0
+        if isinstance(formula, Atom):
+            predicate = registry.get(formula.predicate)
+            if predicate is None:
+                raise FormulaError(f"unknown predicate {formula.predicate!r}")
+            return self._atom_mask(predicate, formula.args)
+        if isinstance(formula, Not):
+            return self.all_pairs_mask & ~self._formula_mask(formula.operand, registry)
+        if isinstance(formula, And):
+            mask = self.all_pairs_mask
+            for operand in formula.operands:
+                mask &= self._formula_mask(operand, registry)
+                if not mask:
+                    break
+            return mask
+        if isinstance(formula, Or):
+            mask = 0
+            for operand in formula.operands:
+                mask |= self._formula_mask(operand, registry)
+                if mask == self.all_pairs_mask:
+                    break
+            return mask
+        raise _UnsupportedFormula(type(formula).__name__)
+
+    def _atom_mask(self, predicate: Predicate, args: Tuple[str, ...]) -> int:
+        """The atom's truth vector over ``po_pairs``, cached per (predicate, args)."""
+        key = (predicate, args)
+        cached = self._atom_masks.get(key)
+        if cached is not None:
+            return cached
+        execution = self.execution
+        mask = 0
+        for p, (u, v) in enumerate(self.po_pairs):
+            events = tuple(
+                self.events[u] if arg == "x" else self.events[v] for arg in args
+            )
+            if predicate.arity == 1:
+                if len(events) != 1:
+                    raise FormulaError(f"predicate {predicate.name} is unary")
+                value = predicate.evaluate(execution, events[0])
+            else:
+                if len(events) != 2:
+                    raise FormulaError(f"predicate {predicate.name} is binary")
+                value = predicate.evaluate(execution, events[0], events[1])
+            if value:
+                mask |= 1 << p
+        self._atom_masks[key] = mask
+        return mask
+
+
+class ReachabilityKernel:
+    """Incremental cycle detection over ``n`` nodes with O(edges) undo.
+
+    ``reach[i]`` is the bitmask of nodes reachable from node ``i`` along the
+    edges inserted so far.  Inserting ``u -> v`` updates the reachability of
+    every node that reaches ``u`` (at most ``n`` int operations) and records
+    the overwritten bitsets on a trail; :meth:`undo_to` restores them.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.reach: List[int] = [0] * n
+        self._trail: List[Tuple[int, int]] = []
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert ``u -> v``; return False (and change nothing) on a cycle."""
+        reach = self.reach
+        if u == v or (reach[v] >> u) & 1:
+            return False
+        gain = reach[v] | (1 << v)
+        trail = self._trail
+        for w in range(self.n):
+            old = reach[w]
+            if w != u and not (old >> u) & 1:
+                continue
+            new = old | gain
+            if new != old:
+                trail.append((w, old))
+                reach[w] = new
+        return True
+
+    def add_edges(self, edges: Sequence[IndexEdge]) -> bool:
+        """Insert several edges; False on the first cycle (partial inserts stay
+        on the trail, so callers undo to their own mark)."""
+        for u, v in edges:
+            if not self.add_edge(u, v):
+                return False
+        return True
+
+    def mark(self) -> int:
+        """Return an undo mark for the current trail position."""
+        return len(self._trail)
+
+    def undo_to(self, mark: int) -> None:
+        """Restore every reachability bitset recorded after ``mark``."""
+        trail = self._trail
+        reach = self.reach
+        while len(trail) > mark:
+            w, old = trail.pop()
+            reach[w] = old
+
+    def has_path(self, u: int, v: int) -> bool:
+        """Return True iff a path ``u -> ... -> v`` exists."""
+        return bool((self.reach[u] >> v) & 1)
+
+
+class KernelSearch:
+    """Backtracking search for an acyclic forced-edge relation.
+
+    Decisions are interleaved per location: first the location's coherence
+    order (chain ``co`` edges), then the read-from source of every load of
+    that location (``rf`` edge when external, plus the ``fr`` edges the pair
+    of choices forces).  Each decision's edges go through the reachability
+    kernel; a cycle or an anti-program-order ``fr`` edge prunes the subtree.
+    """
+
+    def __init__(self, indexed: IndexedExecution, po_edges: Sequence[IndexEdge]) -> None:
+        self.ix = indexed
+        self.po_edges = po_edges
+        self.kernel = ReachabilityKernel(indexed.n)
+        # Decision plan: ("co", location) and ("rf", position-in-loads).
+        self.plan: List[Tuple[str, object]] = []
+        loads_of: Dict[str, List[int]] = {}
+        for position, load in enumerate(indexed.loads):
+            location = indexed.location_of[load]
+            loads_of.setdefault(location, []).append(position)
+        for location in indexed.locations:
+            if not indexed.stores_at[location]:
+                continue  # nothing to order, and loads here force no edges
+            self.plan.append(("co", location))
+            for position in loads_of.get(location, ()):
+                self.plan.append(("rf", position))
+        # Search state.
+        self.rf_choice: List[int] = [INITIAL] * len(indexed.loads)
+        self.co_choice: Dict[str, Tuple[int, ...]] = {}
+        self.co_position: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> Optional[KernelWitness]:
+        """Return a witnessing assignment, or None when none is acyclic."""
+        if self.ix.infeasible:
+            return None
+        if not self.kernel.add_edges(self.po_edges):
+            return None  # unreachable: program order alone is acyclic
+        if not self._search(0):
+            return None
+        coherence = {
+            location: self.co_choice.get(location, ()) for location in self.ix.locations
+        }
+        return tuple(self.rf_choice), coherence
+
+    # ------------------------------------------------------------------
+    def _search(self, depth: int) -> bool:
+        if depth == len(self.plan):
+            return True
+        kind, item = self.plan[depth]
+        if kind == "co":
+            return self._search_coherence(depth, item)
+        return self._search_read_from(depth, item)
+
+    def _search_coherence(self, depth: int, location: str) -> bool:
+        kernel = self.kernel
+        for order in self.ix.coherence_orders_at[location]:
+            mark = kernel.mark()
+            # Chain edges are reachability-equivalent to the full co order.
+            ok = all(
+                kernel.add_edge(order[i], order[i + 1]) for i in range(len(order) - 1)
+            )
+            if ok:
+                self.co_choice[location] = order
+                for position, store in enumerate(order):
+                    self.co_position[store] = position
+                if self._search(depth + 1):
+                    return True
+                del self.co_choice[location]
+            kernel.undo_to(mark)
+        return False
+
+    def _search_read_from(self, depth: int, position: int) -> bool:
+        ix = self.ix
+        kernel = self.kernel
+        load = ix.loads[position]
+        order = self.co_choice[ix.location_of[load]]
+        po_before_load = ix.po_before[load]
+        for source in ix.rf_candidates[position]:
+            mark = kernel.mark()
+            ok = True
+            if source != INITIAL and ix.thread_of[source] != ix.thread_of[load]:
+                ok = kernel.add_edge(source, load)  # external rf edge
+            if ok:
+                # from-read edges: the load precedes every store that is not
+                # coherence-before its source.
+                later = order if source == INITIAL else order[self.co_position[source] + 1 :]
+                for other in later:
+                    if other == source:
+                        continue
+                    if (po_before_load >> other) & 1:
+                        ok = False  # would force an anti-program-order edge
+                        break
+                    if not kernel.add_edge(load, other):
+                        ok = False
+                        break
+            if ok:
+                self.rf_choice[position] = source
+                if self._search(depth + 1):
+                    return True
+            kernel.undo_to(mark)
+        return False
+
+
+def kernel_allowed(indexed: IndexedExecution, po_edges: Sequence[IndexEdge]) -> bool:
+    """Decide admissibility for a model's program-order edges."""
+    return KernelSearch(indexed, po_edges).run() is not None

@@ -1,11 +1,23 @@
-"""Brute-force reference checker.
+"""Brute-force oracle checkers.
 
-This backend exists purely for cross-validation: it enumerates read-from
-maps, coherence orders *and* global total orders of the events, and accepts
-the execution iff some total order is consistent with every forced edge.  Its
-complexity is factorial in the number of events, so it is only usable for
-programs with a handful of instructions — exactly the regime of the property
-tests in ``tests/checker/test_cross_validation.py``.
+These backends exist purely for cross-validation of the fast paths:
+
+* :class:`EnumerationChecker` — the pre-kernel explicit checker: it
+  materialises the full Cartesian product of read-from maps and coherence
+  orders and tests each complete combination's forced-edge digraph for
+  acyclicity.  The backtracking kernel of
+  :class:`~repro.checker.explicit.ExplicitChecker` is cross-validated
+  against it.
+* :class:`ReferenceChecker` — one level more naive still: it additionally
+  enumerates global total orders of the events and accepts the execution iff
+  some total order is consistent with every forced edge.  Its complexity is
+  factorial in the number of events, so it is only usable for programs with
+  a handful of instructions — exactly the regime of the property tests in
+  ``tests/checker/test_cross_validation.py``.
+
+Both use :func:`enumerate_coherence_orders_reference`, the original
+permute-then-filter coherence enumeration, so the oracle path stays
+independent of the direct interleaving generator it validates.
 """
 
 from __future__ import annotations
@@ -14,17 +26,77 @@ from itertools import permutations
 from typing import Dict, List, Optional
 
 from repro.checker.relations import (
-    enumerate_coherence_orders,
+    enumerate_coherence_orders_reference,
     enumerate_read_from_maps,
     forced_edges,
+    happens_before_graph,
     program_order_edges,
 )
-from repro.checker.result import CheckResult
+from repro.checker.result import CheckResult, CheckWitness
 from repro.core.events import Event
 from repro.core.execution import Execution, ExecutionError
 from repro.core.expr import ExprError
 from repro.core.litmus import LitmusTest
 from repro.core.model import MemoryModel
+
+
+class EnumerationChecker:
+    """Decide admissibility by exhaustive (rf, co) product enumeration.
+
+    This is the explicit backend as it existed before the bitset kernel:
+    every read-from map is paired with every coherence order, the forced
+    edges are rebuilt per combination, and a fresh digraph acyclicity check
+    decides each one.  Kept as the oracle the kernel search is validated
+    against.
+    """
+
+    name = "enumeration"
+
+    def check(self, test: LitmusTest, model: MemoryModel) -> CheckResult:
+        """Return whether ``model`` allows the candidate execution of ``test``."""
+        try:
+            execution = test.execution()
+        except (ExecutionError, ExprError) as error:
+            return CheckResult(
+                False,
+                test_name=test.name,
+                model_name=model.name,
+                reason=f"execution cannot be evaluated: {error}",
+            )
+        return self.check_execution(execution, model, test_name=test.name)
+
+    def check_execution(
+        self, execution: Execution, model: MemoryModel, test_name: str = ""
+    ) -> CheckResult:
+        """Check an already-evaluated execution."""
+        po_edges = program_order_edges(execution, model)
+
+        saw_read_from_map = False
+        for read_from in enumerate_read_from_maps(execution):
+            saw_read_from_map = True
+            for coherence in enumerate_coherence_orders_reference(execution):
+                edges = forced_edges(execution, model, read_from, coherence, po_edges)
+                if edges is None:
+                    continue
+                if happens_before_graph(execution, edges).is_acyclic():
+                    witness = CheckWitness(
+                        read_from=tuple(sorted(read_from.items(), key=lambda kv: kv[0].uid)),
+                        coherence=tuple(sorted(coherence.items())),
+                        edges=tuple(edges),
+                    )
+                    return CheckResult(
+                        True,
+                        test_name=test_name,
+                        model_name=model.name,
+                        witness=witness,
+                    )
+
+        reason = (
+            "every read-from/coherence choice yields a happens-before cycle"
+            if saw_read_from_map
+            else "no read-from source can produce the observed values"
+        )
+        return CheckResult(False, test_name=test_name, model_name=model.name, reason=reason)
 
 
 class ReferenceChecker:
@@ -59,7 +131,7 @@ class ReferenceChecker:
         po_edges = program_order_edges(execution, model)
 
         for read_from in enumerate_read_from_maps(execution):
-            for coherence in enumerate_coherence_orders(execution):
+            for coherence in enumerate_coherence_orders_reference(execution):
                 edges = forced_edges(execution, model, read_from, coherence, po_edges)
                 if edges is None:
                     continue

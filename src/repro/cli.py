@@ -60,7 +60,13 @@ def _make_checker(backend: str):
         return SatChecker()
     if backend == "explicit":
         return ExplicitChecker()
-    raise SystemExit(f"unknown backend {backend!r} (expected 'explicit' or 'sat')")
+    if backend == "enumeration":
+        from repro.checker.reference import EnumerationChecker
+
+        return EnumerationChecker()
+    raise SystemExit(
+        f"unknown backend {backend!r} (expected 'explicit', 'enumeration' or 'sat')"
+    )
 
 
 def _make_engine(args: argparse.Namespace) -> CheckEngine:
@@ -128,7 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Compare memory consistency models with bounded litmus tests (DAC 2011 reproduction).",
     )
     parser.add_argument(
-        "--backend", choices=("explicit", "sat"), default="explicit", help="admissibility backend"
+        "--backend",
+        choices=("explicit", "enumeration", "sat"),
+        default="explicit",
+        help="admissibility backend",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 

@@ -79,6 +79,12 @@ class Execution:
         #: for each event key, the set of load event keys it control-depends on
         self._control_sources: Dict[EventKey, FrozenSet[EventKey]] = {}
 
+        # Memoised derived views (the events never change after __init__).
+        self._loads: Optional[List[Event]] = None
+        self._stores: Optional[List[Event]] = None
+        self._stores_by_location: Optional[Dict[str, List[Event]]] = None
+        self._locations_in_order: Optional[List[str]] = None
+
         self._evaluate()
 
     # ------------------------------------------------------------------
@@ -151,23 +157,34 @@ class Execution:
         return [event for event in self.events if event.is_memory_access]
 
     def loads(self) -> List[Event]:
-        return [event for event in self.events if event.is_read]
+        if self._loads is None:
+            self._loads = [event for event in self.events if event.is_read]
+        return list(self._loads)
 
     def stores(self) -> List[Event]:
-        return [event for event in self.events if event.is_write]
+        if self._stores is None:
+            self._stores = [event for event in self.events if event.is_write]
+        return list(self._stores)
 
     def stores_to(self, location: str) -> List[Event]:
         """Return the store events to ``location``."""
-        return [event for event in self.stores() if self.location_of(event) == location]
+        if self._stores_by_location is None:
+            by_location: Dict[str, List[Event]] = {}
+            for event in self.stores():
+                by_location.setdefault(self.location_of(event), []).append(event)
+            self._stores_by_location = by_location
+        return list(self._stores_by_location.get(location, []))
 
     def locations(self) -> List[str]:
         """Return all locations touched by the execution, in first-use order."""
-        seen: List[str] = []
-        for event in self.memory_events():
-            location = self.location_of(event)
-            if location not in seen:
-                seen.append(location)
-        return seen
+        if self._locations_in_order is None:
+            seen: List[str] = []
+            for event in self.memory_events():
+                location = self.location_of(event)
+                if location not in seen:
+                    seen.append(location)
+            self._locations_in_order = seen
+        return list(self._locations_in_order)
 
     # ------------------------------------------------------------------
     # per-event facts

@@ -67,13 +67,18 @@ class MemoryModel:
         """
         function = self.must_not_reorder
         if isinstance(function, Formula):
-            return function.evaluate(execution, x, y, self._registry)
+            return function.evaluate(execution, x, y, self.registry)
         return bool(function(execution, x, y))
 
     @cached_property
-    def _registry(self) -> Dict[str, Predicate]:
-        # The registry only depends on the (immutable) predicate set, and
-        # ``ordered`` is the hottest call of every exploration: build once.
+    def registry(self) -> Dict[str, Predicate]:
+        """The name -> predicate mapping formulas of this model resolve against.
+
+        The registry only depends on the (immutable) predicate set, and it is
+        on the hottest path of every exploration — both :meth:`ordered` and
+        the vectorised evaluator of :mod:`repro.checker.kernel` — so it is
+        built once.  Treat the returned dict as read-only.
+        """
         registry = default_registry()
         registry.update({predicate.name: predicate for predicate in self.predicates})
         return registry

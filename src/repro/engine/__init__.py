@@ -19,6 +19,7 @@ from repro.engine.context import TestContext
 from repro.engine.engine import CheckEngine, EngineStats, VerdictVector
 from repro.engine.strategies import (
     CheckStrategy,
+    EnumerationStrategy,
     ExplicitStrategy,
     IncrementalSatStrategy,
     LegacyCheckerStrategy,
@@ -31,6 +32,7 @@ __all__ = [
     "VerdictVector",
     "TestContext",
     "CheckStrategy",
+    "EnumerationStrategy",
     "ExplicitStrategy",
     "IncrementalSatStrategy",
     "LegacyCheckerStrategy",

@@ -6,11 +6,20 @@ depend on the memory model being checked:
 * the evaluated :class:`~repro.core.execution.Execution` (or the evaluation
   error when the candidate outcome is malformed) — evaluated exactly once,
   however many models are checked against the test;
-* the enumerated read-from candidate lists and coherence orders the explicit
-  backend iterates over (today this enumeration is repeated per model);
+* the :class:`~repro.checker.kernel.IndexedExecution` the kernel-based
+  explicit backend searches over (events as ints, relations as bitmasks);
+* the enumerated read-from candidate lists, coherence orders and per-order
+  coherence-position maps the enumeration oracle iterates over;
 * the model-independent CNF skeleton and the persistent incremental
   :class:`~repro.sat.solver.SatSolver` the SAT backend instantiates per
   model through assumption literals, reusing learned clauses across models.
+
+Model-*dependent* but recomputation-heavy facts are cached too: the
+program-order edges a model forces on this test (both as event triples and
+as kernel index pairs) are keyed per model, so repeated checks of the same
+(test, model) pair — and every ``forced_edges`` call inside one check — stop
+recomputing them.  Cache hits are surfaced through
+:class:`~repro.engine.engine.EngineStats`.
 
 Everything is built lazily so a context only pays for the strategy that
 actually uses it.
@@ -18,19 +27,27 @@ actually uses it.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.checker.encoder import Encoding, encode_skeleton
+from repro.checker.kernel import IndexedExecution
 from repro.checker.relations import (
     CoherenceOrder,
+    HbEdge,
+    coherence_position_map,
     enumerate_coherence_orders,
+    program_order_edges,
     read_from_candidates,
 )
 from repro.core.events import Event
 from repro.core.execution import Execution, ExecutionError
 from repro.core.expr import ExprError
 from repro.core.litmus import LitmusTest
+from repro.core.model import MemoryModel
 from repro.sat.solver import SatSolver
+
+#: An edge between kernel event indices.
+IndexEdge = Tuple[int, int]
 
 
 class TestContext:
@@ -45,23 +62,76 @@ class TestContext:
         except (ExecutionError, ExprError) as error:
             self.error = f"execution cannot be evaluated: {error}"
 
-        # Explicit-strategy caches.
+        # Kernel-strategy caches.
+        self._indexed: Optional[IndexedExecution] = None
+        # id(model) -> (model, po edges); the model reference keeps the id
+        # stable, exactly like the engine's context cache.
+        self._po_pairs_by_model: Dict[int, Tuple[MemoryModel, List[IndexEdge]]] = {}
+        self._po_edges_by_model: Dict[int, Tuple[MemoryModel, List[HbEdge]]] = {}
+
+        # Enumeration-strategy caches.
         self._loads: Optional[List[Event]] = None
         self._rf_candidate_lists: Optional[List[List[Optional[Event]]]] = None
         self._coherence_orders: Optional[List[CoherenceOrder]] = None
+        self._coherence_positions: Optional[List[Dict[Event, int]]] = None
 
         # SAT-strategy caches.
         self._skeleton: Optional[Encoding] = None
         self._solver: Optional[SatSolver] = None
 
     # ------------------------------------------------------------------
-    # explicit-strategy caches
+    # kernel-strategy caches
     # ------------------------------------------------------------------
     @property
     def candidate_space_built(self) -> bool:
-        """True once either strategy has built its candidate space."""
-        return self._rf_candidate_lists is not None or self._skeleton is not None
+        """True once some strategy has built its candidate space."""
+        return (
+            self._indexed is not None
+            or self._rf_candidate_lists is not None
+            or self._skeleton is not None
+        )
 
+    def indexed(self) -> IndexedExecution:
+        """Return the bitset-indexed execution, building it once."""
+        assert self.execution is not None
+        if self._indexed is None:
+            self._indexed = IndexedExecution(self.execution)
+        return self._indexed
+
+    def po_edge_pairs(self, model: MemoryModel, stats=None) -> List[IndexEdge]:
+        """Return the model's program-order edges as kernel index pairs.
+
+        Cached per model; a hit increments ``stats.po_edge_cache_hits``.
+        """
+        key = id(model)
+        entry = self._po_pairs_by_model.get(key)
+        if entry is not None and entry[0] is model:
+            if stats is not None:
+                stats.po_edge_cache_hits += 1
+            return entry[1]
+        pairs = self.indexed().po_edge_pairs(model)
+        self._po_pairs_by_model[key] = (model, pairs)
+        return pairs
+
+    def program_order_edges(self, model: MemoryModel, stats=None) -> List[HbEdge]:
+        """Return the model's program-order edges as event triples.
+
+        Cached per model; a hit increments ``stats.po_edge_cache_hits``.
+        """
+        assert self.execution is not None
+        key = id(model)
+        entry = self._po_edges_by_model.get(key)
+        if entry is not None and entry[0] is model:
+            if stats is not None:
+                stats.po_edge_cache_hits += 1
+            return entry[1]
+        edges = program_order_edges(self.execution, model)
+        self._po_edges_by_model[key] = (model, edges)
+        return edges
+
+    # ------------------------------------------------------------------
+    # enumeration-strategy caches
+    # ------------------------------------------------------------------
     def read_from_space(self) -> Tuple[List[Event], List[List[Optional[Event]]]]:
         """Return (loads, per-load read-from candidates), computing once."""
         assert self.execution is not None
@@ -78,6 +148,21 @@ class TestContext:
         if self._coherence_orders is None:
             self._coherence_orders = list(enumerate_coherence_orders(self.execution))
         return self._coherence_orders
+
+    def coherence_positions(self, stats=None) -> List[Dict[Event, int]]:
+        """Return per-order store-position maps aligned with
+        :meth:`coherence_orders`, computing once.
+
+        A cached return increments ``stats.coherence_cache_hits``: every hit
+        is a ``forced_edges`` sweep that skipped rebuilding the maps.
+        """
+        if self._coherence_positions is None:
+            self._coherence_positions = [
+                coherence_position_map(coherence) for coherence in self.coherence_orders()
+            ]
+        elif stats is not None:
+            stats.coherence_cache_hits += 1
+        return self._coherence_positions
 
     # ------------------------------------------------------------------
     # SAT-strategy caches

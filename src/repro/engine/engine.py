@@ -50,6 +50,10 @@ class EngineStats:
     context_cache_hits: int = 0
     #: read-from/coherence spaces or CNF skeletons built (one per test)
     candidate_spaces_built: int = 0
+    #: per-model program-order edge sets answered from the context cache
+    po_edge_cache_hits: int = 0
+    #: coherence-position map sweeps answered from the context cache
+    coherence_cache_hits: int = 0
     #: incremental SAT calls issued (SAT backend only)
     solver_calls: int = 0
     #: learned clauses already present at the start of a SAT call, summed
@@ -79,6 +83,10 @@ class EngineStats:
             f"{self.executions_evaluated} executions evaluated",
             f"{self.context_cache_hits} cache hits",
         ]
+        if self.po_edge_cache_hits:
+            parts.append(f"{self.po_edge_cache_hits} po-edge cache hits")
+        if self.coherence_cache_hits:
+            parts.append(f"{self.coherence_cache_hits} coherence cache hits")
         if self.solver_calls:
             parts.append(f"{self.solver_calls} SAT calls")
             parts.append(f"{self.clauses_reused} learned clauses reused")

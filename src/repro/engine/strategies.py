@@ -4,10 +4,15 @@ Each strategy answers "does ``model`` allow ``test``'s candidate execution?"
 for a :class:`~repro.engine.context.TestContext`, exploiting the context's
 model-independent caches:
 
-* :class:`ExplicitStrategy` — the explicit-enumeration semantics of
-  :class:`~repro.checker.explicit.ExplicitChecker`, but iterating cached
-  read-from candidate lists and coherence orders instead of re-enumerating
-  them for every model;
+* :class:`ExplicitStrategy` — the pruned backtracking search of
+  :mod:`repro.checker.kernel` over the context's cached
+  :class:`~repro.checker.kernel.IndexedExecution`, with the per-model
+  program-order edges answered from the context's bitset formula evaluator
+  and cached across repeated checks;
+* :class:`EnumerationStrategy` — the pre-kernel explicit semantics (full
+  read-from × coherence product, one digraph acyclicity check per complete
+  combination), kept as the in-engine oracle path; it reuses the context's
+  cached candidate spaces, program-order edges and coherence-position maps;
 * :class:`IncrementalSatStrategy` — the SAT semantics of
   :class:`~repro.checker.sat_checker.SatChecker`, but answering every model
   with one persistent incremental solver over the shared CNF skeleton via
@@ -23,11 +28,8 @@ from __future__ import annotations
 from itertools import product
 from typing import TYPE_CHECKING, Protocol
 
-from repro.checker.relations import (
-    forced_edges,
-    happens_before_graph,
-    program_order_edges,
-)
+from repro.checker.kernel import kernel_allowed
+from repro.checker.relations import forced_edges, happens_before_graph
 from repro.core.model import MemoryModel
 from repro.engine.context import TestContext
 
@@ -46,9 +48,32 @@ class CheckStrategy(Protocol):
 
 
 class ExplicitStrategy:
-    """Explicit enumeration over the context's cached candidate spaces."""
+    """Pruned backtracking over the context's bitset-indexed execution."""
 
     name = "explicit"
+
+    def check(self, context: TestContext, model: MemoryModel, stats: "EngineStats") -> bool:
+        first_visit = not context.candidate_space_built
+        indexed = context.indexed()
+        if first_visit:
+            stats.candidate_spaces_built += 1
+        if indexed.infeasible:
+            return False  # some load's observed value is unobtainable
+        return kernel_allowed(indexed, context.po_edge_pairs(model, stats))
+
+
+class EnumerationStrategy:
+    """Exhaustive (rf, co) product enumeration over the context's caches.
+
+    The pre-kernel explicit semantics, kept selectable (backend name
+    ``"enumeration"``) as the oracle the kernel strategy is cross-validated
+    against.  Unlike the standalone
+    :class:`~repro.checker.reference.EnumerationChecker` it reuses the
+    context's cached program-order edges and coherence-position maps, so
+    repeated ``forced_edges`` calls stop recomputing them.
+    """
+
+    name = "enumeration"
 
     def check(self, context: TestContext, model: MemoryModel, stats: "EngineStats") -> bool:
         execution = context.execution
@@ -60,12 +85,15 @@ class ExplicitStrategy:
         if any(not candidates for candidates in candidate_lists):
             return False  # some load's observed value is unobtainable
 
-        po_edges = program_order_edges(execution, model)
+        po_edges = context.program_order_edges(model, stats)
         coherence_orders = context.coherence_orders()
+        coherence_positions = context.coherence_positions(stats)
         for choice in product(*candidate_lists):
             read_from = dict(zip(loads, choice))
-            for coherence in coherence_orders:
-                edges = forced_edges(execution, model, read_from, coherence, po_edges)
+            for coherence, positions in zip(coherence_orders, coherence_positions):
+                edges = forced_edges(
+                    execution, model, read_from, coherence, po_edges, positions
+                )
                 if edges is None:
                     continue
                 if happens_before_graph(execution, edges).is_acyclic():
@@ -113,25 +141,36 @@ class LegacyCheckerStrategy:
 def make_strategy(backend: object) -> CheckStrategy:
     """Resolve a backend specification into a strategy.
 
-    ``backend`` is either a strategy name (``"explicit"`` or ``"sat"``), an
-    existing strategy instance, or a legacy checker object exposing
-    ``check(test, model)``.
+    ``backend`` is either a strategy name (``"explicit"``, ``"enumeration"``
+    or ``"sat"``), an existing strategy instance, or a legacy checker object
+    exposing ``check(test, model)``.
     """
     from repro.checker.explicit import ExplicitChecker
+    from repro.checker.reference import EnumerationChecker
     from repro.checker.sat_checker import SatChecker
 
     if isinstance(backend, str):
         if backend == "explicit":
             return ExplicitStrategy()
+        if backend == "enumeration":
+            return EnumerationStrategy()
         if backend == "sat":
             return IncrementalSatStrategy()
-        raise ValueError(f"unknown engine backend {backend!r} (expected 'explicit' or 'sat')")
-    if isinstance(backend, (ExplicitStrategy, IncrementalSatStrategy, LegacyCheckerStrategy)):
+        raise ValueError(
+            f"unknown engine backend {backend!r} "
+            "(expected 'explicit', 'enumeration' or 'sat')"
+        )
+    if isinstance(
+        backend,
+        (ExplicitStrategy, EnumerationStrategy, IncrementalSatStrategy, LegacyCheckerStrategy),
+    ):
         return backend
-    # The two classic backends become the engine's native strategies.  A
+    # The classic backends become the engine's native strategies.  A
     # preprocessing-enabled SatChecker keeps its own per-check pipeline.
     if isinstance(backend, ExplicitChecker):
         return ExplicitStrategy()
+    if isinstance(backend, EnumerationChecker):
+        return EnumerationStrategy()
     if isinstance(backend, SatChecker) and not backend.use_preprocessing:
         return IncrementalSatStrategy()
     if hasattr(backend, "check"):

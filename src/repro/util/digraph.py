@@ -106,8 +106,23 @@ class Digraph:
     # algorithms
     # ------------------------------------------------------------------
     def has_cycle(self) -> bool:
-        """Return True iff the graph contains a directed cycle."""
-        return self.find_cycle() is not None
+        """Return True iff the graph contains a directed cycle.
+
+        Cycle *existence* is decided with an unordered Kahn peeling — much
+        cheaper than :meth:`find_cycle`, whose deterministic DFS re-sorts
+        every successor set.
+        """
+        in_degree: Dict[Node, int] = {node: len(self._pred[node]) for node in self._order}
+        ready: List[Node] = [node for node, degree in in_degree.items() if degree == 0]
+        visited = 0
+        while ready:
+            node = ready.pop()
+            visited += 1
+            for succ in self._succ[node]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        return visited != len(self._order)
 
     def is_acyclic(self) -> bool:
         """Return True iff the graph contains no directed cycle."""

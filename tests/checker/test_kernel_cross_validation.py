@@ -1,0 +1,131 @@
+"""Randomized cross-validation of the kernel search against its oracles.
+
+A seeded generator produces small random executions (programs plus observed
+load values, spanning feasible, infeasible and contended shapes) and random
+models, and the suite asserts that the backtracking kernel checker
+(:class:`ExplicitChecker`), the product-enumeration oracle
+(:class:`EnumerationChecker`) and the SAT backend all return the same
+verdict.  Unlike the hypothesis properties in ``test_cross_validation.py``
+this sweep is deterministic and covers a fixed budget of ≥200 executions,
+so a kernel regression cannot hide behind example shrinking.
+"""
+
+import random
+
+from repro.checker.explicit import ExplicitChecker
+from repro.checker.reference import EnumerationChecker, ReferenceChecker
+from repro.checker.sat_checker import SatChecker
+from repro.core.catalog import PSO, SC, TSO
+from repro.core.instructions import Fence, Load, Store
+from repro.core.litmus import LitmusTest
+from repro.core.model import MemoryModel
+from repro.core.parametric import model_space
+from repro.core.program import Program, Thread
+
+EXPLICIT = ExplicitChecker()
+ENUMERATION = EnumerationChecker()
+SAT = SatChecker()
+REFERENCE = ReferenceChecker(max_events=7)
+
+#: Model pool: the full parametric space, the catalog classics, and a
+#: negated formula plus a raw callable to exercise the kernel's fallbacks.
+MODELS = (
+    model_space(include_data_dependencies=True)
+    + [SC, TSO, PSO]
+    + [
+        MemoryModel("neg", "!Fence(x) & !Fence(y) & SameAddr(x, y)"),
+        MemoryModel("callable", lambda execution, x, y: x.is_write or y.is_fence),
+    ]
+)
+
+LOCATIONS = ("X", "Y")
+VALUES = (0, 1, 2)
+
+
+def random_program(rng: random.Random) -> Program:
+    threads = []
+    register = 0
+    for thread_index in range(rng.randint(1, 3)):
+        instructions = []
+        for _ in range(rng.randint(1, 3)):
+            kind = rng.random()
+            if kind < 0.45:
+                instructions.append(Store(rng.choice(LOCATIONS), rng.choice((1, 2))))
+            elif kind < 0.9:
+                register += 1
+                instructions.append(Load(f"r{register}", rng.choice(LOCATIONS)))
+            else:
+                instructions.append(Fence())
+        threads.append(Thread(f"T{thread_index + 1}", instructions))
+    return Program(threads)
+
+
+def random_execution_test(rng: random.Random, index: int) -> LitmusTest:
+    program = random_program(rng)
+    read_values = {}
+    for thread_index, thread in enumerate(program.threads):
+        for instruction_index, instruction in enumerate(thread.instructions):
+            if isinstance(instruction, Load):
+                read_values[(thread_index, instruction_index)] = rng.choice(VALUES)
+    return LitmusTest(f"rnd{index}", program, read_values)
+
+
+def test_kernel_agrees_with_enumeration_and_sat_on_200_random_executions():
+    rng = random.Random(20110605)  # DAC 2011 started June 5th
+    checked = 0
+    allowed = 0
+    while checked < 200:
+        test = random_execution_test(rng, checked)
+        model = rng.choice(MODELS)
+        kernel_verdict = EXPLICIT.check(test, model).allowed
+        assert kernel_verdict == ENUMERATION.check(test, model).allowed, (
+            f"kernel vs enumeration mismatch on {test.name} under {model.name}"
+        )
+        assert kernel_verdict == SAT.check(test, model).allowed, (
+            f"kernel vs SAT mismatch on {test.name} under {model.name}"
+        )
+        checked += 1
+        allowed += kernel_verdict
+    # The generator must exercise both verdicts, or the sweep proves nothing.
+    assert 20 < allowed < 180
+
+
+def test_kernel_agrees_with_total_order_reference_on_tiny_executions():
+    rng = random.Random(404)
+    checked = 0
+    while checked < 40:
+        test = random_execution_test(rng, checked)
+        if len(test.program.threads) > 2 or sum(
+            len(thread.instructions) for thread in test.program.threads
+        ) > 5:
+            continue
+        model = rng.choice(MODELS)
+        assert (
+            EXPLICIT.check(test, model).allowed == REFERENCE.check(test, model).allowed
+        ), f"kernel vs reference mismatch on {test.name} under {model.name}"
+        checked += 1
+
+
+def test_kernel_witnesses_are_valid_on_random_allowed_executions():
+    from repro.checker.relations import forced_edges, happens_before_graph
+
+    rng = random.Random(99)
+    found = 0
+    attempts = 0
+    while found < 30 and attempts < 400:
+        attempts += 1
+        test = random_execution_test(rng, attempts)
+        model = rng.choice(MODELS)
+        result = EXPLICIT.check(test, model)
+        if not result.allowed:
+            continue
+        found += 1
+        witness = result.witness
+        assert witness is not None
+        execution = test.execution()
+        edges = forced_edges(
+            execution, model, witness.read_from_map(), witness.coherence_map()
+        )
+        assert edges is not None
+        assert happens_before_graph(execution, edges).is_acyclic()
+    assert found == 30

@@ -4,9 +4,11 @@ import pytest
 
 from repro.checker.relations import (
     enumerate_coherence_orders,
+    enumerate_coherence_orders_reference,
     enumerate_read_from_maps,
     forced_edges,
     happens_before_graph,
+    po_respecting_store_orders,
     program_order_edges,
     read_from_candidates,
 )
@@ -68,6 +70,60 @@ def test_coherence_orders_respect_program_order():
         stores = order["X"]
         first_indices = [s.index for s in stores if s.thread_index == 0]
         assert first_indices == sorted(first_indices)
+
+
+def test_direct_coherence_generation_matches_reference_sequence():
+    """The interleaving generator reproduces permute-then-filter exactly."""
+    programs = [
+        Program([Thread("T1", [Store("X", 1), Store("X", 2)]), Thread("T2", [Store("X", 3)])]),
+        Program(
+            [
+                Thread("T1", [Store("X", 1), Store("Y", 1), Store("X", 2)]),
+                Thread("T2", [Store("X", 3), Store("Y", 2)]),
+                Thread("T3", [Store("Y", 3)]),
+            ]
+        ),
+        Program([Thread("T1", [Load("r1", "X")]), Thread("T2", [Store("X", 1)])]),
+    ]
+    for index, program in enumerate(programs):
+        reads = {
+            (t, i): 1
+            for t, thread in enumerate(program.threads)
+            for i, instruction in enumerate(thread.instructions)
+            if isinstance(instruction, Load)
+        }
+        execution = LitmusTest(f"coh{index}", program, reads).execution()
+        direct = list(enumerate_coherence_orders(execution))
+        reference = list(enumerate_coherence_orders_reference(execution))
+        assert direct == reference
+
+
+def test_po_respecting_store_orders_counts_interleavings():
+    program = Program(
+        [Thread("T1", [Store("X", 1), Store("X", 2)]), Thread("T2", [Store("X", 3), Store("X", 4)])]
+    )
+    execution = LitmusTest("interleave", program, {}).execution()
+    orders = po_respecting_store_orders(execution.stores_to("X"))
+    assert len(orders) == 6  # C(4, 2) interleavings of two chains of two
+    assert po_respecting_store_orders([]) == [()]
+    for order in orders:
+        for i, earlier in enumerate(order):
+            assert not any(later.program_order_before(earlier) for later in order[i + 1 :])
+
+
+def test_forced_edges_accepts_precomputed_coherence_positions():
+    execution = TEST_A.execution()
+    loads = execution.loads()
+    read_from = {loads[0]: None, loads[1]: execution.event(1, 0), loads[2]: None}
+    coherence = {location: tuple(execution.stores_to(location)) for location in execution.locations()}
+    from repro.checker.relations import coherence_position_map
+    from repro.core.catalog import TSO as TSO_MODEL
+
+    positions = coherence_position_map(coherence)
+
+    assert forced_edges(execution, TSO_MODEL, read_from, coherence) == forced_edges(
+        execution, TSO_MODEL, read_from, coherence, coherence_position=positions
+    )
 
 
 def test_program_order_edges_depend_on_model():

@@ -11,6 +11,7 @@ from repro.core.parametric import model_space, parametric_model
 from repro.core.program import Program, Thread
 from repro.engine import (
     CheckEngine,
+    EnumerationStrategy,
     ExplicitStrategy,
     IncrementalSatStrategy,
     LegacyCheckerStrategy,
@@ -35,9 +36,13 @@ def legacy_matrix():
 # strategy resolution
 # ----------------------------------------------------------------------
 def test_make_strategy_resolves_names_and_checkers():
+    from repro.checker.reference import EnumerationChecker
+
     assert isinstance(make_strategy("explicit"), ExplicitStrategy)
+    assert isinstance(make_strategy("enumeration"), EnumerationStrategy)
     assert isinstance(make_strategy("sat"), IncrementalSatStrategy)
     assert isinstance(make_strategy(ExplicitChecker()), ExplicitStrategy)
+    assert isinstance(make_strategy(EnumerationChecker()), EnumerationStrategy)
     assert isinstance(make_strategy(SatChecker()), IncrementalSatStrategy)
     # A preprocessing SatChecker keeps its own per-check pipeline.
     assert isinstance(make_strategy(SatChecker(use_preprocessing=True)), LegacyCheckerStrategy)
@@ -63,7 +68,7 @@ def test_engine_rejects_bad_jobs():
 # ----------------------------------------------------------------------
 # verdict matrices
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("backend", ["explicit", "sat"])
+@pytest.mark.parametrize("backend", ["explicit", "enumeration", "sat"])
 def test_matrix_matches_legacy_checkers(backend, legacy_matrix):
     engine = CheckEngine(backend)
     assert engine.verdict_matrix(MODELS, TESTS) == legacy_matrix
@@ -96,6 +101,35 @@ def test_each_execution_is_evaluated_exactly_once():
     engine.verdict_matrix(MODELS, TESTS)
     assert engine.stats.executions_evaluated == len(TESTS)
     assert engine.stats.context_cache_hits == len(TESTS) * (2 * len(MODELS) - 1)
+
+
+def test_po_edge_cache_hits_on_repeated_checks():
+    engine = CheckEngine("explicit")
+    engine.check(TEST_A, MODELS[0])
+    assert engine.stats.po_edge_cache_hits == 0
+    engine.check(TEST_A, MODELS[0])  # same (test, model): cached po edges
+    assert engine.stats.po_edge_cache_hits == 1
+    engine.check(TEST_A, MODELS[1])  # different model: a fresh edge set
+    assert engine.stats.po_edge_cache_hits == 1
+
+
+def test_enumeration_strategy_counts_coherence_cache_hits():
+    engine = CheckEngine("enumeration")
+    engine.check(TEST_A, MODELS[0])
+    assert engine.stats.coherence_cache_hits == 0  # first sweep builds the maps
+    engine.check(TEST_A, MODELS[1])
+    engine.check(TEST_A, MODELS[1])
+    assert engine.stats.coherence_cache_hits == 2
+    assert engine.stats.po_edge_cache_hits == 1  # the repeated model only
+
+
+def test_stats_describe_mentions_cache_hit_counters():
+    engine = CheckEngine("enumeration")
+    engine.check(TEST_A, MODELS[0])
+    engine.check(TEST_A, MODELS[0])
+    text = engine.stats.describe()
+    assert "po-edge cache hits" in text
+    assert "coherence cache hits" in text
 
 
 def test_sat_engine_counts_solver_calls():
