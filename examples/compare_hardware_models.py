@@ -1,24 +1,22 @@
 #!/usr/bin/env python3
 """Compare hardware memory models with bounded litmus tests.
 
-This example reproduces the paper's core use case: given two memory-model
-specifications, decide whether they are equivalent, and if not produce the
-contrasting litmus tests.  It compares the catalogued hardware models
-(SC, TSO/x86, PSO, IBM 370, Alpha) pairwise using the generated template
-suite plus the paper's nine tests, and prints a relation matrix.
+This example reproduces the paper's core use case through the public API:
+given two memory-model specifications, decide whether they are equivalent,
+and if not produce the contrasting litmus tests.  One
+:class:`repro.Session` answers every pairwise :class:`repro.CompareRequest`
+over the generated template suite plus the paper's nine tests, so each
+model's verdict vector is computed exactly once for the whole matrix.
 
 Run with::
 
     python examples/compare_hardware_models.py
 """
 
-from repro import IBM370, PSO, SC, TSO, X86, ALPHA, ModelComparator, Relation
-from repro.core.catalog import RMO_DATA_DEP_ONLY
-from repro.generation.named_tests import L_TESTS
-from repro.generation.suite import standard_suite
+from repro import CompareRequest, Relation, Session
 from repro.io.writer import litmus_to_text
 
-MODELS = [SC, IBM370, TSO, X86, PSO, RMO_DATA_DEP_ONLY, ALPHA]
+MODELS = ["SC", "IBM370", "TSO", "x86", "PSO", "RMO-data", "Alpha"]
 
 RELATION_SYMBOLS = {
     Relation.EQUIVALENT: "==",
@@ -30,38 +28,40 @@ RELATION_SYMBOLS = {
 
 def main() -> None:
     print("Generating the 230-instantiation template suite ...")
-    suite = standard_suite()
-    tests = suite.tests() + list(L_TESTS)
-    comparator = ModelComparator(tests)
-    print(
-        f"  {suite.num_feasible()} feasible template tests "
-        f"(+{len(L_TESTS)} named tests) over {len(MODELS)} models\n"
-    )
+    session = Session()
+    tests = session.tests.comparison_tests("standard")
+    print(f"  {len(tests)} comparison tests over {len(MODELS)} models\n")
 
     # ------------------------------------------------------------------
     # relation matrix
     # ------------------------------------------------------------------
-    names = [model.name for model in MODELS]
-    width = max(len(name) for name in names) + 2
-    header = " " * width + "".join(f"{name:>{width}}" for name in names)
+    width = max(len(name) for name in MODELS) + 2
+    header = " " * width + "".join(f"{name:>{width}}" for name in MODELS)
     print(header)
-    for row_model in MODELS:
+    relations = {}
+    for row in MODELS:
         cells = []
-        for column_model in MODELS:
-            if row_model.name == column_model.name:
+        for column in MODELS:
+            if row == column:
                 cells.append(f"{'--':>{width}}")
                 continue
-            relation = comparator.compare(row_model, column_model).relation
+            relation = session.run(CompareRequest(first=row, second=column)).relation
+            relations[(row, column)] = relation
             cells.append(f"{RELATION_SYMBOLS[relation]:>{width}}")
-        print(f"{row_model.name:<{width}}" + "".join(cells))
+        print(f"{row:<{width}}" + "".join(cells))
     print("\n  '<<' row is stronger (allows fewer executions), '>>' row is weaker,")
     print("  '==' equivalent, '><' incomparable\n")
+
+    # the paper's headline relations
+    assert relations[("TSO", "x86")] is Relation.EQUIVALENT
+    assert relations[("SC", "TSO")] is Relation.STRONGER
+    assert relations[("PSO", "TSO")] is Relation.WEAKER
 
     # ------------------------------------------------------------------
     # contrasting tests for a few interesting pairs
     # ------------------------------------------------------------------
-    for first, second in [(TSO, X86), (TSO, IBM370), (PSO, TSO), (ALPHA, RMO_DATA_DEP_ONLY)]:
-        result = comparator.compare(first, second)
+    for first, second in [("TSO", "x86"), ("TSO", "IBM370"), ("PSO", "TSO"), ("Alpha", "RMO-data")]:
+        result = session.run(CompareRequest(first=first, second=second))
         print(result.describe())
         if not result.equivalent:
             witness_name = (result.only_first or result.only_second)[0]
@@ -70,7 +70,7 @@ def main() -> None:
             print("\n".join("    " + line for line in litmus_to_text(witness).splitlines()))
         print()
 
-    print(f"(performed {comparator.checks_performed} admissibility checks)")
+    print(f"(performed {session.stats.checks_performed} admissibility checks)")
 
 
 if __name__ == "__main__":

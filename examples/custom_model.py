@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Define a custom memory model and locate it in the model space.
 
-This example shows the extension surface of the library:
+This example shows the extension surface of the public API:
 
 1. a custom must-not-reorder function written in the formula DSL (a
-   hypothetical "TSO plus relaxed same-address read-read" model);
+   hypothetical "TSO plus relaxed same-address read-read" model),
+   registered in the session's :class:`repro.ModelRegistry`;
 2. a custom model that uses *control dependencies* — the paper's framework
    supports them even though its tool did not implement them;
 3. placing both models in the paper's lattice by comparing them against the
@@ -19,20 +20,8 @@ Run with::
 
 from pathlib import Path
 
-from repro import (
-    ALPHA,
-    IBM370,
-    MemoryModel,
-    ModelComparator,
-    PSO,
-    Relation,
-    SC,
-    TSO,
-    model_space,
-)
+from repro import CompareRequest, MemoryModel, Relation, Session
 from repro.core.predicates import EXTENDED_PREDICATES
-from repro.generation.named_tests import L_TESTS
-from repro.generation.suite import generate_suite, standard_suite
 from repro.io.writer import write_litmus_file
 
 
@@ -59,46 +48,48 @@ def define_models():
     return tso_relaxed_corr, ctrl_dep_only
 
 
-def locate(model, comparator, references):
+def locate(session, model_name, references, suite):
+    model = session.models.resolve(model_name)
     print(f"Model {model.name}: F(x, y) = {model.formula}")
     for reference in references:
-        result = comparator.compare(model, reference)
-        print(f"  vs {reference.name:8s}: {result.relation.value:12s} "
+        result = session.run(CompareRequest(first=model_name, second=reference, suite=suite))
+        print(f"  vs {reference:8s}: {result.relation.value:12s} "
               f"(witnesses: {', '.join(result.witnesses()[:4]) or '-'})")
     print()
 
 
 def main() -> None:
+    session = Session()
     tso_relaxed_corr, ctrl_dep_only = define_models()
+    session.models.register(tso_relaxed_corr)
+    session.models.register(ctrl_dep_only)
 
     print("Generating template suites ...\n")
-    standard_tests = standard_suite().tests() + list(L_TESTS)
-    comparator = ModelComparator(standard_tests)
 
     print("=" * 70)
     print("1. Where does 'TSO with relaxed same-address read-read' sit?")
     print("=" * 70)
-    locate(tso_relaxed_corr, comparator, [SC, IBM370, TSO, PSO, ALPHA])
+    locate(session, "TSO-coRR", ["SC", "IBM370", "TSO", "PSO", "Alpha"], suite="standard")
 
     # Is it equivalent to any model of the paper's 90-model space?
     equivalents = [
         parametric.name
-        for parametric in model_space()
-        if comparator.compare(tso_relaxed_corr, parametric).equivalent
+        for parametric in session.models.space("deps")
+        if session.run(
+            CompareRequest(first="TSO-coRR", second=parametric, suite="standard")
+        ).equivalent
     ]
     print(f"Equivalent parametric models: {equivalents or 'none'}\n")
 
     print("=" * 70)
     print("2. A control-dependency-only model (extension beyond the paper's tool)")
     print("=" * 70)
-    # Control dependencies need segments with branches, so generate the suite
-    # over the extended predicate set.
-    extended_tests = generate_suite(EXTENDED_PREDICATES).tests() + list(L_TESTS)
-    extended_comparator = ModelComparator(extended_tests)
-    locate(ctrl_dep_only, extended_comparator, [ALPHA, TSO, SC])
+    # Control dependencies need segments with branches, so compare over the
+    # suite generated from the extended predicate set.
+    locate(session, "CtrlDepOnly", ["Alpha", "TSO", "SC"], suite="extended")
 
-    relation_to_alpha = extended_comparator.compare(ctrl_dep_only, ALPHA).relation
-    assert relation_to_alpha is Relation.STRONGER, (
+    contrast = session.run(CompareRequest(first="CtrlDepOnly", second="Alpha", suite="extended"))
+    assert contrast.relation is Relation.STRONGER, (
         "ordering control dependencies makes the model strictly stronger than Alpha"
     )
 
@@ -107,7 +98,7 @@ def main() -> None:
     print("=" * 70)
     output_directory = Path("custom_model_tests")
     output_directory.mkdir(exist_ok=True)
-    contrast = extended_comparator.compare(ctrl_dep_only, ALPHA)
+    extended_tests = session.tests.comparison_tests("extended")
     exported = 0
     for test in extended_tests:
         if test.name in contrast.witnesses()[:5]:

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Reproduce the paper's model-space exploration (Section 4.2, Figure 4).
 
-The script enumerates the parametric family of memory models, compares every
-pair using the generated template suite, and prints:
+The script explores the parametric family of memory models through one
+:class:`repro.Session` (so the engine's per-test caches are shared by every
+request it makes) and prints:
 
 * the equivalence classes (the paper finds eight equivalent pairs in the
   90-model space, all differing only in whether a write may be reordered
@@ -22,11 +23,10 @@ Run with::
 import argparse
 import time
 
-from repro import explore_models, find_minimal_distinguishing_set, verify_distinguishing_set
+from repro import ExploreRequest, Session, find_minimal_distinguishing_set, verify_distinguishing_set
 from repro.comparison.report import exploration_report, hasse_dot, verdict_table
-from repro.core.parametric import KNOWN_CORRESPONDENCES, model_space
+from repro.core.parametric import KNOWN_CORRESPONDENCES
 from repro.generation.named_tests import L_TESTS
-from repro.generation.suite import no_dependency_suite, standard_suite
 
 
 def main() -> None:
@@ -39,16 +39,15 @@ def main() -> None:
     parser.add_argument("--dot", default="model_space.dot", help="output DOT file")
     args = parser.parse_args()
 
+    session = Session()
+    space = "deps" if args.deps else "no_deps"
+    models = session.models.space(space)
+    suite = session.tests.suite("standard" if args.deps else "no_deps")
     print("Enumerating the model space and generating the template suite ...")
-    models = model_space(include_data_dependencies=args.deps)
-    suite = standard_suite() if args.deps else no_dependency_suite()
-    print(
-        f"  {len(models)} models, {suite.num_instantiations()} template instantiations "
-        f"({suite.num_feasible()} feasible tests)\n"
-    )
+    print(f"  {len(models)} models, {len(suite)} feasible template tests\n")
 
     started = time.perf_counter()
-    result = explore_models(models, suite.tests(), preferred_tests=L_TESTS)
+    result = session.run(ExploreRequest(space=space))
     elapsed = time.perf_counter() - started
 
     print(exploration_report(result, KNOWN_CORRESPONDENCES))
@@ -57,24 +56,34 @@ def main() -> None:
     print(f"Equivalent pairs found: {result.num_equivalent_pairs()}")
     print()
 
+    # Headline facts of Section 4.2: SC (M4444) is the unique strongest
+    # model, and the full 90-model space contains exactly 8 equivalent pairs.
+    assert result.strongest_models() == ["M4444"]
+    if args.deps:
+        assert result.num_equivalent_pairs() == 8
+
     # The paper's headline claim: nine tests are enough for the whole space.
-    sufficiency = verify_distinguishing_set(models, L_TESTS, suite.tests())
+    sufficiency = verify_distinguishing_set(models, L_TESTS, suite, checker=session.engine)
     print(
         f"L1..L9 distinguish {sufficiency.covered_pairs}/{sufficiency.total_pairs} "
         f"non-equivalent pairs (complete: {sufficiency.complete})"
     )
-    greedy = find_minimal_distinguishing_set(models, suite.tests(), seed_tests=L_TESTS)
+    assert sufficiency.complete, "L1..L9 must distinguish every non-equivalent pair"
+    greedy = find_minimal_distinguishing_set(
+        models, suite, checker=session.engine, seed_tests=L_TESTS
+    )
     print(f"A greedy minimal distinguishing set has {len(greedy.test_names)} tests:")
     for name in greedy.test_names:
         print(f"  {name}")
     print()
 
     # Verdict table for the well-known models of Figure 4's annotations.
-    known = [m for m in models if m.name in ("M4444", "M4144", "M4044", "M1044", "M1010")]
-    known_result = explore_models(known, list(L_TESTS), preferred_tests=L_TESTS)
+    known_result = session.run(
+        ExploreRequest(models=("M4444", "M4144", "M4044", "M1044", "M1010"), suite=None)
+    )
     print("Verdicts of the nine tests against the well-known models")
     print("  (A = allowed, . = forbidden)\n")
-    print(verdict_table(known_result))
+    print(verdict_table(known_result, [test.name for test in L_TESTS]))
     print()
 
     with open(args.dot, "w") as handle:

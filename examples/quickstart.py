@@ -2,8 +2,9 @@
 """Quickstart: define litmus tests, check them against memory models.
 
 This example reproduces the motivating example of the paper (Figure 1's
-Test A) and the classic store-buffering test, and shows the three things most
-users need:
+Test A) and the classic store-buffering test through the public API: one
+:class:`repro.Session` answers every request, so engine caches persist
+between calls.  It shows the three things most users need:
 
 1. building a litmus test from instructions (or loading one from text);
 2. asking whether a model allows its outcome (with a happens-before witness);
@@ -15,34 +16,32 @@ Run with::
 """
 
 from repro import (
-    SC,
-    TSO,
-    TEST_A,
-    ExplicitChecker,
-    Fence,
+    CheckRequest,
     LitmusTest,
     Load,
+    OutcomesRequest,
     Program,
-    SatChecker,
+    Session,
     Store,
+    TEST_A,
     Thread,
-    allowed_outcomes,
 )
 
 
-def check_test_a() -> None:
+def check_test_a(session: Session) -> None:
     """Figure 1: Test A is allowed under TSO but forbidden under SC."""
     print(TEST_A.pretty())
     print()
 
-    checker = ExplicitChecker()
-    for model in (TSO, SC):
-        result = checker.check(TEST_A, model)
+    for model in ("TSO", "SC"):
+        result = session.run(CheckRequest(test="A", model=model, witness=True))
         print(result.describe())
         if result.allowed:
             print("  witnessing happens-before choice:")
             print("\n".join("  " + line for line in result.witness.describe().splitlines()))
         print()
+    assert session.run(CheckRequest(test="A", model="TSO")).allowed
+    assert not session.run(CheckRequest(test="A", model="SC")).allowed
 
 
 def build_store_buffering() -> LitmusTest:
@@ -58,50 +57,58 @@ def build_store_buffering() -> LitmusTest:
     )
 
 
-def check_store_buffering() -> None:
+def check_store_buffering(session: Session) -> None:
     test = build_store_buffering()
     print(test.pretty())
     print()
 
-    explicit = ExplicitChecker()
-    sat = SatChecker()
-    for model in (SC, TSO):
-        via_explicit = explicit.check(test, model).allowed
-        via_sat = sat.check(test, model).allowed
+    sat_session = Session(backend="sat")
+    for model in ("SC", "TSO"):
+        via_explicit = session.run(CheckRequest(test=test, model=model)).allowed
+        via_sat = sat_session.run(CheckRequest(test=test, model=model)).allowed
         assert via_explicit == via_sat, "the two backends always agree"
         verdict = "allowed" if via_explicit else "forbidden"
-        print(f"  {model.name:4s}: {verdict} (explicit and SAT backends agree)")
+        print(f"  {model:4s}: {verdict} (explicit and SAT backends agree)")
+    assert not session.run(CheckRequest(test=test, model="SC")).allowed
+    assert session.run(CheckRequest(test=test, model="TSO")).allowed
     print()
 
 
-def enumerate_outcomes() -> None:
+def enumerate_outcomes(session: Session) -> None:
     """What can SB produce under SC vs TSO?  TSO adds exactly one outcome."""
     test = build_store_buffering()
-    for model in (SC, TSO):
-        outcomes = allowed_outcomes(test.program, model)
+    counts = {}
+    for model in ("SC", "TSO"):
+        outcome_set = session.run(OutcomesRequest(test=test, model=model))
+        counts[model] = len(outcome_set)
         rendered = ", ".join(
             "{" + "; ".join(f"{r}={v}" for r, v in sorted(outcome.items())) + "}"
-            for outcome in outcomes
+            for outcome in outcome_set
         )
-        print(f"  {model.name:4s} allows {len(outcomes)} outcomes: {rendered}")
+        print(f"  {model:4s} allows {len(outcome_set)} outcomes: {rendered}")
+    assert counts == {"SC": 3, "TSO": 4}, "TSO adds exactly the r1=0 & r2=0 outcome"
     print()
 
 
 def main() -> None:
+    session = Session()
+
     print("=" * 70)
     print("1. Test A (Figure 1): store forwarding under TSO")
     print("=" * 70)
-    check_test_a()
+    check_test_a(session)
 
     print("=" * 70)
     print("2. Store buffering, built from the instruction API")
     print("=" * 70)
-    check_store_buffering()
+    check_store_buffering(session)
 
     print("=" * 70)
     print("3. All outcomes of store buffering under SC and TSO")
     print("=" * 70)
-    enumerate_outcomes()
+    enumerate_outcomes(session)
+
+    print(f"(one session, engine counters: {session.stats.describe()})")
 
 
 if __name__ == "__main__":

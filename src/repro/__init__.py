@@ -53,6 +53,7 @@ from repro.core import (
 from repro.checker import (
     CheckResult,
     ExplicitChecker,
+    OutcomeSet,
     ReferenceChecker,
     SatChecker,
     allowed_outcomes,
@@ -76,8 +77,20 @@ from repro.generation import (
     segment_counts,
 )
 from repro.io import litmus_to_text, parse_litmus, parse_litmus_file, write_litmus_file
+from repro.api import (
+    BatchResult,
+    CheckRequest,
+    CompareRequest,
+    ExploreRequest,
+    ModelRegistry,
+    OutcomesRequest,
+    Session,
+    TestRegistry,
+    UnknownModelError,
+    UnknownTestError,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -109,8 +122,20 @@ __all__ = [
     "SatChecker",
     "ReferenceChecker",
     "CheckResult",
+    "OutcomeSet",
     "is_allowed",
     "allowed_outcomes",
+    # public API sessions
+    "Session",
+    "BatchResult",
+    "ModelRegistry",
+    "TestRegistry",
+    "UnknownModelError",
+    "UnknownTestError",
+    "CheckRequest",
+    "CompareRequest",
+    "ExploreRequest",
+    "OutcomesRequest",
     # engine
     "CheckEngine",
     "EngineStats",

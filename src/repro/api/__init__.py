@@ -1,0 +1,77 @@
+"""repro.api — the session-oriented public API surface.
+
+This package is the stable boundary every external caller (the CLI, the
+``serve`` loop, future sharding/async backends) goes through:
+
+* :class:`~repro.api.session.Session` — owns the model/test registries and
+  one persistent :class:`~repro.engine.engine.CheckEngine`, so caches
+  survive across calls;
+* request dataclasses (:class:`~repro.api.requests.CheckRequest`,
+  :class:`~repro.api.requests.CompareRequest`,
+  :class:`~repro.api.requests.ExploreRequest`,
+  :class:`~repro.api.requests.OutcomesRequest`) dispatched via
+  :meth:`~repro.api.session.Session.run` /
+  :meth:`~repro.api.session.Session.run_batch`;
+* schema-versioned JSON serialization for every result type
+  (:mod:`repro.api.serialize`) and a round-trip validator
+  (``python -m repro.api.validate``);
+* a JSON-lines batch server (:mod:`repro.api.serve`).
+
+Quickstart::
+
+    from repro.api import Session, CheckRequest, CompareRequest
+
+    session = Session(backend="explicit")
+    verdict = session.run(CheckRequest(test="A", model="TSO"))
+    assert verdict.allowed
+    relation = session.run(CompareRequest(first="TSO", second="x86",
+                                          suite="no_deps"))
+    assert relation.equivalent
+"""
+
+from repro.api.registry import (
+    ModelRegistry,
+    TestRegistry,
+    UnknownModelError,
+    UnknownTestError,
+)
+from repro.api.requests import (
+    CheckRequest,
+    CompareRequest,
+    ExploreRequest,
+    OutcomesRequest,
+    Request,
+    request_from_json,
+    request_to_json,
+)
+from repro.api.serialize import (
+    SCHEMA_VERSION,
+    SchemaVersionError,
+    SerializationError,
+    from_json,
+    to_json,
+)
+from repro.api.serve import serve
+from repro.api.session import BatchResult, Session
+
+__all__ = [
+    "Session",
+    "BatchResult",
+    "ModelRegistry",
+    "TestRegistry",
+    "UnknownModelError",
+    "UnknownTestError",
+    "CheckRequest",
+    "CompareRequest",
+    "ExploreRequest",
+    "OutcomesRequest",
+    "Request",
+    "request_to_json",
+    "request_from_json",
+    "SCHEMA_VERSION",
+    "SerializationError",
+    "SchemaVersionError",
+    "to_json",
+    "from_json",
+    "serve",
+]

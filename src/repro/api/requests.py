@@ -1,0 +1,158 @@
+"""Declarative request objects dispatched through :meth:`Session.run`.
+
+Every operation of the public API is a frozen dataclass describing *what* to
+compute, not *how*: model and test fields accept either live objects or
+specs (names, paths, inline litmus text, serialized documents) that the
+session's registries resolve.  Requests round-trip through JSON — the
+``serve`` loop reads one request document per line — via
+:func:`request_to_json` / :func:`request_from_json`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.api.registry import ModelSpec, TestSpec
+from repro.core.litmus import LitmusTest
+from repro.core.model import MemoryModel
+
+
+@dataclass(frozen=True)
+class CheckRequest:
+    """Is ``test``'s candidate execution allowed under ``model``?
+
+    With ``witness=True`` the result carries a happens-before witness when
+    the execution is allowed (at the cost of one extra witness-producing
+    check outside the engine's cached fast path).
+    """
+
+    test: TestSpec
+    model: ModelSpec
+    witness: bool = False
+
+    op = "check"
+
+
+@dataclass(frozen=True)
+class CompareRequest:
+    """Compare two models over a comparison suite.
+
+    ``suite`` names a generated template suite (``"standard"``,
+    ``"no_deps"`` or ``"extended"``); with ``include_named=True`` the
+    paper's nine tests L1..L9 are appended, matching the classic CLI
+    behaviour.
+    """
+
+    first: ModelSpec
+    second: ModelSpec
+    suite: str = "standard"
+    include_named: bool = True
+
+    op = "compare"
+
+
+@dataclass(frozen=True)
+class ExploreRequest:
+    """Explore a family of models over a template suite.
+
+    By default the parametric space named by ``space`` (``"no_deps"`` for
+    the 36-model Figure 4 space, ``"deps"`` for the full 90-model space) is
+    explored over the matching template suite; an explicit ``models`` tuple
+    overrides the space.  With ``preferred=True`` the paper's nine tests
+    label the Hasse edges.
+    """
+
+    space: str = "no_deps"
+    models: Optional[Tuple[ModelSpec, ...]] = None
+    suite: Optional[str] = None
+    preferred: bool = True
+
+    def __post_init__(self) -> None:
+        if self.models is not None and not isinstance(self.models, tuple):
+            object.__setattr__(self, "models", tuple(self.models))
+
+    def suite_key(self) -> str:
+        """The template suite to use: explicit, or matched to the space."""
+        if self.suite is not None:
+            return self.suite
+        return "standard" if self.space == "deps" else "no_deps"
+
+    op = "explore"
+
+
+@dataclass(frozen=True)
+class OutcomesRequest:
+    """Enumerate the outcomes ``model`` allows for ``test``'s program."""
+
+    test: TestSpec
+    model: ModelSpec
+
+    op = "outcomes"
+
+
+Request = Union[CheckRequest, CompareRequest, ExploreRequest, OutcomesRequest]
+
+_REQUEST_TYPES: Dict[str, type] = {
+    cls.op: cls for cls in (CheckRequest, CompareRequest, ExploreRequest, OutcomesRequest)
+}
+
+
+def _spec_to_json(spec: Any) -> Any:
+    """Serialize a model/test spec field: names pass through, objects embed."""
+    if isinstance(spec, (MemoryModel, LitmusTest)):
+        from repro.api.serialize import to_json
+
+        return to_json(spec)
+    if isinstance(spec, Mapping):
+        return dict(spec)
+    return spec
+
+
+def request_to_json(request: Request) -> Dict[str, Any]:
+    """Serialize a request to a schema-versioned JSON document."""
+    from repro.api.serialize import envelope
+
+    document = envelope("request")
+    document["op"] = request.op
+    for field_info in fields(request):
+        value = getattr(request, field_info.name)
+        if field_info.name in ("test", "model", "first", "second"):
+            value = _spec_to_json(value)
+        elif field_info.name == "models" and value is not None:
+            value = [_spec_to_json(spec) for spec in value]
+        document[field_info.name] = value
+    return document
+
+
+def request_from_json(document: Mapping[str, Any]) -> Request:
+    """Rebuild a request from a document written by :func:`request_to_json`.
+
+    The envelope is validated when present; bare ``{"op": ..., ...}``
+    dictionaries (convenient for hand-written ``serve`` input) are accepted
+    too.
+    """
+    from repro.api.serialize import SerializationError, check_envelope
+
+    if "schema" in document or "schema_version" in document:
+        check_envelope(dict(document), "request")
+    op = document.get("op")
+    cls = _REQUEST_TYPES.get(op)
+    if cls is None:
+        raise SerializationError(
+            f"unknown request op {op!r} (expected one of {', '.join(_REQUEST_TYPES)})"
+        )
+    kwargs: Dict[str, Any] = {}
+    known = {field_info.name for field_info in fields(cls)}
+    for key, value in document.items():
+        if key in ("schema", "schema_version", "op"):
+            continue
+        if key not in known:
+            raise SerializationError(f"unknown field {key!r} for request op {op!r}")
+        if key == "models" and value is not None:
+            value = tuple(value)
+        kwargs[key] = value
+    try:
+        return cls(**kwargs)
+    except TypeError as error:
+        raise SerializationError(f"malformed {op!r} request: {error}") from error

@@ -1,0 +1,176 @@
+"""``repro serve``: a long-lived JSON-lines request/response loop.
+
+One warm :class:`~repro.api.session.Session` answers a stream of request
+documents, one JSON object per line, writing one JSON response object per
+line.  Because the session (and therefore the engine and its caches)
+persists across requests, a ``compare`` following an ``explore`` over the
+same suite is answered almost entirely from cache — each response carries
+the per-request :class:`~repro.engine.engine.EngineStats` delta so the
+reuse is observable.
+
+Transports:
+
+* stdin/stdout (the default; also ``python -m repro.api.serve``);
+* a TCP socket (``--port``), one JSON-lines conversation per connection,
+  all connections sharing one session behind a lock.
+
+Protocol::
+
+    -> {"op": "check", "test": "SB.litmus", "model": "TSO"}
+    <- {"schema": "repro/response", "schema_version": 1, "ok": true,
+        "op": "check", "result": {...}, "stats": {...}}
+
+Request lines may be bare ``{"op": ...}`` objects or full
+``repro/request`` documents (see :mod:`repro.api.requests`).  A malformed
+line produces an ``{"ok": false, "error": ...}`` response and the loop
+continues; the loop ends at end of input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socketserver
+import sys
+import threading
+from typing import Any, Dict, IO, Optional, Sequence
+
+from repro.api.requests import request_from_json
+from repro.api.serialize import envelope, to_json
+from repro.api.session import Session
+
+
+def handle_request_line(session: Session, line: str) -> Dict[str, Any]:
+    """Answer one JSON request line; never raises on bad input."""
+    response = envelope("response")
+    try:
+        document = json.loads(line)
+        request = request_from_json(document)
+        before = session.engine.stats.snapshot()
+        result = session.run(request)
+        response.update(
+            {
+                "ok": True,
+                "op": request.op,
+                "result": to_json(result),
+                "stats": session.engine.stats.since(before).as_dict(),
+            }
+        )
+    except (ValueError, TypeError, LookupError, OSError) as error:
+        # ValueError covers JSONDecodeError and SerializationError;
+        # LookupError covers the KeyErrors malformed documents raise.
+        response.update({"ok": False, "error": str(error)})
+    return response
+
+
+def serve_stream(
+    session: Session,
+    input_stream: IO[str],
+    output_stream: IO[str],
+    lock: Optional[threading.Lock] = None,
+) -> int:
+    """Answer request lines from ``input_stream`` until end of input.
+
+    Returns the number of lines answered.  ``lock`` serialises engine access
+    when several transports share one session.
+    """
+    answered = 0
+    for line in input_stream:
+        line = line.strip()
+        if not line:
+            continue
+        if lock is not None:
+            with lock:
+                response = handle_request_line(session, line)
+        else:
+            response = handle_request_line(session, line)
+        output_stream.write(json.dumps(response) + "\n")
+        output_stream.flush()
+        answered += 1
+    return answered
+
+
+def serve_socket(session: Session, host: str, port: int) -> socketserver.ThreadingTCPServer:
+    """Return a started-but-not-running TCP server sharing ``session``.
+
+    The caller drives it (``serve_forever`` / ``handle_request`` /
+    ``shutdown``); each connection is one JSON-lines conversation.
+    """
+    lock = threading.Lock()
+
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self) -> None:  # pragma: no cover - exercised via sockets
+            reader = (raw.decode("utf-8") for raw in self.rfile)
+
+            class _Writer:
+                def write(inner, text: str) -> None:
+                    self.wfile.write(text.encode("utf-8"))
+
+                def flush(inner) -> None:
+                    self.wfile.flush()
+
+            serve_stream(session, reader, _Writer(), lock=lock)
+
+    class Server(socketserver.ThreadingTCPServer):
+        allow_reuse_address = True
+        daemon_threads = True
+
+    return Server((host, port), Handler)
+
+
+def serve(
+    session: Optional[Session] = None,
+    input_stream: Optional[IO[str]] = None,
+    output_stream: Optional[IO[str]] = None,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+) -> int:
+    """Run the serve loop on stdin/stdout, or on a TCP socket with ``port``."""
+    session = session if session is not None else Session()
+    if port is not None:
+        # Remote clients must not be able to read server-side files by
+        # sending path-shaped test specs; registered names, inline litmus
+        # text and embedded documents remain available.
+        session.tests.allow_paths = False
+        with serve_socket(session, host, port) as server:
+            bound = server.server_address[1]
+            print(f"repro serve: listening on {host}:{bound}", file=sys.stderr)
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:  # pragma: no cover - interactive only
+                pass
+        return 0
+    return serve_stream(
+        session,
+        input_stream if input_stream is not None else sys.stdin,
+        output_stream if output_stream is not None else sys.stdout,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.api.serve``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api.serve",
+        description="Serve JSON-lines check/compare/explore/outcomes requests over one warm session.",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("explicit", "enumeration", "sat"),
+        default="explicit",
+        help="admissibility backend for the session's engine",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address for --port")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve on a TCP socket instead of stdin/stdout",
+    )
+    args = parser.parse_args(argv)
+    session = Session(backend=args.backend)
+    serve(session, host=args.host, port=args.port)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

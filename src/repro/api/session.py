@@ -1,0 +1,190 @@
+"""The session: one warm engine answering declarative requests.
+
+A :class:`Session` owns
+
+* a :class:`~repro.api.registry.ModelRegistry` (built-in catalog plus
+  user-registered parametric or custom models),
+* a :class:`~repro.api.registry.TestRegistry` (named tests, ``.litmus``
+  files, inline programs, memoized generated suites), and
+* one persistent :class:`~repro.engine.engine.CheckEngine`,
+
+so that everything the engine caches — per-test
+:class:`~repro.engine.context.TestContext` objects, persistent incremental
+SAT solvers, kernel indexes — survives across calls.  A session that
+answers a ``compare`` and then an ``explore`` over the same suite evaluates
+each test's execution exactly once, total.
+
+All operations are declarative request dataclasses dispatched through
+:meth:`Session.run` (one result) or :meth:`Session.run_batch` (a list of
+results plus the aggregate :class:`~repro.engine.engine.EngineStats` delta
+for the whole batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.registry import ModelRegistry, TestRegistry
+from repro.api.requests import (
+    CheckRequest,
+    CompareRequest,
+    ExploreRequest,
+    OutcomesRequest,
+    Request,
+)
+from repro.checker.outcomes import OutcomeSet, allowed_outcome_set
+from repro.checker.result import CheckResult
+from repro.comparison.compare import ComparisonResult, ModelComparator
+from repro.comparison.exploration import ExplorationResult, explore_models
+from repro.engine.engine import CheckEngine, EngineStats
+
+#: Everything a session can hand back.
+Result = Union[CheckResult, ComparisonResult, ExplorationResult, OutcomeSet]
+
+
+@dataclass
+class BatchResult:
+    """The results of :meth:`Session.run_batch`, plus the stats delta."""
+
+    results: List[Result] = field(default_factory=list)
+    #: aggregate engine counters for the whole batch
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> Result:
+        return self.results[index]
+
+
+class Session:
+    """A long-lived API session over one warm :class:`CheckEngine`.
+
+    Args:
+        backend: engine backend name (``"explicit"``, ``"enumeration"`` or
+            ``"sat"``), ignored when ``engine`` is given.
+        jobs: worker processes for verdict matrices, ignored when ``engine``
+            is given.
+        engine: a ready-made engine to adopt (shared with other callers).
+        models: a model registry to adopt; a fresh catalog-backed one by
+            default.
+        tests: a test registry to adopt; a fresh one by default.
+    """
+
+    def __init__(
+        self,
+        backend: str = "explicit",
+        jobs: int = 1,
+        engine: Optional[CheckEngine] = None,
+        models: Optional[ModelRegistry] = None,
+        tests: Optional[TestRegistry] = None,
+    ) -> None:
+        self.models = models if models is not None else ModelRegistry()
+        self.tests = tests if tests is not None else TestRegistry()
+        if engine is not None:
+            self.engine = engine
+        else:
+            self.engine = CheckEngine(backend=backend, jobs=jobs)
+        # One comparator per comparison suite, so verdict vectors computed
+        # for one compare request are reused by the next.
+        self._comparators: Dict[Tuple[str, bool], ModelComparator] = {}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> EngineStats:
+        """The engine's cumulative counters for this session."""
+        return self.engine.stats
+
+    @property
+    def backend_name(self) -> str:
+        return self.engine.strategy.name
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def run(self, request: Request) -> Result:
+        """Execute one declarative request and return its result object."""
+        if isinstance(request, CheckRequest):
+            return self._run_check(request)
+        if isinstance(request, CompareRequest):
+            return self._run_compare(request)
+        if isinstance(request, ExploreRequest):
+            return self._run_explore(request)
+        if isinstance(request, OutcomesRequest):
+            return self._run_outcomes(request)
+        raise TypeError(f"unknown request type {type(request).__name__}")
+
+    def run_batch(self, requests: Sequence[Request]) -> BatchResult:
+        """Execute requests in order over the shared engine.
+
+        Later requests see every context the earlier ones built; the
+        returned :class:`BatchResult` carries the aggregate engine-stats
+        delta for the whole batch.
+        """
+        before = self.engine.stats.snapshot()
+        results = [self.run(request) for request in requests]
+        return BatchResult(results=results, stats=self.engine.stats.since(before))
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def _run_check(self, request: CheckRequest) -> CheckResult:
+        test = self.tests.resolve(request.test)
+        model = self.models.resolve(request.model)
+        allowed = self.engine.check(test, model)
+        witness = None
+        reason = ""
+        if request.witness:
+            from repro.checker.explicit import ExplicitChecker
+
+            detailed = ExplicitChecker().check(test, model)
+            # The engine's verdict is authoritative (the backends are
+            # cross-validated); attach the witness/reason only when the
+            # witness checker agrees, so a hypothetical disagreement cannot
+            # mislabel evidence or crash the serve loop.
+            if detailed.allowed == allowed:
+                witness = detailed.witness
+                reason = detailed.reason
+        return CheckResult(
+            allowed=allowed,
+            test_name=test.name,
+            model_name=model.name,
+            witness=witness,
+            reason=reason,
+        )
+
+    def comparator(self, suite: str = "standard", include_named: bool = True) -> ModelComparator:
+        """Return (creating and caching) the comparator for a suite."""
+        key = (suite, include_named)
+        if key not in self._comparators:
+            tests = self.tests.comparison_tests(suite, include_named=include_named)
+            self._comparators[key] = ModelComparator(tests, self.engine)
+        return self._comparators[key]
+
+    def _run_compare(self, request: CompareRequest) -> ComparisonResult:
+        first = self.models.resolve(request.first)
+        second = self.models.resolve(request.second)
+        comparator = self.comparator(request.suite, request.include_named)
+        return comparator.compare(first, second)
+
+    def _run_explore(self, request: ExploreRequest) -> ExplorationResult:
+        if request.models is not None:
+            models = self.models.resolve_all(request.models)
+        else:
+            models = self.models.space(request.space)
+        suite = self.tests.suite(request.suite_key())
+        preferred = self.tests.preferred_tests() if request.preferred else []
+        return explore_models(
+            models, suite, checker=self.engine, preferred_tests=preferred
+        )
+
+    def _run_outcomes(self, request: OutcomesRequest) -> OutcomeSet:
+        test = self.tests.resolve(request.test)
+        model = self.models.resolve(request.model)
+        return allowed_outcome_set(test, model, checker=self.engine)

@@ -1,0 +1,83 @@
+"""``python -m repro.api.validate``: round-trip-validate a result document.
+
+Reads one JSON document (a file argument or stdin), deserializes it with
+:func:`repro.api.serialize.from_json`, re-serializes the reconstructed
+object, and checks the two documents are identical — i.e. the document
+survives a full decode/encode round trip bit-identically.  Prints a
+one-line summary to stderr and exits 0 on success, 1 on any failure
+(malformed JSON, unknown schema, version mismatch, or a lossy round trip).
+
+With ``--echo`` the canonical re-serialized document is written to stdout,
+so the tool composes as a validating filter::
+
+    repro explore --format json | python -m repro.api.validate --echo | ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import IO, Optional, Sequence
+
+from repro.api.serialize import SerializationError, check_envelope, from_json, to_json
+
+
+def validate_document(text: str) -> "tuple[str, dict]":
+    """Validate one serialized result document.
+
+    Returns ``(kind, canonical)`` where ``canonical`` is the re-serialized
+    document (identical content; the serializer's canonical key order).
+    Raises :class:`SerializationError` (or ``json.JSONDecodeError``) when
+    the document is malformed, unsupported, or does not round-trip exactly.
+    """
+    document = json.loads(text)
+    kind = check_envelope(document)
+    obj = from_json(document)
+    round_tripped = to_json(obj)
+    if round_tripped != document:
+        raise SerializationError(
+            f"{kind} document does not survive a decode/encode round trip"
+        )
+    return kind, round_tripped
+
+
+def main(
+    argv: Optional[Sequence[str]] = None,
+    input_stream: Optional[IO[str]] = None,
+    output_stream: Optional[IO[str]] = None,
+) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api.validate",
+        description="Validate a schema-versioned repro result document (round-trip check).",
+    )
+    parser.add_argument("file", nargs="?", help="document to validate (default: stdin)")
+    parser.add_argument(
+        "--echo",
+        action="store_true",
+        help="write the canonical re-serialized document to stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if args.file:
+        with open(args.file) as handle:
+            text = handle.read()
+    else:
+        text = (input_stream if input_stream is not None else sys.stdin).read()
+
+    try:
+        kind, canonical = validate_document(text)
+    except (json.JSONDecodeError, LookupError, TypeError, ValueError) as error:
+        print(f"INVALID: {error}", file=sys.stderr)
+        return 1
+
+    if args.echo:
+        out = output_stream if output_stream is not None else sys.stdout
+        json.dump(canonical, out)
+        out.write("\n")
+    print(f"OK: valid {kind} document (schema_version 1, exact round trip)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

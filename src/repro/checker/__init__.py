@@ -22,7 +22,12 @@ from repro.checker.explicit import ExplicitChecker, is_allowed
 from repro.checker.sat_checker import SatChecker
 from repro.checker.reference import EnumerationChecker, ReferenceChecker
 from repro.checker.result import CheckResult, CheckWitness
-from repro.checker.outcomes import allowed_outcomes, enumerate_candidate_outcomes
+from repro.checker.outcomes import (
+    OutcomeSet,
+    allowed_outcome_set,
+    allowed_outcomes,
+    enumerate_candidate_outcomes,
+)
 
 __all__ = [
     "ExplicitChecker",
@@ -32,6 +37,8 @@ __all__ = [
     "CheckResult",
     "CheckWitness",
     "is_allowed",
+    "OutcomeSet",
+    "allowed_outcome_set",
     "allowed_outcomes",
     "enumerate_candidate_outcomes",
 ]

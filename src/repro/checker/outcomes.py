@@ -10,8 +10,9 @@ filters it through an admissibility checker.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from itertools import product
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.execution import EventKey, Execution, ExecutionError
 from repro.core.instructions import Load, Store
@@ -108,6 +109,64 @@ def _is_feasible(execution: Execution) -> bool:
             continue
         return False
     return True
+
+
+@dataclass
+class OutcomeSet:
+    """The outcomes a model allows for one program, as a result object.
+
+    ``outcomes`` maps load destination registers to observed values, one
+    dictionary per allowed outcome, in the stable order produced by
+    :func:`allowed_outcomes`.  The type round-trips through JSON via
+    :mod:`repro.api.serialize`.
+    """
+
+    test_name: str
+    model_name: str
+    outcomes: List[Dict[str, int]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self) -> Iterator[Dict[str, int]]:
+        return iter(self.outcomes)
+
+    def describe(self) -> str:
+        lines = [f"Outcomes allowed under {self.model_name}:"]
+        for outcome in self.outcomes:
+            rendered = "; ".join(f"{register} = {value}" for register, value in sorted(outcome.items()))
+            lines.append(f"  {rendered}")
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Serialize to a schema-versioned JSON document."""
+        from repro.api.serialize import outcome_set_to_json
+
+        return outcome_set_to_json(self)
+
+    @staticmethod
+    def from_json(document: Dict[str, Any]) -> "OutcomeSet":
+        """Rebuild from a document written by :meth:`to_json`."""
+        from repro.api.serialize import outcome_set_from_json
+
+        return outcome_set_from_json(document)
+
+
+def allowed_outcome_set(
+    test: LitmusTest,
+    model: MemoryModel,
+    checker: Optional[object] = None,
+    initial_values: Optional[Mapping[str, int]] = None,
+) -> OutcomeSet:
+    """Return the outcomes ``model`` allows for the test's program, packaged.
+
+    The candidate outcome of ``test`` itself is ignored — only its program
+    matters; the test contributes its name to the result.
+    """
+    outcomes = allowed_outcomes(
+        test.program, model, checker=checker, initial_values=initial_values, name=test.name
+    )
+    return OutcomeSet(test_name=test.name, model_name=model.name, outcomes=outcomes)
 
 
 def allowed_outcomes(

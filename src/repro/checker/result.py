@@ -69,3 +69,16 @@ class CheckResult:
         if self.witness is not None:
             return header + "\n" + self.witness.describe()
         return header
+
+    def to_json(self) -> Dict[str, object]:
+        """Serialize (witness included) to a schema-versioned JSON document."""
+        from repro.api.serialize import check_result_to_json
+
+        return check_result_to_json(self)
+
+    @staticmethod
+    def from_json(document: Dict[str, object]) -> "CheckResult":
+        """Rebuild from a document written by :meth:`to_json`."""
+        from repro.api.serialize import check_result_from_json
+
+        return check_result_from_json(document)

@@ -1,130 +1,163 @@
 """Command-line interface: ``repro-compare``.
 
+Every subcommand is a thin shell around the public API
+(:mod:`repro.api`): it builds one :class:`~repro.api.session.Session`,
+dispatches a declarative request through it, and renders the result either
+as text (the default) or, with ``--format json``, as the schema-versioned
+JSON document of :mod:`repro.api.serialize` — so any output can be piped
+into ``python -m repro.api.validate`` or replayed through ``repro serve``.
+
 Subcommands:
 
 * ``check TEST.litmus --model TSO [--backend sat]`` — is the test allowed?
 * ``compare MODEL1 MODEL2 [--deps/--no-deps]`` — compare two models with the
   template suite and print the contrasting tests.
 * ``explore [--deps/--no-deps] [--jobs N] [--dot FILE]`` — explore the
-  parametric model space through the batched
-  :class:`~repro.engine.engine.CheckEngine` and print the Figure 4 report
-  (optionally writing a DOT file).
+  parametric model space and print the Figure 4 report (optionally writing
+  a DOT file).
 * ``catalog`` — list the built-in named models and their formulas.
 * ``outcomes TEST.litmus --model TSO`` — enumerate the outcomes a model
   allows for the test's program.
+* ``serve [--port N]`` — answer a JSON-lines request stream over one warm
+  session (stdin/stdout by default, a TCP socket with ``--port``).
 
-Model names accept both catalog names (``SC``, ``TSO``, ``PSO``, ...) and
-parametric names (``M4044``).  ``--backend`` selects the admissibility
-strategy (explicit enumeration or incremental SAT) and ``--jobs`` fans the
-exploration out over worker processes.
+Model names accept catalog names (``SC``, ``TSO``, ...), parametric names
+(``M4044``) and anything registered in the session's
+:class:`~repro.api.registry.ModelRegistry`.  ``--backend`` selects the
+admissibility strategy and ``--jobs`` fans the exploration out over worker
+processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import warnings
 from typing import List, Optional, Sequence
 
-from repro.checker.explicit import ExplicitChecker
-from repro.checker.outcomes import allowed_outcomes
-from repro.checker.sat_checker import SatChecker
-from repro.comparison.compare import ModelComparator
-from repro.comparison.exploration import explore_models
+from repro.api.registry import UnknownModelError, UnknownTestError
+from repro.api.requests import CheckRequest, CompareRequest, ExploreRequest, OutcomesRequest
+from repro.api.serialize import to_json
+from repro.api.session import Session
 from repro.comparison.report import exploration_report, hasse_dot
-from repro.core.catalog import catalog_summary, named_models
 from repro.core.model import MemoryModel
-from repro.core.parametric import KNOWN_CORRESPONDENCES, model_space, parametric_model
-from repro.engine import CheckEngine
-from repro.generation.named_tests import L_TESTS
-from repro.generation.suite import no_dependency_suite, standard_suite
-from repro.io.parser import parse_litmus_file
+from repro.core.parametric import KNOWN_CORRESPONDENCES
 
 
 def resolve_model(name: str) -> MemoryModel:
-    """Resolve a model name: catalog name or parametric ``Mxxxx`` name."""
-    catalog = named_models()
-    if name in catalog:
-        return catalog[name]
-    if name.upper() in catalog:
-        return catalog[name.upper()]
-    if name.startswith("M") and name[1:].isdigit():
-        return parametric_model(name)
-    raise SystemExit(
-        f"unknown model {name!r}; use one of {', '.join(catalog)} or a parametric name like M4044"
+    """Resolve a model name: catalog name or parametric ``Mxxxx`` name.
+
+    .. deprecated:: use :meth:`repro.api.registry.ModelRegistry.resolve`,
+       which this wrapper delegates to (converting unknown-model errors to
+       ``SystemExit`` for historical CLI behaviour).
+    """
+    warnings.warn(
+        "cli.resolve_model is deprecated; use repro.api.ModelRegistry.resolve",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.api.registry import ModelRegistry
 
-
-def _make_checker(backend: str):
-    """Build a witness-producing checker for single-test subcommands."""
-    if backend == "sat":
-        return SatChecker()
-    if backend == "explicit":
-        return ExplicitChecker()
-    if backend == "enumeration":
-        from repro.checker.reference import EnumerationChecker
-
-        return EnumerationChecker()
-    raise SystemExit(
-        f"unknown backend {backend!r} (expected 'explicit', 'enumeration' or 'sat')"
-    )
-
-
-def _make_engine(args: argparse.Namespace) -> CheckEngine:
-    """Build the batched engine for the comparison/exploration subcommands."""
     try:
-        return CheckEngine(backend=args.backend, jobs=getattr(args, "jobs", 1))
+        return ModelRegistry().resolve(name)
+    except UnknownModelError as error:
+        raise SystemExit(str(error))
+
+
+def _make_session(args: argparse.Namespace) -> Session:
+    """Build the one session a CLI invocation runs through."""
+    try:
+        return Session(backend=args.backend, jobs=getattr(args, "jobs", 1))
     except ValueError as error:
         raise SystemExit(str(error))
 
 
+def _emit_json(document: object) -> None:
+    print(json.dumps(document, indent=2))
+
+
+def _run(session: Session, request) -> object:
+    try:
+        return session.run(request)
+    except (UnknownModelError, UnknownTestError) as error:
+        raise SystemExit(str(error))
+
+
+def _resolve_test(session: Session, spec: str):
+    try:
+        return session.tests.resolve(spec)
+    except (UnknownTestError, OSError) as error:
+        raise SystemExit(str(error))
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
-    test = parse_litmus_file(args.test)
-    model = resolve_model(args.model)
-    checker = _make_checker(args.backend)
-    result = checker.check(test, model)
+    session = _make_session(args)
+    test = _resolve_test(session, args.test)
+    result = _run(session, CheckRequest(test=test, model=args.model, witness=True))
+    if args.format == "json":
+        _emit_json(to_json(result))
+        return 0
     print(test.pretty())
     print(result.describe())
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    first = resolve_model(args.first)
-    second = resolve_model(args.second)
-    suite = standard_suite() if args.deps else no_dependency_suite()
-    comparator = ModelComparator(suite.tests() + list(L_TESTS), _make_engine(args))
-    result = comparator.compare(first, second)
+    session = _make_session(args)
+    suite = "standard" if args.deps else "no_deps"
+    result = _run(session, CompareRequest(first=args.first, second=args.second, suite=suite))
+    if args.format == "json":
+        _emit_json(to_json(result))
+        return 0
     print(result.describe())
     return 0
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
-    models = model_space(include_data_dependencies=args.deps)
-    suite = standard_suite() if args.deps else no_dependency_suite()
-    result = explore_models(
-        models, suite.tests(), checker=_make_engine(args), preferred_tests=L_TESTS
-    )
-    print(exploration_report(result, KNOWN_CORRESPONDENCES))
+    session = _make_session(args)
+    space = "deps" if args.deps else "no_deps"
+    result = _run(session, ExploreRequest(space=space))
+    if args.format == "json":
+        _emit_json(to_json(result))
+    else:
+        print(exploration_report(result, KNOWN_CORRESPONDENCES))
     if args.dot:
         with open(args.dot, "w") as handle:
             handle.write(hasse_dot(result, KNOWN_CORRESPONDENCES))
-        print(f"\nwrote {args.dot}")
+        if args.format != "json":
+            print(f"\nwrote {args.dot}")
     return 0
 
 
-def _cmd_catalog(_args: argparse.Namespace) -> int:
-    for line in catalog_summary():
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    session = _make_session(args)
+    if args.format == "json":
+        _emit_json([to_json(model) for model in session.models])
+        return 0
+    for line in session.models.summary():
         print(line)
     return 0
 
 
 def _cmd_outcomes(args: argparse.Namespace) -> int:
-    test = parse_litmus_file(args.test)
-    model = resolve_model(args.model)
+    session = _make_session(args)
+    test = _resolve_test(session, args.test)
+    result = _run(session, OutcomesRequest(test=test, model=args.model))
+    if args.format == "json":
+        _emit_json(to_json(result))
+        return 0
     print(test.pretty())
-    print(f"\nOutcomes allowed under {model.name}:")
-    for outcome in allowed_outcomes(test.program, model, checker=_make_engine(args)):
-        rendered = "; ".join(f"{register} = {value}" for register, value in sorted(outcome.items()))
-        print(f"  {rendered}")
+    print()
+    print(result.describe())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api.serve import serve
+
+    session = _make_session(args)
+    serve(session, host=args.host, port=args.port)
     return 0
 
 
@@ -141,9 +174,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_format(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--format",
+            choices=("text", "json"),
+            default="text",
+            help="output format: human-readable text or a schema-versioned JSON document",
+        )
+
     check = subparsers.add_parser("check", help="check one litmus test under one model")
     check.add_argument("test", help="path to a .litmus file")
     check.add_argument("--model", required=True, help="model name (SC, TSO, M4044, ...)")
+    add_format(check)
     check.set_defaults(func=_cmd_check)
 
     compare = subparsers.add_parser("compare", help="compare two models")
@@ -151,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("second")
     compare.add_argument("--deps", action=argparse.BooleanOptionalAction, default=True,
                          help="include data-dependency tests (default: yes)")
+    add_format(compare)
     compare.set_defaults(func=_cmd_compare)
 
     explore = subparsers.add_parser("explore", help="explore the parametric model space")
@@ -159,15 +202,26 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="number of worker processes for the verdict matrix (default: 1)")
     explore.add_argument("--dot", help="write the Hasse diagram to this DOT file")
+    add_format(explore)
     explore.set_defaults(func=_cmd_explore)
 
     catalog = subparsers.add_parser("catalog", help="list the built-in models")
+    add_format(catalog)
     catalog.set_defaults(func=_cmd_catalog)
 
     outcomes = subparsers.add_parser("outcomes", help="enumerate allowed outcomes of a program")
     outcomes.add_argument("test", help="path to a .litmus file")
     outcomes.add_argument("--model", required=True)
+    add_format(outcomes)
     outcomes.set_defaults(func=_cmd_outcomes)
+
+    serve = subparsers.add_parser(
+        "serve", help="answer JSON-lines requests over one warm session"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address for --port")
+    serve.add_argument("--port", type=int, default=None,
+                       help="serve on a TCP socket instead of stdin/stdout")
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -12,13 +12,20 @@ when it allows more.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.litmus import LitmusTest
 from repro.core.model import MemoryModel
 from repro.engine.engine import CheckEngine
+
+#: What the comparison entry points accept as an admissibility backend: a
+#: ready-made engine to share, or a backend name (``"explicit"``,
+#: ``"enumeration"``, ``"sat"``).  Raw checker objects are still accepted
+#: for backwards compatibility but deprecated.
+EngineSpec = Union[CheckEngine, str]
 
 #: A verdict vector: one boolean (allowed?) per test, in suite order.
 VerdictVector = Tuple[bool, ...]
@@ -75,6 +82,19 @@ class ComparisonResult:
             f"only {self.second}: {', '.join(self.only_second)})"
         )
 
+    def to_json(self) -> Dict[str, Any]:
+        """Serialize to a schema-versioned JSON document."""
+        from repro.api.serialize import comparison_result_to_json
+
+        return comparison_result_to_json(self)
+
+    @staticmethod
+    def from_json(document: Dict[str, Any]) -> "ComparisonResult":
+        """Rebuild from a document written by :meth:`to_json`."""
+        from repro.api.serialize import comparison_result_from_json
+
+        return comparison_result_from_json(document)
+
 
 class ModelComparator:
     """Compares models over a fixed test suite, caching verdict vectors.
@@ -86,15 +106,41 @@ class ModelComparator:
 
     Args:
         tests: the litmus tests to compare over (typically a template suite).
-        checker: the admissibility backend — a backend name (``"explicit"``,
-            ``"sat"``), a legacy checker object, or a ready-made
-            :class:`~repro.engine.engine.CheckEngine` to share. Explicit
-            enumeration by default.
+        engine: the admissibility backend — a ready-made
+            :class:`~repro.engine.engine.CheckEngine` to share, or a backend
+            name (``"explicit"``, ``"enumeration"``, ``"sat"``).  The
+            explicit backend by default.  Passing a raw checker object (the
+            pre-engine calling convention) still works but emits a
+            :class:`DeprecationWarning`, as does the old ``checker=``
+            keyword.
     """
 
-    def __init__(self, tests: Sequence[LitmusTest], checker: Optional[object] = None) -> None:
+    def __init__(
+        self,
+        tests: Sequence[LitmusTest],
+        engine: Optional[EngineSpec] = None,
+        *,
+        checker: Optional[object] = None,
+    ) -> None:
+        if checker is not None:
+            if engine is not None:
+                raise TypeError("pass either engine= or the deprecated checker=, not both")
+            warnings.warn(
+                "ModelComparator(checker=...) is deprecated; pass engine= "
+                "(a CheckEngine or a backend name)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            engine = checker  # type: ignore[assignment]
+        if engine is not None and not isinstance(engine, (CheckEngine, str)):
+            warnings.warn(
+                "passing a raw checker object to ModelComparator is deprecated; "
+                "pass a CheckEngine or a backend name",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.tests: List[LitmusTest] = list(tests)
-        self.engine = CheckEngine.ensure(checker)
+        self.engine = CheckEngine.ensure(engine)
         self._vectors: Dict[str, VerdictVector] = {}
         self._checks_performed = 0
 
@@ -153,17 +199,29 @@ class ModelComparator:
 
 
 def verdict_vector(
-    model: MemoryModel, tests: Sequence[LitmusTest], checker: Optional[object] = None
+    model: MemoryModel,
+    tests: Sequence[LitmusTest],
+    engine: Optional[EngineSpec] = None,
+    *,
+    checker: Optional[object] = None,
 ) -> VerdictVector:
-    """Convenience wrapper around :meth:`ModelComparator.verdict_vector`."""
-    return ModelComparator(tests, checker).verdict_vector(model)
+    """Convenience wrapper around :meth:`ModelComparator.verdict_vector`.
+
+    ``checker=`` is the deprecated spelling of ``engine=``.
+    """
+    return ModelComparator(tests, engine, checker=checker).verdict_vector(model)
 
 
 def compare_models(
     first: MemoryModel,
     second: MemoryModel,
     tests: Sequence[LitmusTest],
+    engine: Optional[EngineSpec] = None,
+    *,
     checker: Optional[object] = None,
 ) -> ComparisonResult:
-    """Convenience wrapper around :meth:`ModelComparator.compare`."""
-    return ModelComparator(tests, checker).compare(first, second)
+    """Convenience wrapper around :meth:`ModelComparator.compare`.
+
+    ``checker=`` is the deprecated spelling of ``engine=``.
+    """
+    return ModelComparator(tests, engine, checker=checker).compare(first, second)

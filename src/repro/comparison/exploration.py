@@ -129,6 +129,24 @@ class ExplorationResult:
             return Relation.WEAKER
         return Relation.INCOMPARABLE
 
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        """Serialize to a schema-versioned JSON document.
+
+        The document embeds the full model formulas and test programs, so
+        :meth:`from_json` rebuilds a structurally equal result (``==``).
+        """
+        from repro.api.serialize import exploration_result_to_json
+
+        return exploration_result_to_json(self)
+
+    @staticmethod
+    def from_json(document: Dict[str, object]) -> "ExplorationResult":
+        """Rebuild from a document written by :meth:`to_json`."""
+        from repro.api.serialize import exploration_result_from_json
+
+        return exploration_result_from_json(document)
+
 
 def explore_models(
     models: Sequence[MemoryModel],

@@ -113,8 +113,12 @@ def named_models() -> Dict[str, MemoryModel]:
 
 
 def catalog_summary() -> List[str]:
-    """Return one formatted line per catalogued model (for reports/examples)."""
-    lines = []
-    for name, model in named_models().items():
-        lines.append(f"{name:10s} F(x, y) = {model.formula}")
-    return lines
+    """Return one formatted line per catalogued model (for reports/examples).
+
+    Name resolution and formatting live in
+    :class:`repro.api.registry.ModelRegistry`, the single owner of the model
+    namespace; this wrapper summarises a catalog-only registry.
+    """
+    from repro.api.registry import ModelRegistry
+
+    return ModelRegistry().summary()

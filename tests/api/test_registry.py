@@ -1,0 +1,145 @@
+"""Tests for the model and test registries (the one name-resolution place)."""
+
+import pytest
+
+from repro import TEST_A, TSO
+from repro.api.registry import (
+    ModelRegistry,
+    TestRegistry,
+    UnknownModelError,
+    UnknownTestError,
+)
+from repro.core.catalog import named_models
+from repro.core.model import MemoryModel
+from repro.io.writer import write_litmus_file
+
+
+# ----------------------------------------------------------------------
+# ModelRegistry
+# ----------------------------------------------------------------------
+def test_catalog_names_resolve():
+    registry = ModelRegistry()
+    for name in named_models():
+        assert registry.resolve(name).name == name
+
+
+def test_case_insensitive_resolution():
+    registry = ModelRegistry()
+    assert registry.resolve("tso").name == "TSO"
+    assert registry.resolve("X86").name == "x86"
+
+
+def test_parametric_names_resolve():
+    registry = ModelRegistry()
+    assert registry.resolve("M4044").name == "M4044"
+    assert registry.resolve("M4444").name == "M4444"
+
+
+def test_model_instances_pass_through():
+    registry = ModelRegistry()
+    assert registry.resolve(TSO) is TSO
+
+
+def test_unknown_model_error_lists_known_names():
+    registry = ModelRegistry()
+    with pytest.raises(UnknownModelError) as excinfo:
+        registry.resolve("NotAModel")
+    message = str(excinfo.value)
+    assert "NotAModel" in message and "TSO" in message and "M4044" in message
+
+
+def test_malformed_parametric_name_is_clearly_rejected():
+    registry = ModelRegistry()
+    with pytest.raises(UnknownModelError):
+        registry.resolve("M9999")  # 9 is not a valid reorder option
+    with pytest.raises(UnknownModelError):
+        registry.resolve("M40")  # too short
+
+
+def test_register_and_resolve_custom_model():
+    registry = ModelRegistry()
+    custom = MemoryModel("Custom", "Fence(x) | Fence(y)")
+    registry.register(custom)
+    assert registry.resolve("Custom") is custom
+    assert registry.resolve("custom") is custom
+    with pytest.raises(ValueError):
+        registry.register(MemoryModel("Custom", "True"))
+    replacement = MemoryModel("Custom", "True")
+    registry.register(replacement, replace=True)
+    assert registry.resolve("Custom") is replacement
+
+
+def test_model_space_is_memoized_and_validated():
+    registry = ModelRegistry()
+    assert registry.space("no_deps") is registry.space("no_deps")
+    assert len(registry.space("no_deps")) == 36
+    assert len(registry.space("deps")) == 90
+    with pytest.raises(UnknownModelError):
+        registry.space("everything")
+
+
+def test_summary_covers_registered_models():
+    registry = ModelRegistry()
+    registry.register(MemoryModel("Zed", "True"))
+    lines = registry.summary()
+    assert any(line.startswith("Zed") for line in lines)
+    assert any(line.startswith("TSO") for line in lines)
+
+
+# ----------------------------------------------------------------------
+# TestRegistry
+# ----------------------------------------------------------------------
+def test_named_tests_resolve():
+    registry = TestRegistry()
+    assert registry.resolve("A") == TEST_A
+    assert registry.resolve("L1").name == "L1"
+
+
+def test_file_loading_is_cached_by_path(tmp_path):
+    registry = TestRegistry()
+    path = tmp_path / "a.litmus"
+    write_litmus_file(TEST_A, path)
+    first = registry.load(path)
+    assert registry.load(str(path)) is first  # same object: engine caches stay warm
+    assert registry.resolve(str(path)) is first
+
+
+def test_inline_litmus_text_resolves():
+    registry = TestRegistry()
+    text = (
+        'litmus "inline"\n'
+        "thread T1 {\n  write X 1\n  read Y r1\n}\n"
+        "thread T2 {\n  write Y 1\n  read X r2\n}\n"
+        "exists r1 = 0 & r2 = 0\n"
+    )
+    test = registry.resolve(text)
+    assert test.name == "inline"
+    assert test.num_memory_accesses() == 4
+
+
+def test_unknown_test_error_lists_known_names():
+    registry = TestRegistry()
+    with pytest.raises(UnknownTestError) as excinfo:
+        registry.resolve("NoSuchTest")
+    assert "L1" in str(excinfo.value)
+
+
+def test_suites_are_memoized_with_identical_objects():
+    registry = TestRegistry()
+    first = registry.suite("no_deps")
+    second = registry.suite("no_deps")
+    assert first is second
+    assert len(first) == 88  # the 124-instantiation no-deps suite, feasible tests only
+    with pytest.raises(UnknownTestError):
+        registry.suite("bogus")
+
+
+def test_comparison_tests_append_the_nine_named_tests():
+    registry = TestRegistry()
+    tests = registry.comparison_tests("no_deps")
+    names = [test.name for test in tests]
+    for expected in ("L1", "L9"):
+        assert expected in names
+    assert tests is registry.comparison_tests("no_deps")
+    bare = registry.comparison_tests("no_deps", include_named=False)
+    assert "L1" not in [test.name for test in bare]

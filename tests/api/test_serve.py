@@ -1,0 +1,183 @@
+"""Tests for the JSON-lines serve loop (stream and socket transports)."""
+
+import io
+import json
+import socket
+import threading
+
+from repro.api.requests import (
+    CheckRequest,
+    CompareRequest,
+    ExploreRequest,
+    OutcomesRequest,
+    request_from_json,
+    request_to_json,
+)
+from repro.api.serialize import SCHEMA_VERSION, from_json
+from repro.api.serve import handle_request_line, serve_socket, serve_stream
+from repro.api.session import Session
+
+
+def _serve_lines(lines, session=None):
+    output = io.StringIO()
+    count = serve_stream(
+        session if session is not None else Session(),
+        io.StringIO("\n".join(lines) + "\n"),
+        output,
+    )
+    return count, [json.loads(line) for line in output.getvalue().splitlines()]
+
+
+def test_request_dataclasses_roundtrip_through_json():
+    requests = [
+        CheckRequest(test="A", model="TSO", witness=True),
+        CompareRequest(first="SC", second="TSO", suite="no_deps"),
+        ExploreRequest(space="deps"),
+        ExploreRequest(models=("M4444", "M4044"), suite="no_deps", preferred=False),
+        OutcomesRequest(test="L7", model="SC"),
+    ]
+    for request in requests:
+        document = request_to_json(request)
+        assert document["schema"] == "repro/request"
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert request_from_json(document) == request
+        # one line of JSON, as the serve loop transports it
+        assert request_from_json(json.loads(json.dumps(document))) == request
+
+
+def test_serve_answers_three_requests_with_valid_documents():
+    count, responses = _serve_lines(
+        [
+            json.dumps({"op": "check", "test": "A", "model": "TSO"}),
+            json.dumps({"op": "compare", "first": "TSO", "second": "x86", "suite": "no_deps"}),
+            json.dumps({"op": "outcomes", "test": "L7", "model": "SC"}),
+        ]
+    )
+    assert count == 3
+    assert [response["ok"] for response in responses] == [True, True, True]
+    assert [response["op"] for response in responses] == ["check", "compare", "outcomes"]
+    check = from_json(responses[0]["result"])
+    assert check.allowed and check.model_name == "TSO"
+    compare = from_json(responses[1]["result"])
+    assert compare.equivalent
+    outcomes = from_json(responses[2]["result"])
+    assert len(outcomes) == 3
+    for response in responses:
+        assert response["schema"] == "repro/response"
+        assert response["schema_version"] == SCHEMA_VERSION
+        assert "checks_performed" in response["stats"]
+
+
+def test_serve_demonstrates_cross_request_cache_reuse():
+    _, responses = _serve_lines(
+        [
+            json.dumps({"op": "compare", "first": "SC", "second": "TSO", "suite": "no_deps"}),
+            json.dumps({"op": "explore", "space": "no_deps"}),
+        ]
+    )
+    warmup, explore = responses
+    assert warmup["stats"]["executions_evaluated"] > 0
+    # The warm session answers the exploration without evaluating a single
+    # new execution: every test context comes from the compare's cache.
+    assert explore["stats"]["executions_evaluated"] == 0
+    assert explore["stats"]["context_cache_hits"] > 0
+
+
+def test_serve_reports_errors_and_keeps_going():
+    count, responses = _serve_lines(
+        [
+            "this is not json",
+            json.dumps({"op": "levitate"}),
+            json.dumps({"op": "check", "test": "A", "model": "NoSuchModel"}),
+            json.dumps({"op": "check", "test": "A"}),  # missing required field
+            json.dumps({"op": "check", "test": "A", "model": "TSO"}),
+        ]
+    )
+    assert count == 5
+    assert [response["ok"] for response in responses] == [False, False, False, False, True]
+    assert "NoSuchModel" in responses[2]["error"]
+
+
+def test_serve_survives_malformed_embedded_documents():
+    # A litmus_test document missing required fields raises KeyError deep in
+    # deserialization; the loop must answer ok:false and keep going.
+    bad_test = {"schema": "repro/litmus_test", "schema_version": 1, "name": "x"}
+    count, responses = _serve_lines(
+        [
+            json.dumps({"op": "check", "test": bad_test, "model": "TSO"}),
+            json.dumps({"op": "check", "test": "A", "model": "TSO"}),
+        ]
+    )
+    assert count == 2
+    assert responses[0]["ok"] is False
+    assert responses[1]["ok"] is True
+
+
+def test_socket_serving_disables_path_test_specs(tmp_path):
+    from repro.io.writer import write_litmus_file
+
+    import repro
+
+    path = tmp_path / "a.litmus"
+    write_litmus_file(repro.TEST_A, path)
+    session = Session()
+    assert session.tests.allow_paths is True
+
+    # serve(port=...) flips the flag before binding; simulate the effect.
+    session.tests.allow_paths = False
+    output = io.StringIO()
+    serve_stream(
+        session,
+        io.StringIO(json.dumps({"op": "check", "test": str(path), "model": "TSO"}) + "\n"),
+        output,
+    )
+    response = json.loads(output.getvalue())
+    assert response["ok"] is False
+    assert "unknown test" in response["error"]
+    # registered names still work with paths disabled
+    session.tests.allow_paths = False
+    assert handle_request_line(session, json.dumps({"op": "check", "test": "A", "model": "TSO"}))["ok"]
+
+
+def test_serve_rejects_wrong_schema_version_per_line():
+    document = request_to_json(CheckRequest(test="A", model="TSO"))
+    document["schema_version"] = SCHEMA_VERSION + 1
+    _, responses = _serve_lines([json.dumps(document)])
+    assert responses[0]["ok"] is False
+    assert "schema_version" in responses[0]["error"]
+
+
+def test_serve_skips_blank_lines():
+    count, responses = _serve_lines(["", json.dumps({"op": "check", "test": "A", "model": "TSO"}), "   "])
+    assert count == 1 and len(responses) == 1
+
+
+def test_handle_request_line_accepts_enveloped_requests():
+    session = Session()
+    line = json.dumps(request_to_json(CheckRequest(test="A", model="TSO")))
+    response = handle_request_line(session, line)
+    assert response["ok"] and from_json(response["result"]).allowed
+
+
+def test_serve_socket_roundtrip():
+    session = Session()
+    server = serve_socket(session, "127.0.0.1", 0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as connection:
+            handle = connection.makefile("rw", encoding="utf-8")
+            for op, expectation in [
+                ({"op": "check", "test": "A", "model": "TSO"}, True),
+                ({"op": "check", "test": "A", "model": "SC"}, False),
+            ]:
+                handle.write(json.dumps(op) + "\n")
+                handle.flush()
+                response = json.loads(handle.readline())
+                assert response["ok"] is True
+                assert from_json(response["result"]).allowed is expectation
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)

@@ -96,8 +96,48 @@ def test_module_level_helpers():
 
 
 def test_comparator_with_sat_backend():
-    from repro.checker.sat_checker import SatChecker
-
-    comparator = ModelComparator([TEST_A, L_TESTS[6]], checker=SatChecker())
+    comparator = ModelComparator([TEST_A, L_TESTS[6]], engine="sat")
     result = comparator.compare(TSO, SC)
     assert result.relation is Relation.WEAKER
+
+
+def test_comparator_accepts_engine_instances_and_backend_names():
+    from repro.engine.engine import CheckEngine
+
+    engine = CheckEngine(backend="explicit")
+    shared = ModelComparator([TEST_A], engine)
+    assert shared.engine is engine
+    named = ModelComparator([TEST_A], "sat")
+    assert named.engine.strategy.name == "sat"
+
+
+def test_comparator_checker_keyword_is_deprecated_but_works():
+    from repro.checker.sat_checker import SatChecker
+
+    with pytest.warns(DeprecationWarning, match="checker=.*deprecated"):
+        comparator = ModelComparator([TEST_A, L_TESTS[6]], checker=SatChecker())
+    assert comparator.compare(TSO, SC).relation is Relation.WEAKER
+
+
+def test_comparator_raw_checker_positional_is_deprecated_but_works():
+    from repro.checker.explicit import ExplicitChecker
+
+    with pytest.warns(DeprecationWarning, match="raw checker object"):
+        comparator = ModelComparator([TEST_A], ExplicitChecker())
+    assert comparator.compare(TSO, SC).relation is Relation.WEAKER
+
+
+def test_comparator_rejects_engine_and_checker_together():
+    with pytest.raises(TypeError):
+        ModelComparator([TEST_A], "explicit", checker="sat")
+
+
+def test_module_helpers_keep_deprecated_checker_keyword():
+    from repro.checker.sat_checker import SatChecker
+
+    with pytest.warns(DeprecationWarning):
+        result = compare_models(TSO, SC, [TEST_A], checker=SatChecker())
+    assert result.relation is Relation.WEAKER
+    with pytest.warns(DeprecationWarning):
+        vector = verdict_vector(SC, [TEST_A], checker=SatChecker())
+    assert vector == (False,)

@@ -1,5 +1,8 @@
 """End-to-end tests of the public API surface and the command-line interface."""
 
+import io
+import json
+
 import pytest
 
 import repro
@@ -28,10 +31,11 @@ def test_compare_models_via_top_level_api():
 
 
 def test_resolve_model_accepts_catalog_and_parametric_names():
-    assert resolve_model("TSO").name == "TSO"
-    assert resolve_model("M4044").name == "M4044"
-    with pytest.raises(SystemExit):
-        resolve_model("NotAModel")
+    with pytest.warns(DeprecationWarning):
+        assert resolve_model("TSO").name == "TSO"
+        assert resolve_model("M4044").name == "M4044"
+        with pytest.raises(SystemExit):
+            resolve_model("NotAModel")
 
 
 def test_cli_catalog(capsys):
@@ -78,3 +82,103 @@ def test_cli_parser_rejects_unknown_backend():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args(["--backend", "bogus", "catalog"])
+
+
+def test_cli_rejects_unknown_model_with_clear_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["compare", "TSO", "NotAModel", "--no-deps"])
+    assert "NotAModel" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# --format json on every subcommand
+# ----------------------------------------------------------------------
+def test_cli_check_json(tmp_path, capsys):
+    from repro.api.serialize import from_json
+
+    path = tmp_path / "a.litmus"
+    write_litmus_file(repro.TEST_A, path)
+    assert main(["check", str(path), "--model", "TSO", "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["schema"] == "repro/check_result"
+    result = from_json(document)
+    assert result.allowed and result.model_name == "TSO"
+    assert result.witness is not None
+
+
+def test_cli_compare_json(capsys):
+    from repro.api.serialize import from_json
+    from repro.comparison.compare import Relation
+
+    assert main(["compare", "SC", "M4044", "--no-deps", "--format", "json"]) == 0
+    result = from_json(json.loads(capsys.readouterr().out))
+    assert result.relation is Relation.STRONGER
+
+
+def test_cli_outcomes_json(tmp_path, capsys):
+    from repro.api.serialize import from_json
+
+    path = tmp_path / "sb.litmus"
+    write_litmus_file(repro.L_TESTS[6], path)
+    assert main(["outcomes", str(path), "--model", "SC", "--format", "json"]) == 0
+    result = from_json(json.loads(capsys.readouterr().out))
+    assert result.model_name == "SC" and len(result) == 3
+
+
+def test_cli_catalog_json(capsys):
+    from repro.api.serialize import from_json
+
+    assert main(["catalog", "--format", "json"]) == 0
+    documents = json.loads(capsys.readouterr().out)
+    models = [from_json(document) for document in documents]
+    assert "TSO" in {model.name for model in models}
+
+
+def test_cli_explore_json_roundtrips_through_validate(capsys):
+    """Acceptance: ``repro explore --format json | python -m repro.api.validate``
+    round-trips to an ExplorationResult equal to the in-process one."""
+    from repro.api import ExploreRequest, Session
+    from repro.api.serialize import from_json
+    from repro.api.validate import main as validate_main
+
+    assert main(["explore", "--no-deps", "--format", "json"]) == 0
+    output = capsys.readouterr().out
+
+    # the validate filter accepts the document verbatim
+    assert validate_main([], input_stream=io.StringIO(output)) == 0
+    assert "OK: valid exploration_result" in capsys.readouterr().err
+
+    # and the deserialized result equals the in-process exploration
+    piped = from_json(json.loads(output))
+    in_process = Session().run(ExploreRequest(space="no_deps"))
+    assert piped == in_process
+
+
+def test_validate_rejects_tampered_documents(capsys):
+    from repro.api.validate import main as validate_main
+
+    assert main(["compare", "TSO", "x86", "--no-deps", "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    document["schema_version"] = 99
+    assert validate_main([], input_stream=io.StringIO(json.dumps(document))) == 1
+    assert "INVALID" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# repro serve
+# ----------------------------------------------------------------------
+def test_cli_serve_stdin_roundtrip(monkeypatch, capsys):
+    requests = "\n".join(
+        [
+            json.dumps({"op": "check", "test": "A", "model": "TSO"}),
+            json.dumps({"op": "compare", "first": "TSO", "second": "x86", "suite": "no_deps"}),
+            json.dumps({"op": "explore", "space": "no_deps"}),
+        ]
+    )
+    monkeypatch.setattr("sys.stdin", io.StringIO(requests + "\n"))
+    assert main(["serve"]) == 0
+    responses = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+    assert [response["ok"] for response in responses] == [True, True, True]
+    # the warm session answers the exploration from the compare's caches
+    assert responses[2]["stats"]["executions_evaluated"] == 0
+    assert responses[2]["stats"]["context_cache_hits"] > 0
