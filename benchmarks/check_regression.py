@@ -1,0 +1,188 @@
+"""The CI perf-regression gate.
+
+Compares a fresh pytest-benchmark JSON result against the committed
+baseline (``benchmarks/baselines/BENCH_baseline.json``) and fails when any
+benchmark's median slowed down by more than the tolerance (25% by
+default)::
+
+    python benchmarks/check_regression.py BENCH_explore.json
+    python benchmarks/check_regression.py BENCH_explore.json --tolerance 40
+
+Exit codes: 0 = within tolerance, 1 = regression (or a baselined benchmark
+disappeared — refresh the baseline consciously when retiring one), 2 =
+usage error.  Benchmarks not yet in the baseline pass with a note; run
+``python benchmarks/update_baseline.py`` to adopt them.
+
+By default ratios are *calibrated*: divided by the suite-wide median
+fresh/baseline ratio, so a uniformly slower (or faster) machine does not
+trip — or mask — the gate; only benchmarks that regressed relative to the
+rest of the suite fail, which is the signature of a code change.  Pass
+``--no-calibrate`` to gate on absolute medians.
+
+The baseline is a reduced schema (one median per benchmark ``fullname``)
+so committed refreshes produce reviewable diffs; see ``docs/ci.md`` for
+the refresh workflow and the cross-machine caveats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Default committed baseline location, relative to this file.
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_baseline.json"
+
+#: Fail when a median exceeds baseline * (1 + TOLERANCE).
+DEFAULT_TOLERANCE_PERCENT = 25.0
+
+
+def normalize_name(fullname: str) -> str:
+    """Strip the machine-specific path prefix from a benchmark fullname.
+
+    pytest-benchmark records ``<rootdir-relative-or-absolute path>::test``;
+    checkouts live at different paths on different runners, so the gate
+    keys benchmarks from the ``benchmarks/`` component onward.
+    """
+    marker = "benchmarks/"
+    position = fullname.find(marker)
+    return fullname[position:] if position > 0 else fullname
+
+
+def load_medians(path: Path) -> Dict[str, float]:
+    """Extract ``name -> median seconds`` from either JSON schema.
+
+    Accepts both the raw pytest-benchmark output and the reduced baseline
+    schema written by ``update_baseline.py``; names are normalized with
+    :func:`normalize_name` either way.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    if document.get("schema") == "repro/bench_baseline":
+        return {
+            normalize_name(name): entry["median"]
+            for name, entry in document["benchmarks"].items()
+        }
+    medians: Dict[str, float] = {}
+    for bench in document.get("benchmarks", []):
+        medians[normalize_name(bench["fullname"])] = bench["stats"]["median"]
+    return medians
+
+
+def speed_factor(baseline: Dict[str, float], fresh: Dict[str, float]) -> float:
+    """The machine-speed factor: the median fresh/baseline ratio.
+
+    A baseline measured on one machine (a laptop, last month's CI runner
+    generation) meets fresh numbers from another; whatever slows *every*
+    benchmark by the same factor is machine speed, not a regression.  The
+    median ratio estimates that factor robustly — an actual regression in a
+    few benchmarks barely moves it.
+    """
+    ratios = sorted(
+        fresh[name] / baseline[name]
+        for name in baseline
+        if name in fresh and baseline[name] > 0
+    )
+    if not ratios:
+        return 1.0
+    return ratios[len(ratios) // 2]
+
+
+def compare(
+    baseline: Dict[str, float],
+    fresh: Dict[str, float],
+    tolerance_percent: float = DEFAULT_TOLERANCE_PERCENT,
+    calibrate: bool = True,
+) -> Tuple[List[str], List[str]]:
+    """Return (failures, notes) comparing fresh medians to the baseline.
+
+    With ``calibrate=True`` (the default) each ratio is divided by the
+    suite-wide :func:`speed_factor` first, so only benchmarks that
+    regressed *relative to the rest of the suite* fail — the signature of a
+    code change rather than a slower machine.  ``calibrate=False`` gates on
+    absolute medians.
+    """
+    failures: List[str] = []
+    notes: List[str] = []
+    limit = 1.0 + tolerance_percent / 100.0
+    factor = speed_factor(baseline, fresh) if calibrate else 1.0
+    if calibrate:
+        notes.append(f"machine-speed calibration factor: x{factor:.2f}")
+    for name in sorted(baseline):
+        if name not in fresh:
+            failures.append(
+                f"{name}: present in the baseline but missing from the fresh run "
+                "(refresh the baseline if it was retired on purpose)"
+            )
+            continue
+        reference = baseline[name]
+        measured = fresh[name]
+        if reference <= 0:
+            notes.append(f"{name}: baseline median is {reference}; skipped")
+            continue
+        ratio = measured / reference / factor
+        verdict = "OK" if ratio <= limit else "REGRESSION"
+        line = (
+            f"{name}: baseline {reference * 1000:.2f}ms -> fresh {measured * 1000:.2f}ms "
+            f"(x{ratio:.2f} calibrated, limit x{limit:.2f}) {verdict}"
+        )
+        if ratio > limit:
+            failures.append(line)
+        else:
+            notes.append(line)
+    for name in sorted(set(fresh) - set(baseline)):
+        notes.append(f"{name}: new benchmark, not in the baseline yet (passes)")
+    return failures, notes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when any benchmark median regressed past the tolerance."
+    )
+    parser.add_argument("fresh", help="fresh pytest-benchmark JSON (e.g. BENCH_explore.json)")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help=f"baseline JSON (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE_PERCENT,
+        metavar="PERCENT",
+        help=f"allowed median slowdown in percent (default: {DEFAULT_TOLERANCE_PERCENT})",
+    )
+    parser.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help="gate on absolute medians instead of dividing out the suite-wide "
+        "machine-speed factor",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_medians(Path(args.baseline))
+        fresh = load_medians(Path(args.fresh))
+    except (OSError, ValueError, KeyError) as error:
+        print(f"check_regression: cannot load inputs: {error}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"check_regression: baseline {args.baseline} has no benchmarks", file=sys.stderr)
+        return 2
+
+    failures, notes = compare(baseline, fresh, args.tolerance, calibrate=not args.no_calibrate)
+    for note in notes:
+        print(note)
+    if failures:
+        print(f"\n{len(failures)} perf-gate failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate OK: {len(baseline)} benchmark(s) within {args.tolerance:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""One-command refresh of the CI perf-gate baseline.
+
+Runs the same fast benchmark subset CI runs and writes the reduced
+baseline document the gate (``check_regression.py``) compares against::
+
+    python benchmarks/update_baseline.py                  # refresh the committed baseline
+    python benchmarks/update_baseline.py --output B.json  # write elsewhere (e.g. CI's fresh run)
+    python benchmarks/update_baseline.py --from-json BENCH_explore.json
+                                                          # adopt an existing result (e.g. a CI artifact)
+
+Prefer ``--from-json`` with an artifact downloaded from the CI runner
+class that enforces the gate: medians measured on your laptop encode your
+laptop's speed, not CI's (see ``docs/ci.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from check_regression import DEFAULT_BASELINE, load_medians
+
+#: The fast benchmark subset CI runs on every push (one round each).
+BENCH_MODULES = (
+    "benchmarks/bench_fig1_test_a.py",
+    "benchmarks/bench_fig3_nine_tests.py",
+    "benchmarks/bench_sat_vs_explicit.py",
+    "benchmarks/bench_engine_incremental.py",
+    "benchmarks/bench_kernel_explicit.py",
+    "benchmarks/bench_enumeration_pipeline.py",
+)
+
+
+def run_benchmarks(json_path: Path) -> None:
+    """Run the CI benchmark subset, writing pytest-benchmark JSON."""
+    repo_root = Path(__file__).parent.parent
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "-x",
+        "-q",
+        *BENCH_MODULES,
+        "--benchmark-json",
+        str(json_path),
+    ]
+    subprocess.run(command, cwd=repo_root, check=True)
+
+
+def reduce_to_baseline(raw_jsons: List[Path]) -> dict:
+    """Reduce pytest-benchmark JSON documents to the baseline schema.
+
+    With several documents (``--runs N``) each benchmark's baseline is the
+    median of its per-run medians, which damps scheduler noise.
+    """
+    per_run = [load_medians(path) for path in raw_jsons]
+    names = sorted(set().union(*per_run))
+    benchmarks = {}
+    for name in names:
+        medians = sorted(run[name] for run in per_run if name in run)
+        benchmarks[name] = {"median": medians[len(medians) // 2]}
+    return {
+        "schema": "repro/bench_baseline",
+        "schema_version": 1,
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Refresh the CI perf-gate baseline.")
+    parser.add_argument(
+        "--from-json",
+        metavar="FILE",
+        help="adopt an existing pytest-benchmark JSON instead of running the suite",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(DEFAULT_BASELINE),
+        help=f"where to write the baseline (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--raw",
+        action="store_true",
+        help="write the raw pytest-benchmark JSON instead of the reduced baseline "
+        "schema (for CI steps that both gate and upload the artifact)",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the suite N times and baseline the per-benchmark median of "
+        "the N medians (steadier baselines on noisy machines)",
+    )
+    args = parser.parse_args(argv)
+    if args.runs < 1:
+        parser.error("--runs must be >= 1")
+    if args.raw and args.runs != 1:
+        parser.error("--raw makes no sense with --runs > 1")
+
+    if args.from_json:
+        raw_paths = [Path(args.from_json)]
+    else:
+        raw_paths = []
+        for _run in range(args.runs):
+            raw_path = Path(tempfile.mkstemp(suffix=".json")[1])
+            run_benchmarks(raw_path)
+            raw_paths.append(raw_path)
+
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    if args.raw:
+        output.write_text(raw_paths[0].read_text())
+    else:
+        output.write_text(json.dumps(reduce_to_baseline(raw_paths), indent=2) + "\n")
+    print(f"wrote {output} ({len(load_medians(output))} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

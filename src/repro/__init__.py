@@ -17,6 +17,8 @@ The package provides:
   (:mod:`repro.generation`);
 * model comparison, exploration of model spaces and minimal distinguishing
   test sets (:mod:`repro.comparison`);
+* a sharded, resumable exhaustive-enumeration pipeline proving the
+  template suite's completeness (:mod:`repro.pipeline`);
 * a litmus text format and a command-line interface (:mod:`repro.io`,
   :mod:`repro.cli`).
 
@@ -77,10 +79,18 @@ from repro.generation import (
     segment_counts,
 )
 from repro.io import litmus_to_text, parse_litmus, parse_litmus_file, write_litmus_file
+from repro.pipeline import (
+    EquivalenceReport,
+    PipelineConfig,
+    canonical_key,
+    canonicalize,
+    run_pipeline,
+)
 from repro.api import (
     BatchResult,
     CheckRequest,
     CompareRequest,
+    ExhaustiveRequest,
     ExploreRequest,
     ModelRegistry,
     OutcomesRequest,
@@ -136,9 +146,16 @@ __all__ = [
     "CompareRequest",
     "ExploreRequest",
     "OutcomesRequest",
+    "ExhaustiveRequest",
     # engine
     "CheckEngine",
     "EngineStats",
+    # exhaustive-enumeration pipeline
+    "EquivalenceReport",
+    "PipelineConfig",
+    "canonical_key",
+    "canonicalize",
+    "run_pipeline",
     # comparison
     "ModelComparator",
     "Relation",

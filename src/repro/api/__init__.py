@@ -9,7 +9,8 @@ This package is the stable boundary every external caller (the CLI, the
 * request dataclasses (:class:`~repro.api.requests.CheckRequest`,
   :class:`~repro.api.requests.CompareRequest`,
   :class:`~repro.api.requests.ExploreRequest`,
-  :class:`~repro.api.requests.OutcomesRequest`) dispatched via
+  :class:`~repro.api.requests.OutcomesRequest`,
+  :class:`~repro.api.requests.ExhaustiveRequest`) dispatched via
   :meth:`~repro.api.session.Session.run` /
   :meth:`~repro.api.session.Session.run_batch`;
 * schema-versioned JSON serialization for every result type
@@ -38,6 +39,7 @@ from repro.api.registry import (
 from repro.api.requests import (
     CheckRequest,
     CompareRequest,
+    ExhaustiveRequest,
     ExploreRequest,
     OutcomesRequest,
     Request,
@@ -65,6 +67,7 @@ __all__ = [
     "CompareRequest",
     "ExploreRequest",
     "OutcomesRequest",
+    "ExhaustiveRequest",
     "Request",
     "request_to_json",
     "request_from_json",

@@ -23,7 +23,7 @@ requests from its per-test context cache.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple, Union
 
 from repro.core.catalog import named_models
 from repro.core.litmus import LitmusTest

@@ -91,10 +91,44 @@ class OutcomesRequest:
     op = "outcomes"
 
 
-Request = Union[CheckRequest, CompareRequest, ExploreRequest, OutcomesRequest]
+@dataclass(frozen=True)
+class ExhaustiveRequest:
+    """Run the sharded exhaustive-enumeration verification pipeline.
+
+    Streams the naive bounded enumeration (``bound`` names a configuration
+    from :data:`repro.pipeline.run.BOUNDS`) through the symmetry-reducing
+    canonicalizer, checks every kernel-distinct survivor against the whole
+    ``space``, and reports whether the induced model partition equals the
+    template suite's — the paper's completeness claim.  With a ``run_dir``
+    each completed shard is checkpointed as JSON lines; ``resume=True``
+    answers completed shards from disk instead of re-checking them.
+    """
+
+    bound: str = "small"
+    space: str = "no_deps"
+    suite: Optional[str] = None
+    jobs: int = 1
+    shard_size: int = 512
+    limit: Optional[int] = None
+    run_dir: Optional[str] = None
+    resume: bool = False
+
+    op = "exhaustive"
+
+
+Request = Union[
+    CheckRequest, CompareRequest, ExploreRequest, OutcomesRequest, ExhaustiveRequest
+]
 
 _REQUEST_TYPES: Dict[str, type] = {
-    cls.op: cls for cls in (CheckRequest, CompareRequest, ExploreRequest, OutcomesRequest)
+    cls.op: cls
+    for cls in (
+        CheckRequest,
+        CompareRequest,
+        ExploreRequest,
+        OutcomesRequest,
+        ExhaustiveRequest,
+    )
 }
 
 

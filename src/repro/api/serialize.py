@@ -21,6 +21,8 @@ The serializable types are
 * :class:`~repro.comparison.compare.ComparisonResult`,
 * :class:`~repro.comparison.exploration.ExplorationResult`
   (including :class:`~repro.engine.engine.EngineStats` and Hasse edges),
+* :class:`~repro.pipeline.report.EquivalenceReport` (the exhaustive
+  enumeration pipeline's partition-vs-template verdict),
 * :class:`~repro.core.litmus.LitmusTest` (full program structure),
 * formula-defined :class:`~repro.core.model.MemoryModel` objects
   (models backed by arbitrary Python callables cannot travel as JSON and
@@ -29,7 +31,7 @@ The serializable types are
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.checker.outcomes import OutcomeSet
 from repro.checker.result import CheckResult, CheckWitness, HbEdge
@@ -44,6 +46,7 @@ from repro.core.model import MemoryModel
 from repro.core.predicates import PredicateSet, default_registry
 from repro.core.program import Program, Thread
 from repro.engine.engine import EngineStats
+from repro.pipeline.report import EquivalenceReport
 
 #: The version every document written by this module carries.
 SCHEMA_VERSION = 1
@@ -405,6 +408,62 @@ def exploration_result_from_json(document: Dict[str, Any]) -> ExplorationResult:
     )
 
 
+def equivalence_report_to_json(report: EquivalenceReport) -> Dict[str, Any]:
+    document = envelope("equivalence_report")
+    document.update(
+        {
+            "bound": report.bound,
+            "space": report.space,
+            "suite": report.suite,
+            "backend": report.backend,
+            "model_names": list(report.model_names),
+            "raw_tests": report.raw_tests,
+            "unique_tests": report.unique_tests,
+            "shards_total": report.shards_total,
+            "shards_checked": report.shards_checked,
+            "shards_resumed": report.shards_resumed,
+            "checks_performed": report.checks_performed,
+            "equivalence_classes": [list(cls) for cls in report.equivalence_classes],
+            "hasse_edges": [list(edge) for edge in report.hasse_edges],
+            "template_classes": [list(cls) for cls in report.template_classes],
+            "template_hasse_edges": [list(edge) for edge in report.template_hasse_edges],
+            "matches_template": report.matches_template,
+            "mismatches": list(report.mismatches),
+            "stats": None if report.stats is None else engine_stats_to_json(report.stats),
+            "elapsed_seconds": report.elapsed_seconds,
+        }
+    )
+    return document
+
+
+def equivalence_report_from_json(document: Dict[str, Any]) -> EquivalenceReport:
+    check_envelope(document, "equivalence_report")
+    stats = document.get("stats")
+    return EquivalenceReport(
+        bound=document["bound"],
+        space=document["space"],
+        suite=document["suite"],
+        backend=document["backend"],
+        model_names=list(document["model_names"]),
+        raw_tests=document["raw_tests"],
+        unique_tests=document["unique_tests"],
+        shards_total=document["shards_total"],
+        shards_checked=document["shards_checked"],
+        shards_resumed=document["shards_resumed"],
+        checks_performed=document["checks_performed"],
+        equivalence_classes=[tuple(cls) for cls in document["equivalence_classes"]],
+        hasse_edges=[(edge[0], edge[1]) for edge in document["hasse_edges"]],
+        template_classes=[tuple(cls) for cls in document["template_classes"]],
+        template_hasse_edges=[
+            (edge[0], edge[1]) for edge in document["template_hasse_edges"]
+        ],
+        matches_template=document["matches_template"],
+        mismatches=list(document.get("mismatches", [])),
+        stats=None if stats is None else engine_stats_from_json(stats),
+        elapsed_seconds=document.get("elapsed_seconds", 0.0),
+    )
+
+
 def outcome_set_to_json(result: OutcomeSet) -> Dict[str, Any]:
     document = envelope("outcome_set")
     document.update(
@@ -433,6 +492,7 @@ _TO_JSON: Tuple[Tuple[type, Callable[[Any], Dict[str, Any]]], ...] = (
     (CheckResult, check_result_to_json),
     (ComparisonResult, comparison_result_to_json),
     (ExplorationResult, exploration_result_to_json),
+    (EquivalenceReport, equivalence_report_to_json),
     (OutcomeSet, outcome_set_to_json),
     (LitmusTest, test_to_json),
     (MemoryModel, model_to_json),
@@ -443,6 +503,7 @@ _FROM_JSON: Dict[str, Callable[[Dict[str, Any]], Any]] = {
     "check_result": check_result_from_json,
     "comparison_result": comparison_result_from_json,
     "exploration_result": exploration_result_from_json,
+    "equivalence_report": equivalence_report_from_json,
     "outcome_set": outcome_set_from_json,
     "litmus_test": test_from_json,
     "model": model_from_json,

@@ -23,12 +23,13 @@ for the whole batch).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.registry import ModelRegistry, TestRegistry
 from repro.api.requests import (
     CheckRequest,
     CompareRequest,
+    ExhaustiveRequest,
     ExploreRequest,
     OutcomesRequest,
     Request,
@@ -38,9 +39,12 @@ from repro.checker.result import CheckResult
 from repro.comparison.compare import ComparisonResult, ModelComparator
 from repro.comparison.exploration import ExplorationResult, explore_models
 from repro.engine.engine import CheckEngine, EngineStats
+from repro.pipeline.report import EquivalenceReport
 
 #: Everything a session can hand back.
-Result = Union[CheckResult, ComparisonResult, ExplorationResult, OutcomeSet]
+Result = Union[
+    CheckResult, ComparisonResult, ExplorationResult, OutcomeSet, EquivalenceReport
+]
 
 
 @dataclass
@@ -118,6 +122,8 @@ class Session:
             return self._run_explore(request)
         if isinstance(request, OutcomesRequest):
             return self._run_outcomes(request)
+        if isinstance(request, ExhaustiveRequest):
+            return self._run_exhaustive(request)
         raise TypeError(f"unknown request type {type(request).__name__}")
 
     def run_batch(self, requests: Sequence[Request]) -> BatchResult:
@@ -188,3 +194,28 @@ class Session:
         test = self.tests.resolve(request.test)
         model = self.models.resolve(request.model)
         return allowed_outcome_set(test, model, checker=self.engine)
+
+    def _run_exhaustive(self, request: ExhaustiveRequest) -> EquivalenceReport:
+        from repro.pipeline.run import PipelineConfig, run_pipeline
+
+        if request.run_dir is not None and not self.tests.allow_paths:
+            # Mirrors the test-spec path restriction: network-facing serve
+            # sessions must not let remote clients choose server-side paths.
+            raise ValueError("run_dir is not available on path-restricted sessions")
+        config = PipelineConfig(
+            bound=request.bound,
+            space=request.space,
+            suite=request.suite,
+            backend=self.backend_name,
+            jobs=request.jobs,
+            shard_size=request.shard_size,
+            limit=request.limit,
+            run_dir=request.run_dir,
+            resume=request.resume,
+        )
+        return run_pipeline(
+            config,
+            models=self.models.space(request.space),
+            suite_tests=self.tests.suite(config.suite_key()),
+            engine=self.engine,
+        )

@@ -23,7 +23,7 @@ independent of the direct interleaving generator it validates.
 from __future__ import annotations
 
 from itertools import permutations
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.checker.relations import (
     enumerate_coherence_orders_reference,

@@ -10,7 +10,7 @@ backends return comparable results.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.checker.encoder import Encoding, encode
 from repro.checker.relations import forced_edges, program_order_edges

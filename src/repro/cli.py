@@ -18,6 +18,9 @@ Subcommands:
 * ``catalog`` — list the built-in named models and their formulas.
 * ``outcomes TEST.litmus --model TSO`` — enumerate the outcomes a model
   allows for the test's program.
+* ``enumerate-verify [--bound large] [--jobs N] [--run-dir D --resume]`` —
+  run the sharded exhaustive-enumeration pipeline and report whether the
+  naive space induces the same model partition as the template suite.
 * ``serve [--port N]`` — answer a JSON-lines request stream over one warm
   session (stdin/stdout by default, a TCP socket with ``--port``).
 
@@ -34,7 +37,7 @@ import argparse
 import json
 import sys
 import warnings
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.api.registry import UnknownModelError, UnknownTestError
 from repro.api.requests import CheckRequest, CompareRequest, ExploreRequest, OutcomesRequest
@@ -153,6 +156,33 @@ def _cmd_outcomes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_enumerate_verify(args: argparse.Namespace) -> int:
+    from repro.api.requests import ExhaustiveRequest
+
+    session = _make_session(args)
+    request = ExhaustiveRequest(
+        bound=args.bound,
+        space="deps" if args.deps else "no_deps",
+        jobs=args.jobs,
+        shard_size=args.shard_size,
+        limit=args.limit,
+        run_dir=args.run_dir,
+        resume=args.resume,
+    )
+    try:
+        report = _run(session, request)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if args.format == "json":
+        _emit_json(to_json(report))
+    else:
+        print(report.describe())
+    if args.assert_match and not report.matches_template:
+        print("enumerate-verify: partitions disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api.serve import serve
 
@@ -214,6 +244,39 @@ def build_parser() -> argparse.ArgumentParser:
     outcomes.add_argument("--model", required=True)
     add_format(outcomes)
     outcomes.set_defaults(func=_cmd_outcomes)
+
+    enumerate_verify = subparsers.add_parser(
+        "enumerate-verify",
+        help="verify the template suite's completeness against the naive enumeration",
+    )
+    from repro.pipeline.run import BOUNDS
+
+    enumerate_verify.add_argument(
+        "--bound", choices=tuple(BOUNDS), default="small",
+        help="naive-enumeration bound ('paper' is the full Theorem 1 bound)")
+    enumerate_verify.add_argument(
+        "--deps", action=argparse.BooleanOptionalAction, default=False,
+        help="partition the 90-model space with dependencies (default: 36-model space)")
+    enumerate_verify.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes checking shards (default: 1)")
+    enumerate_verify.add_argument(
+        "--shard-size", type=int, default=512, metavar="K",
+        help="unique tests per shard / checkpoint granule (default: 512)")
+    enumerate_verify.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="cap the number of unique tests (smoke runs)")
+    enumerate_verify.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="checkpoint directory (one JSONL file per completed shard)")
+    enumerate_verify.add_argument(
+        "--resume", action="store_true",
+        help="answer already-completed shards from --run-dir instead of re-checking")
+    enumerate_verify.add_argument(
+        "--assert-match", action="store_true",
+        help="exit non-zero unless the naive partition matches the template suite's")
+    add_format(enumerate_verify)
+    enumerate_verify.set_defaults(func=_cmd_enumerate_verify)
 
     serve = subparsers.add_parser(
         "serve", help="answer JSON-lines requests over one warm session"

@@ -14,7 +14,7 @@ Given a list of models and a litmus-test suite, the exploration computes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.comparison.compare import Relation, VerdictVector

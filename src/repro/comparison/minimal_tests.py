@@ -9,7 +9,7 @@ non-equivalent models) and verifies candidate sets such as the paper's nine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.comparison.compare import ModelComparator
 from repro.core.litmus import LitmusTest

@@ -26,12 +26,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.core.model import MemoryModel
-from repro.core.predicates import (
-    EXTENDED_PREDICATES,
-    NO_DEP_PREDICATES,
-    PredicateSet,
-    STANDARD_PREDICATES,
-)
+from repro.core.predicates import EXTENDED_PREDICATES, NO_DEP_PREDICATES, STANDARD_PREDICATES
 
 #: Sequential consistency: every pair stays in program order.
 SC = MemoryModel(

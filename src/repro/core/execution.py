@@ -12,10 +12,10 @@ predicates and the happens-before axioms consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from repro.core.events import Event, build_events, flatten_events
-from repro.core.expr import ExprError, LocValue, Value, evaluate_expr, resolve_location
+from repro.core.expr import ExprError, Value, evaluate_expr, resolve_location
 from repro.core.instructions import Branch, Fence, Load, Op, Store
 from repro.core.program import Program
 

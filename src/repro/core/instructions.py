@@ -18,10 +18,10 @@ Addresses are expressions so that dependencies can flow into them
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Union
+from dataclasses import dataclass
+from typing import FrozenSet, Union
 
-from repro.core.expr import Expr, Loc, Reg, Const, _coerce
+from repro.core.expr import Expr, Loc, Reg, _coerce
 
 
 class Instruction:

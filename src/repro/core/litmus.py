@@ -16,10 +16,9 @@ that candidate execution is admitted by the model's axioms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.core.events import Event, build_events, flatten_events
 from repro.core.execution import EventKey, Execution
 from repro.core.instructions import Load
 from repro.core.program import Program

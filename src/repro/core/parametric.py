@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import IntEnum
 from itertools import product
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.formula import And, Atom, FalseFormula, Formula, Or, TrueFormula
 from repro.core.model import MemoryModel

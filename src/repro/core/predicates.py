@@ -13,7 +13,7 @@ many template instantiations are needed (Corollary 1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.core.events import Event

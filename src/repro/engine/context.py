@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.checker.encoder import Encoding, encode_skeleton
-from repro.checker.kernel import IndexedExecution
+from repro.checker.kernel import IndexedExecution, kernel_allowed
 from repro.checker.relations import (
     CoherenceOrder,
     HbEdge,
@@ -68,6 +68,11 @@ class TestContext:
         # stable, exactly like the engine's context cache.
         self._po_pairs_by_model: Dict[int, Tuple[MemoryModel, List[IndexEdge]]] = {}
         self._po_edges_by_model: Dict[int, Tuple[MemoryModel, List[HbEdge]]] = {}
+        # Kernel verdicts keyed by the po-edge tuple that produced them.
+        # Distinct models frequently force the *same* program-order edges on
+        # a small test (the verdict depends on nothing else), so a whole
+        # model space often needs only a handful of kernel searches per test.
+        self._kernel_verdicts: Dict[Tuple[IndexEdge, ...], bool] = {}
 
         # Enumeration-strategy caches.
         self._loads: Optional[List[Event]] = None
@@ -112,6 +117,21 @@ class TestContext:
         pairs = self.indexed().po_edge_pairs(model)
         self._po_pairs_by_model[key] = (model, pairs)
         return pairs
+
+    def kernel_verdict(self, pairs: List[IndexEdge]) -> bool:
+        """Return (computing once per distinct po-edge set) the kernel verdict.
+
+        The explicit kernel's verdict depends on the indexed execution and
+        the po edges alone, and ``po_edge_pairs`` emits edges in a fixed
+        scan order, so the edge tuple is a sound memo key across models —
+        distinct models frequently force identical edges on a small test.
+        """
+        key = tuple(pairs)
+        verdict = self._kernel_verdicts.get(key)
+        if verdict is None:
+            verdict = kernel_allowed(self.indexed(), pairs)
+            self._kernel_verdicts[key] = verdict
+        return verdict
 
     def program_order_edges(self, model: MemoryModel, stats=None) -> List[HbEdge]:
         """Return the model's program-order edges as event triples.

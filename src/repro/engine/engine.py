@@ -185,8 +185,34 @@ class CheckEngine:
         }
 
     def _column(self, test: LitmusTest, models: Sequence[MemoryModel]) -> List[bool]:
-        """One test's verdicts for every model (the unit of parallel work)."""
+        """One test's verdicts for every model (the unit of parallel work).
+
+        Deliberately NOT unified with :meth:`check_column`: this path goes
+        through :meth:`check` per model, so ``context_cache_hits`` counts
+        one hit per (model, test) repeat — the counter semantics the
+        serialized ``EngineStats`` documents pin — while ``check_column``
+        resolves the context once per column for the streaming hot path.
+        """
         return [self.check(test, model) for model in models]
+
+    def check_column(
+        self, test: LitmusTest, models: Sequence[MemoryModel], retain: bool = False
+    ) -> List[bool]:
+        """One test's verdicts for every model, then evict the test's context.
+
+        This is the streaming access pattern of the exhaustive-enumeration
+        pipeline: each test is answered for the whole model space exactly
+        once (sharing the context across the column) and never seen again,
+        so by default its context is dropped instead of growing the cache
+        unboundedly.  ``retain=True`` keeps it, matching :meth:`check`.
+        """
+        context = self.context(test, cache=retain)
+        self.stats.checks_performed += len(models)
+        if context.execution is None:
+            return [False] * len(models)
+        strategy = self.strategy
+        stats = self.stats
+        return [strategy.check(context, model, stats) for model in models]
 
     # ------------------------------------------------------------------
     # parallel fan-out

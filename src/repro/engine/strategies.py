@@ -28,7 +28,6 @@ from __future__ import annotations
 from itertools import product
 from typing import TYPE_CHECKING, Protocol
 
-from repro.checker.kernel import kernel_allowed
 from repro.checker.relations import forced_edges, happens_before_graph
 from repro.core.model import MemoryModel
 from repro.engine.context import TestContext
@@ -59,7 +58,7 @@ class ExplicitStrategy:
             stats.candidate_spaces_built += 1
         if indexed.infeasible:
             return False  # some load's observed value is unobtainable
-        return kernel_allowed(indexed, context.po_edge_pairs(model, stats))
+        return context.kernel_verdict(context.po_edge_pairs(model, stats))
 
 
 class EnumerationStrategy:

@@ -12,6 +12,13 @@ comparison:
 * :func:`enumerate_naive_tests` yields the tests (optionally capped), using
   canonical location naming so the count is not inflated by pure renamings.
 
+By default the stream is additionally collapsed by the full symmetry
+reduction of :mod:`repro.pipeline.canonical` (thread permutation, location
+renaming *and* value renaming — historically only location renaming was
+deduplicated), so each kernel-distinct test appears once.  The raw
+location-canonical stream — the space :func:`count_naive_tests` counts —
+remains available as ``enumerate_naive_tests(raw=True)``.
+
 The enumeration is parameterised so that both the paper's "no dependencies"
 setting and richer settings can be measured.
 """
@@ -130,8 +137,28 @@ def count_naive_tests(config: NaiveEnumerationConfig = NaiveEnumerationConfig())
 def enumerate_naive_tests(
     config: NaiveEnumerationConfig = NaiveEnumerationConfig(),
     limit: Optional[int] = None,
+    raw: bool = False,
 ) -> Iterator[LitmusTest]:
-    """Yield the naive enumeration as litmus tests (optionally capped)."""
+    """Yield the naive enumeration as litmus tests (optionally capped).
+
+    With ``raw=True`` every location-canonical test is yielded — the space
+    :func:`count_naive_tests` counts.  By default the stream is further
+    collapsed by the symmetry reduction of :mod:`repro.pipeline.canonical`
+    (thread permutation, location renaming and value renaming), yielding
+    the first-enumerated representative of each kernel-distinct class;
+    ``limit`` then caps the number of *unique* tests.
+    """
+    if raw:
+        yield from _enumerate_raw(config, limit)
+    else:
+        for _key, test in enumerate_canonical_naive_tests(config, limit):
+            yield test
+
+
+def _enumerate_raw(
+    config: NaiveEnumerationConfig, limit: Optional[int]
+) -> Iterator[LitmusTest]:
+    """The historical stream: location-canonical, but symmetry-redundant."""
     shapes = _thread_shapes(config)
     produced = 0
     test_index = 0
@@ -146,6 +173,77 @@ def enumerate_naive_tests(
             test = _build_test(combination, outcome, f"N{test_index}")
             produced += 1
             yield test
+
+
+def enumerate_canonical_naive_tests(
+    config: NaiveEnumerationConfig = NaiveEnumerationConfig(),
+    limit: Optional[int] = None,
+    index: Optional[object] = None,
+) -> Iterator[Tuple[object, LitmusTest]]:
+    """Yield ``(canonical_key, test)`` for each kernel-distinct naive test.
+
+    This is the symmetry-reduced stream the exhaustive-verification
+    pipeline consumes.  Canonical keys are computed directly on the
+    enumeration's internal shape/outcome representation, so duplicate
+    symmetry classes are rejected *before* any
+    :class:`~repro.core.litmus.LitmusTest` is constructed — on the paper's
+    Theorem 1 bound that skips materialising the vast majority of the
+    roughly one million raw tests.
+
+    Pass a :class:`~repro.pipeline.canonical.CanonicalIndex` as ``index``
+    to observe the raw/unique counts or to dedup across several streams.
+    """
+    from repro.pipeline.canonical import CanonicalIndex, canonical_form
+
+    if index is None:
+        index = CanonicalIndex()
+    shapes = _thread_shapes(config)
+    produced = 0
+    test_index = 0
+    for combination in product(shapes, repeat=config.num_threads):
+        if _canonical_locations(combination) is None:
+            continue
+        outcome_choices = _outcome_choices(combination)
+        for outcome in product(*outcome_choices):
+            test_index += 1
+            if limit is not None and produced >= limit:
+                return
+            key = canonical_form(_abstract_items(combination, outcome))
+            if not index.add(key):
+                continue
+            produced += 1
+            yield key, _build_test(combination, outcome, f"N{test_index}")
+
+
+def _abstract_items(
+    thread_shapes: Sequence[_ThreadShape], outcome: Sequence[int]
+) -> Tuple[Tuple[Tuple[str, object, object], ...], ...]:
+    """The abstract shape of one enumerated test, without building it.
+
+    Mirrors :func:`_build_test` exactly: write values numbered per location
+    in thread-major order, outcome values consumed in read order.
+    """
+    write_values: Dict[Tuple[int, int], int] = {}
+    counter: Dict[int, int] = {}
+    for thread_index, (accesses, _fences) in enumerate(thread_shapes):
+        for access_index, (kind, location) in enumerate(accesses):
+            if kind == "W":
+                counter[location] = counter.get(location, 0) + 1
+                write_values[(thread_index, access_index)] = counter[location]
+
+    outcome_iter = iter(outcome)
+    threads = []
+    for thread_index, (accesses, fences) in enumerate(thread_shapes):
+        items = []
+        for access_index, (kind, location) in enumerate(accesses):
+            if access_index > 0 and fences[access_index - 1]:
+                items.append(("F", "full", 0))
+            if kind == "R":
+                items.append(("R", location, next(outcome_iter)))
+            else:
+                items.append(("W", location, write_values[(thread_index, access_index)]))
+        threads.append(tuple(items))
+    return tuple(threads)
 
 
 def _build_test(

@@ -21,7 +21,7 @@ arise).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.expr import BinOp, Loc, Reg
 from repro.core.instructions import Branch, Fence, Instruction, Load, Op, Store

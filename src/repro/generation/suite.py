@@ -16,12 +16,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.litmus import LitmusTest
 from repro.core.predicates import NO_DEP_PREDICATES, PredicateSet, STANDARD_PREDICATES
 from repro.generation.counting import SegmentCounts, corollary1_count, segment_counts
-from repro.generation.segments import Segment, SegmentKind, enumerate_segments
+from repro.generation.segments import Segment, enumerate_segments
 from repro.generation.templates import TemplateCase, TemplateInstance, instantiate_template
 
 

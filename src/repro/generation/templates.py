@@ -34,10 +34,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.core.litmus import LitmusTest
-from repro.generation.segments import AccessKind, AddressRelation, LinkKind, Segment, SegmentKind
+from repro.generation.segments import AccessKind, AddressRelation, Segment, SegmentKind
 from repro.generation.sketch import AccessSketch, TestSketch
 
 

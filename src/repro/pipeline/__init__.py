@@ -1,0 +1,43 @@
+"""Sharded exhaustive-enumeration verification pipeline.
+
+Streams the naive bounded test enumeration through a symmetry-reducing
+canonicalizer, shards the unique survivors across persistent-engine
+workers, and folds the verdicts into a model-space partition compared
+against the template suite's — the paper's completeness claim as a
+reproducible artifact (:class:`~repro.pipeline.report.EquivalenceReport`).
+"""
+
+from repro.pipeline.canonical import (
+    CanonicalIndex,
+    abstract_test,
+    build_canonical_test,
+    canonical_form,
+    canonical_key,
+    canonical_stream,
+    canonicalize,
+    key_digest,
+)
+from repro.pipeline.report import EquivalenceReport, PartitionAccumulator
+from repro.pipeline.run import (
+    BOUNDS,
+    PipelineConfig,
+    PipelineError,
+    run_pipeline,
+)
+
+__all__ = [
+    "BOUNDS",
+    "CanonicalIndex",
+    "EquivalenceReport",
+    "PartitionAccumulator",
+    "PipelineConfig",
+    "PipelineError",
+    "abstract_test",
+    "build_canonical_test",
+    "canonical_form",
+    "canonical_key",
+    "canonical_stream",
+    "canonicalize",
+    "key_digest",
+    "run_pipeline",
+]

@@ -1,0 +1,224 @@
+"""Symmetry reduction of litmus tests (the pipeline's canonicalizer).
+
+The naive bounded enumeration of Section 3.4 generates millions of raw
+tests, but the paper's class of models cannot tell many of them apart: a
+model's verdict is invariant under
+
+* **thread permutation** — the must-not-reorder predicates (Read, Write,
+  Fence, SameAddr, DataDep) never mention thread identity;
+* **location renaming** — only address *equality* (SameAddr, read-from and
+  coherence grouping) matters, never which location it is;
+* **value renaming** — per location, values are pure labels linking each
+  load to the stores that could satisfy it; any bijection that fixes the
+  initial value ``0`` preserves the read-from candidate structure exactly.
+
+Two tests related by such a symmetry are *kernel-equivalent*: every model of
+the class gives them the same verdict (property-tested in
+``tests/pipeline/test_canonical_properties.py``).  This module computes a
+canonical form per equivalence class so the exhaustive-verification pipeline
+only checks one representative:
+
+* :func:`canonical_form` / :func:`canonical_key` — the canonical abstract
+  shape (minimum over thread permutations of a first-use relabelling);
+* :func:`canonicalize` — the canonical representative as a
+  :class:`~repro.core.litmus.LitmusTest`;
+* :class:`CanonicalIndex` — the dedup index the streaming pipeline folds
+  raw tests through (exact keys, or bounded-memory digests);
+* :func:`canonical_stream` — raw test stream -> unique representatives.
+
+Tests containing instructions outside the straight-line Load/Store/Fence
+fragment (dependency idioms, computed addresses) are left alone: they get an
+opaque content-based key and are never merged with anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from itertools import permutations
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.expr import Const, Loc
+from repro.core.instructions import Fence, Load, Store
+from repro.core.litmus import LitmusTest
+from repro.core.program import Program, Thread
+from repro.util.naming import location_name
+
+#: One abstract instruction: ``("R", location, value)``, ``("W", location,
+#: value)`` or ``("F", fence_kind, 0)``.  Location and value are ints after
+#: relabelling; before relabelling they may be arbitrary hashables.
+Item = Tuple[str, object, object]
+
+#: An abstract test: one item tuple per thread.
+AbstractTest = Tuple[Tuple[Item, ...], ...]
+
+#: A dedup key: a canonical :data:`AbstractTest`, or an opaque fallback.
+CanonicalKey = Tuple[object, ...]
+
+
+def abstract_test(test: LitmusTest) -> Optional[AbstractTest]:
+    """Return the test's abstract shape, or None if it falls outside the
+    canonicalizable Load/Store/Fence fragment."""
+    outcome = test.outcome.as_dict()
+    threads: List[Tuple[Item, ...]] = []
+    for thread_index, thread in enumerate(test.program.threads):
+        items: List[Item] = []
+        for instruction_index, instruction in enumerate(thread.instructions):
+            if isinstance(instruction, Load):
+                if not isinstance(instruction.address, Loc):
+                    return None
+                value = outcome[(thread_index, instruction_index)]
+                items.append(("R", instruction.address.name, value))
+            elif isinstance(instruction, Store):
+                if not isinstance(instruction.address, Loc) or not isinstance(
+                    instruction.value, Const
+                ):
+                    return None
+                items.append(("W", instruction.address.name, instruction.value.value))
+            elif isinstance(instruction, Fence):
+                items.append(("F", instruction.kind, 0))
+            else:
+                return None
+        threads.append(tuple(items))
+    return tuple(threads)
+
+
+def _relabel(threads: Iterable[Tuple[Item, ...]]) -> AbstractTest:
+    """Relabel locations by first use and values per location (0 fixed)."""
+    loc_ids: Dict[object, int] = {}
+    value_ids: Dict[object, Dict[object, int]] = {}
+    result: List[Tuple[Item, ...]] = []
+    for items in threads:
+        row: List[Item] = []
+        for item in items:
+            kind = item[0]
+            if kind == "F":
+                row.append(item)
+                continue
+            _, location, value = item
+            if location not in loc_ids:
+                loc_ids[location] = len(loc_ids)
+            values = value_ids.setdefault(location, {0: 0})
+            if value not in values:
+                values[value] = len(values)
+            row.append((kind, loc_ids[location], values[value]))
+        result.append(tuple(row))
+    return tuple(result)
+
+
+def canonical_form(threads: AbstractTest) -> AbstractTest:
+    """Return the canonical abstract form: the lexicographic minimum of the
+    first-use relabelling over all thread permutations.
+
+    Canonicity: for any thread permutation, location renaming and
+    0-preserving per-location value renaming, the transformed test's
+    canonical form equals the original's — the first-use relabelling absorbs
+    the renamings and the minimum absorbs the permutation.
+    """
+    return min(_relabel(permuted) for permuted in permutations(threads))
+
+
+def canonical_key(test: LitmusTest) -> CanonicalKey:
+    """Return the test's dedup key.
+
+    Canonicalizable tests map to their canonical form (shared by the whole
+    symmetry class); anything else gets an opaque content-based key that
+    never collides with a canonical form.
+    """
+    abstracted = abstract_test(test)
+    if abstracted is not None:
+        return canonical_form(abstracted)
+    return ("opaque", test.name, repr(test.program), tuple(test.outcome.read_values))
+
+
+def key_digest(key: CanonicalKey) -> str:
+    """Return a stable hex digest of a dedup key (for checkpoint files)."""
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:32]
+
+
+def build_canonical_test(
+    form: AbstractTest, name: str, description: str = "canonical representative"
+) -> LitmusTest:
+    """Materialise a canonical abstract form as a litmus test."""
+    threads: List[Thread] = []
+    read_values: Dict[Tuple[int, int], int] = {}
+    for thread_index, items in enumerate(form):
+        instructions: List[object] = []
+        register_serial = 0
+        for item in items:
+            kind = item[0]
+            if kind == "F":
+                instructions.append(Fence(str(item[1])))
+            elif kind == "R":
+                register = f"r{thread_index + 1}{register_serial}"
+                register_serial += 1
+                instructions.append(Load(register, location_name(int(item[1]))))
+                read_values[(thread_index, len(instructions) - 1)] = int(item[2])
+            else:
+                instructions.append(Store(location_name(int(item[1])), int(item[2])))
+        threads.append(Thread(f"T{thread_index + 1}", instructions))
+    return LitmusTest(name, Program(threads), read_values, description=description)
+
+
+def canonicalize(test: LitmusTest) -> LitmusTest:
+    """Return the canonical representative of the test's symmetry class.
+
+    Every model of the paper's class gives the representative the same
+    verdict as the original.  Tests outside the canonicalizable fragment are
+    returned unchanged.
+    """
+    abstracted = abstract_test(test)
+    if abstracted is None:
+        return test
+    return build_canonical_test(
+        canonical_form(abstracted), test.name, description=test.description
+    )
+
+
+class CanonicalIndex:
+    """The streaming dedup index: have we seen this symmetry class before?
+
+    With ``digests=True`` the index stores 128-bit digests instead of the
+    full key tuples, bounding memory for very large enumerations at the cost
+    of an (astronomically unlikely) hash collision merging two classes.
+    """
+
+    def __init__(self, digests: bool = False) -> None:
+        self.digests = digests
+        self._seen: set = set()
+        #: raw tests offered, including duplicates
+        self.offered = 0
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def add(self, key: CanonicalKey) -> bool:
+        """Record a key; return True when it was not seen before."""
+        self.offered += 1
+        entry: object = key_digest(key) if self.digests else key
+        if entry in self._seen:
+            return False
+        self._seen.add(entry)
+        return True
+
+
+def canonical_stream(
+    tests: Iterable[LitmusTest],
+    index: Optional[CanonicalIndex] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Tuple[CanonicalKey, LitmusTest]]:
+    """Collapse a raw test stream to one first-seen test per symmetry class.
+
+    Yields ``(key, test)`` pairs in stream order; ``limit`` caps the number
+    of unique tests yielded.  Pass a shared :class:`CanonicalIndex` to
+    observe the raw/unique counts (or to dedup across several streams).
+    """
+    if index is None:
+        index = CanonicalIndex()
+    produced = 0
+    for test in tests:
+        if limit is not None and produced >= limit:
+            return
+        key = canonical_key(test)
+        if index.add(key):
+            produced += 1
+            yield key, test

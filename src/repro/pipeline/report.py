@@ -1,0 +1,242 @@
+"""The pipeline's headline artifact: the naive-space model partition.
+
+The paper's completeness claim (Section 3.4 / Theorem 1) is that the
+~230-test template suite distinguishes every distinguishable pair of models
+in the parametric space — i.e. exhaustive enumeration over all bounded
+programs induces exactly the same partition (and the same strength order)
+as the template suite.  :class:`EquivalenceReport` records both partitions
+and their comparison.
+
+The naive-space partition is folded incrementally: the full verdict vector
+per model is enormous (one bit per unique test), but the partition and the
+strictly-stronger order only need, per ordered model pair ``(A, B)``,
+*whether some test allowed by A is forbidden by B*.  The
+:class:`PartitionAccumulator` keeps exactly that — one bitmask per model —
+so a shard's verdict rows fold in O(models) per test and a killed run
+resumes from per-shard aggregates without replaying millions of verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.engine import EngineStats
+from repro.util.digraph import Digraph
+
+
+class PartitionAccumulator:
+    """Incrementally folds verdict rows into the model-pair dominance matrix.
+
+    ``distinguished[i]`` has bit ``j`` set iff some test seen so far is
+    allowed by model ``i`` but forbidden by model ``j``.  That matrix
+    determines equivalence (neither direction distinguished) and strict
+    strength (allowed-set inclusion) for every pair.
+    """
+
+    def __init__(self, model_names: Sequence[str]) -> None:
+        self.model_names: List[str] = list(model_names)
+        self.num_models = len(self.model_names)
+        self._full_mask = (1 << self.num_models) - 1
+        #: distinguished[i] bit j: i allows some test j forbids
+        self.distinguished: List[int] = [0] * self.num_models
+        #: tests folded in so far
+        self.tests_folded = 0
+
+    # ------------------------------------------------------------------
+    def fold_row(self, allowed_mask: int) -> None:
+        """Fold one test's verdicts, encoded as a bitmask over models."""
+        forbidden = ~allowed_mask & self._full_mask
+        if not forbidden or not allowed_mask:
+            # A test everyone allows (or everyone forbids) separates nothing.
+            self.tests_folded += 1
+            return
+        remaining = allowed_mask
+        while remaining:
+            low = remaining & -remaining
+            self.distinguished[low.bit_length() - 1] |= forbidden
+            remaining ^= low
+        self.tests_folded += 1
+
+    def fold_bools(self, verdicts: Sequence[bool]) -> None:
+        """Fold one test's verdicts given as one bool per model."""
+        mask = 0
+        for index, allowed in enumerate(verdicts):
+            if allowed:
+                mask |= 1 << index
+        self.fold_row(mask)
+
+    def merge(self, other: "PartitionAccumulator") -> None:
+        """Fold another accumulator (e.g. a resumed shard's) into this one."""
+        if other.model_names != self.model_names:
+            raise ValueError("cannot merge accumulators over different model lists")
+        for index in range(self.num_models):
+            self.distinguished[index] |= other.distinguished[index]
+        self.tests_folded += other.tests_folded
+
+    # ------------------------------------------------------------------
+    def equivalent(self, i: int, j: int) -> bool:
+        """No test seen distinguishes models ``i`` and ``j`` either way."""
+        return not (self.distinguished[i] >> j) & 1 and not (
+            self.distinguished[j] >> i
+        ) & 1
+
+    def strictly_stronger(self, i: int, j: int) -> bool:
+        """Model ``i`` allows a strict subset of what model ``j`` allows."""
+        return not (self.distinguished[i] >> j) & 1 and bool(
+            (self.distinguished[j] >> i) & 1
+        )
+
+    def equivalence_classes(self) -> List[Tuple[str, ...]]:
+        """Group the models into classes, sorted like ExplorationResult's."""
+        assigned: Dict[int, List[str]] = {}
+        representative: List[Optional[int]] = [None] * self.num_models
+        for i in range(self.num_models):
+            for j in range(i):
+                if representative[j] == j and self.equivalent(i, j):
+                    representative[i] = j
+                    assigned[j].append(self.model_names[i])
+                    break
+            if representative[i] is None:
+                representative[i] = i
+                assigned[i] = [self.model_names[i]]
+        return sorted(
+            (tuple(sorted(names)) for names in assigned.values()),
+            key=lambda cls: cls[0],
+        )
+
+    def hasse_edges(self) -> List[Tuple[str, str]]:
+        """Weaker -> stronger edges between class representatives
+        (transitive reduction of the strict-strength order)."""
+        classes = self.equivalence_classes()
+        index_of = {name: i for i, name in enumerate(self.model_names)}
+        representatives = [cls[0] for cls in classes]
+        graph = Digraph(representatives)
+        for weaker in representatives:
+            for stronger in representatives:
+                if weaker != stronger and self.strictly_stronger(
+                    index_of[stronger], index_of[weaker]
+                ):
+                    graph.add_edge(weaker, stronger)
+        return sorted(graph.transitive_reduction().edges())
+
+
+@dataclass
+class EquivalenceReport:
+    """The exhaustive-enumeration pipeline's result.
+
+    Records the model partition induced by the symmetry-reduced naive test
+    space, the partition the template suite induces (via ``explore``), and
+    whether they agree — the paper's completeness claim when they do.
+    """
+
+    bound: str
+    space: str
+    suite: str
+    backend: str
+    model_names: List[str]
+    #: raw naive tests enumerated (before symmetry reduction)
+    raw_tests: int
+    #: kernel-distinct survivors actually checked
+    unique_tests: int
+    shards_total: int
+    #: shards checked by this run (the rest were resumed from disk)
+    shards_checked: int
+    shards_resumed: int
+    checks_performed: int
+    #: partition of the model space induced by the naive space
+    equivalence_classes: List[Tuple[str, ...]]
+    #: weaker -> stronger Hasse edges between naive-partition class reps
+    hasse_edges: List[Tuple[str, str]]
+    #: the template suite's partition of the same space
+    template_classes: List[Tuple[str, ...]]
+    template_hasse_edges: List[Tuple[str, str]]
+    #: the completeness claim: both partitions and both orders coincide
+    matches_template: bool
+    #: human-readable description of any disagreement
+    mismatches: List[str] = field(default_factory=list)
+    stats: Optional[EngineStats] = None
+    elapsed_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def compare_partitions(
+        naive_classes: Sequence[Tuple[str, ...]],
+        naive_edges: Sequence[Tuple[str, str]],
+        template_classes: Sequence[Tuple[str, ...]],
+        template_edges: Sequence[Tuple[str, str]],
+    ) -> List[str]:
+        """Return the differences between the two partitions (empty = match)."""
+        mismatches: List[str] = []
+        naive_set = {tuple(cls) for cls in naive_classes}
+        template_set = {tuple(cls) for cls in template_classes}
+        for cls in sorted(template_set - naive_set):
+            mismatches.append(f"template class not induced by naive space: {cls}")
+        for cls in sorted(naive_set - template_set):
+            mismatches.append(f"naive-space class not induced by templates: {cls}")
+        if not mismatches:
+            naive_edge_set = set(naive_edges)
+            template_edge_set = set(template_edges)
+            for edge in sorted(template_edge_set - naive_edge_set):
+                mismatches.append(f"template Hasse edge missing from naive order: {edge}")
+            for edge in sorted(naive_edge_set - template_edge_set):
+                mismatches.append(f"naive Hasse edge missing from template order: {edge}")
+        return mismatches
+
+    def num_classes(self) -> int:
+        return len(self.equivalence_classes)
+
+    def reduction_factor(self) -> float:
+        """How many raw tests each checked representative stood in for."""
+        if not self.unique_tests:
+            return 0.0
+        return self.raw_tests / self.unique_tests
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Render the report as a human-readable summary."""
+        lines = [
+            f"Exhaustive enumeration over bound {self.bound!r} "
+            f"({self.space} space, {len(self.model_names)} models, "
+            f"{self.backend} backend)",
+            f"  raw tests enumerated : {self.raw_tests}",
+            f"  unique after symmetry: {self.unique_tests} "
+            f"(x{self.reduction_factor():.1f} reduction)",
+            f"  shards               : {self.shards_total} total, "
+            f"{self.shards_checked} checked, {self.shards_resumed} resumed",
+            f"  checks performed     : {self.checks_performed}",
+            f"  naive partition      : {self.num_classes()} classes, "
+            f"{len(self.hasse_edges)} Hasse edges",
+            f"  template partition   : {len(self.template_classes)} classes, "
+            f"{len(self.template_hasse_edges)} Hasse edges "
+            f"(suite {self.suite!r})",
+        ]
+        if self.elapsed_seconds:
+            rate = self.unique_tests / self.elapsed_seconds if self.elapsed_seconds else 0
+            lines.append(
+                f"  elapsed              : {self.elapsed_seconds:.2f}s "
+                f"({rate:.0f} unique tests/s)"
+            )
+        if self.matches_template:
+            lines.append(
+                "  RESULT: naive-space partition MATCHES the template-suite "
+                "partition (completeness reproduced)"
+            )
+        else:
+            lines.append("  RESULT: partitions DISAGREE:")
+            lines.extend(f"    - {mismatch}" for mismatch in self.mismatches)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """Serialize to a schema-versioned JSON document."""
+        from repro.api.serialize import equivalence_report_to_json
+
+        return equivalence_report_to_json(self)
+
+    @staticmethod
+    def from_json(document: Dict[str, Any]) -> "EquivalenceReport":
+        """Rebuild from a document written by :meth:`to_json`."""
+        from repro.api.serialize import equivalence_report_from_json
+
+        return equivalence_report_from_json(document)

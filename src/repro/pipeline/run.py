@@ -1,0 +1,514 @@
+"""The sharded, resumable exhaustive-enumeration verification pipeline.
+
+``run_pipeline`` streams the naive bounded enumeration of Section 3.4
+through the symmetry-reducing canonicalizer
+(:mod:`repro.pipeline.canonical`), shards the kernel-distinct survivors,
+checks every shard against the whole model space on a persistent
+:class:`~repro.engine.engine.CheckEngine` (one per worker process), and
+folds the per-shard verdict rows into the incremental
+:class:`~repro.pipeline.report.PartitionAccumulator`.  The result — an
+:class:`~repro.pipeline.report.EquivalenceReport` — asserts the paper's
+completeness claim: the partition the naive space induces on the model
+space equals the partition the ~230-test template suite induces.
+
+Checkpointing: with a ``run_dir``, every completed shard is written as one
+JSON-lines file (one verdict row per test plus a terminal ``done`` marker),
+atomically via rename.  A killed run re-enumerates the (cheap,
+deterministic) canonical stream but answers completed shards from disk —
+``--resume`` never re-checks a finished shard, which the per-shard key
+digests guard against stale or mismatched checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.litmus import LitmusTest
+from repro.core.model import MemoryModel
+from repro.core.parametric import model_space
+from repro.engine.engine import CheckEngine, EngineStats
+from repro.generation.enumeration import (
+    NaiveEnumerationConfig,
+    enumerate_canonical_naive_tests,
+)
+from repro.pipeline.canonical import CanonicalIndex, key_digest
+from repro.pipeline.report import EquivalenceReport, PartitionAccumulator
+
+#: Named enumeration bounds, smallest to largest.  ``paper`` is the Theorem 1
+#: bound (three accesses per thread, four locations, optional fences) whose
+#: naive space is about a million raw tests; the smaller bounds keep CI and
+#: smoke runs fast.
+BOUNDS: Dict[str, NaiveEnumerationConfig] = {
+    "tiny": NaiveEnumerationConfig(
+        max_accesses_per_thread=2, max_locations=2, allow_fences=False
+    ),
+    "small": NaiveEnumerationConfig(
+        max_accesses_per_thread=2, max_locations=2, allow_fences=True
+    ),
+    "medium": NaiveEnumerationConfig(
+        max_accesses_per_thread=2, max_locations=3, allow_fences=True
+    ),
+    "large": NaiveEnumerationConfig(
+        max_accesses_per_thread=3, max_locations=2, allow_fences=True
+    ),
+    "paper": NaiveEnumerationConfig(),
+}
+
+#: Progress callback: ``progress(event, payload)``; events are
+#: ``"template"``, ``"shard"`` and ``"finish"``.
+ProgressCallback = Callable[[str, Dict[str, object]], None]
+
+
+class PipelineError(ValueError):
+    """Raised for malformed pipeline configurations or checkpoints.
+
+    A ``ValueError`` so the ``serve`` loop's error envelope catches it like
+    every other malformed-request problem.
+    """
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """What to enumerate, how to shard it, and where to checkpoint.
+
+    Args:
+        bound: named enumeration bound (see :data:`BOUNDS`).
+        space: parametric model space (``"no_deps"`` = the 36-model
+            Figure 4 space, ``"deps"`` = the full 90-model space).
+        suite: template suite to compare against; matched to the space by
+            default (``"no_deps"`` / ``"standard"``).
+        backend: engine backend for the admissibility checks.
+        jobs: worker processes checking shards (1 = serial, in-process).
+        shard_size: unique tests per shard (the checkpointing granule).
+        limit: optional cap on unique tests (for smoke runs).
+        run_dir: checkpoint directory; None disables checkpointing.
+        resume: answer already-completed shards from ``run_dir``.
+    """
+
+    bound: str = "small"
+    space: str = "no_deps"
+    suite: Optional[str] = None
+    backend: str = "explicit"
+    jobs: int = 1
+    shard_size: int = 512
+    limit: Optional[int] = None
+    run_dir: Optional[str] = None
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bound not in BOUNDS:
+            raise PipelineError(
+                f"unknown bound {self.bound!r} (expected one of {', '.join(BOUNDS)})"
+            )
+        if self.space not in ("deps", "no_deps"):
+            raise PipelineError(
+                f"unknown model space {self.space!r} (expected 'deps' or 'no_deps')"
+            )
+        if self.jobs < 1:
+            raise PipelineError("jobs must be >= 1")
+        if self.shard_size < 1:
+            raise PipelineError("shard_size must be >= 1")
+        if self.resume and self.run_dir is None:
+            raise PipelineError("resume requires a run_dir")
+
+    def suite_key(self) -> str:
+        """The template suite to compare against: explicit, or matched."""
+        if self.suite is not None:
+            return self.suite
+        return "standard" if self.space == "deps" else "no_deps"
+
+    def enumeration_config(self) -> NaiveEnumerationConfig:
+        return BOUNDS[self.bound]
+
+
+# ----------------------------------------------------------------------
+# checkpoint files
+# ----------------------------------------------------------------------
+def _manifest_payload(config: PipelineConfig, model_names: Sequence[str]) -> Dict[str, object]:
+    return {
+        "schema": "repro/exhaustive_manifest",
+        "schema_version": 1,
+        "bound": config.bound,
+        "space": config.space,
+        "suite": config.suite_key(),
+        "backend": config.backend,
+        "shard_size": config.shard_size,
+        "limit": config.limit,
+        "model_names": list(model_names),
+    }
+
+
+def _write_manifest(run_dir: str, payload: Dict[str, object]) -> None:
+    path = os.path.join(run_dir, "manifest.json")
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    os.replace(tmp, path)
+
+
+def _check_manifest(run_dir: str, payload: Dict[str, object]) -> None:
+    """On resume, the existing manifest must describe the same run."""
+    path = os.path.join(run_dir, "manifest.json")
+    if not os.path.exists(path):
+        return
+    with open(path) as handle:
+        existing = json.load(handle)
+    for key, value in payload.items():
+        if existing.get(key) != value:
+            raise PipelineError(
+                f"cannot resume: manifest field {key!r} is {existing.get(key)!r} "
+                f"on disk but {value!r} in this configuration "
+                f"(run_dir {run_dir!r} belongs to a different run)"
+            )
+
+
+def _shard_path(run_dir: str, shard_index: int) -> str:
+    return os.path.join(run_dir, "shards", f"shard-{shard_index:05d}.jsonl")
+
+
+def _mask_to_bits(mask: int, width: int) -> str:
+    return "".join("1" if (mask >> i) & 1 else "0" for i in range(width))
+
+
+def _bits_to_mask(bits: str) -> int:
+    mask = 0
+    for i, bit in enumerate(bits):
+        if bit == "1":
+            mask |= 1 << i
+    return mask
+
+
+def _write_shard(
+    run_dir: str,
+    shard_index: int,
+    names: Sequence[str],
+    digests: Sequence[str],
+    rows: Sequence[int],
+    num_models: int,
+) -> None:
+    """Atomically persist one completed shard as JSON lines."""
+    path = _shard_path(run_dir, shard_index)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        for name, digest, mask in zip(names, digests, rows):
+            handle.write(
+                json.dumps(
+                    {"test": name, "key": digest, "verdicts": _mask_to_bits(mask, num_models)}
+                )
+                + "\n"
+            )
+        handle.write(json.dumps({"done": True, "tests": len(rows)}) + "\n")
+    os.replace(tmp, path)
+
+
+def _load_shard(
+    run_dir: str, shard_index: int, digests: Sequence[str], num_models: int
+) -> Optional[List[int]]:
+    """Load a completed shard's verdict rows; None when absent or invalid.
+
+    A shard is only trusted when its terminal ``done`` marker is present,
+    its row count matches, and every row's key digest equals the digest of
+    the test recomputed from the (deterministic) canonical stream.
+    """
+    path = _shard_path(run_dir, shard_index)
+    try:
+        with open(path) as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+    except (OSError, ValueError):
+        return None
+    if not lines or lines[-1].get("done") is not True:
+        return None
+    rows_data, marker = lines[:-1], lines[-1]
+    if marker.get("tests") != len(digests) or len(rows_data) != len(digests):
+        return None
+    rows: List[int] = []
+    for row, digest in zip(rows_data, digests):
+        bits = row.get("verdicts")
+        if row.get("key") != digest or not isinstance(bits, str) or len(bits) != num_models:
+            return None
+        rows.append(_bits_to_mask(bits))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# shard checking
+# ----------------------------------------------------------------------
+def _column_mask(engine: CheckEngine, test: LitmusTest, models: Sequence[MemoryModel]) -> int:
+    mask = 0
+    for index, allowed in enumerate(engine.check_column(test, models)):
+        if allowed:
+            mask |= 1 << index
+    return mask
+
+
+#: State inherited by forked shard workers (backend name, model list).
+_PIPE_STATE: Optional[Tuple[str, List[MemoryModel]]] = None
+_PIPE_STATE_LOCK = threading.Lock()
+#: The worker process's persistent engine (one per process, lazily built).
+_WORKER_ENGINE: Optional[CheckEngine] = None
+
+
+def _worker_shard(payload: Tuple[int, List[LitmusTest]]) -> Tuple[int, List[int], Dict[str, int]]:
+    global _WORKER_ENGINE
+    assert _PIPE_STATE is not None
+    backend, models = _PIPE_STATE
+    if _WORKER_ENGINE is None:
+        _WORKER_ENGINE = CheckEngine(backend=backend)
+    engine = _WORKER_ENGINE
+    shard_index, tests = payload
+    before = engine.stats.snapshot()
+    rows = [_column_mask(engine, test, models) for test in tests]
+    return shard_index, rows, engine.stats.since(before).as_dict()
+
+
+def _shards(
+    config: PipelineConfig, index: CanonicalIndex
+) -> Iterator[Tuple[int, List[str], List[str], List[LitmusTest]]]:
+    """Yield ``(shard_index, names, key_digests, tests)`` in stream order."""
+    stream = enumerate_canonical_naive_tests(
+        config.enumeration_config(), limit=config.limit, index=index
+    )
+    shard_index = 0
+    names: List[str] = []
+    digests: List[str] = []
+    tests: List[LitmusTest] = []
+    for key, test in stream:
+        names.append(test.name)
+        digests.append(key_digest(key))
+        tests.append(test)
+        if len(tests) == config.shard_size:
+            yield shard_index, names, digests, tests
+            shard_index += 1
+            names, digests, tests = [], [], []
+    if tests:
+        yield shard_index, names, digests, tests
+
+
+# ----------------------------------------------------------------------
+# the pipeline
+# ----------------------------------------------------------------------
+def run_pipeline(
+    config: PipelineConfig,
+    models: Optional[Sequence[MemoryModel]] = None,
+    suite_tests: Optional[Sequence[LitmusTest]] = None,
+    engine: Optional[CheckEngine] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> EquivalenceReport:
+    """Run the exhaustive-enumeration verification pipeline.
+
+    Args:
+        config: what to enumerate and how (see :class:`PipelineConfig`).
+        models: the model space to partition; derived from ``config.space``
+            by default.
+        suite_tests: the template suite whose partition is the reference;
+            derived from ``config.suite_key()`` by default.
+        engine: engine for the template exploration and (with ``jobs=1``)
+            the shard checks — pass a session's engine to share its caches.
+            Workers of a parallel run always build their own engines from
+            ``config.backend``.
+        progress: optional callback; raising from it aborts the run (a
+            checkpointed run resumes cleanly afterwards).
+    """
+    started = time.perf_counter()
+    if models is None:
+        models = model_space(include_data_dependencies=config.space == "deps")
+    models = list(models)
+    model_names = [model.name for model in models]
+    if suite_tests is None:
+        suite_tests = _template_suite(config.suite_key())
+    if engine is None:
+        engine = CheckEngine(backend=config.backend)
+
+    run_dir = config.run_dir
+    if run_dir is not None:
+        os.makedirs(os.path.join(run_dir, "shards"), exist_ok=True)
+        manifest = _manifest_payload(config, model_names)
+        if config.resume:
+            _check_manifest(run_dir, manifest)
+        _write_manifest(run_dir, manifest)
+
+    # The reference partition: what the template suite says about the space.
+    from repro.comparison.exploration import explore_models
+
+    template_result = explore_models(models, suite_tests, checker=engine)
+    template_classes = [tuple(cls) for cls in template_result.equivalence_classes]
+    template_edges = sorted(
+        (edge.weaker, edge.stronger) for edge in template_result.hasse_edges
+    )
+    if progress is not None:
+        progress(
+            "template",
+            {"classes": len(template_classes), "suite_tests": len(suite_tests)},
+        )
+
+    accumulator = PartitionAccumulator(model_names)
+    index = CanonicalIndex()
+    stats = EngineStats()
+    num_models = len(models)
+    shards_total = 0
+    shards_checked = 0
+    shards_resumed = 0
+
+    def fold_completed(
+        shard_index: int,
+        names: Sequence[str],
+        digests: Sequence[str],
+        rows: Sequence[int],
+        resumed: bool,
+    ) -> None:
+        nonlocal shards_checked, shards_resumed
+        for mask in rows:
+            accumulator.fold_row(mask)
+        if resumed:
+            shards_resumed += 1
+        else:
+            shards_checked += 1
+            if run_dir is not None:
+                _write_shard(run_dir, shard_index, names, digests, rows, num_models)
+        if progress is not None:
+            progress(
+                "shard",
+                {
+                    "shard": shard_index,
+                    "tests": len(rows),
+                    "resumed": resumed,
+                    "unique_so_far": accumulator.tests_folded,
+                },
+            )
+
+    if config.jobs > 1:
+        _run_shards_parallel(config, models, index, fold_completed, stats, num_models)
+        shards_total = shards_checked + shards_resumed
+    else:
+        for shard_index, names, digests, tests in _shards(config, index):
+            shards_total += 1
+            rows = None
+            if config.resume and run_dir is not None:
+                rows = _load_shard(run_dir, shard_index, digests, num_models)
+            if rows is not None:
+                fold_completed(shard_index, names, digests, rows, resumed=True)
+                continue
+            before = engine.stats.snapshot()
+            rows = [_column_mask(engine, test, models) for test in tests]
+            stats.merge(engine.stats.since(before).as_dict())
+            fold_completed(shard_index, names, digests, rows, resumed=False)
+
+    naive_classes = accumulator.equivalence_classes()
+    naive_edges = accumulator.hasse_edges()
+    mismatches = EquivalenceReport.compare_partitions(
+        naive_classes, naive_edges, template_classes, template_edges
+    )
+    report = EquivalenceReport(
+        bound=config.bound,
+        space=config.space,
+        suite=config.suite_key(),
+        backend=config.backend,
+        model_names=model_names,
+        raw_tests=index.offered,
+        unique_tests=accumulator.tests_folded,
+        shards_total=shards_total,
+        shards_checked=shards_checked,
+        shards_resumed=shards_resumed,
+        checks_performed=stats.checks_performed,
+        equivalence_classes=naive_classes,
+        hasse_edges=naive_edges,
+        template_classes=template_classes,
+        template_hasse_edges=template_edges,
+        matches_template=not mismatches,
+        mismatches=mismatches,
+        stats=stats,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+    if progress is not None:
+        progress("finish", {"matches": report.matches_template})
+    return report
+
+
+def _template_suite(key: str) -> List[LitmusTest]:
+    from repro.core.predicates import EXTENDED_PREDICATES
+    from repro.generation.suite import generate_suite, no_dependency_suite, standard_suite
+
+    if key == "standard":
+        return standard_suite().tests()
+    if key == "no_deps":
+        return no_dependency_suite().tests()
+    if key == "extended":
+        return generate_suite(EXTENDED_PREDICATES).tests()
+    raise PipelineError(
+        f"unknown template suite {key!r} (expected 'standard', 'no_deps' or 'extended')"
+    )
+
+
+def _run_shards_parallel(
+    config: PipelineConfig,
+    models: List[MemoryModel],
+    index: CanonicalIndex,
+    fold_completed: Callable[[int, Sequence[str], Sequence[str], Sequence[int], bool], None],
+    stats: EngineStats,
+    num_models: int,
+) -> None:
+    """Fan shard checking out over a fork pool, bounded-window submission.
+
+    Shards are submitted at most ``2 * jobs`` at a time so a huge
+    enumeration never materialises more than a window of shards in memory,
+    and results are folded (and checkpointed) in shard order so a kill
+    leaves a clean resumable prefix plus at most a window of lost work.
+    """
+    import multiprocessing
+
+    global _PIPE_STATE
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        # No fork on this platform: check serially on one in-process engine.
+        engine = CheckEngine(backend=config.backend)
+        for shard_index, names, digests, tests in _shards(config, index):
+            rows = None
+            if config.resume and config.run_dir is not None:
+                rows = _load_shard(config.run_dir, shard_index, digests, num_models)
+            if rows is not None:
+                fold_completed(shard_index, names, digests, rows, resumed=True)
+                continue
+            before = engine.stats.snapshot()
+            rows = [_column_mask(engine, test, models) for test in tests]
+            stats.merge(engine.stats.since(before).as_dict())
+            fold_completed(shard_index, names, digests, rows, resumed=False)
+        return
+
+    window = config.jobs * 2
+    with _PIPE_STATE_LOCK:
+        _PIPE_STATE = (config.backend, models)
+        try:
+            with context.Pool(processes=config.jobs) as pool:
+                # shard_index -> (names, digests, async_result or rows, resumed)
+                outstanding: "List[Tuple[int, List[str], List[str], object, bool]]" = []
+
+                def drain(limit: int) -> None:
+                    while len(outstanding) > limit:
+                        shard_index, names, digests, pending, resumed = outstanding.pop(0)
+                        if resumed:
+                            fold_completed(shard_index, names, digests, pending, True)
+                            continue
+                        result_index, rows, worker_stats = pending.get()
+                        assert result_index == shard_index
+                        stats.merge(worker_stats)
+                        fold_completed(shard_index, names, digests, rows, False)
+
+                for shard_index, names, digests, tests in _shards(config, index):
+                    rows = None
+                    if config.resume and config.run_dir is not None:
+                        rows = _load_shard(config.run_dir, shard_index, digests, num_models)
+                    if rows is not None:
+                        outstanding.append((shard_index, names, digests, rows, True))
+                    else:
+                        async_result = pool.apply_async(_worker_shard, ((shard_index, tests),))
+                        outstanding.append((shard_index, names, digests, async_result, False))
+                    drain(window)
+                drain(0)
+        finally:
+            _PIPE_STATE = None

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.sat.cnf import CNF, Clause, Literal
+from repro.sat.cnf import CNF, Literal
 
 
 class Unsatisfiable(Exception):

@@ -320,7 +320,7 @@ class SatSolver:
         if len(learned) == 1:
             backjump_level = 0
         else:
-            levels = sorted((self._level[abs(l)] for l in learned[1:]), reverse=True)
+            levels = sorted((self._level[abs(lit)] for lit in learned[1:]), reverse=True)
             backjump_level = levels[0]
         return learned, backjump_level
 

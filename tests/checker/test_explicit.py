@@ -1,6 +1,5 @@
 """Tests for the explicit-enumeration checker."""
 
-import pytest
 
 from repro.checker.explicit import ExplicitChecker, is_allowed
 from repro.core.catalog import PSO, SC, TSO

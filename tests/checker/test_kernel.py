@@ -110,6 +110,36 @@ def test_vectorised_po_edges_handle_negation_and_callables():
     assert ix.po_edge_pairs(from_callable) == expected
 
 
+def test_compiled_mask_evaluators_match_the_reference_interpreter():
+    """The per-model compiled evaluators (hash-consed closure trees) must
+    agree bit-for-bit with ``_formula_mask``, the direct interpreter kept
+    as the semantic reference."""
+    from repro.checker.kernel import _mask_evaluator
+    from repro.core.parametric import model_space
+
+    models = model_space(include_data_dependencies=True)
+    for test in [TEST_A, SB] + list(L_TESTS):
+        ix = IndexedExecution(test.execution())
+        for model in models:
+            evaluator = _mask_evaluator(model)
+            assert evaluator is not None, model.name
+            assert evaluator(ix) == ix._formula_mask(model.formula, model.registry), (
+                test.name,
+                model.name,
+            )
+
+
+def test_uncacheable_nodes_still_evaluate_correctly(monkeypatch):
+    """Past the hash-consing cap, nodes compile unshared but stay correct."""
+    import repro.checker.kernel as kernel_module
+
+    monkeypatch.setattr(kernel_module, "_NODE_CACHE_LIMIT", 0)
+    ix = IndexedExecution(TEST_A.execution())
+    model = MemoryModel("capped", "(Write(x) & Write(y)) | Fence(x) | Fence(y)")
+    evaluator = kernel_module._compile_mask(model.formula, model.registry)
+    assert evaluator(ix) == ix._formula_mask(model.formula, model.registry)
+
+
 def test_atom_masks_are_cached_per_predicate():
     ix = IndexedExecution(TEST_A.execution())
     ix.po_edge_pairs(TSO)
@@ -183,7 +213,6 @@ def test_kernel_undo_interleaved_with_marks():
     kernel = ReachabilityKernel(5)
     marks = [kernel.mark()]
     snapshots = [list(kernel.reach)]
-    rng = random.Random(7)
     for u, v in [(0, 1), (1, 2), (3, 4), (2, 3)]:
         assert kernel.add_edge(u, v)
         marks.append(kernel.mark())

@@ -1,6 +1,5 @@
 """Tests for outcome enumeration."""
 
-import pytest
 
 from repro.checker.outcomes import allowed_outcomes, enumerate_candidate_outcomes
 from repro.core.catalog import ALPHA, SC, TSO

@@ -8,7 +8,7 @@ each L test isolates one reordering axis of the parametric space.
 import pytest
 
 from repro.checker.explicit import ExplicitChecker
-from repro.core.catalog import ALPHA, IBM370, PSO, RMO, RMO_DATA_DEP_ONLY, SC, TSO, X86
+from repro.core.catalog import ALPHA, IBM370, PSO, RMO_DATA_DEP_ONLY, SC, TSO, X86
 from repro.core.parametric import parametric_model
 from repro.generation.named_tests import L_TESTS, TEST_A, all_named_tests
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.checker.reference import ReferenceChecker
 from repro.core.catalog import SC, TSO
-from repro.core.instructions import Load, Store
+from repro.core.instructions import Load
 from repro.core.litmus import LitmusTest
 from repro.core.program import Program, Thread
 from repro.generation.named_tests import TEST_A

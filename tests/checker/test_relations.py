@@ -1,6 +1,5 @@
 """Tests for read-from candidates, coherence orders and forced edges."""
 
-import pytest
 
 from repro.checker.relations import (
     enumerate_coherence_orders,
@@ -13,7 +12,7 @@ from repro.checker.relations import (
     read_from_candidates,
 )
 from repro.core.catalog import SC, TSO
-from repro.core.instructions import Fence, Load, Store
+from repro.core.instructions import Load, Store
 from repro.core.litmus import LitmusTest
 from repro.core.program import Program, Thread
 from repro.generation.named_tests import TEST_A

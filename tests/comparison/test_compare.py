@@ -4,7 +4,6 @@ import pytest
 
 from repro.comparison.compare import ModelComparator, Relation, compare_models, verdict_vector
 from repro.core.catalog import ALPHA, IBM370, PSO, SC, TSO, X86
-from repro.core.model import MemoryModel
 from repro.core.parametric import parametric_model
 from repro.generation.named_tests import L_TESTS, TEST_A
 

@@ -14,7 +14,7 @@ from repro.checker.sat_checker import SatChecker
 from repro.core.catalog import ALPHA, IBM370, PSO, RMO, SC, TSO
 from repro.core.instructions import Fence, Load, Store
 from repro.core.litmus import LitmusTest
-from repro.core.parametric import ALLOWED_OPTIONS, ParametricModel, ReorderOption
+from repro.core.parametric import ALLOWED_OPTIONS, ParametricModel
 from repro.core.program import Program, Thread
 
 

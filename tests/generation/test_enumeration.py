@@ -26,18 +26,34 @@ def test_config_validation():
         NaiveEnumerationConfig(num_threads=0)
 
 
-def test_count_matches_enumeration_for_small_config():
+def test_count_matches_raw_enumeration_for_small_config():
     config = small_config()
     count = count_naive_tests(config)
-    enumerated = sum(1 for _ in enumerate_naive_tests(config))
+    enumerated = sum(1 for _ in enumerate_naive_tests(config, raw=True))
     assert count == enumerated
     assert count > 0
+
+
+def test_default_stream_is_symmetry_reduced():
+    """The default stream collapses thread/location/value symmetry classes."""
+    from repro.pipeline.canonical import canonical_key
+
+    config = small_config()
+    raw = list(enumerate_naive_tests(config, raw=True))
+    unique = list(enumerate_naive_tests(config))
+    assert len(unique) < len(raw)
+    keys = [canonical_key(test) for test in unique]
+    # one representative per class, and the classes cover the raw stream
+    assert len(set(keys)) == len(keys)
+    assert set(keys) == {canonical_key(test) for test in raw}
 
 
 def test_limit_caps_the_enumeration():
     config = small_config()
     limited = list(enumerate_naive_tests(config, limit=10))
     assert len(limited) == 10
+    raw_limited = list(enumerate_naive_tests(config, limit=10, raw=True))
+    assert len(raw_limited) == 10
 
 
 def test_generated_tests_are_well_formed_and_within_bounds():
@@ -61,7 +77,7 @@ def test_single_thread_enumeration():
     config = NaiveEnumerationConfig(
         num_threads=1, max_accesses_per_thread=2, max_locations=1, allow_fences=False
     )
-    tests = list(enumerate_naive_tests(config))
+    tests = list(enumerate_naive_tests(config, raw=True))
     assert count_naive_tests(config) == len(tests)
     # Single-thread tests under SC: allowed iff they respect per-thread coherence.
     assert any(is_allowed(test, SC) for test in tests)
@@ -72,6 +88,6 @@ def test_canonical_location_naming_avoids_renaming_duplicates():
     config = NaiveEnumerationConfig(
         max_accesses_per_thread=1, max_locations=2, allow_fences=False
     )
-    tests = list(enumerate_naive_tests(config))
+    tests = list(enumerate_naive_tests(config, raw=True))
     # With one access per thread, the first access always uses location X.
     assert all(test.program.locations()[0] == "X" for test in tests)

@@ -7,7 +7,6 @@ from repro.core.predicates import (
     NO_DEP_PREDICATES,
     PredicateSet,
     READ,
-    SAME_ADDR,
     STANDARD_PREDICATES,
     WRITE,
 )

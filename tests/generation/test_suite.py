@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.predicates import EXTENDED_PREDICATES, NO_DEP_PREDICATES, STANDARD_PREDICATES
+from repro.core.predicates import EXTENDED_PREDICATES, STANDARD_PREDICATES
 from repro.generation.counting import corollary1_count, per_case_counts, segment_counts
 from repro.generation.suite import generate_suite, no_dependency_suite, standard_suite
 

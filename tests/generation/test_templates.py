@@ -6,7 +6,7 @@ from repro.checker.explicit import is_allowed
 from repro.core.catalog import SC
 from repro.core.parametric import parametric_model
 from repro.generation.segments import AddressRelation, LinkKind, Segment, SegmentKind
-from repro.generation.templates import TemplateCase, TemplateInstance, instantiate_template
+from repro.generation.templates import TemplateCase, instantiate_template
 
 
 def seg(kind, link=LinkKind.NONE, relation=AddressRelation.DIFFERENT) -> Segment:

@@ -1,6 +1,5 @@
 """Tests for the litmus text writer (and parser round trips)."""
 
-import pytest
 
 from repro.checker.explicit import ExplicitChecker
 from repro.core.catalog import ALPHA, IBM370, SC, TSO

@@ -1,0 +1,171 @@
+"""Unit tests for the symmetry-reducing canonicalizer."""
+
+
+from repro.core.instructions import Fence, Load, Op, Store
+from repro.core.litmus import LitmusTest
+from repro.core.program import Program, Thread
+from repro.pipeline.canonical import (
+    CanonicalIndex,
+    abstract_test,
+    build_canonical_test,
+    canonical_form,
+    canonical_key,
+    canonical_stream,
+    canonicalize,
+    key_digest,
+)
+
+
+def make_test(name, *thread_bodies, reads=None):
+    threads = [Thread(f"T{i + 1}", body) for i, body in enumerate(thread_bodies)]
+    return LitmusTest(name, Program(threads), reads or {})
+
+
+MP = make_test(
+    "mp",
+    [Store("X", 1), Store("Y", 1)],
+    [Load("r1", "Y"), Load("r2", "X")],
+    reads={(1, 0): 1, (1, 1): 0},
+)
+
+#: MP with the threads swapped — the same test up to thread permutation.
+MP_SWAPPED = make_test(
+    "mp-swapped",
+    [Load("r1", "Y"), Load("r2", "X")],
+    [Store("X", 1), Store("Y", 1)],
+    reads={(0, 0): 1, (0, 1): 0},
+)
+
+#: MP with locations renamed (X <-> Y everywhere).
+MP_RENAMED = make_test(
+    "mp-renamed",
+    [Store("Y", 1), Store("X", 1)],
+    [Load("r1", "X"), Load("r2", "Y")],
+    reads={(1, 0): 1, (1, 1): 0},
+)
+
+#: MP with the written value renamed 1 -> 7 (and the observing read with it).
+MP_REVALUED = make_test(
+    "mp-revalued",
+    [Store("X", 3), Store("Y", 7)],
+    [Load("r1", "Y"), Load("r2", "X")],
+    reads={(1, 0): 7, (1, 1): 0},
+)
+
+
+def test_thread_permutation_collapses():
+    assert canonical_key(MP) == canonical_key(MP_SWAPPED)
+
+
+def test_location_renaming_collapses():
+    assert canonical_key(MP) == canonical_key(MP_RENAMED)
+
+
+def test_value_renaming_collapses():
+    assert canonical_key(MP) == canonical_key(MP_REVALUED)
+
+
+def test_distinct_outcomes_stay_distinct():
+    other = make_test(
+        "mp-other",
+        [Store("X", 1), Store("Y", 1)],
+        [Load("r1", "Y"), Load("r2", "X")],
+        reads={(1, 0): 1, (1, 1): 1},  # r2 observes the write instead of 0
+    )
+    assert canonical_key(MP) != canonical_key(other)
+
+
+def test_zero_is_not_renamable():
+    """A store of the initial value 0 is semantically special and stays 0."""
+    writes_zero = make_test(
+        "wz", [Store("X", 0)], [Load("r1", "X")], reads={(1, 0): 0}
+    )
+    writes_one = make_test(
+        "wo", [Store("X", 1)], [Load("r1", "X")], reads={(1, 0): 1}
+    )
+    # In the first test the read may take the initial value OR the store; in
+    # the second it must read from the store.  They must never collapse.
+    assert canonical_key(writes_zero) != canonical_key(writes_one)
+
+
+def test_fence_kinds_are_preserved():
+    full = make_test("f1", [Store("X", 1), Fence(), Store("Y", 1)])
+    exotic = make_test("f2", [Store("X", 1), Fence("st"), Store("Y", 1)])
+    assert canonical_key(full) != canonical_key(exotic)
+    assert abstract_test(full)[0][1] == ("F", "full", 0)
+
+
+def test_canonicalize_is_idempotent_and_key_stable():
+    for test in (MP, MP_SWAPPED, MP_RENAMED, MP_REVALUED):
+        representative = canonicalize(test)
+        representative.program.validate()
+        assert canonical_key(representative) == canonical_key(test)
+        again = canonicalize(representative)
+        assert again.program == representative.program
+        assert again.outcome == representative.outcome
+
+
+def test_symmetric_tests_share_one_representative_program():
+    reps = {canonicalize(t).program for t in (MP, MP_SWAPPED, MP_RENAMED, MP_REVALUED)}
+    assert len(reps) == 1
+
+
+def test_dependency_instructions_are_left_alone():
+    dep = make_test(
+        "dep",
+        [Load("r1", "X"), Op("t1", "r1")],
+        [Store("X", 1)],
+        reads={(0, 0): 1},
+    )
+    assert abstract_test(dep) is None
+    assert canonicalize(dep) is dep
+    key = canonical_key(dep)
+    assert key[0] == "opaque"
+    # Opaque keys are content-based and deterministic.
+    assert key == canonical_key(dep)
+    assert key != canonical_key(MP)
+
+
+def test_build_canonical_test_round_trips_through_abstract():
+    form = canonical_form(abstract_test(MP))
+    rebuilt = build_canonical_test(form, "rebuilt")
+    assert canonical_form(abstract_test(rebuilt)) == form
+
+
+def test_canonical_index_counts_offers_and_uniques():
+    index = CanonicalIndex()
+    assert index.add(canonical_key(MP))
+    assert not index.add(canonical_key(MP_SWAPPED))
+    assert not index.add(canonical_key(MP_REVALUED))
+    assert index.offered == 3
+    assert len(index) == 1
+
+
+def test_canonical_index_digest_mode_matches_exact_mode():
+    exact, digests = CanonicalIndex(), CanonicalIndex(digests=True)
+    for test in (MP, MP_SWAPPED, MP_RENAMED, MP_REVALUED):
+        assert exact.add(canonical_key(test)) == digests.add(canonical_key(test))
+    assert len(exact) == len(digests) == 1
+
+
+def test_key_digest_is_stable_and_hex():
+    digest = key_digest(canonical_key(MP))
+    assert digest == key_digest(canonical_key(MP_SWAPPED))
+    assert len(digest) == 32
+    int(digest, 16)
+
+
+def test_canonical_stream_yields_first_seen_representatives():
+    stream = list(canonical_stream([MP, MP_SWAPPED, MP_RENAMED]))
+    assert len(stream) == 1
+    key, test = stream[0]
+    assert test is MP  # first seen wins
+    assert key == canonical_key(MP)
+
+
+def test_canonical_stream_respects_limit_and_shared_index():
+    index = CanonicalIndex()
+    tests = [MP, MP_SWAPPED, MP_REVALUED]
+    assert len(list(canonical_stream(tests, index=index, limit=0))) == 0
+    assert index.offered == 0
+    assert len(list(canonical_stream(tests, index=CanonicalIndex(), limit=1))) == 1
