@@ -1,0 +1,55 @@
+"""Model-compilation throughput and warm-vs-cold exploration.
+
+The compile layer (:mod:`repro.compile`) normalizes every model into a
+hash-consed ModelIR shared across the whole parametric space.  This module
+baselines both halves of that bargain:
+
+* ``test_compile_90_model_space_cold`` — the cost of the compilation itself:
+  intern tables cleared, then the full 90-model space normalized, digested
+  and interned from scratch (what a fresh worker process pays once).
+* ``test_explore_36_with_warm_compile_cache`` — the steady state the engine
+  actually runs in: the IR already interned, an exploration paying only
+  digest-keyed cache lookups and per-execution mask evaluation.
+
+The cold/warm pair plus the ``extra_info`` counters make compile-layer
+regressions visible separately from checker regressions in the CI gate.
+"""
+
+import pytest
+
+from repro.compile import clear_caches, compile_model, precompile_models
+from repro.compile import ir as compile_ir
+from repro.comparison.exploration import explore_models
+from repro.engine import CheckEngine
+
+
+@pytest.mark.benchmark(group="model-compile")
+def test_compile_90_model_space_cold(benchmark, models_90):
+    def compile_cold():
+        clear_caches()
+        return [compile_model(model) for model in models_90]
+
+    compiled = benchmark.pedantic(compile_cold, rounds=5, iterations=1)
+    assert len(compiled) == 90
+    assert len({entry.digest for entry in compiled}) == 90
+    distinct_nodes = set()
+    for entry in compiled:
+        distinct_nodes |= entry.node_ids
+    benchmark.extra_info["distinct_ir_nodes"] = len(distinct_nodes)
+    benchmark.extra_info["intern_hits"] = compile_ir.stats.intern_hits
+    # Cross-model CSE must stay dramatic: 90 models, ~110 shared nodes.
+    assert len(distinct_nodes) < 200
+
+
+@pytest.mark.benchmark(group="model-compile")
+def test_explore_36_with_warm_compile_cache(benchmark, models_36, suite_without_dependencies):
+    tests = suite_without_dependencies.tests()
+    precompile_models(models_36)  # the IR is warm; engines still start cold
+
+    def explore_warm():
+        return explore_models(models_36, tests, checker=CheckEngine("explicit"))
+
+    result = benchmark.pedantic(explore_warm, rounds=3, iterations=1)
+    assert result.stats.models_compiled == len(models_36)
+    benchmark.extra_info["ir_cse_hits"] = result.stats.ir_cse_hits
+    benchmark.extra_info["checks"] = result.checks_performed

@@ -33,6 +33,7 @@ BENCH_MODULES = (
     "benchmarks/bench_engine_incremental.py",
     "benchmarks/bench_kernel_explicit.py",
     "benchmarks/bench_enumeration_pipeline.py",
+    "benchmarks/bench_model_compile.py",
 )
 
 

@@ -78,7 +78,15 @@ from repro.generation import (
     generate_suite,
     segment_counts,
 )
-from repro.io import litmus_to_text, parse_litmus, parse_litmus_file, write_litmus_file
+from repro.compile import CompiledModel, compile_model
+from repro.io import (
+    litmus_to_text,
+    parse_litmus,
+    parse_litmus_file,
+    parse_model_file,
+    write_litmus_file,
+    write_model_file,
+)
 from repro.pipeline import (
     EquivalenceReport,
     PipelineConfig,
@@ -170,9 +178,14 @@ __all__ = [
     "generate_suite",
     "segment_counts",
     "corollary1_count",
+    # compile
+    "CompiledModel",
+    "compile_model",
     # io
     "parse_litmus",
     "parse_litmus_file",
     "litmus_to_text",
     "write_litmus_file",
+    "parse_model_file",
+    "write_model_file",
 ]

@@ -3,10 +3,15 @@
 :class:`ModelRegistry` folds the previously duplicated resolution logic
 (``cli.resolve_model`` on one side, ``core.catalog.named_models`` on the
 other) into a single object that also accepts user-registered models.  A
-name resolves, in order, to
+spec resolves, in order, to
 
-1. a registered or catalogued model (exact match, then case-insensitive);
-2. a parametric model of the paper's family (``M4044`` and friends);
+1. a live :class:`~repro.core.model.MemoryModel`;
+2. a serialized ``repro/model`` document (so ``serve`` clients can send
+   inline model definitions the server has never seen);
+3. a registered or catalogued model (exact match, then case-insensitive);
+4. a parametric model of the paper's family (``M4044`` and friends);
+5. a ``.model`` file path (parsed once and cached by path, unless the
+   registry is path-restricted);
 
 anything else raises :class:`UnknownModelError` with the known names.
 
@@ -30,8 +35,9 @@ from repro.core.litmus import LitmusTest
 from repro.core.model import MemoryModel
 from repro.core.parametric import model_space, parametric_model
 
-#: Anything that resolves to a model: an instance or a name.
-ModelSpec = Union[MemoryModel, str]
+#: Anything that resolves to a model: an instance, a name, a ``.model``
+#: path, or a serialized ``repro/model`` document.
+ModelSpec = Union[MemoryModel, str, Mapping]
 
 #: Anything that resolves to a test: an instance, a name, a ``.litmus``
 #: path, inline litmus text, or a serialized litmus-test document.
@@ -49,11 +55,16 @@ class UnknownTestError(ValueError):
 class ModelRegistry:
     """Resolves model names; holds the catalog plus user-registered models."""
 
-    def __init__(self, include_catalog: bool = True) -> None:
+    def __init__(self, include_catalog: bool = True, allow_paths: bool = True) -> None:
+        #: whether string specs may name filesystem paths.  Network-facing
+        #: callers (``repro serve --port``) turn this off so remote clients
+        #: cannot probe or read server-side files through model specs.
+        self.allow_paths = allow_paths
         self._models: Dict[str, MemoryModel] = {}
         if include_catalog:
             self._models.update(named_models())
         self._spaces: Dict[bool, List[MemoryModel]] = {}
+        self._files: Dict[str, MemoryModel] = {}
 
     # ------------------------------------------------------------------
     def register(self, model: MemoryModel, replace: bool = False) -> MemoryModel:
@@ -76,11 +87,41 @@ class ModelRegistry:
         return len(self._models)
 
     # ------------------------------------------------------------------
+    def load(self, path: Union[str, os.PathLike]) -> MemoryModel:
+        """Parse a ``.model`` file, caching the result by absolute path."""
+        from repro.io.model_file import parse_model_file
+
+        key = os.path.abspath(os.fspath(path))
+        if key not in self._files:
+            self._files[key] = parse_model_file(key)
+        return self._files[key]
+
+    def _load_for_resolve(self, spec: str) -> MemoryModel:
+        """Load a path-shaped spec, keeping :meth:`resolve`'s error contract:
+        a missing or malformed file is an unresolvable spec, so it surfaces
+        as :class:`UnknownModelError` (with the underlying detail chained),
+        not as a raw ``OSError``/``ModelFileError``."""
+        from repro.io.model_file import ModelFileError
+
+        try:
+            return self.load(spec)
+        except (OSError, ModelFileError) as error:
+            raise UnknownModelError(str(error)) from error
+
     def resolve(self, spec: ModelSpec) -> MemoryModel:
-        """Resolve a model spec: an instance, a registered/catalog name, or
-        a parametric ``Mxxxx`` name."""
+        """Resolve a model spec.
+
+        Accepts a :class:`MemoryModel`, a serialized ``repro/model``
+        document (inline model definitions in requests), a
+        registered/catalog name, a parametric ``Mxxxx`` name, or a path to
+        a ``.model`` file.
+        """
         if isinstance(spec, MemoryModel):
             return spec
+        if isinstance(spec, Mapping):
+            from repro.api.serialize import model_from_json
+
+            return model_from_json(dict(spec))
         if not isinstance(spec, str):
             raise UnknownModelError(f"cannot resolve model spec {spec!r}")
         if spec in self._models:
@@ -88,14 +129,18 @@ class ModelRegistry:
         for name, model in self._models.items():
             if name.lower() == spec.lower():
                 return model
+        if self.allow_paths and (spec.endswith(".model") or os.sep in spec):
+            return self._load_for_resolve(spec)
         if spec.startswith("M") and spec[1:].isdigit():
             try:
                 return parametric_model(spec)
             except ValueError as error:
                 raise UnknownModelError(str(error)) from error
+        if self.allow_paths and os.path.exists(spec):
+            return self._load_for_resolve(spec)
         raise UnknownModelError(
-            f"unknown model {spec!r}; use one of {', '.join(self._models)} "
-            "or a parametric name like M4044"
+            f"unknown model {spec!r}; use one of {', '.join(self._models)}, "
+            "a parametric name like M4044, or a .model file path"
         )
 
     def resolve_all(self, specs: Sequence[ModelSpec]) -> List[MemoryModel]:

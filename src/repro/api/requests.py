@@ -3,9 +3,13 @@
 Every operation of the public API is a frozen dataclass describing *what* to
 compute, not *how*: model and test fields accept either live objects or
 specs (names, paths, inline litmus text, serialized documents) that the
-session's registries resolve.  Requests round-trip through JSON — the
-``serve`` loop reads one request document per line — via
-:func:`request_to_json` / :func:`request_from_json`.
+session's registries resolve.  In particular every model field — including
+``CompareRequest.first``/``second`` and ``ExploreRequest.models`` — accepts
+an inline ``repro/model`` document, so a ``serve`` client can have the
+server check models it has never seen; the compile layer's digest-keyed
+caches make a resent definition as cheap as a registered name.  Requests
+round-trip through JSON — the ``serve`` loop reads one request document per
+line — via :func:`request_to_json` / :func:`request_from_json`.
 """
 
 from __future__ import annotations
@@ -41,7 +45,8 @@ class CompareRequest:
     ``suite`` names a generated template suite (``"standard"``,
     ``"no_deps"`` or ``"extended"``); with ``include_named=True`` the
     paper's nine tests L1..L9 are appended, matching the classic CLI
-    behaviour.
+    behaviour.  ``first``/``second`` accept names, live models, or inline
+    ``repro/model`` documents.
     """
 
     first: ModelSpec
@@ -59,8 +64,9 @@ class ExploreRequest:
     By default the parametric space named by ``space`` (``"no_deps"`` for
     the 36-model Figure 4 space, ``"deps"`` for the full 90-model space) is
     explored over the matching template suite; an explicit ``models`` tuple
-    overrides the space.  With ``preferred=True`` the paper's nine tests
-    label the Hasse edges.
+    — names, live models, or inline ``repro/model`` documents — overrides
+    the space.  With ``preferred=True`` the paper's nine tests label the
+    Hasse edges.
     """
 
     space: str = "no_deps"

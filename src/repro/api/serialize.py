@@ -27,6 +27,11 @@ The serializable types are
 * formula-defined :class:`~repro.core.model.MemoryModel` objects
   (models backed by arbitrary Python callables cannot travel as JSON and
   raise :class:`SerializationError`).
+
+``repro/model`` documents are also accepted *inline* wherever a request
+takes a model spec (:mod:`repro.api.requests`), which is how ``serve``
+clients ship models the server has never seen; the ``.model`` text format
+of :mod:`repro.io.model_file` carries the same four fields.
 """
 
 from __future__ import annotations

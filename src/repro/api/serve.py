@@ -129,9 +129,10 @@ def serve(
     session = session if session is not None else Session()
     if port is not None:
         # Remote clients must not be able to read server-side files by
-        # sending path-shaped test specs; registered names, inline litmus
-        # text and embedded documents remain available.
+        # sending path-shaped test or model specs; registered names, inline
+        # litmus text and embedded documents remain available.
         session.tests.allow_paths = False
+        session.models.allow_paths = False
         with serve_socket(session, host, port) as server:
             bound = server.server_address[1]
             print(f"repro serve: listening on {host}:{bound}", file=sys.stderr)

@@ -30,6 +30,12 @@ The encoding comes in two flavours:
   (:meth:`Encoding.po_assumptions`), which lets one persistent incremental
   SAT solver answer every model of a family over the same skeleton while
   keeping its learned clauses.
+
+The model-dependent pieces — the unit ``ord`` clauses of the one-shot
+encoding and the selector assumptions of the skeleton — are emitted through
+the compile layer's CNF lowering (:mod:`repro.compile.lower_cnf`); batch
+callers holding the explicit kernel's po-pair bitmask can replay it
+directly via :meth:`Encoding.po_assumptions_from_mask`.
 """
 
 from __future__ import annotations
@@ -87,20 +93,34 @@ class Encoding:
         For every same-thread program-order pair the selector is assumed true
         when the model's must-not-reorder function forces the pair in order,
         and false otherwise (a false selector leaves the implication clause
-        vacuously satisfied, i.e. the edge is simply not forced).
+        vacuously satisfied, i.e. the edge is simply not forced).  The model
+        is evaluated through the compile layer's CNF lowering
+        (:mod:`repro.compile.lower_cnf`); batch callers that already hold a
+        po-pair bitmask use :meth:`po_assumptions_from_mask` instead, so the
+        SAT backend shares the explicit kernel's IR-memoized truth vector.
         """
+        from repro.compile import assumption_literals, compile_model
+
+        self._require_skeleton()
+        return assumption_literals(self, compile_model(model))
+
+    def po_assumptions_from_mask(self, mask: int) -> List[Literal]:
+        """Instantiate a skeleton's assumptions from a po-pair bitmask.
+
+        Bit ``p`` corresponds to ``po_pairs[p]`` — the same scan order
+        :class:`~repro.checker.kernel.IndexedExecution` uses, so the mask
+        the explicit kernel computed for a model can be replayed here.
+        """
+        from repro.compile import assumptions_from_mask
+
+        self._require_skeleton()
+        return assumptions_from_mask(self, mask)
+
+    def _require_skeleton(self) -> None:
         if not self.is_skeleton or self.execution is None:
             raise ValueError(
                 "assumptions require a model-independent skeleton; build it with encode_skeleton()"
             )
-        literals: List[Literal] = []
-        for earlier, later in self.po_pairs:
-            selector = self.po_selector_vars[(earlier.uid, later.uid)]
-            if model.ordered(self.execution, earlier, later):
-                literals.append(selector)
-            else:
-                literals.append(-selector)
-        return literals
 
 
 class HappensBeforeEncoder:
@@ -154,18 +174,21 @@ class HappensBeforeEncoder:
                     )
 
         # --- program-order edges forced by F ---------------------------------
-        for thread_events in execution.events_by_thread:
-            for i, earlier in enumerate(thread_events):
-                for later in thread_events[i + 1 :]:
-                    if use_selectors:
+        if use_selectors:
+            for thread_events in execution.events_by_thread:
+                for i, earlier in enumerate(thread_events):
+                    for later in thread_events[i + 1 :]:
                         selector = cnf.new_var(f"posel({earlier.uid},{later.uid})")
                         encoding.po_selector_vars[(earlier.uid, later.uid)] = selector
                         encoding.po_pairs.append((earlier, later))
                         cnf.add_clause(
                             [-selector, encoding.order_literal(earlier.uid, later.uid)]
                         )
-                    elif self.model.ordered(execution, earlier, later):
-                        cnf.add_clause([encoding.order_literal(earlier.uid, later.uid)])
+        else:
+            from repro.compile import compile_model, forced_po_pairs
+
+            for earlier, later in forced_po_pairs(execution, compile_model(self.model)):
+                cnf.add_clause([encoding.order_literal(earlier.uid, later.uid)])
 
         # --- coherence orientation variables ---------------------------------
         stores_by_location: Dict[str, List[Event]] = {}

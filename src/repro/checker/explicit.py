@@ -5,8 +5,11 @@ This backend decides admissibility with the backtracking search of
 positions are assigned one decision at a time, forced ``co``/``rf``/``fr``
 edges are propagated through an incremental reachability kernel, and a whole
 subtree is pruned the moment the partial forced-edge graph acquires a cycle
-or an anti-program-order edge.  It is the default backend used by the
-comparison and exploration code.
+or an anti-program-order edge.  The model's program-order edges come from
+the compile layer (:mod:`repro.compile`): the model is normalized once per
+process to a hash-consed ModelIR and its bitmask lowering is evaluated over
+the indexed execution.  It is the default backend used by the comparison
+and exploration code.
 
 The pre-kernel implementation — enumerate the full Cartesian product of
 read-from maps and coherence orders and test each complete combination — is

@@ -10,10 +10,13 @@ backtracking search with constraint propagation:
   once per test, every model-independent relation the search needs as Python
   ints used as bitmasks: program order, same-thread and same-location masks,
   per-load read-from candidates and per-location program-order-respecting
-  store orders.  It also evaluates must-not-reorder *formulas* vectorised:
-  each predicate atom becomes one bitmask over the same-thread event pairs,
-  so deriving a model's program-order edges is a single formula traversal of
-  bitwise operations instead of one evaluator call per pair.
+  store orders.  It also evaluates must-not-reorder functions vectorised:
+  models are compiled through :mod:`repro.compile` to a hash-consed ModelIR
+  whose bitmask lowering turns each predicate atom into one bitmask over the
+  same-thread event pairs, so deriving a model's program-order edges is a
+  single DAG traversal of bitwise operations (memoized per distinct subtree
+  per execution, shared across every model of a space) instead of one
+  evaluator call per pair.
 * :class:`ReachabilityKernel` is an incremental cycle detector: it maintains
   per-node reachability bitsets under edge insertion (``O(n)`` int
   operations per edge) and undoes insertions in ``O(edges)`` on backtrack.
@@ -29,7 +32,6 @@ enumerating oracle in :mod:`repro.checker.reference` cross-validates it.
 
 from __future__ import annotations
 
-import weakref
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.events import Event
@@ -154,8 +156,9 @@ class IndexedExecution:
         self.all_pairs_mask = (1 << len(pairs)) - 1
 
         self._atom_masks: Dict[Tuple[Predicate, Tuple[str, ...]], int] = {}
-        # Per-execution masks of hash-consed compiled formula nodes, keyed
-        # by node id; shared subtrees across a model space evaluate once.
+        # Per-execution masks of hash-consed ModelIR nodes, keyed by
+        # node id (see repro.compile.lower_masks); subtrees shared across
+        # a model space evaluate once per execution.
         self._node_masks: Dict[int, int] = {}
 
     @property
@@ -179,34 +182,30 @@ class IndexedExecution:
     def po_edge_pairs(self, model: MemoryModel) -> List[IndexEdge]:
         """Return the model's forced program-order edges as index pairs.
 
-        Formula-defined models are evaluated vectorised over bitmasks (one
-        traversal per model, through a mask evaluator compiled once per
-        model and shared by every execution in the process); callable
-        models and user formula subclasses fall back to one ``F(x, y)``
-        call per pair.
+        The model is compiled once per process through :mod:`repro.compile`
+        (formula models become hash-consed IR DAGs; callables and user
+        formula subclasses become opaque ``call`` atoms) and its bitmask
+        lowering is evaluated over this execution, memoized per IR node in
+        ``_node_masks`` — so even a whole model space costs each distinct
+        subformula once per execution.
         """
-        evaluator = _mask_evaluator(model)
-        if evaluator is not None:
-            mask = evaluator(self)
-        else:
-            mask = self._callable_mask(model)
+        mask = self.po_pair_mask(model)
         return [pair for p, pair in enumerate(self.po_pairs) if (mask >> p) & 1]
 
-    def _callable_mask(self, model: MemoryModel) -> int:
-        mask = 0
-        for p, (u, v) in enumerate(self.po_pairs):
-            if model.ordered(self.execution, self.events[u], self.events[v]):
-                mask |= 1 << p
-        return mask
+    def po_pair_mask(self, model: MemoryModel) -> int:
+        """The model's forced-pair truth vector over ``po_pairs`` as a bitmask."""
+        from repro.compile import compile_model
+
+        return compile_model(model).mask_program(self)
 
     def _formula_mask(self, formula: Formula, registry: Dict[str, Predicate]) -> int:
         """Interpret a formula over the po-pair bitmasks (reference path).
 
-        ``po_edge_pairs`` answers through the compiled evaluators of
-        :func:`_compile_mask`; this direct interpreter is kept as the
-        semantic reference the compiler is cross-validated against
-        (``tests/checker/test_kernel.py``) — a new :class:`Formula` node
-        type must be taught to both.
+        ``po_edge_pairs`` answers through the compiled ModelIR lowering of
+        :mod:`repro.compile.lower_masks`; this direct interpreter is kept
+        as the semantic reference the compiler is cross-validated against
+        (``tests/checker/test_kernel.py`` and the hypothesis differential
+        suite) — a new :class:`Formula` node type must be taught to both.
         """
         if isinstance(formula, TrueFormula):
             return self.all_pairs_mask
@@ -259,146 +258,6 @@ class IndexedExecution:
                 mask |= 1 << p
         self._atom_masks[key] = mask
         return mask
-
-
-#: Mask evaluator compiled per model, keyed by ``id(model)``.  The value
-#: holds a weak reference (entries evict themselves when the model is
-#: collected, so throwaway models cannot grow the cache without bound) and
-#: is None for models the vectorised evaluator cannot handle (Python
-#: callables, user formula subclasses) — they use the per-pair fallback.
-_MASK_EVALUATORS: Dict[int, Tuple[object, Optional[object]]] = {}
-
-
-def _mask_evaluator(model: MemoryModel):
-    """Return the model's compiled ``IndexedExecution -> mask`` evaluator.
-
-    The formula tree is walked once per model per process and compiled to a
-    hash-consed closure tree; every execution then evaluates the model's
-    mask with one call per formula node (memoized per distinct subtree)
-    instead of re-dispatching on node types pair-set by pair-set.  Returns
-    None when the model needs the per-pair ``F(x, y)`` fallback.
-    """
-    key = id(model)
-    entry = _MASK_EVALUATORS.get(key)
-    if entry is not None and entry[0]() is model:
-        return entry[1]
-    evaluator = None
-    if model.formula is not None:
-        try:
-            evaluator = _compile_mask(model.formula, model.registry)
-        except _UnsupportedFormula:
-            evaluator = None
-    reference = weakref.ref(model, lambda _ref, _key=key: _MASK_EVALUATORS.pop(_key, None))
-    _MASK_EVALUATORS[key] = (reference, evaluator)
-    return evaluator
-
-
-#: Hash-consed compiled nodes: structural key -> (node id, evaluator).  The
-#: models of a parametric space share most of their formula *subtrees*
-#: (``Fence(x)``, ``Write(x) & Write(y) & SameAddr``, ...), so consing lets
-#: every execution evaluate each distinct subtree once per test, however
-#: many models reference it.  Unlike :data:`_MASK_EVALUATORS` this cache is
-#: keyed by structure, not identity, so it cannot self-evict; the size cap
-#: below bounds it against adversarial streams of distinct formulas (a
-#: long-lived ``serve`` session fed ever-new model documents) — past the
-#: cap, nodes compile uncached and unmemoized, trading speed for bounded
-#: memory.
-_NODE_CACHE: Dict[object, Tuple[int, object]] = {}
-_NODE_CACHE_LIMIT = 65536
-
-
-def _compile_mask(formula: Formula, registry: Dict[str, Predicate]):
-    """Compile a formula to a closure computing its po-pair bitmask.
-
-    Every structurally distinct node is compiled once per process and its
-    per-execution mask memoized in ``IndexedExecution._node_masks``.
-    """
-    return _compile_node(formula, registry)[1]
-
-
-def _memoized_node(key: object, compute):
-    """Hash-cons a node: reuse the evaluator compiled for an equal key.
-
-    ``key`` is None when the node must not be cached (the cache is full, or
-    a child went uncached so the structural key would be ambiguous); the
-    node then evaluates directly — still correct, just unshared.
-    """
-    if key is None or len(_NODE_CACHE) >= _NODE_CACHE_LIMIT:
-        return (None, compute)
-    cached = _NODE_CACHE.get(key)
-    if cached is not None:
-        return cached
-    node_id = len(_NODE_CACHE)
-
-    def evaluate(indexed: IndexedExecution) -> int:
-        masks = indexed._node_masks
-        mask = masks.get(node_id)
-        if mask is None:
-            mask = compute(indexed)
-            masks[node_id] = mask
-        return mask
-
-    entry = (node_id, evaluate)
-    return _NODE_CACHE.setdefault(key, entry)
-
-
-def _compile_node(
-    formula: Formula, registry: Dict[str, Predicate]
-) -> Tuple[Optional[int], object]:
-    if isinstance(formula, TrueFormula):
-        return _memoized_node(("true",), lambda indexed: indexed.all_pairs_mask)
-    if isinstance(formula, FalseFormula):
-        return _memoized_node(("false",), lambda indexed: 0)
-    if isinstance(formula, Atom):
-        predicate = registry.get(formula.predicate)
-        if predicate is None:
-            raise FormulaError(f"unknown predicate {formula.predicate!r}")
-        args = formula.args
-        return _memoized_node(
-            ("atom", id(predicate), args),
-            lambda indexed: indexed._atom_mask(predicate, args),
-        )
-    if isinstance(formula, Not):
-        operand_id, operand = _compile_node(formula.operand, registry)
-        return _memoized_node(
-            None if operand_id is None else ("not", operand_id),
-            lambda indexed: indexed.all_pairs_mask & ~operand(indexed),
-        )
-    if isinstance(formula, And):
-        compiled = tuple(_compile_node(operand, registry) for operand in formula.operands)
-        operands = tuple(fn for _id, fn in compiled)
-
-        def conjunction(indexed: IndexedExecution) -> int:
-            mask = indexed.all_pairs_mask
-            for operand in operands:
-                mask &= operand(indexed)
-                if not mask:
-                    break
-            return mask
-
-        return _memoized_node(_composite_key("and", compiled), conjunction)
-    if isinstance(formula, Or):
-        compiled = tuple(_compile_node(operand, registry) for operand in formula.operands)
-        operands = tuple(fn for _id, fn in compiled)
-
-        def disjunction(indexed: IndexedExecution) -> int:
-            mask = 0
-            for operand in operands:
-                mask |= operand(indexed)
-                if mask == indexed.all_pairs_mask:
-                    break
-            return mask
-
-        return _memoized_node(_composite_key("or", compiled), disjunction)
-    raise _UnsupportedFormula(type(formula).__name__)
-
-
-def _composite_key(kind: str, compiled: Tuple[Tuple[object, object], ...]):
-    """Structural key over child node ids; None when any child is uncached."""
-    child_ids = tuple(node_id for node_id, _fn in compiled)
-    if any(node_id is None for node_id in child_ids):
-        return None
-    return (kind,) + child_ids
 
 
 class ReachabilityKernel:

@@ -17,7 +17,12 @@ These backends exist purely for cross-validation of the fast paths:
 
 Both use :func:`enumerate_coherence_orders_reference`, the original
 permute-then-filter coherence enumeration, so the oracle path stays
-independent of the direct interleaving generator it validates.
+independent of the direct interleaving generator it validates.  Model
+evaluation goes through the compile layer's *plain-evaluator* lowering
+(:func:`repro.checker.relations.program_order_edges`), which is independent
+of the bitmask lowering the kernel uses; the uncompiled
+``Formula.evaluate`` interpreter remains the reference the compile layer
+itself is differentially tested against (``tests/compile/``).
 """
 
 from __future__ import annotations

@@ -182,14 +182,20 @@ def _respects_program_order(ordering: Sequence[Event]) -> bool:
 # forced happens-before edges
 # ----------------------------------------------------------------------
 def program_order_edges(execution: Execution, model: MemoryModel) -> List[HbEdge]:
-    """Return the program-order edges forced by the model's F."""
-    edges: List[HbEdge] = []
-    for thread_events in execution.events_by_thread:
-        for i, earlier in enumerate(thread_events):
-            for later in thread_events[i + 1 :]:
-                if model.ordered(execution, earlier, later):
-                    edges.append((earlier, later, "po"))
-    return edges
+    """Return the program-order edges forced by the model's F.
+
+    The model is evaluated through the plain-evaluator lowering of the
+    compile layer (:mod:`repro.compile`): compiled once per process,
+    dispatched per pair — formula interpretation overhead is paid at
+    compile time, not here.
+    """
+    from repro.compile import compile_model, forced_po_pairs
+
+    compiled = compile_model(model)
+    return [
+        (earlier, later, "po")
+        for earlier, later in forced_po_pairs(execution, compiled)
+    ]
 
 
 def coherence_position_map(coherence: CoherenceOrder) -> Dict[Event, int]:

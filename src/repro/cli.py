@@ -16,6 +16,8 @@ Subcommands:
   parametric model space and print the Figure 4 report (optionally writing
   a DOT file).
 * ``catalog`` — list the built-in named models and their formulas.
+* ``models [--space deps]`` — list the catalog plus the parametric families
+  with formulas, predicate vocabularies and descriptions.
 * ``outcomes TEST.litmus --model TSO`` — enumerate the outcomes a model
   allows for the test's program.
 * ``enumerate-verify [--bound large] [--jobs N] [--run-dir D --resume]`` —
@@ -25,10 +27,12 @@ Subcommands:
   session (stdin/stdout by default, a TCP socket with ``--port``).
 
 Model names accept catalog names (``SC``, ``TSO``, ...), parametric names
-(``M4044``) and anything registered in the session's
-:class:`~repro.api.registry.ModelRegistry`.  ``--backend`` selects the
-admissibility strategy and ``--jobs`` fans the exploration out over worker
-processes.
+(``M4044``), paths to ``.model`` files and anything registered in the
+session's :class:`~repro.api.registry.ModelRegistry`; ``--model-file FILE``
+(repeatable, any subcommand) registers the models of ``.model`` files up
+front so later ``--model NAME`` arguments can refer to them.  ``--backend``
+selects the admissibility strategy and ``--jobs`` fans the exploration out
+over worker processes.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ import warnings
 from typing import Optional, Sequence
 
 from repro.api.registry import UnknownModelError, UnknownTestError
+from repro.io.model_file import ModelFileError
 from repro.api.requests import CheckRequest, CompareRequest, ExploreRequest, OutcomesRequest
 from repro.api.serialize import to_json
 from repro.api.session import Session
@@ -69,11 +74,21 @@ def resolve_model(name: str) -> MemoryModel:
 
 
 def _make_session(args: argparse.Namespace) -> Session:
-    """Build the one session a CLI invocation runs through."""
+    """Build the one session a CLI invocation runs through.
+
+    Models named by ``--model-file`` are parsed and registered before any
+    request runs, so every subcommand can refer to them by name.
+    """
     try:
-        return Session(backend=args.backend, jobs=getattr(args, "jobs", 1))
+        session = Session(backend=args.backend, jobs=getattr(args, "jobs", 1))
     except ValueError as error:
         raise SystemExit(str(error))
+    for path in getattr(args, "model_file", None) or ():
+        try:
+            session.models.register(session.models.load(path))
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"--model-file {path}: {error}")
+    return session
 
 
 def _emit_json(document: object) -> None:
@@ -81,9 +96,11 @@ def _emit_json(document: object) -> None:
 
 
 def _run(session: Session, request) -> object:
+    # OSError/ModelFileError cover path-shaped model specs resolving to
+    # missing or malformed .model files mid-request.
     try:
         return session.run(request)
-    except (UnknownModelError, UnknownTestError) as error:
+    except (UnknownModelError, UnknownTestError, ModelFileError, OSError) as error:
         raise SystemExit(str(error))
 
 
@@ -140,6 +157,83 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
         return 0
     for line in session.models.summary():
         print(line)
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.api.serialize import envelope, model_to_json
+    from repro.compile import compile_model
+    from repro.core.parametric import ALLOWED_OPTIONS, ALLOWED_OPTIONS_NO_DEP
+    from repro.core.predicates import NO_DEP_PREDICATES, STANDARD_PREDICATES
+
+    session = _make_session(args)
+    spaces = {
+        "no_deps": (
+            ALLOWED_OPTIONS_NO_DEP,
+            NO_DEP_PREDICATES,
+            "the dependency-free space of Figure 4",
+        ),
+        "deps": (ALLOWED_OPTIONS, STANDARD_PREDICATES, "the full space of Section 4.2"),
+    }
+    families = []
+    for key, (options, predicates, blurb) in spaces.items():
+        space = session.models.space(key)
+        families.append(
+            {
+                "key": key,
+                "size": len(space),
+                "predicates": list(predicates.names()),
+                "codes": {
+                    pair: [int(option) for option in allowed]
+                    for pair, allowed in options.items()
+                },
+                "description": f"parametric models M{{ww}}{{wr}}{{rw}}{{rr}}: {blurb}",
+            }
+        )
+
+    listed = list(session.models)
+    if args.space:
+        listed.extend(session.models.space(args.space))
+
+    if args.format == "json":
+        document = envelope("model_list")
+        document["models"] = [
+            model_to_json(model)
+            if model.formula is not None
+            else {
+                "name": model.name,
+                "formula": None,
+                "predicates": list(model.predicates.names()),
+                "description": model.description,
+            }
+            for model in listed
+        ]
+        document["families"] = families
+        _emit_json(document)
+        return 0
+
+    print("Named models:")
+    for model in listed:
+        formula = model.formula if model.formula is not None else "<python function>"
+        vocabulary = ", ".join(compile_model(model).vocabulary) or "(none)"
+        print(f"  {model.name:10s} F(x, y) = {formula}")
+        print(f"  {'':10s} predicates: {vocabulary}")
+        if model.description:
+            print(f"  {'':10s} {model.description}")
+    print()
+    print("Parametric families (names like M4044; digits = ww/wr/rw/rr reorder codes,")
+    print("0=always, 1=different address, 2=no data dep, 3=1+2, 4=never):")
+    for family in families:
+        codes = " ".join(
+            f"{pair}∈{{{','.join(str(code) for code in allowed)}}}"
+            for pair, allowed in family["codes"].items()
+        )
+        print(f"  {family['key']:8s} {family['size']:3d} models, {codes}")
+        print(f"  {'':8s} predicates: {', '.join(family['predicates'])}")
+        print(f"  {'':8s} {family['description']}")
+    if not args.space:
+        print()
+        print("(use --space deps|no_deps to list every model of a family)")
     return 0
 
 
@@ -202,6 +296,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="explicit",
         help="admissibility backend",
     )
+    parser.add_argument(
+        "--model-file",
+        action="append",
+        metavar="FILE",
+        help="register the model defined in a .model file (repeatable)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     def add_format(subparser: argparse.ArgumentParser) -> None:
@@ -238,6 +338,17 @@ def build_parser() -> argparse.ArgumentParser:
     catalog = subparsers.add_parser("catalog", help="list the built-in models")
     add_format(catalog)
     catalog.set_defaults(func=_cmd_catalog)
+
+    models = subparsers.add_parser(
+        "models",
+        help="list named models and the parametric families "
+        "(formulas, predicate vocabulary, descriptions)",
+    )
+    models.add_argument(
+        "--space", choices=("deps", "no_deps"), default=None,
+        help="additionally list every model of this parametric family")
+    add_format(models)
+    models.set_defaults(func=_cmd_models)
 
     outcomes = subparsers.add_parser("outcomes", help="enumerate allowed outcomes of a program")
     outcomes.add_argument("test", help="path to a .litmus file")

@@ -1,0 +1,46 @@
+"""The unified model-compilation layer.
+
+Every consumer of a :class:`~repro.core.model.MemoryModel`'s must-not-reorder
+function — the explicit bitset kernel, the SAT encoder, the enumeration
+oracle, the event-level relation builders — evaluates it through one
+pipeline::
+
+    Formula / callable
+        -> ModelIR         (NNF, hash-consed across models, simplified)
+        -> compile passes  (cross-model CSE, vocabulary, content digest)
+        -> lowerings       (bitmask program | CNF assumptions | evaluator)
+
+See :mod:`repro.compile.ir` for the IR and its invariants,
+:mod:`repro.compile.compiler` for :func:`compile_model`, and the
+``lower_*`` modules for the three lowerings.  ``docs/architecture.md``
+shows where the layer sits in the whole stack.
+"""
+
+from repro.compile.compiler import (
+    CompiledModel,
+    clear_caches,
+    compile_model,
+    precompile_models,
+)
+from repro.compile.ir import IRNode, from_formula
+from repro.compile.lower_cnf import (
+    assumption_literals,
+    assumptions_from_mask,
+    forced_po_pairs,
+)
+from repro.compile.lower_eval import lower_eval
+from repro.compile.lower_masks import lower_masks
+
+__all__ = [
+    "CompiledModel",
+    "IRNode",
+    "assumption_literals",
+    "assumptions_from_mask",
+    "clear_caches",
+    "compile_model",
+    "forced_po_pairs",
+    "from_formula",
+    "lower_eval",
+    "lower_masks",
+    "precompile_models",
+]

@@ -1,0 +1,72 @@
+"""CNF lowering: IR -> the model-dependent pieces of the SAT encoding.
+
+The happens-before CNF splits into a model-independent skeleton (built once
+per execution by :func:`repro.checker.encoder.encode_skeleton`) and a
+model-dependent part that is nothing but the truth vector of the model's
+must-not-reorder function over the same-thread program-order pairs.  This
+module emits that part from a compiled model:
+
+* :func:`forced_po_pairs` — the pairs a model forces in order, for the
+  one-shot encoder's unit ``ord`` clauses;
+* :func:`assumptions_from_mask` — a skeleton's per-pair selector literals
+  from a po-pair bitmask (the same mask the explicit kernel computes, so an
+  engine answering both backends derives SAT assumptions and kernel edges
+  from one shared, IR-memoized truth vector);
+* :func:`assumption_literals` — the standalone path: evaluate the compiled
+  model pair by pair against a skeleton (no kernel index required).
+
+Both encodings enumerate the same-thread pairs in the same scan order
+(per thread, earlier before later), which is what lets a mask index line up
+with ``Encoding.po_pairs``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Tuple
+
+from repro.compile.lower_eval import lower_eval
+from repro.core.events import Event
+from repro.core.execution import Execution
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.checker.encoder import Encoding
+    from repro.compile.compiler import CompiledModel
+
+
+def forced_po_pairs(
+    execution: Execution, compiled: "CompiledModel"
+) -> Iterator[Tuple[Event, Event]]:
+    """Yield the same-thread pairs the compiled model forces in order."""
+    evaluator = lower_eval(compiled.root)
+    for thread_events in execution.events_by_thread:
+        for i, earlier in enumerate(thread_events):
+            for later in thread_events[i + 1 :]:
+                if evaluator(execution, earlier, later):
+                    yield earlier, later
+
+
+def assumptions_from_mask(encoding: "Encoding", mask: int) -> List[int]:
+    """Instantiate a skeleton's selector assumptions from a po-pair bitmask.
+
+    Bit ``p`` of ``mask`` corresponds to ``encoding.po_pairs[p]`` (both the
+    encoder and :class:`~repro.checker.kernel.IndexedExecution` enumerate
+    pairs in the same order).
+    """
+    literals: List[int] = []
+    for position, (earlier, later) in enumerate(encoding.po_pairs):
+        selector = encoding.po_selector_vars[(earlier.uid, later.uid)]
+        literals.append(selector if (mask >> position) & 1 else -selector)
+    return literals
+
+
+def assumption_literals(encoding: "Encoding", compiled: "CompiledModel") -> List[int]:
+    """Instantiate a skeleton's selector assumptions pair by pair."""
+    execution = encoding.execution
+    evaluator = lower_eval(compiled.root)
+    literals: List[int] = []
+    for earlier, later in encoding.po_pairs:
+        selector = encoding.po_selector_vars[(earlier.uid, later.uid)]
+        literals.append(
+            selector if evaluator(execution, earlier, later) else -selector
+        )
+    return literals

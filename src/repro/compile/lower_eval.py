@@ -1,0 +1,74 @@
+"""Plain-evaluator lowering: IR -> a per-pair ``F(execution, x, y)`` closure.
+
+This is the lowering the enumeration oracle and the event-level relation
+builders consume (:func:`repro.checker.relations.program_order_edges`, the
+one-shot CNF encoder, witness reconstruction).  It deliberately shares
+nothing with the bitmask lowering beyond the IR itself: no per-execution
+memo, no pair indexing — one closure call per (execution, x, y) query,
+dispatch resolved once at lowering time instead of per call as the old
+``Formula.evaluate`` tree walk did.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.compile.ir import IRNode
+from repro.core.events import Event
+from repro.core.execution import Execution
+
+#: The lowered form: the model's must-not-reorder function itself.
+PairEvaluator = Callable[[Execution, Event, Event], bool]
+
+
+def lower_eval(node: IRNode) -> PairEvaluator:
+    """Return (building and caching once per node) the node's evaluator."""
+    evaluator = node._lowered_eval
+    if evaluator is None:
+        evaluator = _build(node)
+        node._lowered_eval = evaluator
+    return evaluator
+
+
+def _atom_evaluator(node: IRNode, negated: bool) -> PairEvaluator:
+    predicate = node.predicate
+    if predicate.arity == 1:
+        on_x = node.args == ("x",)
+        if negated:
+            return lambda execution, x, y: not predicate.evaluate(
+                execution, x if on_x else y
+            )
+        return lambda execution, x, y: predicate.evaluate(execution, x if on_x else y)
+    first_x, second_x = node.args[0] == "x", node.args[1] == "x"
+    if negated:
+        return lambda execution, x, y: not predicate.evaluate(
+            execution, x if first_x else y, x if second_x else y
+        )
+    return lambda execution, x, y: predicate.evaluate(
+        execution, x if first_x else y, x if second_x else y
+    )
+
+
+def _build(node: IRNode) -> PairEvaluator:
+    kind = node.kind
+    if kind == "true":
+        return lambda execution, x, y: True
+    if kind == "false":
+        return lambda execution, x, y: False
+    if kind == "atom":
+        return _atom_evaluator(node, negated=False)
+    if kind == "natom":
+        return _atom_evaluator(node, negated=True)
+    if kind == "call":
+        func = node.func
+        return lambda execution, x, y: bool(func(execution, x, y))
+    operands = tuple(lower_eval(child) for child in node.children)
+    if kind == "and":
+        return lambda execution, x, y: all(
+            operand(execution, x, y) for operand in operands
+        )
+    if kind == "or":
+        return lambda execution, x, y: any(
+            operand(execution, x, y) for operand in operands
+        )
+    raise AssertionError(f"unloweable IR node kind {kind!r}")

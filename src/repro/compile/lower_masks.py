@@ -1,0 +1,103 @@
+"""Bitmask lowering: IR -> a program computing po-pair truth vectors.
+
+This is the lowering the explicit kernel consumes.  The target machine is
+an object shaped like :class:`~repro.checker.kernel.IndexedExecution`: it
+exposes ``po_pairs`` (the same-thread program-order pairs in scan order),
+``all_pairs_mask``, ``events``, ``execution``, an ``_atom_mask(predicate,
+args)`` primitive returning a predicate application's truth vector over the
+pairs, and a ``_node_masks`` dict memoizing per-node masks for the lifetime
+of that execution.
+
+Each IR node lowers once per process to a closure ``target -> int`` (cached
+on the node itself); because nodes are interned across models, the
+per-execution memo keyed by ``node_id`` means every distinct subformula of a
+whole model space is evaluated once per execution, however many models
+reference it — the cross-model CSE speed lever.
+
+``call`` nodes tabulate their opaque callable over the po pairs, so even
+Python-callable models get a (memoized) truth vector instead of repeated
+per-pair calls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.compile.ir import IRNode
+
+#: The lowered form: a function of an IndexedExecution-shaped target.
+MaskProgram = Callable[[object], int]
+
+
+def lower_masks(node: IRNode) -> MaskProgram:
+    """Return (building and caching once per node) the node's mask program."""
+    program = node._lowered_mask
+    if program is None:
+        program = _build(node)
+        node._lowered_mask = program
+    return program
+
+
+def _memoized(node_id: int, compute: MaskProgram) -> MaskProgram:
+    def evaluate(target) -> int:
+        masks = target._node_masks
+        mask = masks.get(node_id)
+        if mask is None:
+            mask = compute(target)
+            masks[node_id] = mask
+        return mask
+
+    return evaluate
+
+
+def _build(node: IRNode) -> MaskProgram:
+    kind = node.kind
+    if kind == "true":
+        return lambda target: target.all_pairs_mask
+    if kind == "false":
+        return lambda target: 0
+    if kind == "atom":
+        predicate, args = node.predicate, node.args
+        return _memoized(node.node_id, lambda target: target._atom_mask(predicate, args))
+    if kind == "natom":
+        predicate, args = node.predicate, node.args
+        return _memoized(
+            node.node_id,
+            lambda target: target.all_pairs_mask & ~target._atom_mask(predicate, args),
+        )
+    if kind == "call":
+        func = node.func
+        return _memoized(node.node_id, lambda target: _tabulate(target, func))
+    operands = tuple(lower_masks(child) for child in node.children)
+    if kind == "and":
+        def conjunction(target) -> int:
+            mask = target.all_pairs_mask
+            for operand in operands:
+                mask &= operand(target)
+                if not mask:
+                    break
+            return mask
+
+        return _memoized(node.node_id, conjunction)
+    if kind == "or":
+        def disjunction(target) -> int:
+            mask = 0
+            for operand in operands:
+                mask |= operand(target)
+                if mask == target.all_pairs_mask:
+                    break
+            return mask
+
+        return _memoized(node.node_id, disjunction)
+    raise AssertionError(f"unloweable IR node kind {kind!r}")
+
+
+def _tabulate(target, func) -> int:
+    """Tabulate an opaque callable over the target's same-thread po pairs."""
+    execution = target.execution
+    events = target.events
+    mask = 0
+    for position, (u, v) in enumerate(target.po_pairs):
+        if func(execution, events[u], events[v]):
+            mask |= 1 << position
+    return mask

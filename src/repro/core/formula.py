@@ -22,7 +22,42 @@ from repro.core.predicates import Predicate, default_registry
 
 
 class FormulaError(ValueError):
-    """Raised for malformed formulas or parse errors."""
+    """Raised for malformed formulas or parse errors.
+
+    Parse errors carry the offending ``source`` text and the character
+    ``position`` the parser stopped at; the rendered message then includes
+    the source line with a caret under the position::
+
+        unexpected token ')' at position 11
+            Write(x) & ) | Read(y)
+                       ^
+
+    Errors raised outside parsing (unknown predicates at evaluation time,
+    malformed hand-built atoms) have ``source`` and ``position`` set to
+    ``None`` and render as the bare message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        source: Optional[str] = None,
+        position: Optional[int] = None,
+    ) -> None:
+        self.message = message
+        self.source = source
+        self.position = position
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        if self.source is None or self.position is None:
+            return self.message
+        # Locate the offending line for multi-line sources.
+        start = self.source.rfind("\n", 0, self.position) + 1
+        end = self.source.find("\n", self.position)
+        line = self.source[start:] if end < 0 else self.source[start:end]
+        column = self.position - start
+        caret = " " * column + "^"
+        return f"{self.message} at position {self.position}\n    {line}\n    {caret}"
 
 
 class Formula:
@@ -210,11 +245,12 @@ def _parenthesise(formula: Formula) -> str:
 # tiny DSL:  Write(x) & Read(y) & SameAddr(x,y) | Fence(x) | Fence(y)
 # ----------------------------------------------------------------------
 class _Tokenizer:
-    """Tokenizes the formula DSL."""
+    """Tokenizes the formula DSL; tokens are ``(kind, value, position)``."""
 
     SYMBOLS = {"(": "LPAREN", ")": "RPAREN", ",": "COMMA", "&": "AND", "|": "OR", "!": "NOT"}
 
     def __init__(self, text: str) -> None:
+        self.source = text
         self.tokens = list(self._tokenize(text))
         self.position = 0
 
@@ -226,33 +262,46 @@ class _Tokenizer:
                 index += 1
                 continue
             if char in self.SYMBOLS:
-                yield (self.SYMBOLS[char], char)
+                yield (self.SYMBOLS[char], char, index)
                 index += 1
                 continue
             if char.isalpha() or char == "_":
                 start = index
                 while index < len(text) and (text[index].isalnum() or text[index] == "_"):
                     index += 1
-                yield ("NAME", text[start:index])
+                yield ("NAME", text[start:index], start)
                 continue
-            raise FormulaError(f"unexpected character {char!r} in formula")
+            raise FormulaError(
+                f"unexpected character {char!r} in formula", source=text, position=index
+            )
 
-    def peek(self) -> Optional[Tuple[str, str]]:
+    def error(self, message: str, position: Optional[int] = None) -> "FormulaError":
+        """Build a parse error anchored at ``position`` (end of input by default)."""
+        if position is None:
+            position = len(self.source)
+        return FormulaError(message, source=self.source, position=position)
+
+    def peek(self) -> Optional[Tuple[str, str, int]]:
         if self.position < len(self.tokens):
             return self.tokens[self.position]
         return None
 
-    def next(self) -> Tuple[str, str]:
+    def next(self) -> Tuple[str, str, int]:
         token = self.peek()
         if token is None:
-            raise FormulaError("unexpected end of formula")
+            raise self.error("unexpected end of formula")
         self.position += 1
         return token
 
-    def expect(self, kind: str) -> Tuple[str, str]:
+    def expect(self, kind: str) -> Tuple[str, str, int]:
         token = self.next()
         if token[0] != kind:
-            raise FormulaError(f"expected {kind}, found {token[1]!r}")
+            symbol = next(
+                (char for char, name in self.SYMBOLS.items() if name == kind), kind
+            )
+            raise self.error(
+                f"expected {symbol!r}, found {token[1]!r}", position=token[2]
+            )
         return token
 
 
@@ -269,8 +318,11 @@ def parse_formula(text: str) -> Formula:
     """
     tokenizer = _Tokenizer(text)
     formula = _parse_or(tokenizer)
-    if tokenizer.peek() is not None:
-        raise FormulaError(f"trailing input after formula: {tokenizer.peek()[1]!r}")
+    trailing = tokenizer.peek()
+    if trailing is not None:
+        raise tokenizer.error(
+            f"trailing input after formula: {trailing[1]!r}", position=trailing[2]
+        )
     return formula
 
 
@@ -299,21 +351,31 @@ def _parse_not(tokenizer: _Tokenizer) -> Formula:
 
 
 def _parse_atom(tokenizer: _Tokenizer) -> Formula:
-    kind, value = tokenizer.next()
+    kind, value, position = tokenizer.next()
     if kind == "LPAREN":
         inner = _parse_or(tokenizer)
         tokenizer.expect("RPAREN")
         return inner
     if kind != "NAME":
-        raise FormulaError(f"unexpected token {value!r}")
+        raise tokenizer.error(f"unexpected token {value!r}", position=position)
     if value == "True":
         return TrueFormula()
     if value == "False":
         return FalseFormula()
     tokenizer.expect("LPAREN")
-    args = [tokenizer.expect("NAME")[1]]
+    arg_tokens = [tokenizer.expect("NAME")]
     while tokenizer.peek() is not None and tokenizer.peek()[0] == "COMMA":
         tokenizer.next()
-        args.append(tokenizer.expect("NAME")[1])
+        arg_tokens.append(tokenizer.expect("NAME"))
     tokenizer.expect("RPAREN")
-    return Atom(value, tuple(args))
+    for _kind, arg, arg_position in arg_tokens:
+        if arg not in ("x", "y"):
+            raise tokenizer.error(
+                f"unknown formula variable {arg!r} (expected 'x' or 'y')",
+                position=arg_position,
+            )
+    if len(arg_tokens) > 2:
+        raise tokenizer.error(
+            f"predicate {value} must take one or two arguments", position=position
+        )
+    return Atom(value, tuple(token[1] for token in arg_tokens))

@@ -14,12 +14,16 @@ depend on the memory model being checked:
   :class:`~repro.sat.solver.SatSolver` the SAT backend instantiates per
   model through assumption literals, reusing learned clauses across models.
 
-Model-*dependent* but recomputation-heavy facts are cached too: the
-program-order edges a model forces on this test (both as event triples and
-as kernel index pairs) are keyed per model, so repeated checks of the same
-(test, model) pair — and every ``forced_edges`` call inside one check — stop
-recomputing them.  Cache hits are surfaced through
-:class:`~repro.engine.engine.EngineStats`.
+Model-*dependent* but recomputation-heavy facts are cached too: the po-pair
+truth vector (bitmask) a model forces on this test, and its derived forms
+(kernel index pairs, event triples), are keyed by the model's **IR digest**
+(:mod:`repro.compile`) — semantic identity, not object identity — so
+repeated checks of the same (test, model) pair stop recomputing them, warm
+caches survive model re-registration, and an inline model document resent
+to a ``serve`` session hits the same entries as the original.  The mask is
+shared between the explicit and SAT strategies (the SAT backend derives its
+assumption literals from the same vector the kernel search consumes).
+Cache hits are surfaced through :class:`~repro.engine.engine.EngineStats`.
 
 Everything is built lazily so a context only pays for the strategy that
 actually uses it.
@@ -27,7 +31,7 @@ actually uses it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.checker.encoder import Encoding, encode_skeleton
 from repro.checker.kernel import IndexedExecution, kernel_allowed
@@ -36,9 +40,9 @@ from repro.checker.relations import (
     HbEdge,
     coherence_position_map,
     enumerate_coherence_orders,
-    program_order_edges,
     read_from_candidates,
 )
+from repro.compile import CompiledModel, compile_model, forced_po_pairs
 from repro.core.events import Event
 from repro.core.execution import Execution, ExecutionError
 from repro.core.expr import ExprError
@@ -48,6 +52,16 @@ from repro.sat.solver import SatSolver
 
 #: An edge between kernel event indices.
 IndexEdge = Tuple[int, int]
+
+#: Context methods accept either form; raw models are compiled on the fly.
+ModelLike = Union[MemoryModel, CompiledModel]
+
+
+def as_compiled(model: ModelLike) -> CompiledModel:
+    """Coerce a model argument to its compiled form."""
+    if isinstance(model, CompiledModel):
+        return model
+    return compile_model(model)
 
 
 class TestContext:
@@ -62,12 +76,13 @@ class TestContext:
         except (ExecutionError, ExprError) as error:
             self.error = f"execution cannot be evaluated: {error}"
 
-        # Kernel-strategy caches.
+        # Kernel-strategy caches, keyed by the model's IR digest (semantic
+        # identity): structurally equal models — re-registered, resent over
+        # serve, or simply distinct objects — share one entry.
         self._indexed: Optional[IndexedExecution] = None
-        # id(model) -> (model, po edges); the model reference keeps the id
-        # stable, exactly like the engine's context cache.
-        self._po_pairs_by_model: Dict[int, Tuple[MemoryModel, List[IndexEdge]]] = {}
-        self._po_edges_by_model: Dict[int, Tuple[MemoryModel, List[HbEdge]]] = {}
+        self._po_masks: Dict[str, int] = {}
+        self._po_pairs_by_digest: Dict[str, List[IndexEdge]] = {}
+        self._po_edges_by_digest: Dict[str, List[HbEdge]] = {}
         # Kernel verdicts keyed by the po-edge tuple that produced them.
         # Distinct models frequently force the *same* program-order edges on
         # a small test (the verdict depends on nothing else), so a whole
@@ -103,19 +118,46 @@ class TestContext:
             self._indexed = IndexedExecution(self.execution)
         return self._indexed
 
-    def po_edge_pairs(self, model: MemoryModel, stats=None) -> List[IndexEdge]:
-        """Return the model's program-order edges as kernel index pairs.
+    def po_mask(self, model: ModelLike, stats=None) -> int:
+        """Return the model's po-pair truth vector over the indexed execution.
 
-        Cached per model; a hit increments ``stats.po_edge_cache_hits``.
+        This is the one model-dependent quantity both the explicit kernel
+        and the SAT assumptions derive from.  Cached by IR digest; a hit
+        increments ``stats.po_edge_cache_hits``.
         """
-        key = id(model)
-        entry = self._po_pairs_by_model.get(key)
-        if entry is not None and entry[0] is model:
+        compiled = as_compiled(model)
+        digest = compiled.digest
+        mask = self._po_masks.get(digest)
+        if mask is not None:
             if stats is not None:
                 stats.po_edge_cache_hits += 1
-            return entry[1]
-        pairs = self.indexed().po_edge_pairs(model)
-        self._po_pairs_by_model[key] = (model, pairs)
+            return mask
+        mask = compiled.mask_program(self.indexed())
+        self._po_masks[digest] = mask
+        return mask
+
+    def po_edge_pairs(self, model: ModelLike, stats=None) -> List[IndexEdge]:
+        """Return the model's program-order edges as kernel index pairs.
+
+        Cached by IR digest; a hit increments ``stats.po_edge_cache_hits``.
+        The miss path is deliberately flat — one digest lookup per cache,
+        the mask evaluated inline — because the streaming pipeline hits it
+        once per (test, model) with nothing warm.
+        """
+        compiled = model if isinstance(model, CompiledModel) else compile_model(model)
+        digest = compiled.digest
+        pairs = self._po_pairs_by_digest.get(digest)
+        if pairs is not None:
+            if stats is not None:
+                stats.po_edge_cache_hits += 1
+            return pairs
+        indexed = self.indexed()
+        mask = self._po_masks.get(digest)
+        if mask is None:
+            mask = compiled.mask_program(indexed)
+            self._po_masks[digest] = mask
+        pairs = [pair for p, pair in enumerate(indexed.po_pairs) if (mask >> p) & 1]
+        self._po_pairs_by_digest[digest] = pairs
         return pairs
 
     def kernel_verdict(self, pairs: List[IndexEdge]) -> bool:
@@ -133,20 +175,26 @@ class TestContext:
             self._kernel_verdicts[key] = verdict
         return verdict
 
-    def program_order_edges(self, model: MemoryModel, stats=None) -> List[HbEdge]:
+    def program_order_edges(self, model: ModelLike, stats=None) -> List[HbEdge]:
         """Return the model's program-order edges as event triples.
 
-        Cached per model; a hit increments ``stats.po_edge_cache_hits``.
+        Cached by IR digest; a hit increments ``stats.po_edge_cache_hits``.
+        Deliberately computed through the per-pair evaluator lowering, not
+        the bitmask one, so the enumeration oracle stays independent of the
+        kernel's vectorised path.
         """
         assert self.execution is not None
-        key = id(model)
-        entry = self._po_edges_by_model.get(key)
-        if entry is not None and entry[0] is model:
+        compiled = as_compiled(model)
+        edges = self._po_edges_by_digest.get(compiled.digest)
+        if edges is not None:
             if stats is not None:
                 stats.po_edge_cache_hits += 1
-            return entry[1]
-        edges = program_order_edges(self.execution, model)
-        self._po_edges_by_model[key] = (model, edges)
+            return edges
+        edges = [
+            (earlier, later, "po")
+            for earlier, later in forced_po_pairs(self.execution, compiled)
+        ]
+        self._po_edges_by_digest[compiled.digest] = edges
         return edges
 
     # ------------------------------------------------------------------

@@ -27,6 +27,7 @@ import threading
 from dataclasses import asdict, dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.compile import CompiledModel, compile_model
 from repro.core.litmus import LitmusTest
 from repro.core.model import MemoryModel
 from repro.engine.context import TestContext
@@ -59,6 +60,16 @@ class EngineStats:
     #: learned clauses already present at the start of a SAT call, summed
     #: over all calls (SAT backend only) — the clause-reuse metric
     clauses_reused: int = 0
+    #: distinct model IRs this engine compiled (one per semantic digest)
+    models_compiled: int = 0
+    #: model resolutions answered from the engine's compile cache (repeat
+    #: objects and re-registered structurally equal models alike)
+    compile_cache_hits: int = 0
+    #: IR DAG nodes first seen by this engine across its compiled models
+    ir_nodes_created: int = 0
+    #: IR DAG nodes shared with previously compiled models — the
+    #: cross-model common-subexpression metric
+    ir_cse_hits: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
@@ -90,6 +101,10 @@ class EngineStats:
         if self.solver_calls:
             parts.append(f"{self.solver_calls} SAT calls")
             parts.append(f"{self.clauses_reused} learned clauses reused")
+        if self.models_compiled:
+            parts.append(f"{self.models_compiled} models compiled")
+        if self.ir_cse_hits:
+            parts.append(f"{self.ir_cse_hits} IR subformulas shared")
         return ", ".join(parts)
 
 
@@ -113,6 +128,18 @@ class CheckEngine:
         self.stats = EngineStats()
         # id(test) -> (test, context); the test reference keeps the id stable.
         self._contexts: Dict[int, Tuple[LitmusTest, TestContext]] = {}
+        # id(model) -> (model, compiled); resolution goes through the
+        # process-global compile cache, but hit/miss accounting is kept
+        # engine-local (via the digest and node-id sets below) so the
+        # compile/CSE counters are deterministic per engine regardless of
+        # what other engines in the process compiled first.
+        self._compiled: Dict[int, Tuple[MemoryModel, CompiledModel]] = {}
+        self._seen_digests: set = set()
+        self._seen_node_ids: set = set()
+        # id(model sequence) -> (sequence, compiled list): one lookup per
+        # verdict column instead of one per model — the streaming pipeline
+        # resolves the same model-space list hundreds of thousands of times.
+        self._compiled_spaces: Dict[int, Tuple[Sequence[MemoryModel], List[CompiledModel]]] = {}
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -149,15 +176,79 @@ class CheckEngine:
         return context
 
     # ------------------------------------------------------------------
+    # model compilation
+    # ------------------------------------------------------------------
+    def compiled(self, model: MemoryModel) -> CompiledModel:
+        """Return the model's :class:`~repro.compile.CompiledModel`.
+
+        A repeat resolution — the same object again, or a structurally
+        equal model under any name — counts as a ``compile_cache_hits``;
+        the first sight of a new IR digest counts as ``models_compiled``
+        and attributes its DAG nodes to ``ir_nodes_created`` /
+        ``ir_cse_hits`` depending on whether an earlier model of this
+        engine already contained them (cross-model CSE).
+        """
+        key = id(model)
+        entry = self._compiled.get(key)
+        if entry is not None and entry[0] is model:
+            self.stats.compile_cache_hits += 1
+            return entry[1]
+        compiled = compile_model(model)
+        if len(self._compiled) >= 4096:
+            # A long-lived serve session fed ever-new inline model documents
+            # must not pin one model object per request forever; recompiling
+            # after a clear is an intern-table walk, and the digest/node-id
+            # sets below (tiny, and what the counters key on) are kept.
+            self._compiled.clear()
+            self._compiled_spaces.clear()
+        self._compiled[key] = (model, compiled)
+        if compiled.digest in self._seen_digests:
+            self.stats.compile_cache_hits += 1
+        else:
+            self._seen_digests.add(compiled.digest)
+            self.stats.models_compiled += 1
+            seen = self._seen_node_ids
+            for node_id in compiled.node_ids:
+                if node_id in seen:
+                    self.stats.ir_cse_hits += 1
+                else:
+                    seen.add(node_id)
+                    self.stats.ir_nodes_created += 1
+        return compiled
+
+    def compiled_all(self, models: Sequence[MemoryModel]) -> List[CompiledModel]:
+        """Resolve a whole model sequence, memoized by sequence identity.
+
+        Counts exactly what per-model :meth:`compiled` calls would count, so
+        the compile counters stay deterministic.
+        """
+        entry = self._compiled_spaces.get(id(models))
+        if entry is not None and entry[0] is models:
+            self.stats.compile_cache_hits += len(entry[1])
+            return entry[1]
+        compiled = [self.compiled(model) for model in models]
+        if len(self._compiled_spaces) >= 64:
+            # Callers building a fresh list per call would otherwise pin
+            # every list forever; the per-model cache stays warm regardless.
+            self._compiled_spaces.clear()
+        self._compiled_spaces[id(models)] = (models, compiled)
+        return compiled
+
+    def precompile(self, models: Sequence[MemoryModel]) -> None:
+        """Eagerly compile a model space (worker warm-up)."""
+        self.compiled_all(models)
+
+    # ------------------------------------------------------------------
     # checking
     # ------------------------------------------------------------------
     def check(self, test: LitmusTest, model: MemoryModel, cache: bool = True) -> bool:
         """Return whether ``model`` allows the candidate execution of ``test``."""
+        compiled = self.compiled(model)
         context = self.context(test, cache=cache)
         self.stats.checks_performed += 1
         if context.execution is None:
             return False
-        return self.strategy.check(context, model, self.stats)
+        return self.strategy.check(context, compiled, self.stats)
 
     def verdict_vector(
         self, model: MemoryModel, tests: Sequence[LitmusTest]
@@ -206,13 +297,14 @@ class CheckEngine:
         so by default its context is dropped instead of growing the cache
         unboundedly.  ``retain=True`` keeps it, matching :meth:`check`.
         """
+        compiled_models = self.compiled_all(models)
         context = self.context(test, cache=retain)
         self.stats.checks_performed += len(models)
         if context.execution is None:
             return [False] * len(models)
         strategy = self.strategy
         stats = self.stats
-        return [strategy.check(context, model, stats) for model in models]
+        return [strategy.check(context, compiled, stats) for compiled in compiled_models]
 
     # ------------------------------------------------------------------
     # parallel fan-out

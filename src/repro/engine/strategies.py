@@ -29,19 +29,24 @@ from itertools import product
 from typing import TYPE_CHECKING, Protocol
 
 from repro.checker.relations import forced_edges, happens_before_graph
-from repro.core.model import MemoryModel
-from repro.engine.context import TestContext
+from repro.engine.context import ModelLike, TestContext, as_compiled
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
     from repro.engine.engine import EngineStats
 
 
 class CheckStrategy(Protocol):
-    """The strategy interface the engine dispatches to."""
+    """The strategy interface the engine dispatches to.
+
+    The engine resolves each model through its compile cache and hands
+    strategies the :class:`~repro.compile.CompiledModel`; strategies called
+    directly also accept a raw :class:`~repro.core.model.MemoryModel`
+    (compiled on the fly).
+    """
 
     name: str
 
-    def check(self, context: TestContext, model: MemoryModel, stats: "EngineStats") -> bool:
+    def check(self, context: TestContext, model: ModelLike, stats: "EngineStats") -> bool:
         """Return whether the model allows the context's execution."""
         ...
 
@@ -51,7 +56,7 @@ class ExplicitStrategy:
 
     name = "explicit"
 
-    def check(self, context: TestContext, model: MemoryModel, stats: "EngineStats") -> bool:
+    def check(self, context: TestContext, model: ModelLike, stats: "EngineStats") -> bool:
         first_visit = not context.candidate_space_built
         indexed = context.indexed()
         if first_visit:
@@ -74,9 +79,10 @@ class EnumerationStrategy:
 
     name = "enumeration"
 
-    def check(self, context: TestContext, model: MemoryModel, stats: "EngineStats") -> bool:
+    def check(self, context: TestContext, model: ModelLike, stats: "EngineStats") -> bool:
         execution = context.execution
         assert execution is not None
+        compiled = as_compiled(model)
         first_visit = not context.candidate_space_built
         loads, candidate_lists = context.read_from_space()
         if first_visit:
@@ -84,14 +90,14 @@ class EnumerationStrategy:
         if any(not candidates for candidates in candidate_lists):
             return False  # some load's observed value is unobtainable
 
-        po_edges = context.program_order_edges(model, stats)
+        po_edges = context.program_order_edges(compiled, stats)
         coherence_orders = context.coherence_orders()
         coherence_positions = context.coherence_positions(stats)
         for choice in product(*candidate_lists):
             read_from = dict(zip(loads, choice))
             for coherence, positions in zip(coherence_orders, coherence_positions):
                 edges = forced_edges(
-                    execution, model, read_from, coherence, po_edges, positions
+                    execution, compiled.model, read_from, coherence, po_edges, positions
                 )
                 if edges is None:
                     continue
@@ -101,13 +107,20 @@ class EnumerationStrategy:
 
 
 class IncrementalSatStrategy:
-    """One persistent assumption-based SAT solver per test."""
+    """One persistent assumption-based SAT solver per test.
+
+    The per-model assumptions are derived from the same IR-memoized po-pair
+    bitmask the explicit kernel consumes (:meth:`TestContext.po_mask`), so
+    across the models of a space each distinct subformula's truth vector is
+    computed once per test no matter which backends ask.
+    """
 
     name = "sat"
 
-    def check(self, context: TestContext, model: MemoryModel, stats: "EngineStats") -> bool:
+    def check(self, context: TestContext, model: ModelLike, stats: "EngineStats") -> bool:
         execution = context.execution
         assert execution is not None
+        compiled = as_compiled(model)
         first_visit = not context.candidate_space_built
         skeleton = context.skeleton()
         if first_visit:
@@ -118,7 +131,10 @@ class IncrementalSatStrategy:
         solver = context.solver()
         stats.clauses_reused += solver.num_learned_clauses()
         stats.solver_calls += 1
-        return solver.solve(skeleton.po_assumptions(model)).satisfiable
+        assumptions = skeleton.po_assumptions_from_mask(
+            context.po_mask(compiled, stats)
+        )
+        return solver.solve(assumptions).satisfiable
 
 
 class LegacyCheckerStrategy:
@@ -128,7 +144,8 @@ class LegacyCheckerStrategy:
         self.checker = checker
         self.name = getattr(checker, "name", type(checker).__name__)
 
-    def check(self, context: TestContext, model: MemoryModel, stats: "EngineStats") -> bool:
+    def check(self, context: TestContext, model: ModelLike, stats: "EngineStats") -> bool:
+        model = as_compiled(model).model  # legacy checkers take the raw model
         check_execution = getattr(self.checker, "check_execution", None)
         if context.execution is not None and callable(check_execution):
             result = check_execution(context.execution, model, test_name=context.test.name)

@@ -16,15 +16,33 @@ The format is a small, line-oriented litmus dialect::
 Fences are written ``fence``; register arithmetic ``let t1 = r1 - r1 + 1``;
 dependent addresses ``read [t1] r2``; branches ``branch r1``.  See
 :mod:`repro.io.parser` for the full grammar.
+
+Memory models travel as ``.model`` files (:mod:`repro.io.model_file`)::
+
+    model "TSO"
+    predicates Read Write Fence SameAddr
+    formula (Write(x) & Write(y)) | Read(x) | Fence(x) | Fence(y)
 """
 
+from repro.io.model_file import (
+    ModelFileError,
+    model_to_text,
+    parse_model,
+    parse_model_file,
+    write_model_file,
+)
 from repro.io.parser import ParseError, parse_litmus, parse_litmus_file
 from repro.io.writer import litmus_to_text, write_litmus_file
 
 __all__ = [
+    "ModelFileError",
     "ParseError",
+    "model_to_text",
     "parse_litmus",
     "parse_litmus_file",
+    "parse_model",
+    "parse_model_file",
+    "write_model_file",
     "litmus_to_text",
     "write_litmus_file",
 ]

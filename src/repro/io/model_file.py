@@ -1,0 +1,154 @@
+"""Reading and writing memory models as ``.model`` text files.
+
+The format is a small line-oriented dialect mirroring the litmus one::
+
+    # SPARC TSO, Section 2.4
+    model "TSO"
+    description "total store order: only write-read pairs may reorder"
+    predicates Read Write Fence SameAddr
+    formula (Write(x) & Write(y)) | Read(x) | Fence(x) | Fence(y)
+
+* ``model NAME`` (quotes optional) — required, first directive;
+* ``description TEXT`` — optional free text (quotes optional);
+* ``predicates NAME...`` — optional; the declared vocabulary, resolved
+  against the built-in predicate registry.  Defaults to the paper's
+  standard set;
+* ``formula DSL`` — required; the must-not-reorder function in the DSL of
+  :func:`repro.core.formula.parse_formula`.  Long formulas may continue on
+  indented follow-up lines;
+* ``#`` starts a comment line; blank lines are ignored.
+
+Parse errors raise :class:`ModelFileError` with the offending line number;
+formula errors keep the DSL parser's position-and-caret rendering.  Files
+written by :func:`model_to_text` parse back to an equal model, and the
+format round-trips through the ``repro/model`` JSON schema of
+:mod:`repro.api.serialize` (same name, formula, predicates, description).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Union
+
+from repro.core.formula import FormulaError, parse_formula
+from repro.core.model import MemoryModel
+from repro.core.predicates import PredicateSet, STANDARD_PREDICATES, default_registry
+
+
+class ModelFileError(ValueError):
+    """Raised for malformed ``.model`` documents."""
+
+
+def parse_model(text: str, filename: str = "<string>") -> MemoryModel:
+    """Parse a ``.model`` document into a :class:`MemoryModel`."""
+    name: Optional[str] = None
+    description = ""
+    predicates: Optional[PredicateSet] = None
+    formula_text: Optional[str] = None
+    formula_line = 0
+
+    def fail(line_number: int, message: str) -> ModelFileError:
+        return ModelFileError(f"{filename}:{line_number}: {message}")
+
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line_number = index + 1
+        raw = lines[index]
+        index += 1
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        directive, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if directive == "model":
+            if name is not None:
+                raise fail(line_number, "duplicate 'model' directive")
+            if not rest:
+                raise fail(line_number, "'model' needs a name")
+            name = _unquote(rest)
+        elif directive == "description":
+            description = _unquote(rest)
+        elif directive == "predicates":
+            if not rest:
+                raise fail(line_number, "'predicates' needs at least one name")
+            registry = default_registry()
+            chosen = []
+            for predicate_name in rest.split():
+                if predicate_name not in registry:
+                    known = ", ".join(sorted(registry))
+                    raise fail(
+                        line_number,
+                        f"unknown predicate {predicate_name!r} (known: {known})",
+                    )
+                chosen.append(registry[predicate_name])
+            predicates = PredicateSet(chosen)
+        elif directive == "formula":
+            if formula_text is not None:
+                raise fail(line_number, "duplicate 'formula' directive")
+            if not rest:
+                raise fail(line_number, "'formula' needs a formula")
+            parts = [rest]
+            # Indented follow-up lines continue the formula.
+            while index < len(lines) and lines[index][:1] in (" ", "\t"):
+                continuation = lines[index].strip()
+                if continuation and not continuation.startswith("#"):
+                    parts.append(continuation)
+                index += 1
+            formula_text = " ".join(parts)
+            formula_line = line_number
+        else:
+            raise fail(
+                line_number,
+                f"unknown directive {directive!r} "
+                "(expected model, description, predicates or formula)",
+            )
+
+    if name is None:
+        raise ModelFileError(f"{filename}: missing 'model' directive")
+    if formula_text is None:
+        raise ModelFileError(f"{filename}: missing 'formula' directive")
+    try:
+        formula = parse_formula(formula_text)
+    except FormulaError as error:
+        raise ModelFileError(f"{filename}:{formula_line}: {error}") from error
+    return MemoryModel(
+        name,
+        formula,
+        predicates if predicates is not None else STANDARD_PREDICATES,
+        description,
+    )
+
+
+def parse_model_file(path: Union[str, os.PathLike]) -> MemoryModel:
+    """Parse a ``.model`` file from disk."""
+    path = os.fspath(path)
+    with open(path) as handle:
+        return parse_model(handle.read(), filename=path)
+
+
+def model_to_text(model: MemoryModel) -> str:
+    """Render a formula-defined model as a ``.model`` document."""
+    if model.formula is None:
+        raise ModelFileError(
+            f"model {model.name!r} is defined by a Python callable and cannot be "
+            "written as a .model file; express it in the formula DSL"
+        )
+    lines: List[str] = [f'model "{model.name}"']
+    if model.description:
+        lines.append(f'description "{model.description}"')
+    lines.append(f"predicates {' '.join(model.predicates.names())}")
+    lines.append(f"formula {model.formula}")
+    return "\n".join(lines) + "\n"
+
+
+def write_model_file(model: MemoryModel, path: Union[str, os.PathLike]) -> None:
+    """Write a model as a ``.model`` file."""
+    with open(os.fspath(path), "w") as handle:
+        handle.write(model_to_text(model))
+
+
+def _unquote(text: str) -> str:
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in ("'", '"'):
+        return text[1:-1]
+    return text

@@ -258,7 +258,11 @@ def _worker_shard(payload: Tuple[int, List[LitmusTest]]) -> Tuple[int, List[int]
     assert _PIPE_STATE is not None
     backend, models = _PIPE_STATE
     if _WORKER_ENGINE is None:
+        # One persistent engine per worker process; the model space is
+        # compiled eagerly here, once, and the resulting IR (and its
+        # lowerings) is shared by every shard this process checks.
         _WORKER_ENGINE = CheckEngine(backend=backend)
+        _WORKER_ENGINE.precompile(models)
     engine = _WORKER_ENGINE
     shard_index, tests = payload
     before = engine.stats.snapshot()
@@ -323,6 +327,10 @@ def run_pipeline(
         suite_tests = _template_suite(config.suite_key())
     if engine is None:
         engine = CheckEngine(backend=config.backend)
+    # Compile the model space once up front: the template exploration, the
+    # serial shard loop and (through the process-global IR intern table)
+    # any same-process worker fallback all share the compiled artifacts.
+    engine.precompile(models)
 
     run_dir = config.run_dir
     if run_dir is not None:

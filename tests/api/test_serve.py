@@ -181,3 +181,85 @@ def test_serve_socket_roundtrip():
         server.shutdown()
         server.server_close()
         thread.join(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# inline model definitions (models the server has never seen)
+# ----------------------------------------------------------------------
+def test_serve_checks_inline_model_definitions():
+    from repro.api.serialize import to_json
+    from repro.core.model import MemoryModel
+
+    weird = MemoryModel(
+        "ClientOnly",
+        "(Write(x) & Write(y) & SameAddr(x, y)) | Fence(x) | Fence(y)",
+        description="defined client-side only",
+    )
+    session = Session()
+    session.models.allow_paths = False  # the network-facing restriction
+    assert "ClientOnly" not in session.models
+    count, responses = _serve_lines(
+        [
+            json.dumps({"op": "check", "test": "A", "model": to_json(weird)}),
+            json.dumps(
+                {
+                    "op": "compare",
+                    "first": to_json(weird),
+                    "second": "PSO",
+                    "suite": "no_deps",
+                }
+            ),
+        ],
+        session=session,
+    )
+    assert count == 2
+    assert all(response["ok"] for response in responses)
+    assert responses[0]["result"]["model_name"] == "ClientOnly"
+    assert responses[1]["result"]["first"] == "ClientOnly"
+
+
+def test_serve_inline_model_explore_roundtrips_end_to_end():
+    """The acceptance scenario: an ExploreRequest over inline model
+    documents answered by a server that has never seen them, with the
+    resulting document round-tripping exactly."""
+    from repro.api.serialize import to_json
+    from repro.core.model import MemoryModel
+
+    inline = [
+        to_json(MemoryModel("CustomA", "(Write(x) & Write(y)) | Read(x)")),
+        to_json(MemoryModel("CustomB", "Fence(x) | Fence(y)")),
+        "SC",
+    ]
+    request = ExploreRequest(models=tuple(inline), suite="no_deps", preferred=False)
+    count, responses = _serve_lines([json.dumps(request_to_json(request))])
+    assert count == 1 and responses[0]["ok"]
+    result_document = responses[0]["result"]
+    result = from_json(result_document)
+    assert [model.name for model in result.models] == ["CustomA", "CustomB", "SC"]
+    assert result.to_json() == result_document
+    # Resending the same definitions hits the digest-keyed caches: no new
+    # compilations, po edges answered from cache.
+    session = Session()
+    _serve_lines([json.dumps(request_to_json(request))], session=session)
+    compiled_before = session.stats.models_compiled
+    _, second = _serve_lines([json.dumps(request_to_json(request))], session=session)
+    assert second[0]["ok"]
+    assert session.stats.models_compiled == compiled_before
+    assert second[0]["stats"]["models_compiled"] == 0
+    assert second[0]["stats"]["po_edge_cache_hits"] > 0
+
+
+def test_socket_serving_disables_model_paths(tmp_path):
+    from repro.io import write_model_file
+    from repro.core.catalog import TSO
+
+    path = tmp_path / "secret.model"
+    write_model_file(TSO.renamed("Secret"), path)
+    session = Session()
+    session.models.allow_paths = False  # what serve --port applies
+    count, responses = _serve_lines(
+        [json.dumps({"op": "check", "test": "A", "model": str(path)})],
+        session=session,
+    )
+    assert count == 1 and not responses[0]["ok"]
+    assert "unknown model" in responses[0]["error"]

@@ -110,34 +110,39 @@ def test_vectorised_po_edges_handle_negation_and_callables():
     assert ix.po_edge_pairs(from_callable) == expected
 
 
-def test_compiled_mask_evaluators_match_the_reference_interpreter():
-    """The per-model compiled evaluators (hash-consed closure trees) must
-    agree bit-for-bit with ``_formula_mask``, the direct interpreter kept
-    as the semantic reference."""
-    from repro.checker.kernel import _mask_evaluator
+def test_compiled_mask_programs_match_the_reference_interpreter():
+    """The compile layer's bitmask lowering (hash-consed ModelIR) must agree
+    bit-for-bit with ``_formula_mask``, the direct interpreter kept as the
+    semantic reference."""
+    from repro.compile import compile_model
     from repro.core.parametric import model_space
 
     models = model_space(include_data_dependencies=True)
     for test in [TEST_A, SB] + list(L_TESTS):
         ix = IndexedExecution(test.execution())
         for model in models:
-            evaluator = _mask_evaluator(model)
-            assert evaluator is not None, model.name
-            assert evaluator(ix) == ix._formula_mask(model.formula, model.registry), (
-                test.name,
-                model.name,
-            )
+            compiled = compile_model(model)
+            assert compiled.kind == "formula", model.name
+            assert compiled.mask_program(ix) == ix._formula_mask(
+                model.formula, model.registry
+            ), (test.name, model.name)
 
 
 def test_uncacheable_nodes_still_evaluate_correctly(monkeypatch):
-    """Past the hash-consing cap, nodes compile unshared but stay correct."""
-    import repro.checker.kernel as kernel_module
+    """Past the hash-consing cap, IR nodes build unshared but stay correct."""
+    import repro.compile as compile_package
+    import repro.compile.ir as ir_module
+    from repro.compile import compile_model
 
-    monkeypatch.setattr(kernel_module, "_NODE_CACHE_LIMIT", 0)
+    monkeypatch.setattr(ir_module, "INTERN_LIMIT", 0)
+    # Drop the warm intern table: with the limit at 0 nothing re-interns, so
+    # this genuinely compiles through the uncached path (fresh node ids).
+    compile_package.clear_caches()
     ix = IndexedExecution(TEST_A.execution())
     model = MemoryModel("capped", "(Write(x) & Write(y)) | Fence(x) | Fence(y)")
-    evaluator = kernel_module._compile_mask(model.formula, model.registry)
-    assert evaluator(ix) == ix._formula_mask(model.formula, model.registry)
+    compiled = compile_model(model)
+    assert ir_module.interned_node_count() == 0
+    assert compiled.mask_program(ix) == ix._formula_mask(model.formula, model.registry)
 
 
 def test_atom_masks_are_cached_per_predicate():

@@ -1,0 +1,151 @@
+"""Tests for the three IR lowerings: bitmask, plain evaluator, CNF."""
+
+from repro.checker.encoder import encode, encode_skeleton
+from repro.checker.kernel import IndexedExecution
+from repro.compile import compile_model
+from repro.core.catalog import PSO, SC, TSO
+from repro.core.instructions import Fence, Load, Store
+from repro.core.litmus import LitmusTest
+from repro.core.model import MemoryModel
+from repro.core.parametric import model_space
+from repro.core.program import Program, Thread
+from repro.generation.named_tests import L_TESTS, TEST_A
+from repro.sat.solver import SatSolver
+
+SB = LitmusTest.from_register_outcome(
+    "SB",
+    Program(
+        [
+            Thread("T1", [Store("X", 1), Load("r1", "Y")]),
+            Thread("T2", [Store("Y", 1), Fence(), Load("r2", "X")]),
+        ]
+    ),
+    {"r1": 0, "r2": 0},
+)
+
+SAMPLE_MODELS = [SC, TSO, PSO, MemoryModel("neg", "!Fence(x) & !Fence(y)")]
+SAMPLE_TESTS = [TEST_A, SB] + list(L_TESTS)
+
+
+def po_pairs(execution):
+    for thread_events in execution.events_by_thread:
+        for i, earlier in enumerate(thread_events):
+            for later in thread_events[i + 1 :]:
+                yield earlier, later
+
+
+# ----------------------------------------------------------------------
+# bitmask lowering
+# ----------------------------------------------------------------------
+def test_mask_lowering_matches_per_pair_evaluation():
+    for test in SAMPLE_TESTS:
+        execution = test.execution()
+        indexed = IndexedExecution(execution)
+        for model in SAMPLE_MODELS:
+            mask = compile_model(model).mask_program(indexed)
+            for position, (u, v) in enumerate(indexed.po_pairs):
+                expected = model.ordered(
+                    execution, indexed.events[u], indexed.events[v]
+                )
+                assert bool((mask >> position) & 1) == expected, (
+                    test.name,
+                    model.name,
+                    position,
+                )
+
+
+def test_mask_lowering_shares_node_masks_across_models():
+    indexed = IndexedExecution(TEST_A.execution())
+    shared_a = MemoryModel("a", "(Write(x) & Write(y)) | Fence(x) | Fence(y)")
+    shared_b = MemoryModel("b", "(Write(x) & Write(y)) | Read(x)")
+    compile_model(shared_a).mask_program(indexed)
+    filled = len(indexed._node_masks)
+    assert filled > 0
+    compile_model(shared_b).mask_program(indexed)
+    # b's Write&Write conjunct and atoms were already memoized by a; only
+    # the Read(x) atom and b's root disjunction are new.
+    assert len(indexed._node_masks) == filled + 2
+
+
+def test_callable_models_are_tabulated_once_per_execution():
+    calls = []
+
+    def ordered(execution, x, y):
+        calls.append((x, y))
+        return x.is_write
+
+    model = MemoryModel("tab", ordered)
+    indexed = IndexedExecution(TEST_A.execution())
+    compiled = compile_model(model)
+    first = compiled.mask_program(indexed)
+    tabulated = len(calls)
+    assert tabulated == len(indexed.po_pairs)
+    # A second evaluation over the same execution answers from the memo.
+    assert compiled.mask_program(indexed) == first
+    assert len(calls) == tabulated
+
+
+# ----------------------------------------------------------------------
+# plain-evaluator lowering
+# ----------------------------------------------------------------------
+def test_evaluator_lowering_matches_formula_evaluate():
+    for test in SAMPLE_TESTS:
+        execution = test.execution()
+        for model in SAMPLE_MODELS:
+            evaluator = compile_model(model).evaluator
+            for x, y in po_pairs(execution):
+                assert evaluator(execution, x, y) == model.ordered(execution, x, y)
+
+
+def test_evaluator_lowering_handles_swapped_and_repeated_args():
+    model = MemoryModel("swapped", "SameAddr(y, x) | DataDep(x, x)")
+    execution = TEST_A.execution()
+    evaluator = compile_model(model).evaluator
+    for x, y in po_pairs(execution):
+        assert evaluator(execution, x, y) == model.ordered(execution, x, y)
+
+
+# ----------------------------------------------------------------------
+# CNF lowering
+# ----------------------------------------------------------------------
+def test_skeleton_assumptions_from_mask_match_per_pair_assumptions():
+    for test in SAMPLE_TESTS:
+        execution = test.execution()
+        skeleton = encode_skeleton(execution)
+        indexed = IndexedExecution(execution)
+        for model in SAMPLE_MODELS:
+            compiled = compile_model(model)
+            per_pair = skeleton.po_assumptions(model)
+            from_mask = skeleton.po_assumptions_from_mask(
+                compiled.mask_program(indexed)
+            )
+            assert per_pair == from_mask, (test.name, model.name)
+
+
+def test_one_shot_encoding_agrees_with_skeleton_instantiation():
+    for model in (SC, TSO, PSO):
+        for test in (TEST_A, SB):
+            execution = test.execution()
+            one_shot = SatSolver(encode(execution, model).cnf).solve().satisfiable
+            skeleton = encode_skeleton(execution)
+            instantiated = (
+                SatSolver(skeleton.cnf)
+                .solve(skeleton.po_assumptions(model))
+                .satisfiable
+            )
+            assert one_shot == instantiated, (test.name, model.name)
+
+
+def test_mask_sharing_between_explicit_and_sat_strategies():
+    """One engine answering both backends computes each model's po mask once."""
+    from repro.engine.engine import CheckEngine
+
+    explicit = CheckEngine("explicit")
+    sat = CheckEngine("sat")
+    models = model_space(include_data_dependencies=False)
+    expected = [explicit.check(TEST_A, model) for model in models]
+    assert [sat.check(TEST_A, model) for model in models] == expected
+    # The SAT engine answered entirely through po_mask: repeat checks hit.
+    before = sat.stats.po_edge_cache_hits
+    [sat.check(TEST_A, model) for model in models]
+    assert sat.stats.po_edge_cache_hits == before + len(models)

@@ -124,3 +124,47 @@ def test_roundtrip_through_str():
     formula = parse_formula("(Write(x) & Read(y) & SameAddr(x, y)) | Fence(x)")
     reparsed = parse_formula(str(formula))
     assert str(reparsed) == str(formula)
+
+
+# ----------------------------------------------------------------------
+# parse-error positions and snippets
+# ----------------------------------------------------------------------
+def test_parse_errors_carry_source_position_and_snippet():
+    with pytest.raises(FormulaError) as info:
+        parse_formula("Write(x) & ) | Read(y)")
+    error = info.value
+    assert error.position == 11
+    assert error.source == "Write(x) & ) | Read(y)"
+    rendered = str(error)
+    assert "at position 11" in rendered
+    assert "Write(x) & ) | Read(y)" in rendered
+    assert rendered.splitlines()[-1].index("^") - 4 == 11  # caret under the ')'
+
+
+def test_parse_error_positions_point_at_the_offending_token():
+    cases = {
+        "Write(x) & ": 11,            # unexpected end of input
+        "Write(z)": 6,                # bad variable name
+        "Write(x) Read(y)": 9,        # trailing input
+        "Write(x) @ Read(y)": 9,      # bad character
+        "Write(x, y, x)": 0,          # too many arguments
+        "Write(x & Read(y)": 8,       # expected ')', found '&'
+    }
+    for text, position in cases.items():
+        with pytest.raises(FormulaError) as info:
+            parse_formula(text)
+        assert info.value.position == position, text
+        assert info.value.source == text
+
+
+def test_parse_error_expected_token_names_the_symbol():
+    with pytest.raises(FormulaError, match=r"expected '\)'"):
+        parse_formula("Write(x & Read(y)")
+    with pytest.raises(FormulaError, match=r"expected '\('"):
+        parse_formula("Write & Read(y)")
+
+
+def test_non_parse_errors_render_without_position():
+    error = FormulaError("plain message")
+    assert str(error) == "plain message"
+    assert error.position is None and error.source is None

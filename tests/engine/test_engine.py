@@ -187,3 +187,52 @@ def test_full_36_model_space_agrees_across_backends():
     explicit = CheckEngine("explicit").verdict_matrix(models, TESTS)
     sat = CheckEngine("sat").verdict_matrix(models, TESTS)
     assert explicit == sat
+
+
+# ----------------------------------------------------------------------
+# compile layer integration: digest-keyed caches and compile/CSE counters
+# ----------------------------------------------------------------------
+def test_compile_counters_are_deterministic_per_engine():
+    engine = CheckEngine("explicit")
+    engine.verdict_matrix(MODELS, TESTS)
+    assert engine.stats.models_compiled == len(MODELS)
+    # Every later resolution of the same models hits the engine's cache.
+    assert engine.stats.compile_cache_hits == len(MODELS) * (len(TESTS) - 1)
+    assert engine.stats.ir_nodes_created > 0
+    # A fresh engine over the same inputs reports identical counters no
+    # matter what the process-global compile cache already holds.
+    other = CheckEngine("explicit")
+    other.verdict_matrix(MODELS, TESTS)
+    assert other.stats.models_compiled == engine.stats.models_compiled
+    assert other.stats.ir_nodes_created == engine.stats.ir_nodes_created
+    assert other.stats.ir_cse_hits == engine.stats.ir_cse_hits
+
+
+def test_cross_model_cse_is_counted():
+    from repro.core.parametric import model_space
+
+    engine = CheckEngine("explicit")
+    engine.precompile(model_space(include_data_dependencies=True))
+    assert engine.stats.models_compiled == 90
+    # The 90 models share almost all subformula structure.
+    assert engine.stats.ir_cse_hits > engine.stats.ir_nodes_created
+
+
+def test_digest_keyed_caches_survive_model_reregistration():
+    """A structurally equal model under a new object (re-registration, a
+    serve client resending a definition) hits the warm po-edge caches."""
+    from repro.core.model import MemoryModel
+
+    first = MemoryModel("TSO-v1", "(Write(x) & Write(y)) | Read(x) | Fence(x) | Fence(y)")
+    second = MemoryModel("TSO-v2", "(Write(x) & Write(y)) | Read(x) | Fence(x) | Fence(y)")
+    engine = CheckEngine("explicit")
+    assert engine.check(TEST_A, first) == engine.check(TEST_A, second)
+    assert engine.stats.models_compiled == 1  # one semantic digest
+    assert engine.stats.compile_cache_hits == 1
+    assert engine.stats.po_edge_cache_hits == 1  # second check reused the edges
+
+
+def test_stats_describe_mentions_compile_counters():
+    engine = CheckEngine("explicit")
+    engine.check(TEST_A, MODELS[0])
+    assert "models compiled" in engine.stats.describe()

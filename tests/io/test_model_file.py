@@ -1,0 +1,118 @@
+"""Tests for the ``.model`` text format (:mod:`repro.io.model_file`)."""
+
+import pytest
+
+from repro.core.catalog import TSO
+from repro.core.model import MemoryModel
+from repro.io import (
+    ModelFileError,
+    model_to_text,
+    parse_model,
+    parse_model_file,
+    write_model_file,
+)
+
+TSO_TEXT = """\
+# SPARC TSO, Section 2.4
+model "MyTSO"
+description "total store order"
+predicates Read Write Fence SameAddr
+formula (Write(x) & Write(y)) | Read(x) | Fence(x) | Fence(y)
+"""
+
+
+def test_parse_model_reads_all_directives():
+    model = parse_model(TSO_TEXT)
+    assert model.name == "MyTSO"
+    assert model.description == "total store order"
+    assert model.predicates.names() == ("Read", "Write", "Fence", "SameAddr")
+    assert str(model.formula) == "(Write(x) & Write(y)) | Read(x) | Fence(x) | Fence(y)"
+    # Semantically TSO: same formula, so same IR digest.
+    from repro.compile import compile_model
+
+    assert compile_model(model).digest == compile_model(TSO).digest
+
+
+def test_quotes_are_optional_and_defaults_apply():
+    model = parse_model("model Bare\nformula Fence(x)\n")
+    assert model.name == "Bare"
+    assert model.description == ""
+    assert "DataDep" in model.predicates  # the standard set by default
+
+
+def test_formula_continuation_lines():
+    model = parse_model(
+        "model Split\n"
+        "formula (Write(x) & Write(y))\n"
+        "    | Read(x)\n"
+        "    | Fence(x) | Fence(y)\n"
+    )
+    assert str(model.formula) == "(Write(x) & Write(y)) | Read(x) | Fence(x) | Fence(y)"
+
+
+def test_round_trip_through_text():
+    text = model_to_text(TSO)
+    rebuilt = parse_model(text)
+    assert rebuilt == TSO
+    assert model_to_text(rebuilt) == text
+
+
+def test_file_round_trip(tmp_path):
+    path = tmp_path / "tso.model"
+    write_model_file(TSO, path)
+    assert parse_model_file(path) == TSO
+
+
+def test_callable_models_cannot_be_written():
+    opaque = MemoryModel("opaque", lambda execution, x, y: True)
+    with pytest.raises(ModelFileError, match="Python callable"):
+        model_to_text(opaque)
+
+
+@pytest.mark.parametrize(
+    "text, message",
+    [
+        ("formula Fence(x)\n", "missing 'model'"),
+        ("model A\n", "missing 'formula'"),
+        ("model A\nmodel B\nformula Fence(x)\n", "duplicate 'model'"),
+        ("model A\nformula Fence(x)\nformula Fence(y)\n", "duplicate 'formula'"),
+        ("model A\npredicates Bogus\nformula Fence(x)\n", "unknown predicate 'Bogus'"),
+        ("model A\nfrobnicate\nformula Fence(x)\n", "unknown directive"),
+        ("model A\npredicates\nformula Fence(x)\n", "at least one name"),
+    ],
+)
+def test_malformed_documents_raise_with_line_numbers(text, message):
+    with pytest.raises(ModelFileError, match=message):
+        parse_model(text)
+
+
+def test_formula_errors_carry_position_and_snippet():
+    with pytest.raises(ModelFileError) as info:
+        parse_model("model A\nformula Write(x) & ) | Read(y)\n")
+    rendered = str(info.value)
+    assert "<string>:2:" in rendered
+    assert "^" in rendered  # the DSL parser's caret rendering survives
+
+
+def test_registry_resolves_model_paths_and_caches(tmp_path):
+    from repro.api.registry import ModelRegistry, UnknownModelError
+
+    path = tmp_path / "custom.model"
+    path.write_text(TSO_TEXT)
+    registry = ModelRegistry()
+    resolved = registry.resolve(str(path))
+    assert resolved.name == "MyTSO"
+    assert registry.resolve(str(path)) is resolved  # cached by path
+
+    restricted = ModelRegistry(allow_paths=False)
+    with pytest.raises(UnknownModelError):
+        restricted.resolve(str(path))
+
+
+def test_registry_resolves_inline_model_documents():
+    from repro.api.registry import ModelRegistry
+    from repro.api.serialize import to_json
+
+    registry = ModelRegistry(include_catalog=False)
+    document = to_json(TSO)
+    assert registry.resolve(document) == TSO

@@ -182,3 +182,87 @@ def test_cli_serve_stdin_roundtrip(monkeypatch, capsys):
     # the warm session answers the exploration from the compare's caches
     assert responses[2]["stats"]["executions_evaluated"] == 0
     assert responses[2]["stats"]["context_cache_hits"] > 0
+
+
+# ----------------------------------------------------------------------
+# `repro models` and --model-file
+# ----------------------------------------------------------------------
+MODEL_FILE_TEXT = """\
+model "FileTSO"
+description "TSO loaded from a .model file"
+predicates Read Write Fence SameAddr
+formula (Write(x) & Write(y)) | Read(x) | Fence(x) | Fence(y)
+"""
+
+
+def test_cli_models_lists_catalog_and_families(capsys):
+    assert main(["models"]) == 0
+    output = capsys.readouterr().out
+    assert "TSO" in output and "F(x, y)" in output
+    assert "predicates:" in output
+    assert "no_deps" in output and "36 models" in output
+    assert "deps" in output and "90 models" in output
+
+
+def test_cli_models_json_lists_formulas_and_vocabulary(capsys):
+    import json as json_module
+
+    assert main(["models", "--format", "json"]) == 0
+    document = json_module.loads(capsys.readouterr().out)
+    assert document["schema"] == "repro/model_list"
+    names = [entry["name"] for entry in document["models"]]
+    assert "TSO" in names and "SC" in names
+    families = {family["key"]: family for family in document["families"]}
+    assert families["deps"]["size"] == 90
+    assert "DataDep" in families["deps"]["predicates"]
+    assert families["no_deps"]["size"] == 36
+
+
+def test_cli_models_space_lists_every_member(capsys):
+    import json as json_module
+
+    assert main(["models", "--space", "no_deps", "--format", "json"]) == 0
+    document = json_module.loads(capsys.readouterr().out)
+    names = [entry["name"] for entry in document["models"]]
+    assert "M4444" in names and "M4044" in names
+    assert len(names) >= 36
+
+
+def test_cli_model_file_registers_models(tmp_path, capsys):
+    path = tmp_path / "file_tso.model"
+    path.write_text(MODEL_FILE_TEXT)
+    assert main(["--model-file", str(path), "compare", "FileTSO", "TSO", "--no-deps"]) == 0
+    assert "equivalent" in capsys.readouterr().out
+    # The registered model shows up in `repro models`.
+    assert main(["--model-file", str(path), "models"]) == 0
+    assert "FileTSO" in capsys.readouterr().out
+
+
+def test_cli_model_paths_resolve_directly(tmp_path, capsys):
+    path = tmp_path / "file_tso.model"
+    path.write_text(MODEL_FILE_TEXT)
+    litmus = tmp_path / "a.litmus"
+    write_litmus_file(repro.TEST_A, litmus)
+    assert main(["check", str(litmus), "--model", str(path)]) == 0
+    assert "ALLOWED" in capsys.readouterr().out
+
+
+def test_cli_model_file_errors_are_clear(tmp_path, capsys):
+    path = tmp_path / "broken.model"
+    path.write_text("model Broken\nformula Write(x) & )\n")
+    with pytest.raises(SystemExit) as info:
+        main(["--model-file", str(path), "catalog"])
+    assert "broken.model" in str(info.value)
+
+
+def test_cli_bad_model_paths_exit_cleanly(tmp_path):
+    litmus = tmp_path / "a.litmus"
+    write_litmus_file(repro.TEST_A, litmus)
+    with pytest.raises(SystemExit) as info:
+        main(["check", str(litmus), "--model", str(tmp_path / "missing.model")])
+    assert "missing.model" in str(info.value)
+    broken = tmp_path / "broken.model"
+    broken.write_text("model B\nformula Write(x) & )\n")
+    with pytest.raises(SystemExit) as info:
+        main(["check", str(litmus), "--model", str(broken)])
+    assert "broken.model" in str(info.value)
