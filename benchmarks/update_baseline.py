@@ -32,6 +32,7 @@ BENCH_MODULES = (
     "benchmarks/bench_sat_vs_explicit.py",
     "benchmarks/bench_engine_incremental.py",
     "benchmarks/bench_kernel_explicit.py",
+    "benchmarks/bench_kernel_native.py",
     "benchmarks/bench_enumeration_pipeline.py",
     "benchmarks/bench_model_compile.py",
 )

@@ -1,0 +1,29 @@
+"""Build hook for the optional C kernel extension.
+
+The library itself is pure Python and runs src-layout style with
+``PYTHONPATH=src`` (see README) — this file exists solely to compile
+``repro.native._kernelmod``, the word-array native checking kernel.  The
+extension is declared *optional*: on a machine without a C toolchain the
+build step fails softly and the package falls back to the pure-Python
+kernels (see ``repro.native.backend``), so installation never breaks.
+
+Two ways to build:
+
+* ``pip install -e .`` — compiles the extension into the installed tree.
+  Note that with ``PYTHONPATH=src`` in the environment the source tree
+  shadows the install, so for development prefer:
+* ``python setup.py build_ext --inplace`` — drops the ``.so`` next to
+  ``src/repro/native/``, where the src-layout import finds it.
+"""
+
+from setuptools import Extension, setup
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.native._kernelmod",
+            sources=["src/repro/native/_kernelmod.c"],
+            optional=True,
+        )
+    ]
+)

@@ -160,6 +160,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="explicit",
         help="admissibility backend for the session's engine",
     )
+    from repro.native.backend import KERNEL_CHOICES
+
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default=None,
+        help="explicit-backend checking kernel (default 'auto': the C "
+        "extension when built, else the bigint kernel)",
+    )
     parser.add_argument("--host", default="127.0.0.1", help="bind address for --port")
     parser.add_argument(
         "--port",
@@ -168,7 +177,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="serve on a TCP socket instead of stdin/stdout",
     )
     args = parser.parse_args(argv)
-    session = Session(backend=args.backend)
+    session = Session(backend=args.backend, kernel=args.kernel)
     serve(session, host=args.host, port=args.port)
     return 0
 

@@ -73,6 +73,9 @@ class Session:
             ``"sat"``), ignored when ``engine`` is given.
         jobs: worker processes for verdict matrices, ignored when ``engine``
             is given.
+        kernel: explicit-strategy kernel backend (``"auto"``, ``"native"``,
+            ``"python"`` or ``"bigint"`` — see :mod:`repro.native.backend`),
+            ignored when ``engine`` is given.
         engine: a ready-made engine to adopt (shared with other callers).
         models: a model registry to adopt; a fresh catalog-backed one by
             default.
@@ -83,6 +86,7 @@ class Session:
         self,
         backend: str = "explicit",
         jobs: int = 1,
+        kernel: Optional[str] = None,
         engine: Optional[CheckEngine] = None,
         models: Optional[ModelRegistry] = None,
         tests: Optional[TestRegistry] = None,
@@ -92,7 +96,7 @@ class Session:
         if engine is not None:
             self.engine = engine
         else:
-            self.engine = CheckEngine(backend=backend, jobs=jobs)
+            self.engine = CheckEngine(backend=backend, jobs=jobs, kernel=kernel)
         # One comparator per comparison suite, so verdict vectors computed
         # for one compare request are reused by the next.
         self._comparators: Dict[Tuple[str, bool], ModelComparator] = {}
@@ -108,6 +112,12 @@ class Session:
     @property
     def backend_name(self) -> str:
         return self.engine.strategy.name
+
+    @property
+    def kernel_name(self) -> str:
+        """The engine's kernel backend name, or ``""`` for non-kernel strategies."""
+        kernel = getattr(self.engine, "kernel", None)
+        return kernel.name if kernel is not None else ""
 
     # ------------------------------------------------------------------
     # dispatch
@@ -149,7 +159,9 @@ class Session:
         if request.witness:
             from repro.checker.explicit import ExplicitChecker
 
-            detailed = ExplicitChecker().check(test, model)
+            detailed = ExplicitChecker(kernel=getattr(self.engine, "kernel", None)).check(
+                test, model
+            )
             # The engine's verdict is authoritative (the backends are
             # cross-validated); attach the witness/reason only when the
             # witness checker agrees, so a hypothetical disagreement cannot
@@ -207,6 +219,7 @@ class Session:
             space=request.space,
             suite=request.suite,
             backend=self.backend_name,
+            kernel=self.kernel_name or "auto",
             jobs=request.jobs,
             shard_size=request.shard_size,
             limit=request.limit,

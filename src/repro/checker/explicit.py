@@ -19,7 +19,7 @@ as the oracle this search is cross-validated against.
 
 from __future__ import annotations
 
-from repro.checker.kernel import INITIAL, IndexedExecution, KernelSearch
+from repro.checker.kernel import INITIAL, IndexedExecution
 from repro.checker.relations import forced_edges
 from repro.checker.result import CheckResult, CheckWitness
 from repro.core.execution import Execution, ExecutionError
@@ -31,14 +31,20 @@ from repro.core.model import MemoryModel
 class ExplicitChecker:
     """Decide admissibility by pruned backtracking over indexed relations.
 
-    Instances are stateless; the class exists so the comparison code can be
-    parameterised over checker backends (explicit vs SAT).  Batch callers
-    should go through :class:`~repro.engine.engine.CheckEngine`, which caches
-    the indexed execution and the per-model program-order edges across
-    checks.
+    The search runs on a pluggable kernel backend (``kernel`` — see
+    :mod:`repro.native.backend`; default ``auto`` prefers the C extension
+    when built, and all backends return bit-identical witnesses).  Batch
+    callers should go through :class:`~repro.engine.engine.CheckEngine`,
+    which caches the indexed execution and the per-model program-order
+    edges across checks.
     """
 
     name = "explicit"
+
+    def __init__(self, kernel: object = None) -> None:
+        from repro.native.backend import resolve_kernel
+
+        self.kernel = resolve_kernel(kernel)
 
     def check(self, test: LitmusTest, model: MemoryModel) -> CheckResult:
         """Return whether ``model`` allows the candidate execution of ``test``."""
@@ -67,7 +73,7 @@ class ExplicitChecker:
             )
 
         po_edges = indexed.po_edge_pairs(model)
-        assignment = KernelSearch(indexed, po_edges).run()
+        assignment = self.kernel.search(indexed, po_edges)
         if assignment is None:
             return CheckResult(
                 False,

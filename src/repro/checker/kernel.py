@@ -47,9 +47,18 @@ from repro.core.formula import (
     TrueFormula,
 )
 from repro.core.model import MemoryModel
-from repro.core.predicates import Predicate
-from repro.checker.relations import po_respecting_store_orders, read_from_candidates
-
+from repro.core.predicates import (
+    ANY_DEP,
+    CTRL_DEP,
+    DATA_DEP,
+    FENCE,
+    MEMORY_ACCESS,
+    Predicate,
+    READ,
+    SAME_ADDR,
+    WRITE,
+    shared_registry,
+)
 #: Read-from source index standing for "reads the initial value".
 INITIAL = -1
 
@@ -63,6 +72,15 @@ KernelWitness = Tuple[Tuple[int, ...], Dict[str, Tuple[int, ...]]]
 
 class _UnsupportedFormula(Exception):
     """A formula node the vectorised evaluator does not know (user subclass)."""
+
+
+#: Built-in unary predicates answered from event traits (no evaluator call).
+_UNARY_TRAITS: Dict[Predicate, str] = {
+    READ: "is_read",
+    WRITE: "is_write",
+    FENCE: "is_fence",
+    MEMORY_ACCESS: "is_memory_access",
+}
 
 
 class IndexedExecution:
@@ -80,63 +98,112 @@ class IndexedExecution:
         self.execution = execution
         self.events: List[Event] = list(execution.events)
         self.n = len(self.events)
-        self.index_of: Dict[Event, int] = {event: i for i, event in enumerate(self.events)}
+        # Event -> index table, built lazily (hashing events recurses through
+        # their instruction dataclasses; internal construction only needs
+        # positions, since ``events`` is thread-major).
+        self._index_of: Optional[Dict[Event, int]] = None
         self.thread_of: List[int] = [event.thread_index for event in self.events]
 
         #: bit ``j`` of ``po_before[i]``: event j is program-order-before event i
         self.po_before: List[int] = [0] * self.n
         #: bit ``j`` of ``same_thread[i]``: events i and j share a thread
         self.same_thread: List[int] = [0] * self.n
-        for i, x in enumerate(self.events):
-            for j, y in enumerate(self.events):
-                if i != j and x.same_thread(y):
-                    self.same_thread[i] |= 1 << j
-                    if y.program_order_before(x):
-                        self.po_before[i] |= 1 << j
+        # program-order position within the event's thread (monotone in
+        # ``Event.index``, so it orders same-thread events identically)
+        self._pos_in_thread: List[int] = [0] * self.n
+        # events_by_thread lists each thread's events in program order and
+        # ``events`` flattens it thread-major, so each thread's indices are
+        # the consecutive range and one linear pass replaces the all-pairs
+        # scan (and any per-event dict lookups).
+        offset = 0
+        for thread_events in execution.events_by_thread:
+            indices = range(offset, offset + len(thread_events))
+            offset += len(thread_events)
+            thread_mask = 0
+            for i in indices:
+                thread_mask |= 1 << i
+            before = 0
+            for position, i in enumerate(indices):
+                bit = 1 << i
+                self.same_thread[i] = thread_mask & ~bit
+                self.po_before[i] = before
+                self._pos_in_thread[i] = position
+                before |= bit
 
+        # One pass fills the load/store indices, the locations in first-use
+        # order, the per-location store indices and the location table —
+        # the same shapes execution.locations()/stores_to() would produce,
+        # without their per-call event-dict traversals.
+        loads: List[int] = []
+        stores: List[int] = []
+        locations: List[str] = []
+        stores_by_location: Dict[str, List[int]] = {}
+        location_of: List[Optional[str]] = []
+        exec_location_of = execution.location_of
+        for i, event in enumerate(self.events):
+            if event.is_memory_access:
+                location = exec_location_of(event)
+                location_of.append(location)
+                if location not in stores_by_location:
+                    locations.append(location)
+                    stores_by_location[location] = []
+                if event.is_read:
+                    loads.append(i)
+                else:
+                    stores.append(i)
+                    stores_by_location[location].append(i)
+            else:
+                location_of.append(None)
         #: load event indices, in event order
-        self.loads: Tuple[int, ...] = tuple(
-            i for i, event in enumerate(self.events) if event.is_read
-        )
+        self.loads: Tuple[int, ...] = tuple(loads)
         #: store event indices, in event order
-        self.stores: Tuple[int, ...] = tuple(
-            i for i, event in enumerate(self.events) if event.is_write
-        )
+        self.stores: Tuple[int, ...] = tuple(stores)
         #: locations in first-use order, and per-location store indices
-        self.locations: Tuple[str, ...] = tuple(execution.locations())
+        self.locations: Tuple[str, ...] = tuple(locations)
         self.stores_at: Dict[str, Tuple[int, ...]] = {
-            location: tuple(
-                self.index_of[store] for store in execution.stores_to(location)
-            )
-            for location in self.locations
+            location: tuple(indices) for location, indices in stores_by_location.items()
         }
+        self.location_of: List[Optional[str]] = location_of
         #: bit ``j`` of ``same_location[i]``: j accesses the same location as i
         self.same_location: List[int] = [0] * self.n
-        for location in self.locations:
-            members = [
-                i
-                for i, event in enumerate(self.events)
-                if event.is_memory_access and execution.location_of(event) == location
-            ]
+        members_of: Dict[str, List[int]] = {}
+        for i, location in enumerate(self.location_of):
+            if location is not None:
+                members_of.setdefault(location, []).append(i)
+        for members in members_of.values():
             mask = 0
             for i in members:
                 mask |= 1 << i
             for i in members:
                 self.same_location[i] = mask & ~(1 << i)
 
-        self.location_of: List[Optional[str]] = [
-            execution.location_of(event) if event.is_memory_access else None
+        #: per-load read-from candidates as indices (``INITIAL`` = initial value)
+        # Index-level twin of relations.read_from_candidates (differentially
+        # tested against it): INITIAL first when the observed value matches
+        # the initial one, then matching-value stores in stores_to order,
+        # skipping program-order-later same-thread stores.
+        values: List[Optional[int]] = [
+            execution.value_of(event) if event.is_memory_access else None
             for event in self.events
         ]
-
-        #: per-load read-from candidates as indices (``INITIAL`` = initial value)
-        self.rf_candidates: Tuple[Tuple[int, ...], ...] = tuple(
-            tuple(
-                INITIAL if source is None else self.index_of[source]
-                for source in read_from_candidates(execution, self.events[load])
-            )
-            for load in self.loads
-        )
+        thread_of = self.thread_of
+        pos_in_thread = self._pos_in_thread
+        rf: List[Tuple[int, ...]] = []
+        for load in self.loads:
+            location = self.location_of[load]
+            value = values[load]
+            thread = thread_of[load]
+            position = pos_in_thread[load]
+            candidates: List[int] = []
+            if value == execution.initial_value(location):
+                candidates.append(INITIAL)
+            for store in self.stores_at[location]:
+                if values[store] == value and not (
+                    thread_of[store] == thread and pos_in_thread[store] > position
+                ):
+                    candidates.append(store)
+            rf.append(tuple(candidates))
+        self.rf_candidates: Tuple[Tuple[int, ...], ...] = tuple(rf)
         #: True iff some load's observed value is unobtainable
         self.infeasible = any(not candidates for candidates in self.rf_candidates)
 
@@ -147,11 +214,13 @@ class IndexedExecution:
         # Same-thread program-order pairs in the order program_order_edges()
         # visits them: per thread, (earlier, later) with earlier first.
         pairs: List[IndexEdge] = []
+        offset = 0
         for thread_events in execution.events_by_thread:
-            indices = [self.index_of[event] for event in thread_events]
-            for a, u in enumerate(indices):
-                for v in indices[a + 1 :]:
+            end = offset + len(thread_events)
+            for u in range(offset, end):
+                for v in range(u + 1, end):
                     pairs.append((u, v))
+            offset = end
         self.po_pairs: Tuple[IndexEdge, ...] = tuple(pairs)
         self.all_pairs_mask = (1 << len(pairs)) - 1
 
@@ -162,19 +231,68 @@ class IndexedExecution:
         self._node_masks: Dict[int, int] = {}
 
     @property
+    def index_of(self) -> Dict[Event, int]:
+        """Event -> index table (``events`` order), built on first use."""
+        if self._index_of is None:
+            self._index_of = {event: i for i, event in enumerate(self.events)}
+        return self._index_of
+
+    @property
     def coherence_orders_at(self) -> Dict[str, Tuple[Tuple[int, ...], ...]]:
-        """Per-location program-order-respecting store orders (index tuples)."""
+        """Per-location program-order-respecting store orders (index tuples).
+
+        The word-array kernels consume these through
+        :func:`repro.native.problem.kernel_problem`, which caches the
+        flattened form on this instance — so differential runs pay the
+        enumeration once however many backends check the execution.
+        """
         if self._coherence_orders_at is None:
             self._coherence_orders_at = {
-                location: tuple(
-                    tuple(self.index_of[store] for store in order)
-                    for order in po_respecting_store_orders(
-                        self.execution.stores_to(location)
-                    )
-                )
+                location: self._store_orders(self.stores_at[location])
                 for location in self.locations
             }
         return self._coherence_orders_at
+
+    def _store_orders(self, stores: Tuple[int, ...]) -> Tuple[Tuple[int, ...], ...]:
+        """Index-level twin of :func:`relations.po_respecting_store_orders`.
+
+        Generates the po-respecting interleavings directly over event
+        indices (differentially tested against the event-level original),
+        in the same lexicographic order by position in ``stores``.
+        """
+        if not stores:
+            return ((),)
+        chains: Dict[int, List[int]] = {}
+        for store in stores:
+            chains.setdefault(self.thread_of[store], []).append(store)
+        pos_in_thread = self._pos_in_thread
+        for chain in chains.values():
+            chain.sort(key=pos_in_thread.__getitem__)
+        position = {store: index for index, store in enumerate(stores)}
+
+        results: List[Tuple[int, ...]] = []
+        prefix: List[int] = []
+        heads = {thread: 0 for thread in chains}
+
+        def extend() -> None:
+            if len(prefix) == len(stores):
+                results.append(tuple(prefix))
+                return
+            ready = sorted(
+                (position[chain[heads[thread]]], thread)
+                for thread, chain in chains.items()
+                if heads[thread] < len(chain)
+            )
+            for _, thread in ready:
+                store = chains[thread][heads[thread]]
+                prefix.append(store)
+                heads[thread] += 1
+                extend()
+                prefix.pop()
+                heads[thread] -= 1
+
+        extend()
+        return tuple(results)
 
     # ------------------------------------------------------------------
     # vectorised program-order edges
@@ -198,7 +316,9 @@ class IndexedExecution:
 
         return compile_model(model).mask_program(self)
 
-    def _formula_mask(self, formula: Formula, registry: Dict[str, Predicate]) -> int:
+    def _formula_mask(
+        self, formula: Formula, registry: Optional[Dict[str, Predicate]] = None
+    ) -> int:
         """Interpret a formula over the po-pair bitmasks (reference path).
 
         ``po_edge_pairs`` answers through the compiled ModelIR lowering of
@@ -206,7 +326,13 @@ class IndexedExecution:
         as the semantic reference the compiler is cross-validated against
         (``tests/checker/test_kernel.py`` and the hypothesis differential
         suite) — a new :class:`Formula` node type must be taught to both.
+
+        ``registry`` defaults to the process-wide built-in registry
+        (:func:`repro.core.predicates.shared_registry`) instead of a fresh
+        per-call dict; pass a model's registry for custom vocabularies.
         """
+        if registry is None:
+            registry = shared_registry()
         if isinstance(formula, TrueFormula):
             return self.all_pairs_mask
         if isinstance(formula, FalseFormula):
@@ -235,27 +361,67 @@ class IndexedExecution:
         raise _UnsupportedFormula(type(formula).__name__)
 
     def _atom_mask(self, predicate: Predicate, args: Tuple[str, ...]) -> int:
-        """The atom's truth vector over ``po_pairs``, cached per (predicate, args)."""
+        """The atom's truth vector over ``po_pairs``, cached per (predicate, args).
+
+        Built-in predicates bypass the generic evaluator: unary traits read
+        event attributes directly, ``SameAddr`` compares the precomputed
+        ``location_of`` table, and the dependency predicates call the
+        execution's bound methods without building argument tuples.  Custom
+        predicates take the generic per-pair path.
+        """
         key = (predicate, args)
         cached = self._atom_masks.get(key)
         if cached is not None:
             return cached
-        execution = self.execution
+        events = self.events
+        po_pairs = self.po_pairs
         mask = 0
-        for p, (u, v) in enumerate(self.po_pairs):
-            events = tuple(
-                self.events[u] if arg == "x" else self.events[v] for arg in args
-            )
-            if predicate.arity == 1:
-                if len(events) != 1:
-                    raise FormulaError(f"predicate {predicate.name} is unary")
-                value = predicate.evaluate(execution, events[0])
-            else:
-                if len(events) != 2:
-                    raise FormulaError(f"predicate {predicate.name} is binary")
-                value = predicate.evaluate(execution, events[0], events[1])
-            if value:
-                mask |= 1 << p
+        trait = _UNARY_TRAITS.get(predicate)
+        if trait is not None and len(args) == 1:
+            want_x = args[0] == "x"
+            flags = [getattr(event, trait) for event in events]
+            for p, (u, v) in enumerate(po_pairs):
+                if flags[u if want_x else v]:
+                    mask |= 1 << p
+        elif predicate is SAME_ADDR and len(args) == 2:
+            # same_address(x, y) == both memory accesses at one location.
+            location_of = self.location_of
+            first_x, second_x = args[0] == "x", args[1] == "x"
+            for p, (u, v) in enumerate(po_pairs):
+                a = location_of[u if first_x else v]
+                if a is not None and a == location_of[u if second_x else v]:
+                    mask |= 1 << p
+        elif predicate in (DATA_DEP, CTRL_DEP, ANY_DEP) and len(args) == 2:
+            data = self.execution.data_dependent
+            ctrl = self.execution.control_dependent
+            first_x, second_x = args[0] == "x", args[1] == "x"
+            for p, (u, v) in enumerate(po_pairs):
+                a = events[u if first_x else v]
+                b = events[u if second_x else v]
+                if predicate is DATA_DEP:
+                    value = data(a, b)
+                elif predicate is CTRL_DEP:
+                    value = ctrl(a, b)
+                else:
+                    value = data(a, b) or ctrl(a, b)
+                if value:
+                    mask |= 1 << p
+        else:
+            execution = self.execution
+            for p, (u, v) in enumerate(po_pairs):
+                pair_events = tuple(
+                    events[u] if arg == "x" else events[v] for arg in args
+                )
+                if predicate.arity == 1:
+                    if len(pair_events) != 1:
+                        raise FormulaError(f"predicate {predicate.name} is unary")
+                    value = predicate.evaluate(execution, pair_events[0])
+                else:
+                    if len(pair_events) != 2:
+                        raise FormulaError(f"predicate {predicate.name} is binary")
+                    value = predicate.evaluate(execution, pair_events[0], pair_events[1])
+                if value:
+                    mask |= 1 << p
         self._atom_masks[key] = mask
         return mask
 

@@ -31,8 +31,10 @@ Model names accept catalog names (``SC``, ``TSO``, ...), parametric names
 session's :class:`~repro.api.registry.ModelRegistry`; ``--model-file FILE``
 (repeatable, any subcommand) registers the models of ``.model`` files up
 front so later ``--model NAME`` arguments can refer to them.  ``--backend``
-selects the admissibility strategy and ``--jobs`` fans the exploration out
-over worker processes.
+selects the admissibility strategy, ``--kernel`` the explicit backend's
+checking kernel (``auto``/``native``/``python``/``bigint`` — see
+:mod:`repro.native.backend`), and ``--jobs`` fans the exploration out over
+worker processes.
 """
 
 from __future__ import annotations
@@ -80,7 +82,11 @@ def _make_session(args: argparse.Namespace) -> Session:
     request runs, so every subcommand can refer to them by name.
     """
     try:
-        session = Session(backend=args.backend, jobs=getattr(args, "jobs", 1))
+        session = Session(
+            backend=args.backend,
+            jobs=getattr(args, "jobs", 1),
+            kernel=getattr(args, "kernel", None),
+        )
     except ValueError as error:
         raise SystemExit(str(error))
     for path in getattr(args, "model_file", None) or ():
@@ -295,6 +301,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("explicit", "enumeration", "sat"),
         default="explicit",
         help="admissibility backend",
+    )
+    from repro.native.backend import KERNEL_CHOICES
+
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default=None,
+        help="explicit-backend checking kernel: 'native' is the C extension, "
+        "'python' the word-array port, 'bigint' the original; 'auto' (the "
+        "default, also via REPRO_KERNEL) prefers native when built",
     )
     parser.add_argument(
         "--model-file",

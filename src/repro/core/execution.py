@@ -15,12 +15,15 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from repro.core.events import Event, build_events, flatten_events
-from repro.core.expr import ExprError, Value, evaluate_expr, resolve_location
+from repro.core.expr import Const, ExprError, Loc, Value, evaluate_expr, resolve_location
 from repro.core.instructions import Branch, Fence, Load, Op, Store
 from repro.core.program import Program
 
 #: Key identifying a load event: (thread index, instruction index).
 EventKey = Tuple[int, int]
+
+#: Shared empty dependency-source set (the straight-line common case).
+_EMPTY_KEYS: FrozenSet[EventKey] = frozenset()
 
 
 class ExecutionError(ValueError):
@@ -98,6 +101,46 @@ class Execution:
             for event in thread_events:
                 key = (event.thread_index, event.index)
                 instruction = event.instruction
+
+                # Straight-line fast path: literal-address loads and
+                # literal stores read no registers, so (absent an earlier
+                # branch) their dependency sets are empty and no expression
+                # evaluation is needed.  This covers the whole enumerated
+                # litmus fragment; anything else falls through to the
+                # generic interpreter below.
+                if not control_sources:
+                    if isinstance(instruction, Load):
+                        address = instruction.address
+                        if type(address) is Loc:
+                            if key not in self.read_values:
+                                raise ExecutionError(
+                                    f"no observed value for load {event.uid} ({instruction})"
+                                )
+                            self._data_sources[key] = _EMPTY_KEYS
+                            self._control_sources[key] = _EMPTY_KEYS
+                            value = self.read_values[key]
+                            self._locations[key] = address.name
+                            self._values[key] = value
+                            registers[instruction.dest] = value
+                            register_sources[instruction.dest] = {key}
+                            continue
+                    elif isinstance(instruction, Store):
+                        address = instruction.address
+                        stored_expr = instruction.value
+                        if (
+                            type(address) is Loc
+                            and type(stored_expr) is Const
+                            and isinstance(stored_expr.value, int)
+                        ):
+                            self._data_sources[key] = _EMPTY_KEYS
+                            self._control_sources[key] = _EMPTY_KEYS
+                            self._locations[key] = address.name
+                            self._values[key] = stored_expr.value
+                            continue
+                    elif isinstance(instruction, Fence):
+                        self._data_sources[key] = _EMPTY_KEYS
+                        self._control_sources[key] = _EMPTY_KEYS
+                        continue
                 # Data-dependency sources of the registers this instruction reads.
                 read_sources: Set[EventKey] = set()
                 for register in instruction.registers_read():

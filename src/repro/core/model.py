@@ -17,7 +17,12 @@ from typing import Callable, Dict, Optional, Union
 from repro.core.events import Event
 from repro.core.execution import Execution
 from repro.core.formula import Formula, parse_formula
-from repro.core.predicates import Predicate, PredicateSet, STANDARD_PREDICATES, default_registry
+from repro.core.predicates import (
+    Predicate,
+    PredicateSet,
+    STANDARD_PREDICATES,
+    shared_registry,
+)
 
 ReorderCallable = Callable[[Execution, Event, Event], bool]
 
@@ -78,8 +83,15 @@ class MemoryModel:
         on the hottest path of every exploration — both :meth:`ordered` and
         the vectorised evaluator of :mod:`repro.checker.kernel` — so it is
         built once.  Treat the returned dict as read-only.
+
+        Models whose vocabulary is drawn entirely from the built-in
+        predicates (every catalog and parametric model) share one
+        process-wide dict instead of each holding a private copy.
         """
-        registry = default_registry()
+        registry = shared_registry()
+        if all(registry.get(predicate.name) is predicate for predicate in self.predicates):
+            return registry
+        registry = dict(registry)
         registry.update({predicate.name: predicate for predicate in self.predicates})
         return registry
 

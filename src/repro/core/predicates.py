@@ -143,9 +143,25 @@ NO_DEP_PREDICATES = PredicateSet([READ, WRITE, FENCE, SAME_ADDR])
 EXTENDED_PREDICATES = PredicateSet([READ, WRITE, FENCE, SAME_ADDR, DATA_DEP, CTRL_DEP])
 
 
+#: The one name -> predicate mapping of every built-in predicate, built at
+#: import.  Hot paths (model registries, formula evaluation, the kernel's
+#: reference mask interpreter) share this dict instead of rebuilding it per
+#: call; treat it as read-only.
+_SHARED_REGISTRY: Dict[str, Predicate] = {
+    predicate.name: predicate
+    for predicate in (READ, WRITE, FENCE, MEMORY_ACCESS, SAME_ADDR, DATA_DEP, CTRL_DEP, ANY_DEP)
+}
+
+
+def shared_registry() -> Dict[str, Predicate]:
+    """Return the process-wide built-in registry (do not mutate it)."""
+    return _SHARED_REGISTRY
+
+
 def default_registry() -> Dict[str, Predicate]:
-    """Return a name -> predicate mapping of every built-in predicate."""
-    return {
-        predicate.name: predicate
-        for predicate in (READ, WRITE, FENCE, MEMORY_ACCESS, SAME_ADDR, DATA_DEP, CTRL_DEP, ANY_DEP)
-    }
+    """Return a fresh name -> predicate mapping of every built-in predicate.
+
+    Callers that only read the mapping should prefer :func:`shared_registry`,
+    which skips the copy.
+    """
+    return dict(_SHARED_REGISTRY)

@@ -54,13 +54,15 @@ class Thread:
         """
         defined: Set[str] = set()
         for index, instruction in enumerate(self.instructions):
-            for register in sorted(instruction.registers_read()):
+            reads = instruction.registers_read()
+            for register in sorted(reads) if reads else ():
                 if register not in defined:
                     raise ValueError(
                         f"thread {self.name}: instruction {index} ({instruction}) reads "
                         f"undefined register {register!r}"
                     )
-            for register in sorted(instruction.registers_written()):
+            writes = instruction.registers_written()
+            for register in sorted(writes) if writes else ():
                 if register in defined:
                     raise ValueError(
                         f"thread {self.name}: register {register!r} is assigned more than once"

@@ -118,12 +118,15 @@ class TestContext:
             self._indexed = IndexedExecution(self.execution)
         return self._indexed
 
-    def po_mask(self, model: ModelLike, stats=None) -> int:
+    def po_mask(self, model: ModelLike, stats=None, kernel=None) -> int:
         """Return the model's po-pair truth vector over the indexed execution.
 
         This is the one model-dependent quantity both the explicit kernel
         and the SAT assumptions derive from.  Cached by IR digest; a hit
-        increments ``stats.po_edge_cache_hits``.
+        increments ``stats.po_edge_cache_hits``.  ``kernel`` selects the
+        mask evaluator (a :class:`~repro.native.backend.KernelBackend`);
+        the default is the bigint closure lowering.  All kernels compute
+        identical masks, so the digest cache is shared between them.
         """
         compiled = as_compiled(model)
         digest = compiled.digest
@@ -132,17 +135,48 @@ class TestContext:
             if stats is not None:
                 stats.po_edge_cache_hits += 1
             return mask
-        mask = compiled.mask_program(self.indexed())
+        if kernel is None:
+            mask = compiled.mask_program(self.indexed())
+        else:
+            mask = kernel.po_pair_mask(self.indexed(), compiled)
         self._po_masks[digest] = mask
         return mask
 
-    def po_edge_pairs(self, model: ModelLike, stats=None) -> List[IndexEdge]:
+    def po_masks_column(self, compiled_models, stats=None, kernel=None) -> List[int]:
+        """Return the whole column's po-pair masks, batch-evaluating misses.
+
+        The streaming pipeline answers each test for the full model space
+        exactly once, so the common case is every digest missing; the
+        misses go through the kernel's :meth:`~repro.native.backend.
+        KernelBackend.po_pair_masks` — one combined-program evaluation for
+        the column instead of one call per model.  Hits count toward
+        ``stats.po_edge_cache_hits`` exactly like :meth:`po_mask`.
+        """
+        masks = self._po_masks
+        missing = []
+        for compiled in compiled_models:
+            if compiled.digest not in masks:
+                missing.append(compiled)
+            elif stats is not None:
+                stats.po_edge_cache_hits += 1
+        if missing:
+            indexed = self.indexed()
+            if kernel is None:
+                for compiled in missing:
+                    masks[compiled.digest] = compiled.mask_program(indexed)
+            else:
+                for compiled, mask in zip(missing, kernel.po_pair_masks(indexed, missing)):
+                    masks[compiled.digest] = mask
+        return [masks[compiled.digest] for compiled in compiled_models]
+
+    def po_edge_pairs(self, model: ModelLike, stats=None, kernel=None) -> List[IndexEdge]:
         """Return the model's program-order edges as kernel index pairs.
 
         Cached by IR digest; a hit increments ``stats.po_edge_cache_hits``.
         The miss path is deliberately flat — one digest lookup per cache,
         the mask evaluated inline — because the streaming pipeline hits it
-        once per (test, model) with nothing warm.
+        once per (test, model) with nothing warm.  ``kernel`` selects the
+        mask evaluator exactly as in :meth:`po_mask`.
         """
         compiled = model if isinstance(model, CompiledModel) else compile_model(model)
         digest = compiled.digest
@@ -154,24 +188,39 @@ class TestContext:
         indexed = self.indexed()
         mask = self._po_masks.get(digest)
         if mask is None:
-            mask = compiled.mask_program(indexed)
+            if kernel is None:
+                mask = compiled.mask_program(indexed)
+            else:
+                mask = kernel.po_pair_mask(indexed, compiled)
             self._po_masks[digest] = mask
         pairs = [pair for p, pair in enumerate(indexed.po_pairs) if (mask >> p) & 1]
         self._po_pairs_by_digest[digest] = pairs
         return pairs
 
-    def kernel_verdict(self, pairs: List[IndexEdge]) -> bool:
+    def kernel_verdict(self, pairs: List[IndexEdge], kernel=None, stats=None) -> bool:
         """Return (computing once per distinct po-edge set) the kernel verdict.
 
         The explicit kernel's verdict depends on the indexed execution and
         the po edges alone, and ``po_edge_pairs`` emits edges in a fixed
         scan order, so the edge tuple is a sound memo key across models —
         distinct models frequently force identical edges on a small test.
+        It is also sound across kernel backends (they are bit-identical),
+        so the memo is shared; an *actual* search (a memo miss) increments
+        ``stats.native_searches`` or ``stats.fallback_searches`` by where
+        it ran.
         """
         key = tuple(pairs)
         verdict = self._kernel_verdicts.get(key)
         if verdict is None:
-            verdict = kernel_allowed(self.indexed(), pairs)
+            if kernel is None:
+                verdict = kernel_allowed(self.indexed(), pairs)
+            else:
+                verdict = kernel.allowed(self.indexed(), pairs)
+                if stats is not None:
+                    if kernel.is_native:
+                        stats.native_searches += 1
+                    else:
+                        stats.fallback_searches += 1
             self._kernel_verdicts[key] = verdict
         return verdict
 

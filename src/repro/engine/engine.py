@@ -70,23 +70,43 @@ class EngineStats:
     #: IR DAG nodes shared with previously compiled models — the
     #: cross-model common-subexpression metric
     ir_cse_hits: int = 0
+    #: resolved kernel backend name ("native", "python", "bigint"; empty for
+    #: strategies that have no kernel, e.g. SAT and enumeration)
+    kernel_backend: str = ""
+    #: kernel searches answered by the C extension
+    native_searches: int = 0
+    #: kernel searches answered by a Python kernel (bigint or word-array)
+    fallback_searches: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
 
     def merge(self, other: Dict[str, int]) -> None:
-        """Fold a worker's counters into this one."""
+        """Fold a worker's counters into this one.
+
+        ``kernel_backend`` is a label, not a counter: the worker's value is
+        adopted when this side has none (workers inherit the parent engine's
+        resolved kernel, so the labels agree whenever both are set).
+        """
         for key, value in other.items():
+            if key == "kernel_backend":
+                if value and not self.kernel_backend:
+                    self.kernel_backend = value
+                continue
             setattr(self, key, getattr(self, key) + value)
 
     def snapshot(self) -> "EngineStats":
         return replace(self)
 
     def since(self, before: "EngineStats") -> "EngineStats":
-        """Return the counter deltas relative to an earlier snapshot."""
-        return EngineStats(
-            **{key: value - getattr(before, key) for key, value in self.as_dict().items()}
-        )
+        """Return the counter deltas relative to an earlier snapshot (the
+        ``kernel_backend`` label carries over unchanged)."""
+        deltas = {
+            key: value - getattr(before, key)
+            for key, value in self.as_dict().items()
+            if key != "kernel_backend"
+        }
+        return EngineStats(kernel_backend=self.kernel_backend, **deltas)
 
     def describe(self) -> str:
         parts = [
@@ -105,6 +125,13 @@ class EngineStats:
             parts.append(f"{self.models_compiled} models compiled")
         if self.ir_cse_hits:
             parts.append(f"{self.ir_cse_hits} IR subformulas shared")
+        if self.kernel_backend:
+            searches = (
+                self.native_searches
+                if self.kernel_backend == "native"
+                else self.fallback_searches
+            )
+            parts.append(f"{searches} kernel searches ({self.kernel_backend})")
         return ", ".join(parts)
 
 
@@ -117,15 +144,26 @@ class CheckEngine:
             ``ReferenceChecker``, ...).
         jobs: number of worker processes for :meth:`verdict_matrix`; ``1``
             computes serially in-process.
+        kernel: kernel backend for the explicit strategy — ``"auto"``
+            (default; consults ``REPRO_KERNEL`` and prefers the C extension
+            when built), ``"native"``, ``"python"``, ``"bigint"``, or a
+            :class:`~repro.native.backend.KernelBackend` instance.  Resolved
+            once, at construction; ignored by non-kernel backends.
     """
 
-    def __init__(self, backend: object = "explicit", jobs: int = 1) -> None:
+    def __init__(
+        self, backend: object = "explicit", jobs: int = 1, kernel: object = None
+    ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.backend = backend
         self.jobs = jobs
-        self.strategy: CheckStrategy = make_strategy(backend)
+        self.strategy: CheckStrategy = make_strategy(backend, kernel=kernel)
+        #: the resolved kernel backend, when the strategy has one
+        self.kernel = getattr(self.strategy, "kernel", None)
         self.stats = EngineStats()
+        if self.kernel is not None:
+            self.stats.kernel_backend = self.kernel.name
         # id(test) -> (test, context); the test reference keeps the id stable.
         self._contexts: Dict[int, Tuple[LitmusTest, TestContext]] = {}
         # id(model) -> (model, compiled); resolution goes through the
@@ -145,11 +183,17 @@ class CheckEngine:
     # construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def ensure(cls, checker: Optional[object] = None, jobs: int = 1) -> "CheckEngine":
+    def ensure(
+        cls, checker: Optional[object] = None, jobs: int = 1, kernel: object = None
+    ) -> "CheckEngine":
         """Return ``checker`` if it already is an engine, else wrap it."""
         if isinstance(checker, CheckEngine):
             return checker
-        return cls(backend=checker if checker is not None else "explicit", jobs=jobs)
+        return cls(
+            backend=checker if checker is not None else "explicit",
+            jobs=jobs,
+            kernel=kernel,
+        )
 
     # ------------------------------------------------------------------
     # contexts
@@ -304,6 +348,12 @@ class CheckEngine:
             return [False] * len(models)
         strategy = self.strategy
         stats = self.stats
+        # Strategies with a column fast path (the explicit kernel batches
+        # the whole column's masks through one combined program) take it;
+        # verdicts and counters are identical to the per-model loop.
+        column_check = getattr(strategy, "check_column", None)
+        if column_check is not None:
+            return column_check(context, compiled_models, stats)
         return [strategy.check(context, compiled, stats) for compiled in compiled_models]
 
     # ------------------------------------------------------------------
@@ -326,8 +376,11 @@ class CheckEngine:
         # index travels down and nothing but booleans + counters travels up.
         # The lock keeps concurrent engines in one process from clobbering
         # each other's state between set and fork.
+        # Workers re-resolve the kernel from the parent's *resolved* name so
+        # every process runs the same backend the parent picked.
+        kernel_name = self.kernel.name if self.kernel is not None else None
         with _WORKER_STATE_LOCK:
-            _WORKER_STATE = (self.backend, models, tests)
+            _WORKER_STATE = (self.backend, kernel_name, models, tests)
             processes = min(self.jobs, len(tests))
             try:
                 with context.Pool(processes=processes) as pool:
@@ -343,13 +396,15 @@ class CheckEngine:
 
 
 #: State inherited by forked workers; see :meth:`CheckEngine._columns_parallel`.
-_WORKER_STATE: Optional[Tuple[object, List[MemoryModel], List[LitmusTest]]] = None
+_WORKER_STATE: Optional[
+    Tuple[object, Optional[str], List[MemoryModel], List[LitmusTest]]
+] = None
 _WORKER_STATE_LOCK = threading.Lock()
 
 
 def _worker_column(index: int) -> Tuple[int, List[bool], Dict[str, int]]:
     assert _WORKER_STATE is not None
-    backend, models, tests = _WORKER_STATE
-    engine = CheckEngine(backend=backend, jobs=1)
+    backend, kernel_name, models, tests = _WORKER_STATE
+    engine = CheckEngine(backend=backend, jobs=1, kernel=kernel_name)
     column = engine._column(tests[index], models)
     return index, column, engine.stats.as_dict()

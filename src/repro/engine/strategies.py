@@ -26,7 +26,7 @@ model-independent caches:
 from __future__ import annotations
 
 from itertools import product
-from typing import TYPE_CHECKING, Protocol
+from typing import TYPE_CHECKING, Dict, List, Protocol
 
 from repro.checker.relations import forced_edges, happens_before_graph
 from repro.engine.context import ModelLike, TestContext, as_compiled
@@ -52,9 +52,22 @@ class CheckStrategy(Protocol):
 
 
 class ExplicitStrategy:
-    """Pruned backtracking over the context's bitset-indexed execution."""
+    """Pruned backtracking over the context's bitset-indexed execution.
+
+    The search and the mask-program evaluation run on a pluggable
+    :class:`~repro.native.backend.KernelBackend` — the C extension, the
+    pure-Python word-array port, or the original bigint kernel — resolved
+    once at construction (see :func:`repro.native.backend.resolve_kernel`
+    for the ``auto``/``REPRO_KERNEL`` selection order).  All backends are
+    bit-identical; only speed and the native/fallback counters differ.
+    """
 
     name = "explicit"
+
+    def __init__(self, kernel: object = None) -> None:
+        from repro.native.backend import resolve_kernel
+
+        self.kernel = resolve_kernel(kernel)
 
     def check(self, context: TestContext, model: ModelLike, stats: "EngineStats") -> bool:
         first_visit = not context.candidate_space_built
@@ -63,7 +76,50 @@ class ExplicitStrategy:
             stats.candidate_spaces_built += 1
         if indexed.infeasible:
             return False  # some load's observed value is unobtainable
-        return context.kernel_verdict(context.po_edge_pairs(model, stats))
+        pairs = context.po_edge_pairs(model, stats, kernel=self.kernel)
+        return context.kernel_verdict(pairs, kernel=self.kernel, stats=stats)
+
+    def check_column(
+        self, context: TestContext, compiled_models, stats: "EngineStats"
+    ) -> List[bool]:
+        """A whole model column in one pass — the streaming hot path.
+
+        The column's masks are batch-evaluated through the kernel's
+        combined program (one evaluation for the space, registers shared
+        across models), then deduplicated by mask value before the pair
+        lists are even built: distinct models frequently force identical
+        edges on a small test, and the mask determines the pairs, so one
+        kernel search (further memoized by edge tuple in the context)
+        answers every model that shares it.  Verdicts and search counters
+        are identical to per-model :meth:`check` calls.
+        """
+        first_visit = not context.candidate_space_built
+        indexed = context.indexed()
+        if first_visit:
+            stats.candidate_spaces_built += 1
+        if indexed.infeasible:
+            return [False] * len(compiled_models)
+        masks = context.po_masks_column(compiled_models, stats, kernel=self.kernel)
+        po_pairs = indexed.po_pairs
+        kernel = self.kernel
+        is_native = kernel.is_native
+        # The mask determines the pair list, so the per-column mask memo
+        # subsumes the context's tuple-keyed verdict memo (the context is
+        # seen exactly once on this path) without the tuple hashing.
+        verdict_of_mask: Dict[int, bool] = {}
+        verdicts = []
+        for mask in masks:
+            verdict = verdict_of_mask.get(mask)
+            if verdict is None:
+                pairs = [pair for p, pair in enumerate(po_pairs) if (mask >> p) & 1]
+                verdict = kernel.allowed(indexed, pairs)
+                if is_native:
+                    stats.native_searches += 1
+                else:
+                    stats.fallback_searches += 1
+                verdict_of_mask[mask] = verdict
+            verdicts.append(verdict)
+        return verdicts
 
 
 class EnumerationStrategy:
@@ -154,12 +210,15 @@ class LegacyCheckerStrategy:
         return bool(result.allowed)
 
 
-def make_strategy(backend: object) -> CheckStrategy:
+def make_strategy(backend: object, kernel: object = None) -> CheckStrategy:
     """Resolve a backend specification into a strategy.
 
     ``backend`` is either a strategy name (``"explicit"``, ``"enumeration"``
     or ``"sat"``), an existing strategy instance, or a legacy checker object
-    exposing ``check(test, model)``.
+    exposing ``check(test, model)``.  ``kernel`` selects the explicit
+    strategy's kernel backend (see :mod:`repro.native.backend`); strategy
+    instances keep the kernel they were built with, and non-kernel
+    strategies ignore it.
     """
     from repro.checker.explicit import ExplicitChecker
     from repro.checker.reference import EnumerationChecker
@@ -167,7 +226,7 @@ def make_strategy(backend: object) -> CheckStrategy:
 
     if isinstance(backend, str):
         if backend == "explicit":
-            return ExplicitStrategy()
+            return ExplicitStrategy(kernel=kernel)
         if backend == "enumeration":
             return EnumerationStrategy()
         if backend == "sat":
@@ -184,7 +243,7 @@ def make_strategy(backend: object) -> CheckStrategy:
     # The classic backends become the engine's native strategies.  A
     # preprocessing-enabled SatChecker keeps its own per-check pipeline.
     if isinstance(backend, ExplicitChecker):
-        return ExplicitStrategy()
+        return ExplicitStrategy(kernel=kernel if kernel is not None else backend.kernel)
     if isinstance(backend, EnumerationChecker):
         return EnumerationStrategy()
     if isinstance(backend, SatChecker) and not backend.use_preprocessing:

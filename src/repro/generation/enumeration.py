@@ -193,6 +193,25 @@ def enumerate_canonical_naive_tests(
     Pass a :class:`~repro.pipeline.canonical.CanonicalIndex` as ``index``
     to observe the raw/unique counts or to dedup across several streams.
     """
+    for key, name, items in enumerate_canonical_naive_items(config, limit, index):
+        yield key, test_from_items(items, name)
+
+
+def enumerate_canonical_naive_items(
+    config: NaiveEnumerationConfig = NaiveEnumerationConfig(),
+    limit: Optional[int] = None,
+    index: Optional[object] = None,
+) -> Iterator[Tuple[object, str, Tuple[Tuple[Tuple[str, object, object], ...], ...]]]:
+    """Yield ``(canonical_key, name, abstract_items)`` per kernel-distinct test.
+
+    The compact core of :func:`enumerate_canonical_naive_tests`: the
+    abstract item tuples fully determine the representative
+    (:func:`test_from_items` rebuilds it bit-for-bit), so a parallel
+    pipeline can stream these small picklable tuples to worker processes
+    and materialise the :class:`~repro.core.litmus.LitmusTest` objects
+    there, instead of building every test in the enumerating process and
+    pickling whole object graphs through the pool.
+    """
     from repro.pipeline.canonical import CanonicalIndex, canonical_form
 
     if index is None:
@@ -204,15 +223,77 @@ def enumerate_canonical_naive_tests(
         if _canonical_locations(combination) is None:
             continue
         outcome_choices = _outcome_choices(combination)
+        # Per-combination item template: everything except the read values
+        # is outcome-independent (2-tuples mark reads awaiting a value), so
+        # the inner loop only fills values instead of rebuilding the shape.
+        templates = _item_templates(combination)
         for outcome in product(*outcome_choices):
             test_index += 1
             if limit is not None and produced >= limit:
                 return
-            key = canonical_form(_abstract_items(combination, outcome))
+            position = 0
+            threads = []
+            for template in templates:
+                row = []
+                for item in template:
+                    if len(item) == 2:
+                        row.append(("R", item[1], outcome[position]))
+                        position += 1
+                    else:
+                        row.append(item)
+                threads.append(tuple(row))
+            items = tuple(threads)
+            key = canonical_form(items)
             if not index.add(key):
                 continue
             produced += 1
-            yield key, _build_test(combination, outcome, f"N{test_index}")
+            yield key, f"N{test_index}", items
+
+
+def test_from_items(
+    items: Tuple[Tuple[Tuple[str, object, object], ...], ...], name: str
+) -> LitmusTest:
+    """Materialise one enumerated test from its abstract items.
+
+    Equal to what :func:`_build_test` constructs at the same enumeration
+    point: the abstract items already carry the thread-major write
+    numbering and the outcome values in read order, so the rebuild is a
+    straight transliteration (shared with the canonicalizer's
+    :func:`~repro.pipeline.canonical.build_canonical_test`).
+    """
+    from repro.pipeline.canonical import build_canonical_test
+
+    return build_canonical_test(items, name, description="naive enumeration")
+
+
+def _item_templates(
+    thread_shapes: Sequence[_ThreadShape],
+) -> Tuple[Tuple[Tuple, ...], ...]:
+    """Outcome-independent item rows of a shape combination.
+
+    Identical to :func:`_abstract_items` except reads carry no value yet: a
+    2-tuple ``("R", location)`` marks a read whose value the caller fills
+    from the outcome, in the same thread-major read order.
+    """
+    write_values: Dict[Tuple[int, int], int] = {}
+    counter: Dict[int, int] = {}
+    for thread_index, (accesses, _fences) in enumerate(thread_shapes):
+        for access_index, (kind, location) in enumerate(accesses):
+            if kind == "W":
+                counter[location] = counter.get(location, 0) + 1
+                write_values[(thread_index, access_index)] = counter[location]
+    rows = []
+    for thread_index, (accesses, fences) in enumerate(thread_shapes):
+        row: List[Tuple] = []
+        for access_index, (kind, location) in enumerate(accesses):
+            if access_index > 0 and fences[access_index - 1]:
+                row.append(("F", "full", 0))
+            if kind == "R":
+                row.append(("R", location))
+            else:
+                row.append(("W", location, write_values[(thread_index, access_index)]))
+        rows.append(tuple(row))
+    return tuple(rows)
 
 
 def _abstract_items(

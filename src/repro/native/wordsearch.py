@@ -1,0 +1,110 @@
+"""Pure-Python word-array port of :class:`~repro.checker.kernel.KernelSearch`.
+
+Same decisions, same order, same pruning — coherence orders then per-load
+read-from sources, forced co/rf/fr edges through incremental reachability,
+cycle and anti-program-order cuts — but every bitset is a
+:class:`~repro.native.words.WordReachability` word row instead of a Python
+int.  This is the executable specification of the C search loop in
+:mod:`repro.native._kernelmod`: the C code is a transliteration of this
+module, and the differential suite holds both to the bigint kernel.
+
+Iteration order is load-bearing: a witness is the *first* assignment found,
+so any reordering here (or in C) would still satisfy the model but break
+the cross-backend witness-identity guarantee the tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.checker.kernel import INITIAL, KernelWitness
+from repro.native.problem import PLAN_CO, KernelProblem
+from repro.native.words import WordReachability
+
+
+def word_search(
+    problem: KernelProblem, po_edges: Sequence[Tuple[int, int]]
+) -> Optional[KernelWitness]:
+    """Run the word-array backtracking search; None when nothing is acyclic."""
+    indexed = problem.indexed
+    if indexed.infeasible:
+        return None
+    state = _SearchState(problem)
+    if not state.reach.add_edges(po_edges):
+        return None  # unreachable: program order alone is acyclic
+    if not state.search(0):
+        return None
+    return problem.witness(tuple(state.rf_choice), tuple(state.co_choice))
+
+
+class _SearchState:
+    """Mutable search state over one problem (fresh per search)."""
+
+    def __init__(self, problem: KernelProblem) -> None:
+        self.problem = problem
+        self.indexed = problem.indexed
+        self.reach = WordReachability(problem.n)
+        self.rf_choice = [INITIAL] * len(problem.load_slot)
+        self.co_choice = [0] * len(problem.slot_locations)
+        self.co_position = [0] * problem.n
+
+    def search(self, depth: int) -> bool:
+        problem = self.problem
+        if depth == len(problem.plan_kinds):
+            return True
+        arg = problem.plan_args[depth]
+        if problem.plan_kinds[depth] == PLAN_CO:
+            return self._search_coherence(depth, arg)
+        return self._search_read_from(depth, arg)
+
+    def _search_coherence(self, depth: int, slot: int) -> bool:
+        reach = self.reach
+        co_position = self.co_position
+        for choice, order in enumerate(self.problem.co_orders[slot]):
+            mark = reach.mark()
+            # Chain edges are reachability-equivalent to the full co order.
+            ok = all(
+                reach.add_edge(order[i], order[i + 1]) for i in range(len(order) - 1)
+            )
+            if ok:
+                self.co_choice[slot] = choice
+                for position, store in enumerate(order):
+                    co_position[store] = position
+                if self.search(depth + 1):
+                    return True
+            reach.undo_to(mark)
+        return False
+
+    def _search_read_from(self, depth: int, position: int) -> bool:
+        problem = self.problem
+        indexed = self.indexed
+        reach = self.reach
+        load = indexed.loads[position]
+        slot = problem.load_slot[position]
+        order = problem.co_orders[slot][self.co_choice[slot]]
+        po_row = load * reach.nw
+        po_words = problem.po_words
+        for source in indexed.rf_candidates[position]:
+            mark = reach.mark()
+            ok = True
+            if source != INITIAL and indexed.thread_of[source] != indexed.thread_of[load]:
+                ok = reach.add_edge(source, load)  # external rf edge
+            if ok:
+                # from-read edges: the load precedes every store that is not
+                # coherence-before its source.
+                start = 0 if source == INITIAL else self.co_position[source] + 1
+                for other in order[start:]:
+                    if other == source:
+                        continue
+                    if (po_words[po_row + (other >> 6)] >> (other & 63)) & 1:
+                        ok = False  # would force an anti-program-order edge
+                        break
+                    if not reach.add_edge(load, other):
+                        ok = False
+                        break
+            if ok:
+                self.rf_choice[position] = source
+                if self.search(depth + 1):
+                    return True
+            reach.undo_to(mark)
+        return False

@@ -105,6 +105,23 @@ def _relabel(threads: Iterable[Tuple[Item, ...]]) -> AbstractTest:
     return tuple(result)
 
 
+#: memoized single-thread relabellings (the first row of ``_relabel`` for a
+#: permutation depends only on its first thread, so these decide most
+#: two-thread permutation minima without relabelling both orders)
+_SINGLE_RELABEL: Dict[Tuple[Item, ...], Tuple[Item, ...]] = {}
+_SINGLE_RELABEL_CAP = 1 << 20
+
+
+def _relabel_single(items: Tuple[Item, ...]) -> Tuple[Item, ...]:
+    row = _SINGLE_RELABEL.get(items)
+    if row is None:
+        if len(_SINGLE_RELABEL) >= _SINGLE_RELABEL_CAP:
+            _SINGLE_RELABEL.clear()
+        row = _relabel((items,))[0]
+        _SINGLE_RELABEL[items] = row
+    return row
+
+
 def canonical_form(threads: AbstractTest) -> AbstractTest:
     """Return the canonical abstract form: the lexicographic minimum of the
     first-use relabelling over all thread permutations.
@@ -113,7 +130,21 @@ def canonical_form(threads: AbstractTest) -> AbstractTest:
     0-preserving per-location value renaming, the transformed test's
     canonical form equals the original's — the first-use relabelling absorbs
     the renamings and the minimum absorbs the permutation.
+
+    For the two-thread common case the winning permutation is usually
+    decided by the first row alone (which equals the memoized single-thread
+    relabelling of the leading thread), so only that permutation is fully
+    relabelled.
     """
+    if len(threads) == 2:
+        first, second = threads
+        row_first = _relabel_single(first)
+        row_second = _relabel_single(second)
+        if row_first < row_second:
+            return _relabel(threads)
+        if row_second < row_first:
+            return _relabel((second, first))
+        return min(_relabel(threads), _relabel((second, first)))
     return min(_relabel(permuted) for permuted in permutations(threads))
 
 

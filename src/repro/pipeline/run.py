@@ -34,7 +34,8 @@ from repro.core.parametric import model_space
 from repro.engine.engine import CheckEngine, EngineStats
 from repro.generation.enumeration import (
     NaiveEnumerationConfig,
-    enumerate_canonical_naive_tests,
+    enumerate_canonical_naive_items,
+    test_from_items,
 )
 from repro.pipeline.canonical import CanonicalIndex, key_digest
 from repro.pipeline.report import EquivalenceReport, PartitionAccumulator
@@ -83,6 +84,11 @@ class PipelineConfig:
         suite: template suite to compare against; matched to the space by
             default (``"no_deps"`` / ``"standard"``).
         backend: engine backend for the admissibility checks.
+        kernel: explicit-strategy kernel backend (``"auto"``, ``"native"``,
+            ``"python"`` or ``"bigint"``); each worker process resolves it
+            once when it builds its engine.  Deliberately *not* part of the
+            checkpoint manifest — all kernels are bit-identical, so a run
+            may be resumed under a different kernel.
         jobs: worker processes checking shards (1 = serial, in-process).
         shard_size: unique tests per shard (the checkpointing granule).
         limit: optional cap on unique tests (for smoke runs).
@@ -94,6 +100,7 @@ class PipelineConfig:
     space: str = "no_deps"
     suite: Optional[str] = None
     backend: str = "explicit"
+    kernel: str = "auto"
     jobs: int = 1
     shard_size: int = 512
     limit: Optional[int] = None
@@ -101,9 +108,16 @@ class PipelineConfig:
     resume: bool = False
 
     def __post_init__(self) -> None:
+        from repro.native.backend import KERNEL_CHOICES
+
         if self.bound not in BOUNDS:
             raise PipelineError(
                 f"unknown bound {self.bound!r} (expected one of {', '.join(BOUNDS)})"
+            )
+        if self.kernel not in KERNEL_CHOICES:
+            raise PipelineError(
+                f"unknown kernel {self.kernel!r} "
+                f"(expected one of {', '.join(KERNEL_CHOICES)})"
             )
         if self.space not in ("deps", "no_deps"):
             raise PipelineError(
@@ -246,51 +260,65 @@ def _column_mask(engine: CheckEngine, test: LitmusTest, models: Sequence[MemoryM
     return mask
 
 
-#: State inherited by forked shard workers (backend name, model list).
-_PIPE_STATE: Optional[Tuple[str, List[MemoryModel]]] = None
+#: State inherited by forked shard workers (backend name, kernel name,
+#: model list).
+_PIPE_STATE: Optional[Tuple[str, str, List[MemoryModel]]] = None
 _PIPE_STATE_LOCK = threading.Lock()
 #: The worker process's persistent engine (one per process, lazily built).
 _WORKER_ENGINE: Optional[CheckEngine] = None
 
 
-def _worker_shard(payload: Tuple[int, List[LitmusTest]]) -> Tuple[int, List[int], Dict[str, int]]:
+def _worker_shard(payload: Tuple[int, List[str], List[tuple]]) -> Tuple[int, List[int], Dict[str, int]]:
     global _WORKER_ENGINE
     assert _PIPE_STATE is not None
-    backend, models = _PIPE_STATE
+    backend, kernel, models = _PIPE_STATE
     if _WORKER_ENGINE is None:
-        # One persistent engine per worker process; the model space is
-        # compiled eagerly here, once, and the resulting IR (and its
-        # lowerings) is shared by every shard this process checks.
-        _WORKER_ENGINE = CheckEngine(backend=backend)
+        # One persistent engine per worker process; the kernel backend is
+        # resolved here, once per process, and the model space is compiled
+        # eagerly so the resulting IR (and its lowerings) is shared by
+        # every shard this process checks.
+        _WORKER_ENGINE = CheckEngine(backend=backend, kernel=kernel)
         _WORKER_ENGINE.precompile(models)
     engine = _WORKER_ENGINE
-    shard_index, tests = payload
+    shard_index, names, items_list = payload
     before = engine.stats.snapshot()
-    rows = [_column_mask(engine, test, models) for test in tests]
+    # The LitmusTest objects are materialised here, in the worker: the
+    # enumerating process streams only the compact abstract item tuples,
+    # which both parallelises the test construction and keeps the pool
+    # pickling small tuples instead of instruction object graphs.
+    rows = [
+        _column_mask(engine, test_from_items(items, name), models)
+        for name, items in zip(names, items_list)
+    ]
     return shard_index, rows, engine.stats.since(before).as_dict()
 
 
 def _shards(
     config: PipelineConfig, index: CanonicalIndex
-) -> Iterator[Tuple[int, List[str], List[str], List[LitmusTest]]]:
-    """Yield ``(shard_index, names, key_digests, tests)`` in stream order."""
-    stream = enumerate_canonical_naive_tests(
+) -> Iterator[Tuple[int, List[str], List[str], List[tuple]]]:
+    """Yield ``(shard_index, names, key_digests, items_list)`` in stream order.
+
+    The stream carries abstract item tuples, not built tests — the consumer
+    (a worker process, or the serial loop) calls
+    :func:`~repro.generation.enumeration.test_from_items` per test.
+    """
+    stream = enumerate_canonical_naive_items(
         config.enumeration_config(), limit=config.limit, index=index
     )
     shard_index = 0
     names: List[str] = []
     digests: List[str] = []
-    tests: List[LitmusTest] = []
-    for key, test in stream:
-        names.append(test.name)
+    items_list: List[tuple] = []
+    for key, name, items in stream:
+        names.append(name)
         digests.append(key_digest(key))
-        tests.append(test)
-        if len(tests) == config.shard_size:
-            yield shard_index, names, digests, tests
+        items_list.append(items)
+        if len(items_list) == config.shard_size:
+            yield shard_index, names, digests, items_list
             shard_index += 1
-            names, digests, tests = [], [], []
-    if tests:
-        yield shard_index, names, digests, tests
+            names, digests, items_list = [], [], []
+    if items_list:
+        yield shard_index, names, digests, items_list
 
 
 # ----------------------------------------------------------------------
@@ -326,7 +354,7 @@ def run_pipeline(
     if suite_tests is None:
         suite_tests = _template_suite(config.suite_key())
     if engine is None:
-        engine = CheckEngine(backend=config.backend)
+        engine = CheckEngine(backend=config.backend, kernel=config.kernel)
     # Compile the model space once up front: the template exploration, the
     # serial shard loop and (through the process-global IR intern table)
     # any same-process worker fallback all share the compiled artifacts.
@@ -389,11 +417,15 @@ def run_pipeline(
                 },
             )
 
-    if config.jobs > 1:
+    # Extra workers beyond the machine's cores only add fork/IPC overhead
+    # (the check is CPU-bound), so a single-core host always takes the
+    # serial in-process path no matter what ``--jobs`` asks for.
+    effective_jobs = min(config.jobs, os.cpu_count() or 1)
+    if effective_jobs > 1:
         _run_shards_parallel(config, models, index, fold_completed, stats, num_models)
         shards_total = shards_checked + shards_resumed
     else:
-        for shard_index, names, digests, tests in _shards(config, index):
+        for shard_index, names, digests, items_list in _shards(config, index):
             shards_total += 1
             rows = None
             if config.resume and run_dir is not None:
@@ -402,7 +434,10 @@ def run_pipeline(
                 fold_completed(shard_index, names, digests, rows, resumed=True)
                 continue
             before = engine.stats.snapshot()
-            rows = [_column_mask(engine, test, models) for test in tests]
+            rows = [
+                _column_mask(engine, test_from_items(items, name), models)
+                for name, items in zip(names, items_list)
+            ]
             stats.merge(engine.stats.since(before).as_dict())
             fold_completed(shard_index, names, digests, rows, resumed=False)
 
@@ -474,8 +509,8 @@ def _run_shards_parallel(
         context = multiprocessing.get_context("fork")
     except ValueError:
         # No fork on this platform: check serially on one in-process engine.
-        engine = CheckEngine(backend=config.backend)
-        for shard_index, names, digests, tests in _shards(config, index):
+        engine = CheckEngine(backend=config.backend, kernel=config.kernel)
+        for shard_index, names, digests, items_list in _shards(config, index):
             rows = None
             if config.resume and config.run_dir is not None:
                 rows = _load_shard(config.run_dir, shard_index, digests, num_models)
@@ -483,16 +518,20 @@ def _run_shards_parallel(
                 fold_completed(shard_index, names, digests, rows, resumed=True)
                 continue
             before = engine.stats.snapshot()
-            rows = [_column_mask(engine, test, models) for test in tests]
+            rows = [
+                _column_mask(engine, test_from_items(items, name), models)
+                for name, items in zip(names, items_list)
+            ]
             stats.merge(engine.stats.since(before).as_dict())
             fold_completed(shard_index, names, digests, rows, resumed=False)
         return
 
-    window = config.jobs * 2
+    jobs = min(config.jobs, os.cpu_count() or 1)
+    window = jobs * 2
     with _PIPE_STATE_LOCK:
-        _PIPE_STATE = (config.backend, models)
+        _PIPE_STATE = (config.backend, config.kernel, models)
         try:
-            with context.Pool(processes=config.jobs) as pool:
+            with context.Pool(processes=jobs) as pool:
                 # shard_index -> (names, digests, async_result or rows, resumed)
                 outstanding: "List[Tuple[int, List[str], List[str], object, bool]]" = []
 
@@ -507,14 +546,16 @@ def _run_shards_parallel(
                         stats.merge(worker_stats)
                         fold_completed(shard_index, names, digests, rows, False)
 
-                for shard_index, names, digests, tests in _shards(config, index):
+                for shard_index, names, digests, items_list in _shards(config, index):
                     rows = None
                     if config.resume and config.run_dir is not None:
                         rows = _load_shard(config.run_dir, shard_index, digests, num_models)
                     if rows is not None:
                         outstanding.append((shard_index, names, digests, rows, True))
                     else:
-                        async_result = pool.apply_async(_worker_shard, ((shard_index, tests),))
+                        async_result = pool.apply_async(
+                            _worker_shard, ((shard_index, names, items_list),)
+                        )
                         outstanding.append((shard_index, names, digests, async_result, False))
                     drain(window)
                 drain(0)

@@ -40,8 +40,19 @@ KNOWN_NAMES = ("M1010", "M1044", "M4044", "M4144", "M4444")
 
 
 def _known_exploration():
+    # Pinned to the bigint kernel so the embedded EngineStats (which carry
+    # the kernel label and the native/fallback search counters) match the
+    # golden file in every environment — with or without the C extension,
+    # and under any REPRO_KERNEL setting.
+    from repro.engine.engine import CheckEngine
+
     models = [parametric_model(name) for name in KNOWN_NAMES]
-    return explore_models(models, list(L_TESTS), preferred_tests=L_TESTS)
+    return explore_models(
+        models,
+        list(L_TESTS),
+        checker=CheckEngine(kernel="bigint"),
+        preferred_tests=L_TESTS,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -65,6 +76,18 @@ def test_golden_comparison_result_roundtrips_bit_identically():
     result = from_json(document)
     assert to_json(result) == document
     assert from_json(document) == compare_models(SC, TSO, list(L_TESTS))
+
+
+def test_golden_exploration_stats_carry_the_kernel_backend():
+    """The embedded EngineStats round-trip the kernel label and counters."""
+    document = json.loads((GOLDEN / "exploration_result.json").read_text())
+    stats = document["stats"]
+    assert stats["kernel_backend"] == "bigint"  # pinned by _known_exploration
+    assert stats["native_searches"] == 0
+    assert stats["fallback_searches"] > 0
+    rebuilt = from_json(document)
+    assert rebuilt.stats.kernel_backend == "bigint"
+    assert to_json(rebuilt)["stats"] == stats
 
 
 def test_golden_exploration_includes_stats_and_hasse_edges():

@@ -83,6 +83,19 @@ def test_serve_demonstrates_cross_request_cache_reuse():
     assert explore["stats"]["context_cache_hits"] > 0
 
 
+def test_serve_stats_report_the_active_kernel_backend():
+    """Every response's stats delta names the kernel and its search counters."""
+    for kernel in ("bigint", "python"):
+        _, responses = _serve_lines(
+            [json.dumps({"op": "explore", "space": "no_deps"})],
+            session=Session(kernel=kernel),
+        )
+        stats = responses[0]["stats"]
+        assert stats["kernel_backend"] == kernel
+        assert stats["native_searches"] == 0
+        assert stats["fallback_searches"] > 0
+
+
 def test_serve_reports_errors_and_keeps_going():
     count, responses = _serve_lines(
         [
