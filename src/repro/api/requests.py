@@ -118,6 +118,11 @@ class ExhaustiveRequest:
     limit: Optional[int] = None
     run_dir: Optional[str] = None
     resume: bool = False
+    #: wall-clock seconds a parallel worker may spend on one shard before
+    #: it is killed and the shard retried on a fresh worker; None = no limit
+    shard_timeout: Optional[float] = None
+    #: retries per shard (beyond the first attempt) before quarantine
+    shard_retries: int = 2
 
     op = "exhaustive"
 
@@ -174,9 +179,19 @@ def request_from_json(document: Mapping[str, Any]) -> Request:
     """
     from repro.api.serialize import SerializationError, check_envelope
 
+    if not isinstance(document, Mapping):
+        # A JSON array or scalar on a serve line must be a structured
+        # bad-request error, not an AttributeError escaping the loop.
+        raise SerializationError(
+            f"request document must be a JSON object, not {type(document).__name__}"
+        )
     if "schema" in document or "schema_version" in document:
         check_envelope(dict(document), "request")
     op = document.get("op")
+    if not isinstance(op, str):
+        raise SerializationError(
+            f"request op must be a string (expected one of {', '.join(_REQUEST_TYPES)})"
+        )
     cls = _REQUEST_TYPES.get(op)
     if cls is None:
         raise SerializationError(

@@ -436,6 +436,9 @@ def equivalence_report_to_json(report: EquivalenceReport) -> Dict[str, Any]:
             "mismatches": list(report.mismatches),
             "stats": None if report.stats is None else engine_stats_to_json(report.stats),
             "elapsed_seconds": report.elapsed_seconds,
+            "shards_quarantined": report.shards_quarantined,
+            "quarantined_shards": list(report.quarantined_shards),
+            "complete": report.complete,
         }
     )
     return document
@@ -466,6 +469,10 @@ def equivalence_report_from_json(document: Dict[str, Any]) -> EquivalenceReport:
         mismatches=list(document.get("mismatches", [])),
         stats=None if stats is None else engine_stats_from_json(stats),
         elapsed_seconds=document.get("elapsed_seconds", 0.0),
+        # Absent in pre-fault-tolerance documents: default to a complete run.
+        shards_quarantined=document.get("shards_quarantined", 0),
+        quarantined_shards=list(document.get("quarantined_shards", [])),
+        complete=document.get("complete", True),
     )
 
 

@@ -1,4 +1,4 @@
-"""``repro serve``: a long-lived JSON-lines request/response loop.
+"""``repro serve``: a production-hardened JSON-lines request/response loop.
 
 One warm :class:`~repro.api.session.Session` answers a stream of request
 documents, one JSON object per line, writing one JSON response object per
@@ -21,101 +21,708 @@ Protocol::
         "op": "check", "result": {...}, "stats": {...}}
 
 Request lines may be bare ``{"op": ...}`` objects or full
-``repro/request`` documents (see :mod:`repro.api.requests`).  A malformed
-line produces an ``{"ok": false, "error": ...}`` response and the loop
-continues; the loop ends at end of input.
+``repro/request`` documents (see :mod:`repro.api.requests`).  Two ops are
+built into the server itself: ``{"op": "health"}`` (liveness, uptime,
+in-flight depth, drain status) and ``{"op": "stats"}`` (request counters
+plus the engine's cumulative :class:`EngineStats`, including the resolved
+``kernel_backend``); both bypass the session lock and the deadline so
+they answer even while the engine is busy.
+
+Robustness (see ``docs/operations.md`` for the full operational story):
+
+* **Errors are machine-readable.**  Failures answer
+  ``{"ok": false, "error": {"code": ..., "message": ...}}`` with a code
+  from :data:`ERROR_CODES`; ``internal`` is the catch-all, so no
+  exception class can kill a connection loop (the traceback goes to the
+  structured log, not the client).
+* **Deadlines.**  With a ``--timeout``, each request runs under a
+  watchdog; past the deadline the client gets ``deadline_exceeded`` and
+  the request is abandoned (its worker thread finishes in the
+  background).
+* **Bounded input.**  Request lines longer than ``--max-line-bytes``
+  answer ``request_too_large`` (the oversized line is discarded without
+  buffering it).
+* **Backpressure.**  At most ``--max-connections`` conversations run
+  concurrently; beyond that, connections wait in a bounded admission
+  queue and are shed with a one-line ``overloaded`` error once the queue
+  is full (or the wait exceeds the admission timeout).
+* **Idle timeouts.**  Socket connections idle past ``--idle-timeout``
+  are closed.
+* **Graceful drain.**  SIGTERM/SIGINT stop the accept loop, let in-flight
+  requests finish (bounded by ``--drain-grace``), flush, and exit 0.
+* **Structured logs.**  One JSON object per line on stderr
+  (``serve_start``, ``conn_open``, ``request``, ``drain_begin``, ...).
+
+A malformed line produces an ``{"ok": false, "error": {...}}`` response
+and the loop continues; the loop ends at end of input or on drain.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import socketserver
+import os
+import signal
 import sys
+import socketserver
 import threading
-from typing import Any, Dict, IO, Optional, Sequence
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, IO, Iterator, Optional, Sequence, Tuple, Union
 
 from repro.api.requests import request_from_json
 from repro.api.serialize import envelope, to_json
 from repro.api.session import Session
+from repro.util import faults
+
+# ----------------------------------------------------------------------
+# error taxonomy
+# ----------------------------------------------------------------------
+#: Machine-readable error codes, the full taxonomy:
+#:
+#: ================== ==================================================
+#: invalid_request    malformed JSON, unknown op/field, schema mismatch,
+#:                    unknown model/test name, malformed embedded docs
+#: request_too_large  request line exceeded ``max_line_bytes``
+#: deadline_exceeded  request ran past ``timeout`` and was abandoned
+#: overloaded         shed by the connection cap / admission queue
+#: unavailable        server is draining and takes no new requests
+#: internal           unexpected exception (catch-all; traceback logged)
+#: ================== ==================================================
+ERROR_CODES = (
+    "invalid_request",
+    "request_too_large",
+    "deadline_exceeded",
+    "overloaded",
+    "unavailable",
+    "internal",
+)
+
+#: Ops answered by the server itself, without touching the session lock.
+BUILTIN_OPS = ("health", "stats")
 
 
-def handle_request_line(session: Session, line: str) -> Dict[str, Any]:
-    """Answer one JSON request line; never raises on bad input."""
+class ServeError(Exception):
+    """A failure with a machine-readable code from :data:`ERROR_CODES`."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        assert code in ERROR_CODES, code
+        self.code = code
+
+    def body(self) -> Dict[str, str]:
+        return error_body(self.code, str(self))
+
+
+def error_body(code: str, message: str) -> Dict[str, str]:
+    """The ``error`` field of a failed response."""
+    return {"code": code, "message": message}
+
+
+def error_response(code: str, message: str, op: Optional[str] = None) -> Dict[str, Any]:
+    """A complete one-line error response document."""
     response = envelope("response")
+    response["ok"] = False
+    if op is not None:
+        response["op"] = op
+    response["error"] = error_body(code, message)
+    return response
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+def _env_value(name: str, cast: Callable, default):
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
     try:
-        document = json.loads(line)
+        return cast(raw)
+    except ValueError:
+        return default
+
+
+@dataclass
+class ServeConfig:
+    """Limits and operational knobs for the serve loop.
+
+    Every field has a CLI flag and a ``REPRO_SERVE_*`` environment
+    variable (flag > env > default); see :meth:`from_env`.
+    """
+
+    #: per-request deadline in seconds; None = unbounded
+    timeout: Optional[float] = None
+    #: maximum request line length in bytes
+    max_line_bytes: int = 10 * 1024 * 1024
+    #: maximum concurrently-served connections
+    max_connections: int = 64
+    #: connections allowed to wait for a slot before being shed
+    admission_queue: int = 128
+    #: how long a queued connection waits for a slot before being shed
+    admission_timeout: float = 10.0
+    #: close socket connections idle this long; None = never
+    idle_timeout: Optional[float] = 300.0
+    #: how long a drain waits for in-flight requests before giving up
+    drain_grace: float = 30.0
+    #: structured-log destination; None = stderr
+    log_stream: Optional[IO[str]] = None
+    #: emit structured log events at all
+    log_enabled: bool = True
+
+    @classmethod
+    def from_env(cls, **overrides: object) -> "ServeConfig":
+        """Build a config from ``REPRO_SERVE_*`` variables plus overrides.
+
+        Overrides whose value is ``None`` are ignored, so CLI flags that
+        were not passed fall through to the environment, then defaults.
+        """
+        config = cls(
+            timeout=_env_value("REPRO_SERVE_TIMEOUT", float, None),
+            max_line_bytes=_env_value("REPRO_SERVE_MAX_LINE_BYTES", int, cls.max_line_bytes),
+            max_connections=_env_value("REPRO_SERVE_MAX_CONNECTIONS", int, cls.max_connections),
+            admission_queue=_env_value("REPRO_SERVE_ADMISSION_QUEUE", int, cls.admission_queue),
+            admission_timeout=_env_value(
+                "REPRO_SERVE_ADMISSION_TIMEOUT", float, cls.admission_timeout
+            ),
+            idle_timeout=_env_value("REPRO_SERVE_IDLE_TIMEOUT", float, cls.idle_timeout),
+            drain_grace=_env_value("REPRO_SERVE_DRAIN_GRACE", float, cls.drain_grace),
+        )
+        for name, value in overrides.items():
+            if value is not None:
+                setattr(config, name, value)
+        return config
+
+
+class ServerState:
+    """Shared mutable server state: counters, in-flight depth, drain flag."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.lock = threading.Lock()
+        self._idle = threading.Condition(self.lock)
+        self.started_monotonic = time.monotonic()
+        self.started_at = time.time()
+        self.requests_total = 0
+        self.requests_ok = 0
+        self.errors_by_code: Dict[str, int] = {}
+        self.in_flight = 0
+        self.connections_active = 0
+        self.connections_total = 0
+        self.connections_shed = 0
+        self.waiting = 0
+        self.draining = False
+        #: True while the stdio transport is blocked reading the next line
+        #: (the drain signal handler may only interrupt an idle read).
+        self.reading = False
+
+    # -- structured logging --------------------------------------------
+    def log(self, event: str, **fields: object) -> None:
+        if not self.config.log_enabled:
+            return
+        record: Dict[str, object] = {"ts": round(time.time(), 3), "event": event}
+        record.update(fields)
+        stream = self.config.log_stream if self.config.log_stream is not None else sys.stderr
+        try:
+            stream.write(json.dumps(record) + "\n")
+            stream.flush()
+        except (OSError, ValueError):  # a closed log stream must never kill serving
+            pass
+
+    # -- request accounting --------------------------------------------
+    def begin_request(self) -> None:
+        with self.lock:
+            self.in_flight += 1
+
+    def end_request(self, response: Dict[str, Any]) -> None:
+        """Count a finished request *after* its response was written."""
+        with self._idle:
+            self.in_flight -= 1
+            self.requests_total += 1
+            if response.get("ok"):
+                self.requests_ok += 1
+            else:
+                code = (response.get("error") or {}).get("code", "internal")
+                self.errors_by_code[code] = self.errors_by_code.get(code, 0) + 1
+            self._idle.notify_all()
+
+    def wait_idle(self, grace: float) -> bool:
+        """Wait until no request is in flight; False if ``grace`` ran out."""
+        deadline = time.monotonic() + grace
+        with self._idle:
+            while self.in_flight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(min(remaining, 0.5))
+        return True
+
+    def uptime(self) -> float:
+        return time.monotonic() - self.started_monotonic
+
+    def snapshot(self) -> Dict[str, object]:
+        with self.lock:
+            return {
+                "uptime_seconds": round(self.uptime(), 3),
+                "requests_total": self.requests_total,
+                "requests_ok": self.requests_ok,
+                "errors_by_code": dict(self.errors_by_code),
+                "in_flight": max(0, self.in_flight - 1),  # excluding this request
+                "connections_active": self.connections_active,
+                "connections_total": self.connections_total,
+                "connections_shed": self.connections_shed,
+                "draining": self.draining,
+            }
+
+
+# ----------------------------------------------------------------------
+# request handling
+# ----------------------------------------------------------------------
+def _call_with_deadline(fn: Callable[[], Any], timeout: float) -> Tuple[bool, Any]:
+    """Run ``fn`` on a watchdog-supervised thread.
+
+    Returns ``(True, result)`` when it finished within ``timeout`` —
+    re-raising anything it raised — or ``(False, None)`` when the deadline
+    passed and the request was abandoned (the thread keeps running to
+    completion in the background; any lock it needs is acquired inside
+    ``fn``, so an abandoned request releases the engine when it is done).
+    """
+    box: Dict[str, Any] = {}
+    done = threading.Event()
+
+    def target() -> None:
+        try:
+            box["result"] = fn()
+        except BaseException as error:  # re-raised on the caller's thread
+            box["error"] = error
+        finally:
+            done.set()
+
+    thread = threading.Thread(target=target, daemon=True, name="repro-serve-request")
+    thread.start()
+    if not done.wait(timeout):
+        return False, None
+    if "error" in box:
+        raise box["error"]
+    return True, box["result"]
+
+
+def _builtin_result(op: str, session: Session, state: Optional[ServerState]) -> Dict[str, Any]:
+    """Answer a built-in ``health`` / ``stats`` op from server state."""
+    if op == "health":
+        return {
+            "status": "draining" if state is not None and state.draining else "ok",
+            "uptime_seconds": round(state.uptime(), 3) if state is not None else 0.0,
+            "in_flight": max(0, state.in_flight - 1) if state is not None else 0,
+        }
+    return {
+        "server": state.snapshot() if state is not None else {},
+        "engine": session.engine.stats.as_dict(),
+        "session": session.info(),
+    }
+
+
+def handle_request_line(
+    session: Session,
+    line: str,
+    state: Optional[ServerState] = None,
+    config: Optional[ServeConfig] = None,
+    lock: Optional[threading.Lock] = None,
+) -> Dict[str, Any]:
+    """Answer one JSON request line; never raises on any input.
+
+    ``lock`` serialises engine access when several transports share one
+    session; it is acquired *inside* the (possibly deadline-supervised)
+    request body so an abandoned request cannot leak it to the watchdog.
+    """
+    if config is None:
+        config = state.config if state is not None else ServeConfig()
+    response = envelope("response")
+    op: Optional[str] = None
+    started = time.monotonic()
+    try:
+        try:
+            document = json.loads(line)
+        except ValueError as error:
+            raise ServeError("invalid_request", f"malformed JSON: {error}")
+        if isinstance(document, dict):
+            raw_op = document.get("op")
+            op = raw_op if isinstance(raw_op, str) else None
+        if op in BUILTIN_OPS:
+            # Built-in ops bypass the session lock and the deadline so they
+            # answer even while the engine is wedged on a long request.
+            response.update({"ok": True, "op": op, "result": _builtin_result(op, session, state)})
+            return response
         request = request_from_json(document)
-        before = session.engine.stats.snapshot()
-        result = session.run(request)
+        op = request.op
+
+        def run() -> Tuple[Any, Any]:
+            faults.fire("serve.request", op=op)
+            if lock is not None:
+                with lock:
+                    return _dispatch(session, request)
+            return _dispatch(session, request)
+
+        if config.timeout is not None:
+            finished, value = _call_with_deadline(run, config.timeout)
+            if not finished:
+                if state is not None:
+                    state.log("deadline_exceeded", op=op, timeout=config.timeout)
+                raise ServeError(
+                    "deadline_exceeded",
+                    f"request exceeded the {config.timeout:g}s deadline and was abandoned",
+                )
+        else:
+            value = run()
+        result, stats_delta = value
+        response.update(
+            {"ok": True, "op": op, "result": to_json(result), "stats": stats_delta.as_dict()}
+        )
+    except ServeError as error:
+        if op is not None:
+            response["op"] = op
+        response.update({"ok": False, "error": error.body()})
+    except (ValueError, TypeError, LookupError, OSError) as error:
+        # The expected bad-request family: JSONDecodeError/SerializationError
+        # (ValueError), KeyErrors from malformed documents (LookupError),
+        # missing files behind path specs (OSError).
+        if op is not None:
+            response["op"] = op
+        response.update({"ok": False, "error": error_body("invalid_request", str(error))})
+    except Exception as error:  # noqa: BLE001 - the catch-all IS the contract:
+        # no exception class may kill the connection loop.  The client gets
+        # a structured `internal` error; the traceback goes to the log.
+        if op is not None:
+            response["op"] = op
+        if state is not None:
+            state.log(
+                "internal_error",
+                op=op,
+                error=f"{type(error).__name__}: {error}",
+                traceback=traceback.format_exc(limit=20),
+            )
         response.update(
             {
-                "ok": True,
-                "op": request.op,
-                "result": to_json(result),
-                "stats": session.engine.stats.since(before).as_dict(),
+                "ok": False,
+                "error": error_body("internal", f"{type(error).__name__}: {error}"),
             }
         )
-    except (ValueError, TypeError, LookupError, OSError) as error:
-        # ValueError covers JSONDecodeError and SerializationError;
-        # LookupError covers the KeyErrors malformed documents raise.
-        response.update({"ok": False, "error": str(error)})
+    finally:
+        if state is not None:
+            state.log(
+                "request",
+                op=op,
+                ok=bool(response.get("ok")),
+                code=(response.get("error") or {}).get("code"),
+                duration_ms=round((time.monotonic() - started) * 1000.0, 3),
+            )
     return response
+
+
+def _dispatch(session: Session, request: Any) -> Tuple[Any, Any]:
+    before = session.engine.stats.snapshot()
+    result = session.run(request)
+    return result, session.engine.stats.since(before)
+
+
+# ----------------------------------------------------------------------
+# line transport
+# ----------------------------------------------------------------------
+#: Sentinel yielded by :func:`_iter_limited_lines` for an oversized line.
+OVERSIZED = object()
+
+
+def _iter_limited_lines(stream: Any, max_len: int) -> Iterator[Union[str, object]]:
+    """Yield request lines, or :data:`OVERSIZED` for over-limit lines.
+
+    Oversized lines are discarded chunk by chunk (never buffered whole),
+    so a hostile peer cannot make the server hold an arbitrarily large
+    line in memory.  Streams without ``readline`` (plain iterables, used
+    by some tests) are iterated directly with a post-hoc length check.
+    """
+    readline = getattr(stream, "readline", None)
+    if readline is None:
+        for line in stream:
+            yield OVERSIZED if len(line) > max_len + 1 else line
+        return
+    while True:
+        line = stream.readline(max_len + 1)
+        if not line:
+            return
+        if len(line) > max_len and not line.endswith("\n"):
+            while True:  # discard the rest of the oversized line
+                rest = stream.readline(max_len + 1)
+                if not rest or rest.endswith("\n"):
+                    break
+            yield OVERSIZED
+            continue
+        yield line
 
 
 def serve_stream(
     session: Session,
-    input_stream: IO[str],
+    input_stream: Any,
     output_stream: IO[str],
     lock: Optional[threading.Lock] = None,
+    state: Optional[ServerState] = None,
+    config: Optional[ServeConfig] = None,
 ) -> int:
     """Answer request lines from ``input_stream`` until end of input.
 
-    Returns the number of lines answered.  ``lock`` serialises engine access
-    when several transports share one session.
+    Returns the number of lines answered.  ``lock`` serialises engine
+    access when several transports share one session; with a ``state``
+    the loop also counts requests, honours the drain flag (stop after
+    the current response once draining), and enforces the configured
+    line-length limit.
     """
+    if config is None:
+        config = state.config if state is not None else ServeConfig()
     answered = 0
-    for line in input_stream:
-        line = line.strip()
-        if not line:
-            continue
-        if lock is not None:
-            with lock:
-                response = handle_request_line(session, line)
+    for line in _iter_limited_lines(input_stream, config.max_line_bytes):
+        if line is OVERSIZED:
+            response = error_response(
+                "request_too_large",
+                f"request line exceeds {config.max_line_bytes} bytes",
+            )
         else:
-            response = handle_request_line(session, line)
-        output_stream.write(json.dumps(response) + "\n")
-        output_stream.flush()
-        answered += 1
+            line = line.strip()
+            if not line:
+                continue
+            if state is not None and state.draining:
+                response = error_response("unavailable", "server is draining")
+                if state is not None:
+                    state.begin_request()
+                try:
+                    output_stream.write(json.dumps(response) + "\n")
+                    output_stream.flush()
+                    answered += 1
+                finally:
+                    state.end_request(response)
+                break
+            response = None
+        if state is not None:
+            state.begin_request()
+        try:
+            if response is None:
+                response = handle_request_line(
+                    session, line, state=state, config=config, lock=lock
+                )
+            output_stream.write(json.dumps(response) + "\n")
+            output_stream.flush()
+            answered += 1
+        finally:
+            if state is not None:
+                state.end_request(response if response is not None else {})
+        if state is not None and state.draining:
+            break
     return answered
 
 
-def serve_socket(session: Session, host: str, port: int) -> socketserver.ThreadingTCPServer:
-    """Return a started-but-not-running TCP server sharing ``session``.
+# ----------------------------------------------------------------------
+# socket transport
+# ----------------------------------------------------------------------
+class _SocketWriter:
+    """Encode response lines onto the connection's binary write file."""
 
-    The caller drives it (``serve_forever`` / ``handle_request`` /
-    ``shutdown``); each connection is one JSON-lines conversation.
+    def __init__(self, wfile: IO[bytes]) -> None:
+        self._wfile = wfile
+
+    def write(self, text: str) -> None:
+        self._wfile.write(text.encode("utf-8"))
+
+    def flush(self) -> None:
+        self._wfile.flush()
+
+
+class _Utf8LineReader:
+    """Byte-accurate bounded line reads over the connection's read file."""
+
+    def __init__(self, rfile: IO[bytes]) -> None:
+        self._rfile = rfile
+
+    def readline(self, limit: int = -1) -> str:
+        return self._rfile.readline(limit).decode("utf-8", "replace")
+
+
+class ServeServer(socketserver.ThreadingTCPServer):
+    """The TCP transport: one JSON-lines conversation per connection."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        session: Session,
+        config: ServeConfig,
+        state: ServerState,
+    ) -> None:
+        super().__init__(address, _ConnectionHandler)
+        self.session = session
+        self.config = config
+        self.state = state
+        self.session_lock = threading.Lock()
+        self.capacity = threading.Semaphore(config.max_connections)
+
+
+class _ConnectionHandler(socketserver.StreamRequestHandler):
+    server: ServeServer  # narrowed for readability
+
+    def handle(self) -> None:
+        state, config = self.server.state, self.server.config
+        peer = "%s:%s" % self.client_address[:2]
+        if state.draining:
+            self._shed("unavailable", "server is draining", peer)
+            return
+        if not self._admit(state, config, peer):
+            return
+        with state.lock:
+            state.connections_active += 1
+            state.connections_total += 1
+        state.log("conn_open", peer=peer)
+        try:
+            if config.idle_timeout is not None:
+                self.connection.settimeout(config.idle_timeout)
+            serve_stream(
+                self.server.session,
+                _Utf8LineReader(self.rfile),
+                _SocketWriter(self.wfile),
+                lock=self.server.session_lock,
+                state=state,
+                config=config,
+            )
+        except TimeoutError:
+            state.log("conn_idle_timeout", peer=peer, idle_timeout=config.idle_timeout)
+        except (OSError, ValueError):
+            # The peer vanished mid-read or mid-write; nothing to answer.
+            pass
+        finally:
+            self.server.capacity.release()
+            with state.lock:
+                state.connections_active -= 1
+            state.log("conn_close", peer=peer)
+
+    def _admit(self, state: ServerState, config: ServeConfig, peer: str) -> bool:
+        """Admission control: bounded queue in front of the connection cap."""
+        if self.server.capacity.acquire(blocking=False):
+            return True  # a slot is free: no queueing needed
+        with state.lock:
+            if state.waiting >= config.admission_queue:
+                shed_now = True
+            else:
+                shed_now = False
+                state.waiting += 1
+        if shed_now:
+            self._shed("overloaded", "admission queue is full", peer)
+            return False
+        try:
+            admitted = self.server.capacity.acquire(timeout=config.admission_timeout)
+        finally:
+            with state.lock:
+                state.waiting -= 1
+        if not admitted:
+            self._shed(
+                "overloaded",
+                f"no connection slot within {config.admission_timeout:g}s",
+                peer,
+            )
+            return False
+        return True
+
+    def _shed(self, code: str, message: str, peer: str) -> None:
+        state = self.server.state
+        with state.lock:
+            state.connections_shed += 1
+        state.log("conn_shed", peer=peer, code=code)
+        try:
+            self.wfile.write((json.dumps(error_response(code, message)) + "\n").encode("utf-8"))
+            self.wfile.flush()
+        except (OSError, ValueError):
+            pass
+
+
+def serve_socket(
+    session: Session,
+    host: str,
+    port: int,
+    config: Optional[ServeConfig] = None,
+    state: Optional[ServerState] = None,
+) -> ServeServer:
+    """Return a bound-but-not-running TCP server sharing ``session``.
+
+    The caller drives it (``serve_forever`` / ``shutdown``); each
+    connection is one JSON-lines conversation.  Without an explicit
+    ``state``, structured logging is off — the ``serve()`` entry point is
+    what wires a logging state in.
     """
-    lock = threading.Lock()
+    if config is None:
+        config = ServeConfig(log_enabled=False)
+    if state is None:
+        state = ServerState(config)
+    return ServeServer((host, port), session, config, state)
 
-    class Handler(socketserver.StreamRequestHandler):
-        def handle(self) -> None:  # pragma: no cover - exercised via sockets
-            reader = (raw.decode("utf-8") for raw in self.rfile)
 
-            class _Writer:
-                def write(inner, text: str) -> None:
-                    self.wfile.write(text.encode("utf-8"))
+# ----------------------------------------------------------------------
+# the entry point: transports + graceful drain
+# ----------------------------------------------------------------------
+class _DrainInterrupt(Exception):
+    """Raised by the stdio drain handler to interrupt an idle read."""
 
-                def flush(inner) -> None:
-                    self.wfile.flush()
 
-            serve_stream(session, reader, _Writer(), lock=lock)
+class _InterruptibleReader:
+    """Marks the state as idle-reading so the drain handler may interrupt."""
 
-    class Server(socketserver.ThreadingTCPServer):
-        allow_reuse_address = True
-        daemon_threads = True
+    def __init__(self, stream: Any, state: ServerState) -> None:
+        self._stream = stream
+        self._state = state
 
-    return Server((host, port), Handler)
+    def readline(self, limit: int = -1) -> str:
+        self._state.reading = True
+        try:
+            return self._stream.readline(limit)
+        finally:
+            self._state.reading = False
+
+
+def _install_drain_handlers(
+    begin_drain: Callable[[str], None], raise_when_reading: Optional[ServerState] = None
+) -> Optional[Dict[int, object]]:
+    """Route SIGTERM/SIGINT into the drain path; return the old handlers.
+
+    Returns None when not on the main thread (``signal.signal`` would
+    raise there), in which case the caller simply serves without signal
+    integration — tests drive drain through the state flag directly.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return None
+
+    def handler(signum: int, frame: object) -> None:
+        begin_drain(signal.Signals(signum).name)
+        if raise_when_reading is not None and raise_when_reading.reading:
+            raise _DrainInterrupt()
+
+    previous: Dict[int, object] = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, handler)
+    return previous
+
+
+def _restore_handlers(previous: Optional[Dict[int, object]]) -> None:
+    if previous is None:
+        return
+    for signum, old in previous.items():
+        signal.signal(signum, old)
+
+
+def _limits_fields(config: ServeConfig) -> Dict[str, object]:
+    return {
+        "timeout": config.timeout,
+        "max_line_bytes": config.max_line_bytes,
+        "max_connections": config.max_connections,
+        "admission_queue": config.admission_queue,
+        "idle_timeout": config.idle_timeout,
+        "drain_grace": config.drain_grace,
+    }
 
 
 def serve(
@@ -124,27 +731,183 @@ def serve(
     output_stream: Optional[IO[str]] = None,
     host: str = "127.0.0.1",
     port: Optional[int] = None,
+    config: Optional[ServeConfig] = None,
+    install_signal_handlers: bool = True,
 ) -> int:
-    """Run the serve loop on stdin/stdout, or on a TCP socket with ``port``."""
+    """Run the serve loop on stdin/stdout, or on a TCP socket with ``port``.
+
+    Either way SIGTERM and SIGINT drain gracefully: stop taking new work,
+    finish in-flight requests (bounded by ``config.drain_grace``), flush,
+    and return 0.
+    """
     session = session if session is not None else Session()
+    config = config if config is not None else ServeConfig.from_env()
+    state = ServerState(config)
     if port is not None:
-        # Remote clients must not be able to read server-side files by
-        # sending path-shaped test or model specs; registered names, inline
-        # litmus text and embedded documents remain available.
-        session.tests.allow_paths = False
-        session.models.allow_paths = False
-        with serve_socket(session, host, port) as server:
-            bound = server.server_address[1]
-            print(f"repro serve: listening on {host}:{bound}", file=sys.stderr)
-            try:
-                server.serve_forever()
-            except KeyboardInterrupt:  # pragma: no cover - interactive only
-                pass
-        return 0
-    return serve_stream(
+        return _serve_socket_until_drained(session, host, port, config, state,
+                                           install_signal_handlers)
+    return _serve_stdio_until_drained(
         session,
         input_stream if input_stream is not None else sys.stdin,
         output_stream if output_stream is not None else sys.stdout,
+        config,
+        state,
+        install_signal_handlers,
+    )
+
+
+def _serve_socket_until_drained(
+    session: Session,
+    host: str,
+    port: int,
+    config: ServeConfig,
+    state: ServerState,
+    install_signal_handlers: bool,
+) -> int:
+    # Remote clients must not be able to read server-side files by
+    # sending path-shaped test or model specs; registered names, inline
+    # litmus text and embedded documents remain available.
+    session.tests.allow_paths = False
+    session.models.allow_paths = False
+    server = serve_socket(session, host, port, config=config, state=state)
+    bound = server.server_address[1]
+
+    def begin_drain(cause: str) -> None:
+        with state.lock:
+            if state.draining:
+                return
+            state.draining = True
+        state.log("drain_begin", cause=cause, in_flight=state.in_flight)
+        # shutdown() blocks until the accept loop exits, so it must not run
+        # on the thread executing serve_forever (or in its signal handler).
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = _install_drain_handlers(begin_drain) if install_signal_handlers else None
+    state.log(
+        "serve_start",
+        transport="socket",
+        host=host,
+        port=bound,
+        pid=os.getpid(),
+        backend=session.backend_name,
+        kernel=session.kernel_name,
+        limits=_limits_fields(config),
+    )
+    try:
+        try:
+            server.serve_forever(poll_interval=0.1)
+        except KeyboardInterrupt:  # handlers not installed (e.g. nested use)
+            begin_drain("KeyboardInterrupt")
+        drained = state.wait_idle(config.drain_grace)
+        server.server_close()
+        state.log(
+            "serve_stop",
+            drained=drained,
+            requests_total=state.requests_total,
+            uptime_seconds=round(state.uptime(), 3),
+        )
+    finally:
+        _restore_handlers(previous)
+    return 0
+
+
+def _serve_stdio_until_drained(
+    session: Session,
+    input_stream: IO[str],
+    output_stream: IO[str],
+    config: ServeConfig,
+    state: ServerState,
+    install_signal_handlers: bool,
+) -> int:
+    def begin_drain(cause: str) -> None:
+        with state.lock:
+            if state.draining:
+                return
+            state.draining = True
+        state.log("drain_begin", cause=cause, in_flight=state.in_flight)
+
+    previous = (
+        _install_drain_handlers(begin_drain, raise_when_reading=state)
+        if install_signal_handlers
+        else None
+    )
+    state.log(
+        "serve_start",
+        transport="stdio",
+        pid=os.getpid(),
+        backend=session.backend_name,
+        kernel=session.kernel_name,
+        limits=_limits_fields(config),
+    )
+    reader = (
+        _InterruptibleReader(input_stream, state)
+        if hasattr(input_stream, "readline")
+        else input_stream
+    )
+    answered = 0
+    try:
+        answered = serve_stream(
+            session, reader, output_stream, state=state, config=config
+        )
+    except _DrainInterrupt:
+        pass  # the drain signal interrupted an idle read: clean exit
+    finally:
+        _restore_handlers(previous)
+    drained = state.wait_idle(config.drain_grace) if state.in_flight else True
+    state.log(
+        "serve_stop",
+        drained=drained,
+        requests_total=state.requests_total,
+        answered=answered,
+        uptime_seconds=round(state.uptime(), 3),
+    )
+    return 0
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """The serve limit flags, shared by the CLI and ``python -m`` entry."""
+    parser.add_argument("--host", default="127.0.0.1", help="bind address for --port")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve on a TCP socket instead of stdin/stdout",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline; past it the client gets a structured "
+        "deadline_exceeded error (default: unbounded; env REPRO_SERVE_TIMEOUT)")
+    parser.add_argument(
+        "--max-line-bytes", type=int, default=None, metavar="N",
+        help="maximum request line length; longer lines answer "
+        "request_too_large (default: 10MiB; env REPRO_SERVE_MAX_LINE_BYTES)")
+    parser.add_argument(
+        "--max-connections", type=int, default=None, metavar="N",
+        help="maximum concurrently-served connections "
+        "(default: 64; env REPRO_SERVE_MAX_CONNECTIONS)")
+    parser.add_argument(
+        "--admission-queue", type=int, default=None, metavar="N",
+        help="connections allowed to wait for a slot before being shed with "
+        "an overloaded error (default: 128; env REPRO_SERVE_ADMISSION_QUEUE)")
+    parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="close connections idle this long "
+        "(default: 300; env REPRO_SERVE_IDLE_TIMEOUT)")
+    parser.add_argument(
+        "--drain-grace", type=float, default=None, metavar="SECONDS",
+        help="how long a SIGTERM/SIGINT drain waits for in-flight requests "
+        "(default: 30; env REPRO_SERVE_DRAIN_GRACE)")
+
+
+def config_from_args(args: argparse.Namespace) -> ServeConfig:
+    """Resolve a :class:`ServeConfig` from parsed flags over the environment."""
+    return ServeConfig.from_env(
+        timeout=args.timeout,
+        max_line_bytes=args.max_line_bytes,
+        max_connections=args.max_connections,
+        admission_queue=args.admission_queue,
+        idle_timeout=args.idle_timeout,
+        drain_grace=args.drain_grace,
     )
 
 
@@ -169,17 +932,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="explicit-backend checking kernel (default 'auto': the C "
         "extension when built, else the bigint kernel)",
     )
-    parser.add_argument("--host", default="127.0.0.1", help="bind address for --port")
-    parser.add_argument(
-        "--port",
-        type=int,
-        default=None,
-        help="serve on a TCP socket instead of stdin/stdout",
-    )
+    add_serve_arguments(parser)
     args = parser.parse_args(argv)
     session = Session(backend=args.backend, kernel=args.kernel)
-    serve(session, host=args.host, port=args.port)
-    return 0
+    return serve(session, host=args.host, port=args.port, config=config_from_args(args))
 
 
 if __name__ == "__main__":  # pragma: no cover

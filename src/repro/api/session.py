@@ -40,6 +40,7 @@ from repro.comparison.compare import ComparisonResult, ModelComparator
 from repro.comparison.exploration import ExplorationResult, explore_models
 from repro.engine.engine import CheckEngine, EngineStats
 from repro.pipeline.report import EquivalenceReport
+from repro.util import faults
 
 #: Everything a session can hand back.
 Result = Union[
@@ -119,11 +120,21 @@ class Session:
         kernel = getattr(self.engine, "kernel", None)
         return kernel.name if kernel is not None else ""
 
+    def info(self) -> Dict[str, object]:
+        """A JSON-safe description of this session (for the serve stats op)."""
+        return {
+            "backend": self.backend_name,
+            "kernel": self.kernel_name,
+            "models_registered": len(list(self.models)),
+            "path_specs_allowed": bool(self.tests.allow_paths),
+        }
+
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
     def run(self, request: Request) -> Result:
         """Execute one declarative request and return its result object."""
+        faults.fire("session.run", op=getattr(request, "op", None))
         if isinstance(request, CheckRequest):
             return self._run_check(request)
         if isinstance(request, CompareRequest):
@@ -225,6 +236,8 @@ class Session:
             limit=request.limit,
             run_dir=request.run_dir,
             resume=request.resume,
+            shard_timeout=request.shard_timeout,
+            shard_retries=request.shard_retries,
         )
         return run_pipeline(
             config,

@@ -268,6 +268,8 @@ def _cmd_enumerate_verify(args: argparse.Namespace) -> int:
         limit=args.limit,
         run_dir=args.run_dir,
         resume=args.resume,
+        shard_timeout=args.shard_timeout,
+        shard_retries=args.shard_retries,
     )
     try:
         report = _run(session, request)
@@ -277,18 +279,27 @@ def _cmd_enumerate_verify(args: argparse.Namespace) -> int:
         _emit_json(to_json(report))
     else:
         print(report.describe())
-    if args.assert_match and not report.matches_template:
-        print("enumerate-verify: partitions disagree", file=sys.stderr)
-        return 1
+    if args.assert_match:
+        if not report.complete:
+            print(
+                "enumerate-verify: run incomplete "
+                f"(quarantined shards: {sorted(report.quarantined_shards)})",
+                file=sys.stderr,
+            )
+            return 1
+        if not report.matches_template:
+            print("enumerate-verify: partitions disagree", file=sys.stderr)
+            return 1
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.api.serve import serve
+    from repro.api.serve import config_from_args, serve
 
     session = _make_session(args)
-    serve(session, host=args.host, port=args.port)
-    return 0
+    return serve(
+        session, host=args.host, port=args.port, config=config_from_args(args)
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -400,17 +411,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="answer already-completed shards from --run-dir instead of re-checking")
     enumerate_verify.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill a parallel worker stuck on one shard past this long and "
+        "retry the shard on a fresh worker (default: no limit)")
+    enumerate_verify.add_argument(
+        "--shard-retries", type=int, default=2, metavar="N",
+        help="retries per shard (beyond the first attempt) before the shard "
+        "is quarantined and the run reported incomplete (default: 2)")
+    enumerate_verify.add_argument(
         "--assert-match", action="store_true",
-        help="exit non-zero unless the naive partition matches the template suite's")
+        help="exit non-zero unless the run is complete and the naive "
+        "partition matches the template suite's")
     add_format(enumerate_verify)
     enumerate_verify.set_defaults(func=_cmd_enumerate_verify)
 
     serve = subparsers.add_parser(
         "serve", help="answer JSON-lines requests over one warm session"
     )
-    serve.add_argument("--host", default="127.0.0.1", help="bind address for --port")
-    serve.add_argument("--port", type=int, default=None,
-                       help="serve on a TCP socket instead of stdin/stdout")
+    from repro.api.serve import add_serve_arguments
+
+    add_serve_arguments(serve)
     serve.set_defaults(func=_cmd_serve)
 
     return parser

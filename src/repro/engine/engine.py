@@ -32,6 +32,7 @@ from repro.core.litmus import LitmusTest
 from repro.core.model import MemoryModel
 from repro.engine.context import TestContext
 from repro.engine.strategies import CheckStrategy, make_strategy
+from repro.util import faults
 
 #: One model's verdicts over a test suite, in suite order.
 VerdictVector = Tuple[bool, ...]
@@ -287,6 +288,10 @@ class CheckEngine:
     # ------------------------------------------------------------------
     def check(self, test: LitmusTest, model: MemoryModel, cache: bool = True) -> bool:
         """Return whether ``model`` allows the candidate execution of ``test``."""
+        # Fault point guarded by the armed-table truthiness so the hot
+        # check path costs one list check when no fault is injected.
+        if faults._FAULTS:
+            faults.fire("engine.check", test=test.name, model=model.name)
         compiled = self.compiled(model)
         context = self.context(test, cache=cache)
         self.stats.checks_performed += 1
@@ -341,6 +346,8 @@ class CheckEngine:
         so by default its context is dropped instead of growing the cache
         unboundedly.  ``retain=True`` keeps it, matching :meth:`check`.
         """
+        if faults._FAULTS:
+            faults.fire("engine.check_column", test=test.name)
         compiled_models = self.compiled_all(models)
         context = self.context(test, cache=retain)
         self.stats.checks_performed += len(models)

@@ -157,6 +157,12 @@ class EquivalenceReport:
     mismatches: List[str] = field(default_factory=list)
     stats: Optional[EngineStats] = None
     elapsed_seconds: float = 0.0
+    #: shards whose workers failed repeatedly and were excluded from the
+    #: partition (the run still completes, but ``complete`` goes False)
+    shards_quarantined: int = 0
+    quarantined_shards: List[int] = field(default_factory=list)
+    #: False when quarantined shards mean the partition is only partial
+    complete: bool = True
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -203,7 +209,8 @@ class EquivalenceReport:
             f"  unique after symmetry: {self.unique_tests} "
             f"(x{self.reduction_factor():.1f} reduction)",
             f"  shards               : {self.shards_total} total, "
-            f"{self.shards_checked} checked, {self.shards_resumed} resumed",
+            f"{self.shards_checked} checked, {self.shards_resumed} resumed"
+            + (f", {self.shards_quarantined} quarantined" if self.shards_quarantined else ""),
             f"  checks performed     : {self.checks_performed}",
             f"  naive partition      : {self.num_classes()} classes, "
             f"{len(self.hasse_edges)} Hasse edges",
@@ -217,10 +224,18 @@ class EquivalenceReport:
                 f"  elapsed              : {self.elapsed_seconds:.2f}s "
                 f"({rate:.0f} unique tests/s)"
             )
+        if not self.complete:
+            lines.append(
+                f"  WARNING: run INCOMPLETE — shards "
+                f"{sorted(self.quarantined_shards)} were quarantined after "
+                f"repeated worker failures; the naive partition below is "
+                f"over the remaining shards only"
+            )
         if self.matches_template:
             lines.append(
                 "  RESULT: naive-space partition MATCHES the template-suite "
                 "partition (completeness reproduced)"
+                + ("" if self.complete else " — MODULO the quarantined shards")
             )
         else:
             lines.append("  RESULT: partitions DISAGREE:")

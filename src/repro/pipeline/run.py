@@ -25,8 +25,10 @@ import json
 import os
 import threading
 import time
+import traceback
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.litmus import LitmusTest
 from repro.core.model import MemoryModel
@@ -39,6 +41,7 @@ from repro.generation.enumeration import (
 )
 from repro.pipeline.canonical import CanonicalIndex, key_digest
 from repro.pipeline.report import EquivalenceReport, PartitionAccumulator
+from repro.util import faults
 
 #: Named enumeration bounds, smallest to largest.  ``paper`` is the Theorem 1
 #: bound (three accesses per thread, four locations, optional fences) whose
@@ -94,6 +97,11 @@ class PipelineConfig:
         limit: optional cap on unique tests (for smoke runs).
         run_dir: checkpoint directory; None disables checkpointing.
         resume: answer already-completed shards from ``run_dir``.
+        shard_timeout: wall-clock seconds a parallel worker may spend on
+            one shard; past it the worker is killed and the shard retried
+            on a fresh worker.  None = no limit.
+        shard_retries: retries per shard (beyond the first attempt) before
+            the shard is quarantined and the run reported incomplete.
     """
 
     bound: str = "small"
@@ -106,6 +114,8 @@ class PipelineConfig:
     limit: Optional[int] = None
     run_dir: Optional[str] = None
     resume: bool = False
+    shard_timeout: Optional[float] = None
+    shard_retries: int = 2
 
     def __post_init__(self) -> None:
         from repro.native.backend import KERNEL_CHOICES
@@ -129,6 +139,10 @@ class PipelineConfig:
             raise PipelineError("shard_size must be >= 1")
         if self.resume and self.run_dir is None:
             raise PipelineError("resume requires a run_dir")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise PipelineError("shard_timeout must be positive")
+        if self.shard_retries < 0:
+            raise PipelineError("shard_retries must be >= 0")
 
     def suite_key(self) -> str:
         """The template suite to compare against: explicit, or matched."""
@@ -170,8 +184,16 @@ def _check_manifest(run_dir: str, payload: Dict[str, object]) -> None:
     path = os.path.join(run_dir, "manifest.json")
     if not os.path.exists(path):
         return
-    with open(path) as handle:
-        existing = json.load(handle)
+    try:
+        with open(path) as handle:
+            existing = json.load(handle)
+        if not isinstance(existing, dict):
+            raise ValueError("manifest is not a JSON object")
+    except (OSError, ValueError):
+        # A torn/truncated manifest (e.g. the process died mid-write before
+        # the atomic rename existed) is treated as absent: the caller
+        # rewrites it, and the per-shard digests still guard every row.
+        return
     for key, value in payload.items():
         if existing.get(key) != value:
             raise PipelineError(
@@ -218,6 +240,9 @@ def _write_shard(
             )
         handle.write(json.dumps({"done": True, "tests": len(rows)}) + "\n")
     os.replace(tmp, path)
+    # Fault point: tests simulate a torn checkpoint by truncating the file
+    # just after the atomic rename (spec: pipeline.checkpoint[...]=truncate:N).
+    faults.truncate_file("pipeline.checkpoint", path, shard=shard_index)
 
 
 def _load_shard(
@@ -227,26 +252,31 @@ def _load_shard(
 
     A shard is only trusted when its terminal ``done`` marker is present,
     its row count matches, and every row's key digest equals the digest of
-    the test recomputed from the (deterministic) canonical stream.
+    the test recomputed from the (deterministic) canonical stream.  This
+    loader must *never* raise: any torn, truncated or otherwise mangled
+    checkpoint — including structurally-wrong JSON like an array line —
+    simply means the shard is re-checked.
     """
     path = _shard_path(run_dir, shard_index)
     try:
         with open(path) as handle:
             lines = [json.loads(line) for line in handle if line.strip()]
+        if not lines or not all(isinstance(line, dict) for line in lines):
+            return None
+        if lines[-1].get("done") is not True:
+            return None
+        rows_data, marker = lines[:-1], lines[-1]
+        if marker.get("tests") != len(digests) or len(rows_data) != len(digests):
+            return None
+        rows: List[int] = []
+        for row, digest in zip(rows_data, digests):
+            bits = row.get("verdicts")
+            if row.get("key") != digest or not isinstance(bits, str) or len(bits) != num_models:
+                return None
+            rows.append(_bits_to_mask(bits))
+        return rows
     except (OSError, ValueError):
         return None
-    if not lines or lines[-1].get("done") is not True:
-        return None
-    rows_data, marker = lines[:-1], lines[-1]
-    if marker.get("tests") != len(digests) or len(rows_data) != len(digests):
-        return None
-    rows: List[int] = []
-    for row, digest in zip(rows_data, digests):
-        bits = row.get("verdicts")
-        if row.get("key") != digest or not isinstance(bits, str) or len(bits) != num_models:
-            return None
-        rows.append(_bits_to_mask(bits))
-    return rows
 
 
 # ----------------------------------------------------------------------
@@ -268,29 +298,53 @@ _PIPE_STATE_LOCK = threading.Lock()
 _WORKER_ENGINE: Optional[CheckEngine] = None
 
 
-def _worker_shard(payload: Tuple[int, List[str], List[tuple]]) -> Tuple[int, List[int], Dict[str, int]]:
+def _pipeline_worker_loop(conn) -> None:
+    """A shard worker's main loop (runs in a forked child process).
+
+    Receives ``(shard_index, names, items_list, attempt)`` jobs on the
+    pipe and answers ``("ok", shard_index, rows, stats_dict)`` or
+    ``("error", shard_index, traceback_text)``; a ``None`` job (or a
+    closed pipe) ends the worker.  The engine is built lazily and persists
+    across shards, so a long-lived worker pays kernel resolution and model
+    compilation once.
+    """
     global _WORKER_ENGINE
     assert _PIPE_STATE is not None
     backend, kernel, models = _PIPE_STATE
-    if _WORKER_ENGINE is None:
-        # One persistent engine per worker process; the kernel backend is
-        # resolved here, once per process, and the model space is compiled
-        # eagerly so the resulting IR (and its lowerings) is shared by
-        # every shard this process checks.
-        _WORKER_ENGINE = CheckEngine(backend=backend, kernel=kernel)
-        _WORKER_ENGINE.precompile(models)
-    engine = _WORKER_ENGINE
-    shard_index, names, items_list = payload
-    before = engine.stats.snapshot()
-    # The LitmusTest objects are materialised here, in the worker: the
-    # enumerating process streams only the compact abstract item tuples,
-    # which both parallelises the test construction and keeps the pool
-    # pickling small tuples instead of instruction object graphs.
-    rows = [
-        _column_mask(engine, test_from_items(items, name), models)
-        for name, items in zip(names, items_list)
-    ]
-    return shard_index, rows, engine.stats.since(before).as_dict()
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, OSError):
+            return
+        if job is None:
+            return
+        shard_index, names, items_list, attempt = job
+        try:
+            # Fault point for worker-failure testing: the attempt number is
+            # part of the context, so a spec like
+            # ``pipeline.shard[shard=1,attempt=0]=kill`` SIGKILLs only the
+            # first attempt and lets the retry succeed.
+            faults.fire("pipeline.shard", shard=shard_index, attempt=attempt)
+            if _WORKER_ENGINE is None:
+                _WORKER_ENGINE = CheckEngine(backend=backend, kernel=kernel)
+                _WORKER_ENGINE.precompile(models)
+            engine = _WORKER_ENGINE
+            before = engine.stats.snapshot()
+            # The LitmusTest objects are materialised here, in the worker:
+            # the enumerating process streams only the compact abstract item
+            # tuples, which both parallelises the test construction and
+            # keeps the pipe carrying small tuples instead of instruction
+            # object graphs.
+            rows = [
+                _column_mask(engine, test_from_items(items, name), models)
+                for name, items in zip(names, items_list)
+            ]
+            conn.send(("ok", shard_index, rows, engine.stats.since(before).as_dict()))
+        except Exception:  # noqa: BLE001 - the parent decides retry/quarantine
+            try:
+                conn.send(("error", shard_index, traceback.format_exc(limit=20)))
+            except (OSError, ValueError):
+                return
 
 
 def _shards(
@@ -420,10 +474,13 @@ def run_pipeline(
     # Extra workers beyond the machine's cores only add fork/IPC overhead
     # (the check is CPU-bound), so a single-core host always takes the
     # serial in-process path no matter what ``--jobs`` asks for.
-    effective_jobs = min(config.jobs, os.cpu_count() or 1)
+    effective_jobs = _effective_jobs(config)
+    quarantined: List[int] = []
     if effective_jobs > 1:
-        _run_shards_parallel(config, models, index, fold_completed, stats, num_models)
-        shards_total = shards_checked + shards_resumed
+        quarantined = _run_shards_parallel(
+            config, models, index, fold_completed, stats, num_models
+        )
+        shards_total = shards_checked + shards_resumed + len(quarantined)
     else:
         for shard_index, names, digests, items_list in _shards(config, index):
             shards_total += 1
@@ -433,6 +490,10 @@ def run_pipeline(
             if rows is not None:
                 fold_completed(shard_index, names, digests, rows, resumed=True)
                 continue
+            # In the serial path the fault point runs in-process (attempt 0
+            # only — there is no worker to retry on), so a `kill` fault here
+            # SIGKILLs the whole run: exactly the crash-resume scenario.
+            faults.fire("pipeline.shard", shard=shard_index, attempt=0)
             before = engine.stats.snapshot()
             rows = [
                 _column_mask(engine, test_from_items(items, name), models)
@@ -466,10 +527,37 @@ def run_pipeline(
         mismatches=mismatches,
         stats=stats,
         elapsed_seconds=time.perf_counter() - started,
+        shards_quarantined=len(quarantined),
+        quarantined_shards=sorted(quarantined),
+        complete=not quarantined,
     )
+    if quarantined and run_dir is not None:
+        # Record the quarantine in the manifest (an extra key the resume
+        # check ignores); the quarantined shards have no checkpoint file,
+        # so a later --resume re-checks exactly them.
+        _write_manifest(
+            run_dir, dict(manifest, quarantined=sorted(quarantined))
+        )
     if progress is not None:
-        progress("finish", {"matches": report.matches_template})
+        progress(
+            "finish",
+            {"matches": report.matches_template, "complete": report.complete},
+        )
     return report
+
+
+def _effective_jobs(config: PipelineConfig) -> int:
+    """Worker count after the core-count clamp.
+
+    The clamp is a performance heuristic (oversubscribing a CPU-bound
+    check only adds fork/IPC overhead) — but when faults are armed, the
+    caller is explicitly testing worker isolation, so the requested job
+    count is honored even on a single-core host: a SIGKILLed worker must
+    exercise the retry path, not be silently run in-process.
+    """
+    if faults.active():
+        return config.jobs
+    return min(config.jobs, os.cpu_count() or 1)
 
 
 def _template_suite(key: str) -> List[LitmusTest]:
@@ -487,6 +575,75 @@ def _template_suite(key: str) -> List[LitmusTest]:
     )
 
 
+class _ShardEntry:
+    """One shard's lifecycle in the parallel scheduler."""
+
+    __slots__ = (
+        "shard_index", "names", "digests", "items_list",
+        "rows", "resumed", "attempts", "quarantined", "failure",
+    )
+
+    def __init__(
+        self, shard_index: int, names: List[str], digests: List[str], items_list: List[tuple]
+    ) -> None:
+        self.shard_index = shard_index
+        self.names = names
+        self.digests = digests
+        self.items_list: Optional[List[tuple]] = items_list
+        self.rows: Optional[List[int]] = None
+        self.resumed = False
+        #: attempts started so far (the worker sees this as ``attempt``)
+        self.attempts = 0
+        self.quarantined = False
+        self.failure = ""
+
+    def done(self) -> bool:
+        return self.resumed or self.quarantined or self.rows is not None
+
+
+class _WorkerHandle:
+    """One live shard worker: a forked process plus its duplex pipe."""
+
+    def __init__(self, context) -> None:
+        parent_conn, child_conn = context.Pipe()
+        self.conn = parent_conn
+        self.process = context.Process(
+            target=_pipeline_worker_loop, args=(child_conn,), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.entry: Optional[_ShardEntry] = None
+        self.deadline: Optional[float] = None
+
+    def assign(self, entry: _ShardEntry, shard_timeout: Optional[float]) -> bool:
+        """Send a shard to the worker; False if the pipe is already broken."""
+        attempt = entry.attempts
+        entry.attempts += 1
+        try:
+            self.conn.send((entry.shard_index, entry.names, entry.items_list, attempt))
+        except (OSError, ValueError):
+            return False
+        self.entry = entry
+        self.deadline = (
+            time.monotonic() + shard_timeout if shard_timeout is not None else None
+        )
+        return True
+
+    def close(self, kill: bool = False) -> None:
+        if kill:
+            self.process.kill()
+        else:
+            try:
+                self.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=5.0)
+        self.conn.close()
+
+
 def _run_shards_parallel(
     config: PipelineConfig,
     models: List[MemoryModel],
@@ -494,15 +651,25 @@ def _run_shards_parallel(
     fold_completed: Callable[[int, Sequence[str], Sequence[str], Sequence[int], bool], None],
     stats: EngineStats,
     num_models: int,
-) -> None:
-    """Fan shard checking out over a fork pool, bounded-window submission.
+) -> List[int]:
+    """Fan shard checking out over fault-tolerant fork workers.
 
-    Shards are submitted at most ``2 * jobs`` at a time so a huge
-    enumeration never materialises more than a window of shards in memory,
-    and results are folded (and checkpointed) in shard order so a kill
-    leaves a clean resumable prefix plus at most a window of lost work.
+    Shards are materialised at most ``2 * jobs`` at a time so a huge
+    enumeration never holds more than a window of shards in memory, and
+    results are folded (and checkpointed) in shard order so a kill leaves
+    a clean resumable prefix plus at most a window of lost work.
+
+    Fault tolerance: a worker that dies (any cause, detected through its
+    process sentinel), reports an exception, or overruns
+    ``config.shard_timeout`` is killed and replaced by a fresh worker, and
+    its shard is retried up to ``config.shard_retries`` more times.  A
+    shard that exhausts its attempts is *quarantined* — excluded from the
+    partition and returned to the caller — instead of aborting the run.
+
+    Returns the quarantined shard indices (empty for a clean run).
     """
     import multiprocessing
+    from multiprocessing import connection as mp_connection
 
     global _PIPE_STATE
     try:
@@ -517,6 +684,7 @@ def _run_shards_parallel(
             if rows is not None:
                 fold_completed(shard_index, names, digests, rows, resumed=True)
                 continue
+            faults.fire("pipeline.shard", shard=shard_index, attempt=0)
             before = engine.stats.snapshot()
             rows = [
                 _column_mask(engine, test_from_items(items, name), models)
@@ -524,40 +692,138 @@ def _run_shards_parallel(
             ]
             stats.merge(engine.stats.since(before).as_dict())
             fold_completed(shard_index, names, digests, rows, resumed=False)
-        return
+        return []
 
-    jobs = min(config.jobs, os.cpu_count() or 1)
+    jobs = _effective_jobs(config)
     window = jobs * 2
+    max_attempts = 1 + config.shard_retries
+    quarantined: List[int] = []
+
     with _PIPE_STATE_LOCK:
         _PIPE_STATE = (config.backend, config.kernel, models)
+        workers: List[_WorkerHandle] = []
         try:
-            with context.Pool(processes=jobs) as pool:
-                # shard_index -> (names, digests, async_result or rows, resumed)
-                outstanding: "List[Tuple[int, List[str], List[str], object, bool]]" = []
+            #: shards materialised but not yet folded, in shard order
+            entries: List[_ShardEntry] = []
+            #: shards awaiting a worker (retries go to the front)
+            pending: Deque[_ShardEntry] = deque()
+            stream = _shards(config, index)
+            exhausted = False
 
-                def drain(limit: int) -> None:
-                    while len(outstanding) > limit:
-                        shard_index, names, digests, pending, resumed = outstanding.pop(0)
-                        if resumed:
-                            fold_completed(shard_index, names, digests, pending, True)
-                            continue
-                        result_index, rows, worker_stats = pending.get()
-                        assert result_index == shard_index
-                        stats.merge(worker_stats)
-                        fold_completed(shard_index, names, digests, rows, False)
-
-                for shard_index, names, digests, items_list in _shards(config, index):
-                    rows = None
+            def fill_window() -> None:
+                nonlocal exhausted
+                while not exhausted and len(entries) < window:
+                    try:
+                        shard_index, names, digests, items_list = next(stream)
+                    except StopIteration:
+                        exhausted = True
+                        return
+                    entry = _ShardEntry(shard_index, names, digests, items_list)
                     if config.resume and config.run_dir is not None:
                         rows = _load_shard(config.run_dir, shard_index, digests, num_models)
-                    if rows is not None:
-                        outstanding.append((shard_index, names, digests, rows, True))
-                    else:
-                        async_result = pool.apply_async(
-                            _worker_shard, ((shard_index, names, items_list),)
+                        if rows is not None:
+                            entry.rows, entry.resumed = rows, True
+                    entries.append(entry)
+                    if not entry.resumed:
+                        pending.append(entry)
+
+            def fold_front() -> None:
+                while entries and entries[0].done():
+                    entry = entries.pop(0)
+                    if entry.quarantined:
+                        quarantined.append(entry.shard_index)
+                        continue
+                    assert entry.rows is not None
+                    fold_completed(
+                        entry.shard_index, entry.names, entry.digests,
+                        entry.rows, entry.resumed,
+                    )
+
+            def fail(worker: _WorkerHandle, reason: str) -> None:
+                """Kill a failed/hung worker; retry or quarantine its shard."""
+                entry = worker.entry
+                worker.entry = None
+                worker.close(kill=True)
+                workers.remove(worker)
+                assert entry is not None
+                entry.failure = reason
+                if entry.attempts >= max_attempts:
+                    entry.quarantined = True
+                else:
+                    pending.appendleft(entry)
+
+            while True:
+                fill_window()
+                fold_front()
+                # Hand pending shards to idle workers, spawning fresh
+                # workers up to the job count as needed.
+                idle = [worker for worker in workers if worker.entry is None]
+                while pending and (idle or len(workers) < jobs):
+                    worker = idle.pop() if idle else None
+                    if worker is None:
+                        worker = _WorkerHandle(context)
+                        workers.append(worker)
+                    entry = pending.popleft()
+                    if not worker.assign(entry, config.shard_timeout):
+                        entry.attempts -= 1  # the send never reached a worker
+                        worker.entry = entry  # so fail() routes the retry
+                        fail(worker, "worker pipe broken before dispatch")
+
+                busy = [worker for worker in workers if worker.entry is not None]
+                if not busy:
+                    if exhausted and not pending:
+                        fold_front()
+                        if not entries:
+                            break
+                    continue
+
+                # Wait for a result, a death (process sentinel), or the
+                # nearest shard deadline.
+                waitables: List[object] = [worker.conn for worker in busy]
+                waitables += [worker.process.sentinel for worker in busy]
+                timeout = 0.5
+                if config.shard_timeout is not None:
+                    soonest = min(
+                        worker.deadline for worker in busy if worker.deadline is not None
+                    )
+                    timeout = max(0.0, min(0.5, soonest - time.monotonic()))
+                mp_connection.wait(waitables, timeout)
+
+                now = time.monotonic()
+                for worker in busy:
+                    entry = worker.entry
+                    if entry is None:  # already handled this round
+                        continue
+                    if worker.conn.poll():
+                        try:
+                            message = worker.conn.recv()
+                        except (EOFError, OSError):
+                            fail(worker, "worker died mid-shard")
+                            continue
+                        if message[0] == "ok":
+                            _, shard_index, rows, worker_stats = message
+                            assert shard_index == entry.shard_index
+                            # Stats merge only on success, keeping counters
+                            # deterministic: failed attempts contribute none.
+                            stats.merge(worker_stats)
+                            entry.rows = rows
+                            entry.items_list = None
+                            worker.entry = None
+                            worker.deadline = None
+                        else:
+                            _, shard_index, text = message
+                            # A fresh worker per retry: the failed worker's
+                            # state is suspect, so it is not reused.
+                            fail(worker, f"worker exception:\n{text}")
+                    elif not worker.process.is_alive():
+                        fail(worker, "worker died mid-shard")
+                    elif worker.deadline is not None and now >= worker.deadline:
+                        fail(
+                            worker,
+                            f"shard exceeded the {config.shard_timeout:g}s timeout",
                         )
-                        outstanding.append((shard_index, names, digests, async_result, False))
-                    drain(window)
-                drain(0)
         finally:
+            for worker in workers:
+                worker.close()
             _PIPE_STATE = None
+    return quarantined

@@ -1,0 +1,248 @@
+"""Deterministic fault injection for robustness testing.
+
+Production code threads *fault points* — named no-ops like
+``faults.fire("pipeline.shard", shard=3, attempt=0)`` — through its
+degradation paths.  Normally a fault point costs one truthiness check.  A
+test (or the ``REPRO_FAULTS`` environment variable, for subprocess and CI
+smoke runs) arms faults against points, and the next matching ``fire``
+performs the configured action, so every failure mode the serving and
+pipeline layers defend against can be triggered deterministically:
+
+========= =============================================================
+action    effect at the fault point
+========= =============================================================
+raise     raise :class:`InjectedFault` (a ``RuntimeError``: deliberately
+          *outside* the ``ValueError`` family request handling expects)
+delay     ``time.sleep(arg)`` — simulates a slow or hung computation
+kill      ``SIGKILL`` the current process — simulates a crashed worker
+truncate  truncate a just-written file to ``arg`` bytes (applied by
+          write sites through :func:`truncate_file`) — simulates a torn
+          checkpoint
+========= =============================================================
+
+Spec grammar (entries comma-separated)::
+
+    point[key=value,...]=action[:arg][*count]
+
+    serve.request=delay:2.5            every serve request sleeps 2.5s
+    session.run=raise*1                first session dispatch raises
+    pipeline.shard[shard=1,attempt=0]=kill
+                                       first attempt at shard 1 dies
+    pipeline.checkpoint[shard=2]=truncate:40
+                                       shard 2's checkpoint is cut to 40B
+
+The optional ``[key=value,...]`` filter matches against the keyword
+context a fire site passes (compared as strings); ``*count`` arms the
+fault for that many firings (default: unlimited).  Counts are tracked
+per process — forked workers inherit the armed table and count their own
+firings.
+
+The registry is process-global.  ``REPRO_FAULTS`` is read once at import
+(and again via :func:`install_from_env`), which is how CLI subprocesses
+and CI jobs inject faults without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Environment variable holding a fault spec, read at import time.
+ENV_VAR = "REPRO_FAULTS"
+
+#: The supported fault actions.
+ACTIONS = ("raise", "delay", "kill", "truncate")
+
+
+class FaultSpecError(ValueError):
+    """Raised for malformed fault specification strings."""
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``raise`` fault throws at its fault point.
+
+    A ``RuntimeError`` on purpose: the request-handling layers catch the
+    ``ValueError`` family for *expected* bad-input problems, so an
+    injected fault exercises their unexpected-exception catch-alls.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected fault at {point!r}")
+        self.point = point
+
+
+@dataclass
+class Fault:
+    """One armed fault: where it applies, what it does, how often."""
+
+    point: str
+    action: str
+    arg: Optional[float] = None
+    #: remaining firings; None = unlimited
+    count: Optional[int] = None
+    #: context filter: every key must match the fire site's context
+    where: Dict[str, str] = field(default_factory=dict)
+
+    def matches(self, context: Dict[str, object]) -> bool:
+        return all(str(context.get(key)) == value for key, value in self.where.items())
+
+
+_LOCK = threading.Lock()
+_FAULTS: List[Fault] = []
+
+
+def _parse_entry(entry: str) -> Fault:
+    if "=" not in entry:
+        raise FaultSpecError(f"fault entry {entry!r} is missing '=action'")
+    point_part, action_part = entry.rsplit("=", 1)
+    point_part = point_part.strip()
+    where: Dict[str, str] = {}
+    if "[" in point_part:
+        if not point_part.endswith("]"):
+            raise FaultSpecError(f"unterminated filter in fault entry {entry!r}")
+        point, filter_text = point_part[:-1].split("[", 1)
+        for clause in filter_text.split(","):
+            if "=" not in clause:
+                raise FaultSpecError(f"filter clause {clause!r} is not key=value")
+            key, value = clause.split("=", 1)
+            where[key.strip()] = value.strip()
+    else:
+        point = point_part
+    if not point:
+        raise FaultSpecError(f"fault entry {entry!r} names no fault point")
+
+    count: Optional[int] = None
+    if "*" in action_part:
+        action_part, count_text = action_part.rsplit("*", 1)
+        try:
+            count = int(count_text)
+        except ValueError:
+            raise FaultSpecError(f"malformed count {count_text!r} in fault entry {entry!r}")
+        if count < 1:
+            raise FaultSpecError(f"count must be >= 1 in fault entry {entry!r}")
+    arg: Optional[float] = None
+    if ":" in action_part:
+        action, arg_text = action_part.split(":", 1)
+        try:
+            arg = float(arg_text)
+        except ValueError:
+            raise FaultSpecError(f"malformed argument {arg_text!r} in fault entry {entry!r}")
+    else:
+        action = action_part
+    action = action.strip()
+    if action not in ACTIONS:
+        raise FaultSpecError(
+            f"unknown fault action {action!r} (expected one of {', '.join(ACTIONS)})"
+        )
+    if action in ("delay", "truncate") and arg is None:
+        raise FaultSpecError(f"fault action {action!r} requires an argument (e.g. {action}:2)")
+    return Fault(point=point.strip(), action=action, arg=arg, count=count, where=where)
+
+
+def parse_faults(text: str) -> List[Fault]:
+    """Parse a fault spec string into a list of :class:`Fault` objects."""
+    entries = [entry.strip() for entry in text.split(",")]
+    # Filters contain commas too; re-join entries whose '[' is unclosed.
+    merged: List[str] = []
+    depth = 0
+    for entry in entries:
+        if depth > 0:
+            merged[-1] += "," + entry
+        else:
+            merged.append(entry)
+        depth += entry.count("[") - entry.count("]")
+    return [_parse_entry(entry) for entry in merged if entry]
+
+
+def install(spec: object) -> None:
+    """Arm faults (replacing any armed before) from a spec string or list."""
+    faults = parse_faults(spec) if isinstance(spec, str) else list(spec)
+    with _LOCK:
+        _FAULTS[:] = faults
+
+
+def clear() -> None:
+    """Disarm every fault."""
+    with _LOCK:
+        _FAULTS.clear()
+
+
+def install_from_env() -> None:
+    """(Re-)arm faults from the ``REPRO_FAULTS`` environment variable."""
+    spec = os.environ.get(ENV_VAR, "")
+    if spec:
+        install(spec)
+
+
+def active() -> bool:
+    """Whether any fault is armed (the cheap fast-path check)."""
+    return bool(_FAULTS)
+
+
+def _take(
+    point: str, context: Dict[str, object], actions: Sequence[str]
+) -> Optional[Fault]:
+    """Consume and return the first armed fault matching the fire site."""
+    if not _FAULTS:
+        return None
+    with _LOCK:
+        for fault in _FAULTS:
+            if fault.point != point or fault.action not in actions:
+                continue
+            if not fault.matches(context):
+                continue
+            if fault.count is not None:
+                if fault.count <= 0:
+                    continue
+                fault.count -= 1
+            return fault
+    return None
+
+
+def fire(point: str, **context: object) -> None:
+    """A fault point: perform the armed action for ``point``, if any.
+
+    ``truncate`` faults are ignored here — they only apply where a write
+    site calls :func:`truncate_file`.
+    """
+    fault = _take(point, context, ("raise", "delay", "kill"))
+    if fault is None:
+        return
+    if fault.action == "raise":
+        raise InjectedFault(point)
+    if fault.action == "delay":
+        time.sleep(fault.arg or 0.0)
+    elif fault.action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def truncate_file(point: str, path: str, **context: object) -> bool:
+    """Apply an armed ``truncate`` fault to a just-written file.
+
+    Returns whether the file was truncated.  Write sites call this after
+    committing a file so tests can simulate torn writes deterministically.
+    """
+    fault = _take(point, context, ("truncate",))
+    if fault is None:
+        return False
+    with open(path, "r+b") as handle:
+        handle.truncate(int(fault.arg or 0))
+    return True
+
+
+#: Snapshot/restore helpers so tests can arm faults without leaking state.
+def snapshot() -> Tuple[Fault, ...]:
+    with _LOCK:
+        return tuple(_FAULTS)
+
+
+def restore(saved: Sequence[Fault]) -> None:
+    with _LOCK:
+        _FAULTS[:] = list(saved)
+
+
+install_from_env()

@@ -108,7 +108,10 @@ def test_serve_reports_errors_and_keeps_going():
     )
     assert count == 5
     assert [response["ok"] for response in responses] == [False, False, False, False, True]
-    assert "NoSuchModel" in responses[2]["error"]
+    # Errors are machine-readable {code, message} objects.
+    assert all(response["error"]["code"] == "invalid_request"
+               for response in responses if not response["ok"])
+    assert "NoSuchModel" in responses[2]["error"]["message"]
 
 
 def test_serve_survives_malformed_embedded_documents():
@@ -146,7 +149,7 @@ def test_socket_serving_disables_path_test_specs(tmp_path):
     )
     response = json.loads(output.getvalue())
     assert response["ok"] is False
-    assert "unknown test" in response["error"]
+    assert "unknown test" in response["error"]["message"]
     # registered names still work with paths disabled
     session.tests.allow_paths = False
     assert handle_request_line(session, json.dumps({"op": "check", "test": "A", "model": "TSO"}))["ok"]
@@ -157,7 +160,7 @@ def test_serve_rejects_wrong_schema_version_per_line():
     document["schema_version"] = SCHEMA_VERSION + 1
     _, responses = _serve_lines([json.dumps(document)])
     assert responses[0]["ok"] is False
-    assert "schema_version" in responses[0]["error"]
+    assert "schema_version" in responses[0]["error"]["message"]
 
 
 def test_serve_skips_blank_lines():
@@ -275,4 +278,4 @@ def test_socket_serving_disables_model_paths(tmp_path):
         session=session,
     )
     assert count == 1 and not responses[0]["ok"]
-    assert "unknown model" in responses[0]["error"]
+    assert "unknown model" in responses[0]["error"]["message"]

@@ -1,0 +1,422 @@
+"""Robustness tests for the serve loop: error taxonomy, deadlines, limits,
+backpressure, idle timeouts, built-in ops, and graceful drain."""
+
+import io
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.api.serve import (
+    ERROR_CODES,
+    ServeConfig,
+    ServerState,
+    handle_request_line,
+    serve_socket,
+    serve_stream,
+)
+from repro.api.session import Session
+from repro.util import faults
+
+CHECK_LINE = json.dumps({"op": "check", "test": "A", "model": "TSO"})
+
+
+@pytest.fixture(autouse=True)
+def _isolate_faults():
+    saved = faults.snapshot()
+    faults.clear()
+    yield
+    faults.restore(saved)
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+def _quiet_config(**kwargs):
+    return ServeConfig(log_enabled=False, **kwargs)
+
+
+def _serve_lines(session, lines, config=None, state=None):
+    output = io.StringIO()
+    serve_stream(
+        session,
+        io.StringIO("\n".join(lines) + "\n"),
+        output,
+        config=config,
+        state=state,
+    )
+    return [json.loads(line) for line in output.getvalue().splitlines()]
+
+
+# ----------------------------------------------------------------------
+# error taxonomy
+# ----------------------------------------------------------------------
+def test_error_codes_are_documented_strings():
+    assert set(ERROR_CODES) == {
+        "invalid_request",
+        "request_too_large",
+        "deadline_exceeded",
+        "overloaded",
+        "unavailable",
+        "internal",
+    }
+
+
+def test_unexpected_exception_yields_internal_not_a_dead_loop(session):
+    """The satellite fix: an exception outside the (ValueError, TypeError,
+    LookupError, OSError) family must answer `internal` and keep serving."""
+    faults.install("serve.request=raise*1")
+    log = io.StringIO()
+    state = ServerState(ServeConfig(log_stream=log))
+    responses = _serve_lines(session, [CHECK_LINE, CHECK_LINE], state=state)
+    assert len(responses) == 2
+    assert responses[0]["ok"] is False
+    assert responses[0]["error"]["code"] == "internal"
+    assert "InjectedFault" in responses[0]["error"]["message"]
+    assert responses[1]["ok"] is True  # the loop survived
+    events = [json.loads(line) for line in log.getvalue().splitlines()]
+    (internal,) = [event for event in events if event["event"] == "internal_error"]
+    assert "Traceback" in internal["traceback"]
+
+
+def test_non_object_json_document_is_invalid_request(session):
+    # A JSON array used to raise AttributeError straight through the loop.
+    for line in ("[1, 2, 3]", '"a string"', "42"):
+        response = handle_request_line(session, line)
+        assert response["ok"] is False
+        assert response["error"]["code"] == "invalid_request"
+
+
+def test_session_level_fault_is_internal(session):
+    faults.install("session.run=raise*1")
+    response = handle_request_line(
+        session, CHECK_LINE, config=_quiet_config()
+    )
+    assert response["error"]["code"] == "internal"
+
+
+# ----------------------------------------------------------------------
+# bounded request lines
+# ----------------------------------------------------------------------
+def test_oversized_line_answers_request_too_large_and_continues(session):
+    config = _quiet_config(max_line_bytes=256)
+    huge = json.dumps({"op": "check", "test": "x" * 1024, "model": "TSO"})
+    responses = _serve_lines(session, [huge, CHECK_LINE], config=config)
+    assert responses[0]["error"]["code"] == "request_too_large"
+    assert "256" in responses[0]["error"]["message"]
+    assert responses[1]["ok"] is True
+
+
+def test_oversized_line_is_discarded_not_buffered(session):
+    """The reader never holds more than max_line_bytes of an oversized line."""
+
+    class CountingStream(io.StringIO):
+        max_read = 0
+
+        def readline(self, limit=-1):
+            text = super().readline(limit)
+            CountingStream.max_read = max(CountingStream.max_read, len(text))
+            return text
+
+    config = _quiet_config(max_line_bytes=128)
+    stream = CountingStream(("y" * 100_000) + "\n" + CHECK_LINE + "\n")
+    output = io.StringIO()
+    serve_stream(Session(), stream, output, config=config)
+    responses = [json.loads(line) for line in output.getvalue().splitlines()]
+    assert responses[0]["error"]["code"] == "request_too_large"
+    assert responses[1]["ok"] is True
+    assert CountingStream.max_read <= 129
+
+
+# ----------------------------------------------------------------------
+# deadlines
+# ----------------------------------------------------------------------
+def test_slow_request_past_deadline_is_abandoned(session):
+    faults.install("serve.request=delay:5*1")
+    config = _quiet_config(timeout=0.2)
+    started = time.monotonic()
+    response = handle_request_line(session, CHECK_LINE, config=config)
+    elapsed = time.monotonic() - started
+    assert response["error"]["code"] == "deadline_exceeded"
+    assert elapsed < 2.0  # did not wait out the 5s delay
+
+
+def test_abandoned_request_releases_the_shared_lock(session):
+    """The engine lock is acquired inside the watchdog-run closure, so an
+    abandoned request frees it when it finishes in the background."""
+    faults.install("serve.request=delay:0.4*1")
+    lock = threading.Lock()
+    config = _quiet_config(timeout=0.1)
+    first = handle_request_line(session, CHECK_LINE, config=config, lock=lock)
+    assert first["error"]["code"] == "deadline_exceeded"
+    time.sleep(0.6)  # let the abandoned thread finish and release
+    second = handle_request_line(session, CHECK_LINE, config=config, lock=lock)
+    assert second["ok"] is True
+
+
+def test_fast_requests_unaffected_by_deadline(session):
+    config = _quiet_config(timeout=30.0)
+    response = handle_request_line(session, CHECK_LINE, config=config)
+    assert response["ok"] is True
+
+
+# ----------------------------------------------------------------------
+# built-in ops
+# ----------------------------------------------------------------------
+def test_health_op_reports_status_and_uptime(session):
+    state = ServerState(_quiet_config())
+    response = handle_request_line(session, '{"op": "health"}', state=state)
+    assert response["ok"] and response["op"] == "health"
+    assert response["result"]["status"] == "ok"
+    assert response["result"]["uptime_seconds"] >= 0
+    state.draining = True
+    drained = handle_request_line(session, '{"op": "health"}', state=state)
+    assert drained["result"]["status"] == "draining"
+
+
+def test_stats_op_surfaces_counters_and_kernel_backend(session):
+    state = ServerState(_quiet_config())
+    responses = _serve_lines(
+        session, [CHECK_LINE, '{"op": "stats"}'], state=state
+    )
+    stats = responses[1]["result"]
+    assert stats["server"]["requests_total"] >= 1
+    assert stats["server"]["requests_ok"] >= 1
+    assert "uptime_seconds" in stats["server"]
+    assert stats["engine"]["checks_performed"] >= 1
+    assert stats["engine"]["kernel_backend"] == session.kernel_name
+    assert stats["session"]["backend"] == session.backend_name
+
+
+def test_stats_op_counts_errors_by_code(session):
+    state = ServerState(_quiet_config())
+    responses = _serve_lines(
+        session, ["not json", '{"op": "stats"}'], state=state
+    )
+    by_code = responses[1]["result"]["server"]["errors_by_code"]
+    assert by_code.get("invalid_request") == 1
+
+
+def test_builtin_ops_bypass_the_deadline_and_lock(session):
+    # A held lock (a wedged engine) must not block health checks.
+    lock = threading.Lock()
+    with lock:
+        config = _quiet_config(timeout=0.2)
+        response = handle_request_line(
+            session, '{"op": "health"}', config=config, lock=lock
+        )
+    assert response["ok"] is True
+
+
+# ----------------------------------------------------------------------
+# socket transport: limits, shedding, idle timeout
+# ----------------------------------------------------------------------
+def _start_server(session, config):
+    server = serve_socket(session, "127.0.0.1", 0, config=config)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread, server.server_address[1]
+
+
+def _stop_server(server, thread):
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+def test_socket_oversized_line_answers_request_too_large(session):
+    config = _quiet_config(max_line_bytes=256)
+    server, thread, port = _start_server(session, config)
+    try:
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as conn:
+            handle = conn.makefile("rw", encoding="utf-8")
+            handle.write("z" * 1024 + "\n")
+            handle.write(CHECK_LINE + "\n")
+            handle.flush()
+            first = json.loads(handle.readline())
+            second = json.loads(handle.readline())
+        assert first["error"]["code"] == "request_too_large"
+        assert second["ok"] is True
+    finally:
+        _stop_server(server, thread)
+
+
+def test_connections_beyond_queue_are_shed_with_overloaded(session):
+    config = _quiet_config(
+        max_connections=1, admission_queue=0, admission_timeout=0.2
+    )
+    server, thread, port = _start_server(session, config)
+    try:
+        # Occupy the single slot with an open conversation.
+        holder = socket.create_connection(("127.0.0.1", port), timeout=10)
+        holder_file = holder.makefile("rw", encoding="utf-8")
+        holder_file.write(CHECK_LINE + "\n")
+        holder_file.flush()
+        assert json.loads(holder_file.readline())["ok"]
+        # The next connection exceeds the (zero-length) admission queue.
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as shed:
+            shed_file = shed.makefile("rw", encoding="utf-8")
+            response = json.loads(shed_file.readline())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "overloaded"
+        holder.close()
+    finally:
+        _stop_server(server, thread)
+
+
+def test_idle_connections_are_closed(session):
+    config = _quiet_config(idle_timeout=0.3)
+    server, thread, port = _start_server(session, config)
+    try:
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as conn:
+            conn.settimeout(10)
+            # Say nothing; the server should hang up after idle_timeout.
+            assert conn.recv(1024) == b""
+    finally:
+        _stop_server(server, thread)
+
+
+def test_draining_server_answers_unavailable(session):
+    config = _quiet_config()
+    state = ServerState(config)
+    server = serve_socket(session, "127.0.0.1", 0, config=config, state=state)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    try:
+        state.draining = True
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as conn:
+            response = json.loads(conn.makefile("r", encoding="utf-8").readline())
+        assert response["error"]["code"] == "unavailable"
+    finally:
+        _stop_server(server, thread)
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+def test_serve_config_from_env_and_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_TIMEOUT", "12.5")
+    monkeypatch.setenv("REPRO_SERVE_MAX_LINE_BYTES", "4096")
+    monkeypatch.setenv("REPRO_SERVE_MAX_CONNECTIONS", "not-a-number")
+    config = ServeConfig.from_env(max_line_bytes=8192)
+    assert config.timeout == 12.5
+    assert config.max_line_bytes == 8192  # explicit override beats env
+    assert config.max_connections == ServeConfig.max_connections  # bad env ignored
+
+
+def test_cli_serve_exposes_limit_flags():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--timeout", "5", "--max-line-bytes", "1000",
+         "--max-connections", "7", "--drain-grace", "2"]
+    )
+    from repro.api.serve import config_from_args
+
+    config = config_from_args(args)
+    assert config.timeout == 5.0
+    assert config.max_line_bytes == 1000
+    assert config.max_connections == 7
+    assert config.drain_grace == 2.0
+
+
+# ----------------------------------------------------------------------
+# graceful drain (subprocess, real signals)
+# ----------------------------------------------------------------------
+def _subprocess_env(**extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(sys.path)
+    env.update(extra)
+    return env
+
+
+def test_sigterm_mid_request_drains_and_exits_zero():
+    """The CI smoke, as a test: SIGTERM while a request is in flight still
+    delivers the response, logs structured start/drain/stop events, and
+    exits 0."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_subprocess_env(REPRO_FAULTS="serve.request=delay:1.5*1"),
+    )
+    proc.stdin.write(CHECK_LINE + "\n")
+    proc.stdin.flush()
+    time.sleep(0.6)  # the request is inside its injected 1.5s delay
+    proc.send_signal(signal.SIGTERM)
+    out, err = proc.communicate(timeout=60)
+    assert proc.returncode == 0
+    responses = [json.loads(line) for line in out.splitlines()]
+    assert responses and responses[0]["ok"] is True  # response delivered
+    events = [json.loads(line)["event"] for line in err.splitlines()
+              if line.startswith("{")]
+    assert "serve_start" in events
+    assert "drain_begin" in events
+    assert events[-1] == "serve_stop"
+
+
+def test_sigterm_on_idle_stdin_server_exits_zero():
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_subprocess_env(),
+    )
+    # Wait for startup, then SIGTERM while blocked reading stdin.
+    for _ in range(200):
+        line = proc.stderr.readline()
+        if line.startswith("{") and json.loads(line)["event"] == "serve_start":
+            break
+    time.sleep(0.2)
+    proc.send_signal(signal.SIGTERM)
+    proc.communicate(timeout=60)
+    assert proc.returncode == 0
+
+
+def test_sigterm_socket_server_drains_and_exits_zero():
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_subprocess_env(REPRO_FAULTS="serve.request=delay:1.5*1"),
+    )
+    port = None
+    for _ in range(200):
+        line = proc.stderr.readline()
+        if line.startswith("{"):
+            record = json.loads(line)
+            if record["event"] == "serve_start":
+                port = record["port"]
+                break
+    assert port is not None
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as conn:
+        conn.sendall((CHECK_LINE + "\n").encode("utf-8"))
+        time.sleep(0.6)  # mid-request (inside the injected delay)
+        proc.send_signal(signal.SIGTERM)
+        conn.settimeout(30)
+        data = b""
+        while b"\n" not in data:
+            chunk = conn.recv(4096)
+            if not chunk:
+                break
+            data += chunk
+    response = json.loads(data.decode("utf-8"))
+    assert response["ok"] is True  # in-flight request still answered
+    proc.wait(timeout=60)
+    proc.stdout.close()
+    proc.stderr.close()
+    assert proc.returncode == 0

@@ -1,0 +1,164 @@
+"""Tests for the fault-injection registry (repro.util.faults)."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.util import faults
+
+
+@pytest.fixture(autouse=True)
+def _isolate_faults():
+    saved = faults.snapshot()
+    faults.clear()
+    yield
+    faults.restore(saved)
+
+
+# ----------------------------------------------------------------------
+# spec parsing
+# ----------------------------------------------------------------------
+def test_parse_simple_raise():
+    (fault,) = faults.parse_faults("serve.request=raise")
+    assert fault.point == "serve.request"
+    assert fault.action == "raise"
+    assert fault.arg is None and fault.count is None and fault.where == {}
+
+
+def test_parse_delay_with_arg_and_count():
+    (fault,) = faults.parse_faults("session.run=delay:2.5*3")
+    assert fault.action == "delay" and fault.arg == 2.5 and fault.count == 3
+
+
+def test_parse_filters_with_commas_inside_brackets():
+    specs = faults.parse_faults(
+        "pipeline.shard[shard=1,attempt=0]=kill,pipeline.checkpoint[shard=2]=truncate:40"
+    )
+    assert len(specs) == 2
+    assert specs[0].where == {"shard": "1", "attempt": "0"}
+    assert specs[1].action == "truncate" and specs[1].arg == 40.0
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "no-action-here",
+        "point=explode",
+        "point=delay",  # delay requires an argument
+        "point=truncate",  # truncate requires an argument
+        "point=raise*0",  # counts start at 1
+        "point=raise*x",
+        "point[unterminated=raise",
+        "point[novalue]=raise",
+        "=raise",
+    ],
+)
+def test_malformed_specs_raise(bad):
+    with pytest.raises(faults.FaultSpecError):
+        faults.parse_faults(bad)
+
+
+# ----------------------------------------------------------------------
+# firing semantics
+# ----------------------------------------------------------------------
+def test_unarmed_fire_is_a_no_op():
+    faults.fire("anything.at.all", shard=7)
+
+
+def test_raise_fault_fires_and_respects_count():
+    faults.install("p=raise*2")
+    with pytest.raises(faults.InjectedFault):
+        faults.fire("p")
+    with pytest.raises(faults.InjectedFault):
+        faults.fire("p")
+    faults.fire("p")  # count exhausted
+
+
+def test_injected_fault_is_not_a_value_error():
+    # The serving layer catches the ValueError family for expected
+    # problems; injected faults must land in the catch-all instead.
+    assert not issubclass(faults.InjectedFault, ValueError)
+    assert issubclass(faults.InjectedFault, RuntimeError)
+
+
+def test_context_filters_select_fire_sites():
+    faults.install("p[shard=1]=raise")
+    faults.fire("p", shard=0)  # no match
+    faults.fire("p")  # missing key: str(None) != "1"
+    with pytest.raises(faults.InjectedFault):
+        faults.fire("p", shard=1)
+
+
+def test_point_names_must_match_exactly():
+    faults.install("p.q=raise")
+    faults.fire("p")
+    faults.fire("p.q.r")
+    with pytest.raises(faults.InjectedFault):
+        faults.fire("p.q")
+
+
+def test_delay_fault_sleeps():
+    faults.install("p=delay:0.05*1")
+    started = time.monotonic()
+    faults.fire("p")
+    assert time.monotonic() - started >= 0.04
+
+
+def test_truncate_fault_applies_only_via_truncate_file(tmp_path):
+    path = tmp_path / "x.jsonl"
+    path.write_text("0123456789")
+    faults.install("chk=truncate:4*1")
+    faults.fire("chk")  # ignored at plain fire sites
+    assert path.read_text() == "0123456789"
+    assert faults.truncate_file("chk", str(path)) is True
+    assert path.read_text() == "0123"
+    assert faults.truncate_file("chk", str(path)) is False  # count exhausted
+
+
+def test_install_replaces_and_clear_disarms():
+    faults.install("a=raise")
+    faults.install("b=raise")
+    faults.fire("a")  # replaced
+    faults.clear()
+    faults.fire("b")
+    assert not faults.active()
+
+
+def test_install_from_env_reads_the_variable(monkeypatch):
+    monkeypatch.setenv(faults.ENV_VAR, "env.point=raise*1")
+    faults.install_from_env()
+    with pytest.raises(faults.InjectedFault):
+        faults.fire("env.point")
+
+
+def test_env_spec_reaches_subprocesses():
+    """The registry arms itself at import from REPRO_FAULTS — the mechanism
+    CI jobs and CLI subprocesses use."""
+    code = (
+        "from repro.util import faults\n"
+        "try:\n"
+        "    faults.fire('sub.point')\n"
+        "    print('no-fire')\n"
+        "except faults.InjectedFault:\n"
+        "    print('fired')\n"
+    )
+    env = dict(os.environ, REPRO_FAULTS="sub.point=raise")
+    env["PYTHONPATH"] = os.pathsep.join(sys.path)
+    result = subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True, text=True
+    )
+    assert result.stdout.strip() == "fired"
+
+
+def test_snapshot_restore_roundtrip():
+    faults.install("p=raise*1")
+    saved = faults.snapshot()
+    faults.clear()
+    assert not faults.active()
+    faults.restore(saved)
+    with pytest.raises(faults.InjectedFault):
+        faults.fire("p")
