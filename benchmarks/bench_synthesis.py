@@ -1,0 +1,92 @@
+"""Synthesis strategies over growing observation counts.
+
+Inverting the checker: given a row of observed verdicts from the 90-model
+space, how fast do the two synthesis strategies recover the consistent
+set?  The enumeration strategy streams cache-warm verdict columns
+(``CheckEngine.check_column``); the SAT strategy answers each observation
+with one incremental solve per *distinct* po-pair mask, so models that
+force the same program-order edges share a solver call.  Both run on a
+session-warm engine — the realistic serving shape, where explore/compare
+traffic has already built the per-test contexts — and the benchmark
+asserts they return identical results at every size.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.parametric import parametric_model
+from repro.engine import CheckEngine
+from repro.generation.named_tests import L_TESTS
+from repro.synth import SynthesisEngine
+
+TARGET = "M4044"
+OBSERVATION_COUNTS = (4, 16, 64)
+
+
+@pytest.fixture(scope="module")
+def synthesis(models_90, suite_with_dependencies):
+    """A warm synthesis engine plus the target model's full verdict row."""
+    engine = CheckEngine()
+    synth = SynthesisEngine(
+        models_90,
+        list(L_TESTS),
+        engine=engine,
+        preferred_tests=L_TESTS,
+        space="deps",
+    )
+    target = parametric_model(TARGET)
+    suite = list(suite_with_dependencies.tests()) + list(L_TESTS)
+    row = [(test, engine.check(test, target)) for test in suite]
+    # Warm every per-test context the benchmark will touch, for both
+    # strategies, so the timings measure synthesis rather than first-visit
+    # candidate-space construction.
+    for test, _ in row:
+        engine.check_column(test, synth.models, retain=True)
+        synth._sat_column(test)
+    return synth, row
+
+
+def _strip(result):
+    return dataclasses.replace(result, backend="", stats=None)
+
+
+@pytest.mark.parametrize("count", OBSERVATION_COUNTS)
+@pytest.mark.benchmark(group="synthesis")
+def test_synthesize_enum(benchmark, synthesis, count):
+    synth, row = synthesis
+    result = benchmark.pedantic(
+        lambda: synth.synthesize(row[:count], backend="enum"),
+        rounds=3,
+        iterations=1,
+    )
+    assert TARGET in result.consistent_models
+
+
+@pytest.mark.parametrize("count", OBSERVATION_COUNTS)
+@pytest.mark.benchmark(group="synthesis")
+def test_synthesize_sat(benchmark, synthesis, count):
+    synth, row = synthesis
+    result = benchmark.pedantic(
+        lambda: synth.synthesize(row[:count], backend="sat"),
+        rounds=3,
+        iterations=1,
+    )
+    assert TARGET in result.consistent_models
+
+
+def test_strategies_agree_at_every_size(synthesis):
+    synth, row = synthesis
+    for count in OBSERVATION_COUNTS:
+        enum = synth.synthesize(row[:count], backend="enum")
+        sat = synth.synthesize(row[:count], backend="sat")
+        assert _strip(enum) == _strip(sat), f"strategies diverge at {count}"
+
+
+def test_sat_strategy_groups_models_by_mask(synthesis):
+    synth, row = synthesis
+    result = synth.synthesize(row[:16], backend="sat")
+    stats = result.stats
+    assert stats.synth_solver_calls + stats.synth_group_hits == 16 * 90
+    # Mask grouping must be doing real work on this space.
+    assert stats.synth_group_hits > stats.synth_solver_calls

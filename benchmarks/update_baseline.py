@@ -35,6 +35,7 @@ BENCH_MODULES = (
     "benchmarks/bench_kernel_native.py",
     "benchmarks/bench_enumeration_pipeline.py",
     "benchmarks/bench_model_compile.py",
+    "benchmarks/bench_synthesis.py",
 )
 
 

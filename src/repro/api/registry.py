@@ -44,6 +44,25 @@ ModelSpec = Union[MemoryModel, str, Mapping]
 TestSpec = Union[LitmusTest, str, Mapping]
 
 
+#: Accepted aliases for the two parametric spaces: the paper-facing names
+#: (``paper90``/``paper36``) resolve to the canonical keys.
+SPACE_ALIASES = {"paper90": "deps", "paper36": "no_deps"}
+
+
+def canonical_space(key: str) -> str:
+    """Resolve a space key or alias to its canonical name.
+
+    Raises :class:`UnknownModelError` for anything else.
+    """
+    resolved = SPACE_ALIASES.get(key, key)
+    if resolved not in ("deps", "no_deps"):
+        raise UnknownModelError(
+            f"unknown model space {key!r} (expected 'deps', 'no_deps', "
+            "'paper90' or 'paper36')"
+        )
+    return resolved
+
+
 class UnknownModelError(ValueError):
     """Raised when a model name cannot be resolved."""
 
@@ -149,14 +168,11 @@ class ModelRegistry:
     def space(self, key: str = "no_deps") -> List[MemoryModel]:
         """Return a memoized parametric model space.
 
-        ``"deps"`` is the full 90-model space of Section 4.2; ``"no_deps"``
-        the 36-model dependency-free space of Figure 4.
+        ``"deps"`` (alias ``"paper90"``) is the full 90-model space of
+        Section 4.2; ``"no_deps"`` (alias ``"paper36"``) the 36-model
+        dependency-free space of Figure 4.
         """
-        if key not in ("deps", "no_deps"):
-            raise UnknownModelError(
-                f"unknown model space {key!r} (expected 'deps' or 'no_deps')"
-            )
-        include = key == "deps"
+        include = canonical_space(key) == "deps"
         if include not in self._spaces:
             self._spaces[include] = model_space(include_data_dependencies=include)
         return self._spaces[include]

@@ -127,8 +127,54 @@ class ExhaustiveRequest:
     op = "exhaustive"
 
 
+@dataclass(frozen=True)
+class SynthesizeRequest:
+    """Find the models of a parametric space consistent with observations.
+
+    ``observations`` is a tuple of :class:`~repro.synth.observations.
+    Observation` objects (plain ``{"test": ..., "allowed": ...}`` mappings
+    are coerced); each ``test`` spec resolves through the session's test
+    registry, so path specs honor the registry's path restrictions.
+    ``space`` accepts the canonical keys (``"deps"``/``"no_deps"``) and
+    their paper-facing aliases (``"paper90"``/``"paper36"``); ``backend``
+    picks the verdict-column strategy (``"enum"``, ``"sat"`` or ``"auto"``
+    to follow the session's engine backend); ``suggest_tests`` caps the
+    number of distinguishing-test suggestions when the answer is ambiguous.
+    """
+
+    observations: Tuple["Observation", ...] = ()
+    space: str = "deps"
+    backend: str = "auto"
+    suggest_tests: int = 3
+    suite: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        from repro.synth.observations import Observation, _observation_from_json
+
+        coerced = tuple(
+            obs if isinstance(obs, Observation) else _observation_from_json(obs)
+            for obs in self.observations
+        )
+        object.__setattr__(self, "observations", coerced)
+
+    def suite_key(self) -> str:
+        """The comparison suite: explicit, or matched to the space."""
+        if self.suite is not None:
+            return self.suite
+        from repro.api.registry import canonical_space
+
+        return "standard" if canonical_space(self.space) == "deps" else "no_deps"
+
+    op = "synthesize"
+
+
 Request = Union[
-    CheckRequest, CompareRequest, ExploreRequest, OutcomesRequest, ExhaustiveRequest
+    CheckRequest,
+    CompareRequest,
+    ExploreRequest,
+    OutcomesRequest,
+    ExhaustiveRequest,
+    SynthesizeRequest,
 ]
 
 _REQUEST_TYPES: Dict[str, type] = {
@@ -139,6 +185,7 @@ _REQUEST_TYPES: Dict[str, type] = {
         ExploreRequest,
         OutcomesRequest,
         ExhaustiveRequest,
+        SynthesizeRequest,
     )
 }
 
@@ -166,6 +213,10 @@ def request_to_json(request: Request) -> Dict[str, Any]:
             value = _spec_to_json(value)
         elif field_info.name == "models" and value is not None:
             value = [_spec_to_json(spec) for spec in value]
+        elif field_info.name == "observations":
+            from repro.synth.observations import _observation_to_json
+
+            value = [_observation_to_json(obs) for obs in value]
         document[field_info.name] = value
     return document
 
@@ -205,6 +256,13 @@ def request_from_json(document: Mapping[str, Any]) -> Request:
         if key not in known:
             raise SerializationError(f"unknown field {key!r} for request op {op!r}")
         if key == "models" and value is not None:
+            value = tuple(value)
+        elif key == "observations":
+            if not isinstance(value, (list, tuple)):
+                raise SerializationError(
+                    "'observations' must be a JSON array of "
+                    '{"test": ..., "allowed": ...} objects'
+                )
             value = tuple(value)
         kwargs[key] = value
     try:

@@ -2,7 +2,7 @@
 
 Every top-level document carries two envelope fields::
 
-    {"schema": "repro/<kind>", "schema_version": 1, ...payload...}
+    {"schema": "repro/<kind>", "schema_version": 2, ...payload...}
 
 ``to_json`` turns a result object into a plain-JSON dictionary (nothing but
 dicts, lists, strings, numbers, booleans and ``None``) and ``from_json``
@@ -23,6 +23,11 @@ The serializable types are
   (including :class:`~repro.engine.engine.EngineStats` and Hasse edges),
 * :class:`~repro.pipeline.report.EquivalenceReport` (the exhaustive
   enumeration pipeline's partition-vs-template verdict),
+* :class:`~repro.synth.engine.SynthesisResult` (consistent/weakest/
+  strongest models, exclusion witnesses, conflict core, suggestions),
+* :class:`~repro.synth.observations.ObservationSet` and
+  :class:`~repro.synth.observations.VerdictDocument` (the synthesis
+  inputs: observed verdicts, and the exported models×tests matrix),
 * :class:`~repro.core.litmus.LitmusTest` (full program structure),
 * formula-defined :class:`~repro.core.model.MemoryModel` objects
   (models backed by arbitrary Python callables cannot travel as JSON and
@@ -53,8 +58,11 @@ from repro.core.program import Program, Thread
 from repro.engine.engine import EngineStats
 from repro.pipeline.report import EquivalenceReport
 
-#: The version every document written by this module carries.
-SCHEMA_VERSION = 1
+#: The version every document written by this module carries.  Version 2
+#: added the synthesis document kinds and the synthesis counters in every
+#: serialized ``EngineStats`` payload; version-1 documents are rejected
+#: (regenerate them, or strip the envelope for request documents).
+SCHEMA_VERSION = 2
 
 #: ``schema`` kind strings, one per top-level document type.
 SCHEMA_PREFIX = "repro/"
@@ -476,6 +484,80 @@ def equivalence_report_from_json(document: Dict[str, Any]) -> EquivalenceReport:
     )
 
 
+def synthesis_result_to_json(result: "SynthesisResult") -> Dict[str, Any]:
+    document = envelope("synthesis_result")
+    document.update(
+        {
+            "space": result.space,
+            "backend": result.backend,
+            "observations": [[name, allowed] for name, allowed in result.observations],
+            "models_considered": result.models_considered,
+            "consistent_models": list(result.consistent_models),
+            "weakest": list(result.weakest),
+            "strongest": list(result.strongest),
+            "witnesses": [
+                {
+                    "model": witness.model,
+                    "test": witness.test,
+                    "observed": witness.observed,
+                    "predicted": witness.predicted,
+                }
+                for witness in result.witnesses
+            ],
+            "conflict_core": list(result.conflict_core),
+            "suggestions": [
+                {
+                    "test": suggestion.test,
+                    "separates_pairs": suggestion.separates_pairs,
+                    "allowed_models": suggestion.allowed_models,
+                    "forbidden_models": suggestion.forbidden_models,
+                }
+                for suggestion in result.suggestions
+            ],
+            "stats": None if result.stats is None else engine_stats_to_json(result.stats),
+        }
+    )
+    return document
+
+
+def synthesis_result_from_json(document: Dict[str, Any]) -> "SynthesisResult":
+    from repro.synth.engine import ExclusionWitness, SynthesisResult, TestSuggestion
+
+    check_envelope(document, "synthesis_result")
+    stats = document.get("stats")
+    return SynthesisResult(
+        space=document["space"],
+        backend=document["backend"],
+        observations=tuple(
+            (name, allowed) for name, allowed in document["observations"]
+        ),
+        models_considered=document["models_considered"],
+        consistent_models=tuple(document["consistent_models"]),
+        weakest=tuple(document["weakest"]),
+        strongest=tuple(document["strongest"]),
+        witnesses=tuple(
+            ExclusionWitness(
+                model=witness["model"],
+                test=witness["test"],
+                observed=witness["observed"],
+                predicted=witness["predicted"],
+            )
+            for witness in document["witnesses"]
+        ),
+        conflict_core=tuple(document.get("conflict_core", ())),
+        suggestions=tuple(
+            TestSuggestion(
+                test=suggestion["test"],
+                separates_pairs=suggestion["separates_pairs"],
+                allowed_models=suggestion["allowed_models"],
+                forbidden_models=suggestion["forbidden_models"],
+            )
+            for suggestion in document.get("suggestions", ())
+        ),
+        stats=None if stats is None else engine_stats_from_json(stats),
+    )
+
+
 def outcome_set_to_json(result: OutcomeSet) -> Dict[str, Any]:
     document = envelope("outcome_set")
     document.update(
@@ -500,6 +582,14 @@ def outcome_set_from_json(document: Dict[str, Any]) -> OutcomeSet:
 # ----------------------------------------------------------------------
 # generic dispatch
 # ----------------------------------------------------------------------
+def _synth_types():
+    # Deferred: repro.synth imports this module for envelopes.
+    from repro.synth.engine import SynthesisResult
+    from repro.synth.observations import ObservationSet, VerdictDocument
+
+    return SynthesisResult, ObservationSet, VerdictDocument
+
+
 _TO_JSON: Tuple[Tuple[type, Callable[[Any], Dict[str, Any]]], ...] = (
     (CheckResult, check_result_to_json),
     (ComparisonResult, comparison_result_to_json),
@@ -520,6 +610,9 @@ _FROM_JSON: Dict[str, Callable[[Dict[str, Any]], Any]] = {
     "litmus_test": test_from_json,
     "model": model_from_json,
     "engine_stats": lambda document: engine_stats_from_json(document["counters"]),
+    "synthesis_result": synthesis_result_from_json,
+    "observations": lambda document: _synth_types()[1].from_json(document),
+    "verdicts": lambda document: _synth_types()[2].from_json(document),
 }
 
 
@@ -528,6 +621,11 @@ def to_json(obj: Any) -> Dict[str, Any]:
     for cls, writer in _TO_JSON:
         if isinstance(obj, cls):
             return writer(obj)
+    SynthesisResult, ObservationSet, VerdictDocument = _synth_types()
+    if isinstance(obj, SynthesisResult):
+        return synthesis_result_to_json(obj)
+    if isinstance(obj, (ObservationSet, VerdictDocument)):
+        return obj.to_json()
     raise SerializationError(f"cannot serialize objects of type {type(obj).__name__}")
 
 

@@ -33,6 +33,7 @@ from repro.api.requests import (
     ExploreRequest,
     OutcomesRequest,
     Request,
+    SynthesizeRequest,
 )
 from repro.checker.outcomes import OutcomeSet, allowed_outcome_set
 from repro.checker.result import CheckResult
@@ -40,11 +41,17 @@ from repro.comparison.compare import ComparisonResult, ModelComparator
 from repro.comparison.exploration import ExplorationResult, explore_models
 from repro.engine.engine import CheckEngine, EngineStats
 from repro.pipeline.report import EquivalenceReport
+from repro.synth.engine import SynthesisEngine, SynthesisResult
 from repro.util import faults
 
 #: Everything a session can hand back.
 Result = Union[
-    CheckResult, ComparisonResult, ExplorationResult, OutcomeSet, EquivalenceReport
+    CheckResult,
+    ComparisonResult,
+    ExplorationResult,
+    OutcomeSet,
+    EquivalenceReport,
+    SynthesisResult,
 ]
 
 
@@ -101,6 +108,9 @@ class Session:
         # One comparator per comparison suite, so verdict vectors computed
         # for one compare request are reused by the next.
         self._comparators: Dict[Tuple[str, bool], ModelComparator] = {}
+        # One synthesis engine per (space, suite), sharing this session's
+        # check engine so repeated synthesize requests stay cache-warm.
+        self._synth_engines: Dict[Tuple[str, str], SynthesisEngine] = {}
 
     # ------------------------------------------------------------------
     # introspection
@@ -145,6 +155,8 @@ class Session:
             return self._run_outcomes(request)
         if isinstance(request, ExhaustiveRequest):
             return self._run_exhaustive(request)
+        if isinstance(request, SynthesizeRequest):
+            return self._run_synthesize(request)
         raise TypeError(f"unknown request type {type(request).__name__}")
 
     def run_batch(self, requests: Sequence[Request]) -> BatchResult:
@@ -217,6 +229,44 @@ class Session:
         test = self.tests.resolve(request.test)
         model = self.models.resolve(request.model)
         return allowed_outcome_set(test, model, checker=self.engine)
+
+    def synthesis_engine(
+        self, space: str = "deps", suite: Optional[str] = None
+    ) -> SynthesisEngine:
+        """Return (creating and caching) the synthesis engine for a space.
+
+        The engine shares this session's :class:`CheckEngine`, so verdict
+        columns computed by earlier explore/compare requests answer later
+        synthesize requests from warm caches (and vice versa).
+        """
+        from repro.api.registry import canonical_space
+
+        space_key = canonical_space(space)
+        suite_key = suite if suite is not None else (
+            "standard" if space_key == "deps" else "no_deps"
+        )
+        cache_key = (space_key, suite_key)
+        if cache_key not in self._synth_engines:
+            self._synth_engines[cache_key] = SynthesisEngine(
+                models=self.models.space(space_key),
+                comparison_tests=self.tests.comparison_tests(suite_key),
+                engine=self.engine,
+                preferred_tests=self.tests.preferred_tests(),
+                space=space_key,
+            )
+        return self._synth_engines[cache_key]
+
+    def _run_synthesize(self, request: SynthesizeRequest) -> SynthesisResult:
+        synth = self.synthesis_engine(request.space, request.suite)
+        resolved = [
+            (self.tests.resolve(observation.test), bool(observation.allowed))
+            for observation in request.observations
+        ]
+        return synth.synthesize(
+            resolved,
+            backend=request.backend,
+            suggest_tests=request.suggest_tests,
+        )
 
     def _run_exhaustive(self, request: ExhaustiveRequest) -> EquivalenceReport:
         from repro.pipeline.run import PipelineConfig, run_pipeline

@@ -20,7 +20,13 @@ import json
 import sys
 from typing import IO, Optional, Sequence
 
-from repro.api.serialize import SerializationError, check_envelope, from_json, to_json
+from repro.api.serialize import (
+    SCHEMA_VERSION,
+    SerializationError,
+    check_envelope,
+    from_json,
+    to_json,
+)
 
 
 def validate_document(text: str) -> "tuple[str, dict]":
@@ -75,7 +81,10 @@ def main(
         out = output_stream if output_stream is not None else sys.stdout
         json.dump(canonical, out)
         out.write("\n")
-    print(f"OK: valid {kind} document (schema_version 1, exact round trip)", file=sys.stderr)
+    print(
+        f"OK: valid {kind} document (schema_version {SCHEMA_VERSION}, exact round trip)",
+        file=sys.stderr,
+    )
     return 0
 
 

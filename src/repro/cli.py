@@ -23,6 +23,11 @@ Subcommands:
 * ``enumerate-verify [--bound large] [--jobs N] [--run-dir D --resume]`` —
   run the sharded exhaustive-enumeration pipeline and report whether the
   naive space induces the same model partition as the template suite.
+* ``synthesize --space paper90 --observations FILE|-`` — invert the
+  checker: find the parametric models consistent with observed verdicts,
+  the weakest/strongest among them, exclusion witnesses, and suggested
+  distinguishing tests (``--from-report`` replays a row of an exploration
+  or ``explore --emit-verdicts`` document).
 * ``serve [--port N]`` — answer a JSON-lines request stream over one warm
   session (stdin/stdout by default, a TCP socket with ``--port``).
 
@@ -153,6 +158,73 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             handle.write(hasse_dot(result, KNOWN_CORRESPONDENCES))
         if args.format != "json":
             print(f"\nwrote {args.dot}")
+    if args.emit_verdicts:
+        from repro.synth.observations import verdict_document_from_exploration
+
+        document = verdict_document_from_exploration(result, space=space).to_json()
+        with open(args.emit_verdicts, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        if args.format != "json":
+            print(f"wrote verdict matrix to {args.emit_verdicts}")
+    return 0
+
+
+def _load_observations(args: argparse.Namespace):
+    """Build the observation tuple from --observations / --from-report."""
+    from repro.synth.observations import ObservationError, observations_from_document
+
+    if bool(args.observations) == bool(args.from_report):
+        raise SystemExit(
+            "synthesize needs exactly one of --observations FILE|- or --from-report FILE"
+        )
+    source = args.observations or args.from_report
+    try:
+        if source == "-":
+            text = sys.stdin.read()
+        else:
+            with open(source) as handle:
+                text = handle.read()
+    except OSError as error:
+        raise SystemExit(str(error))
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"{source}: not valid JSON: {error}")
+    try:
+        if args.from_report:
+            return observations_from_document(document, as_model=args.as_model)
+        if args.as_model is not None:
+            # A verdict-matrix file passed via --observations still works,
+            # it just needs the row selected.
+            return observations_from_document(document, as_model=args.as_model)
+        return observations_from_document(document)
+    except (ObservationError, ValueError) as error:
+        raise SystemExit(f"{source}: {error}")
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.api.requests import SynthesizeRequest
+
+    session = _make_session(args)
+    observation_set = _load_observations(args)
+    try:
+        request = SynthesizeRequest(
+            observations=tuple(observation_set),
+            space=args.space,
+            backend=args.synth_backend,
+            suggest_tests=args.suggest_tests,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    try:
+        result = _run(session, request)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if args.format == "json":
+        _emit_json(to_json(result))
+        return 0
+    print(result.describe())
     return 0
 
 
@@ -359,8 +431,46 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="number of worker processes for the verdict matrix (default: 1)")
     explore.add_argument("--dot", help="write the Hasse diagram to this DOT file")
+    explore.add_argument(
+        "--emit-verdicts", metavar="PATH",
+        help="also write the models×tests verdict matrix as an observation-"
+        "compatible repro/verdicts document (drive 'repro synthesize "
+        "--from-report' without re-checking)")
     add_format(explore)
     explore.set_defaults(func=_cmd_explore)
+
+    synthesize = subparsers.add_parser(
+        "synthesize",
+        help="invert the checker: find the models consistent with observed "
+        "verdicts ('which memory model is this hardware?')",
+    )
+    synthesize.add_argument(
+        "--space", default="deps",
+        help="parametric space to search: deps/paper90 (the 90-model space, "
+        "default) or no_deps/paper36")
+    synthesize.add_argument(
+        "--observations", metavar="FILE",
+        help="repro/observations JSON document ('-' reads stdin)")
+    synthesize.add_argument(
+        "--from-report", metavar="FILE",
+        help="ingest one model's row of a repro/verdicts or "
+        "repro/exploration_result document (see --as-model)")
+    synthesize.add_argument(
+        "--as-model", metavar="NAME", default=None,
+        help="which row of a --from-report verdict matrix to replay")
+    synthesize.add_argument(
+        "--suggest-tests", type=int, default=3, metavar="N",
+        help="propose up to N distinguishing tests when several models "
+        "remain consistent (default: 3)")
+    # dest avoids clobbering the global --backend (the engine strategy).
+    synthesize.add_argument(
+        "--backend", dest="synth_backend", choices=("enum", "sat", "auto"),
+        default="auto",
+        help="verdict-column strategy: 'enum' batches through the engine's "
+        "check_column, 'sat' solves the CNF skeletons incrementally per "
+        "distinct po-mask; 'auto' follows the engine backend")
+    add_format(synthesize)
+    synthesize.set_defaults(func=_cmd_synthesize)
 
     catalog = subparsers.add_parser("catalog", help="list the built-in models")
     add_format(catalog)

@@ -78,6 +78,14 @@ class EngineStats:
     native_searches: int = 0
     #: kernel searches answered by a Python kernel (bigint or word-array)
     fallback_searches: int = 0
+    #: synthesis queries answered (one per SynthesisEngine.synthesize call)
+    synth_runs: int = 0
+    #: incremental SAT solves issued by the synthesis SAT strategy (one per
+    #: distinct po-pair mask per observation)
+    synth_solver_calls: int = 0
+    #: synthesis verdicts answered by a model sharing an already-solved
+    #: po-pair mask — the SAT strategy's model-grouping metric
+    synth_group_hits: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
@@ -126,6 +134,12 @@ class EngineStats:
             parts.append(f"{self.models_compiled} models compiled")
         if self.ir_cse_hits:
             parts.append(f"{self.ir_cse_hits} IR subformulas shared")
+        if self.synth_runs:
+            parts.append(
+                f"{self.synth_runs} synthesis runs "
+                f"({self.synth_solver_calls} synthesis SAT calls, "
+                f"{self.synth_group_hits} mask-group hits)"
+            )
         if self.kernel_backend:
             searches = (
                 self.native_searches

@@ -1,0 +1,258 @@
+"""Observed verdicts: the input side of model synthesis.
+
+An :class:`Observation` pairs a litmus-test *spec* — anything
+:meth:`repro.api.registry.TestRegistry.resolve` accepts: a registered name,
+a ``.litmus`` path (where paths are allowed), inline litmus text, an inline
+``repro/litmus_test`` document, or a live
+:class:`~repro.core.litmus.LitmusTest` — with the verdict observed for it
+(``allowed=True`` means the candidate outcome was seen).  An
+:class:`ObservationSet` is an ordered collection of observations with an
+exact JSON round trip under the ``repro/observations`` schema::
+
+    {"schema": "repro/observations", "schema_version": N,
+     "observations": [{"test": "L1", "allowed": true}, ...]}
+
+Synthesis can also be driven from a prior exploration without re-checking
+anything: ``repro explore --emit-verdicts PATH`` writes a
+:class:`VerdictDocument` (schema ``repro/verdicts``) — the models×tests
+verdict matrix with the full test programs embedded, so the document is
+self-contained — and :func:`observations_from_document` turns one row of
+it (or of a full ``repro/exploration_result`` document, which carries the
+same ``tests``/``vectors`` fields) back into an :class:`ObservationSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core.litmus import LitmusTest
+
+#: What an observation's ``test`` field may hold (resolved by the session's
+#: test registry, so path specs honor the registry's ``allow_paths``).
+TestSpec = Union[LitmusTest, str, Mapping]
+
+
+class ObservationError(ValueError):
+    """Raised when an observation document is malformed."""
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One observed verdict: ``test`` was seen (not) to allow its outcome."""
+
+    test: TestSpec
+    allowed: bool
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.allowed, bool):
+            raise ObservationError(
+                f"observation verdict must be a boolean, got {self.allowed!r}"
+            )
+
+    def label(self) -> str:
+        """A short human-readable name for the observed test."""
+        if isinstance(self.test, LitmusTest):
+            return self.test.name
+        if isinstance(self.test, Mapping):
+            return str(self.test.get("name", "<inline test>"))
+        first_line = str(self.test).splitlines()[0] if self.test else ""
+        return first_line if "\n" not in str(self.test) else "<inline test>"
+
+
+def _observation_from_json(data: Any) -> Observation:
+    if not isinstance(data, Mapping):
+        raise ObservationError(
+            f"each observation must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = [key for key in data if key not in ("test", "allowed")]
+    if unknown:
+        raise ObservationError(f"unknown observation fields: {unknown}")
+    if "test" not in data or "allowed" not in data:
+        raise ObservationError(
+            "each observation needs a 'test' spec and an 'allowed' boolean"
+        )
+    return Observation(test=data["test"], allowed=data["allowed"])
+
+
+def _observation_to_json(observation: Observation) -> Dict[str, Any]:
+    test: Any = observation.test
+    if isinstance(test, LitmusTest):
+        from repro.api.serialize import test_to_json
+
+        test = test_to_json(test)
+    elif isinstance(test, Mapping):
+        test = dict(test)
+    return {"test": test, "allowed": observation.allowed}
+
+
+@dataclass(frozen=True)
+class ObservationSet:
+    """An ordered set of observed verdicts (the synthesis input)."""
+
+    observations: Tuple[Observation, ...]
+
+    def __post_init__(self) -> None:
+        coerced = tuple(
+            obs if isinstance(obs, Observation) else _observation_from_json(obs)
+            for obs in self.observations
+        )
+        object.__setattr__(self, "observations", coerced)
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def __iter__(self):
+        return iter(self.observations)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        from repro.api.serialize import envelope
+
+        document = envelope("observations")
+        document["observations"] = [
+            _observation_to_json(obs) for obs in self.observations
+        ]
+        return document
+
+    @staticmethod
+    def from_json(document: Mapping[str, Any]) -> "ObservationSet":
+        from repro.api.serialize import check_envelope
+
+        check_envelope(dict(document), "observations")
+        entries = document.get("observations")
+        if not isinstance(entries, list):
+            raise ObservationError("'observations' must be a JSON array")
+        return ObservationSet(
+            tuple(_observation_from_json(entry) for entry in entries)
+        )
+
+
+@dataclass(frozen=True)
+class VerdictDocument:
+    """A models×tests verdict matrix, self-contained and JSON-exact.
+
+    ``tests`` embeds the full litmus programs (not just names: generated
+    template-suite tests are not registry-resolvable by name), so any row
+    converts to an :class:`ObservationSet` without access to the session
+    that produced it.
+    """
+
+    space: str
+    tests: Tuple[LitmusTest, ...]
+    vectors: Dict[str, Tuple[bool, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tests", tuple(self.tests))
+        object.__setattr__(
+            self,
+            "vectors",
+            {name: tuple(vector) for name, vector in self.vectors.items()},
+        )
+        for name, vector in self.vectors.items():
+            if len(vector) != len(self.tests):
+                raise ObservationError(
+                    f"verdict vector for {name!r} has {len(vector)} entries "
+                    f"for {len(self.tests)} tests"
+                )
+
+    def model_names(self) -> List[str]:
+        return list(self.vectors)
+
+    def row(self, model_name: str) -> "ObservationSet":
+        """The named model's verdicts as an observation set."""
+        if model_name not in self.vectors:
+            raise ObservationError(
+                f"model {model_name!r} is not in the verdict document "
+                f"(rows: {', '.join(self.vectors) or 'none'})"
+            )
+        vector = self.vectors[model_name]
+        return ObservationSet(
+            tuple(
+                Observation(test=test, allowed=bool(verdict))
+                for test, verdict in zip(self.tests, vector)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        from repro.api.serialize import envelope, test_to_json
+
+        document = envelope("verdicts")
+        document.update(
+            {
+                "space": self.space,
+                "tests": [test_to_json(test) for test in self.tests],
+                "vectors": {
+                    name: list(vector) for name, vector in self.vectors.items()
+                },
+            }
+        )
+        return document
+
+    @staticmethod
+    def from_json(document: Mapping[str, Any]) -> "VerdictDocument":
+        from repro.api.serialize import check_envelope, test_from_json
+
+        check_envelope(dict(document), "verdicts")
+        return VerdictDocument(
+            space=document.get("space", ""),
+            tests=tuple(test_from_json(test) for test in document["tests"]),
+            vectors={
+                name: tuple(vector)
+                for name, vector in document.get("vectors", {}).items()
+            },
+        )
+
+
+def verdict_document_from_exploration(result, space: str) -> VerdictDocument:
+    """Reduce an :class:`~repro.comparison.exploration.ExplorationResult`
+    to its observation-compatible verdict matrix."""
+    return VerdictDocument(
+        space=space,
+        tests=tuple(result.tests),
+        vectors={name: tuple(vector) for name, vector in result.vectors.items()},
+    )
+
+
+def observations_from_document(
+    document: Mapping[str, Any], as_model: Optional[str] = None
+) -> ObservationSet:
+    """Build an observation set from any observation-bearing document.
+
+    Accepts ``repro/observations`` directly, and ``repro/verdicts`` or
+    ``repro/exploration_result`` documents with ``as_model`` naming the row
+    to replay (the ``--from-report`` CLI mode).
+    """
+    from repro.api.serialize import check_envelope, test_from_json
+
+    kind = check_envelope(dict(document))
+    if kind == "observations":
+        if as_model is not None:
+            raise ObservationError(
+                "as_model only applies to verdict-matrix documents "
+                "(repro/verdicts or repro/exploration_result)"
+            )
+        return ObservationSet.from_json(document)
+    if kind == "verdicts":
+        matrix = VerdictDocument.from_json(document)
+    elif kind == "exploration_result":
+        matrix = VerdictDocument(
+            space="",
+            tests=tuple(test_from_json(test) for test in document["tests"]),
+            vectors={
+                name: tuple(vector)
+                for name, vector in document.get("vectors", {}).items()
+            },
+        )
+    else:
+        raise ObservationError(
+            f"cannot read observations from a {kind!r} document (expected "
+            "observations, verdicts, or exploration_result)"
+        )
+    if as_model is None:
+        raise ObservationError(
+            "a verdict-matrix document holds one row per model; pass "
+            f"as_model (one of: {', '.join(matrix.model_names())})"
+        )
+    return matrix.row(as_model)

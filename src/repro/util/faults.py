@@ -30,6 +30,8 @@ Spec grammar (entries comma-separated)::
                                        first attempt at shard 1 dies
     pipeline.checkpoint[shard=2]=truncate:40
                                        shard 2's checkpoint is cut to 40B
+    synth.solve=raise*1                first synthesis verdict column dies
+    session.run[op=synthesize]=raise   every synthesize dispatch raises
 
 The optional ``[key=value,...]`` filter matches against the keyword
 context a fire site passes (compared as strings); ``*count`` arms the

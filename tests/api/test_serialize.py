@@ -78,6 +78,68 @@ def test_golden_comparison_result_roundtrips_bit_identically():
     assert from_json(document) == compare_models(SC, TSO, list(L_TESTS))
 
 
+def _known_synthesis(case):
+    # Pinned like _known_exploration: the bigint kernel and a fresh engine
+    # per case make the embedded EngineStats deterministic everywhere.
+    from repro.engine.engine import CheckEngine
+    from repro.synth import SynthesisEngine
+
+    models = [parametric_model(name) for name in KNOWN_NAMES]
+
+    def fresh():
+        return SynthesisEngine(
+            models,
+            list(L_TESTS),
+            engine=CheckEngine(kernel="bigint"),
+            preferred_tests=L_TESTS,
+            space="deps",
+        )
+
+    probe = CheckEngine(kernel="bigint")
+    target = parametric_model("M4044")
+    row = [(test, probe.check(test, target)) for test in L_TESTS]
+    if case == "unique":
+        return fresh().synthesize(row, backend="enum")
+    if case == "conflict":
+        flipped = [(row[0][0], not row[0][1])] + row[1:]
+        return fresh().synthesize(flipped, backend="enum")
+    assert case == "ambiguous"
+    return fresh().synthesize(row[:2], backend="enum")
+
+
+SYNTHESIS_GOLDEN_CASES = ("unique", "conflict", "ambiguous")
+
+
+@pytest.mark.parametrize("case", SYNTHESIS_GOLDEN_CASES)
+def test_golden_synthesis_result_roundtrips_bit_identically(case):
+    document = json.loads((GOLDEN / f"synthesis_{case}.json").read_text())
+    result = from_json(document)
+    assert to_json(result) == document
+
+
+@pytest.mark.parametrize("case", SYNTHESIS_GOLDEN_CASES)
+def test_golden_synthesis_result_matches_fresh_computation(case):
+    document = json.loads((GOLDEN / f"synthesis_{case}.json").read_text())
+    assert from_json(document) == _known_synthesis(case)
+
+
+def test_golden_synthesis_cases_cover_the_three_outcomes():
+    unique = from_json(json.loads((GOLDEN / "synthesis_unique.json").read_text()))
+    assert unique.unique_model == "M4044"
+    assert unique.weakest == unique.strongest == ("M4044",)
+
+    conflict = from_json(json.loads((GOLDEN / "synthesis_conflict.json").read_text()))
+    assert not conflict.consistent
+    assert conflict.conflict_core  # minimal conflicting subset is recorded
+    assert conflict.witnesses  # one witness per excluded model
+    assert len(conflict.witnesses) == conflict.models_considered
+
+    ambiguous = from_json(json.loads((GOLDEN / "synthesis_ambiguous.json").read_text()))
+    assert len(ambiguous.consistent_models) > 1
+    assert ambiguous.suggestions  # distinguishing tests are proposed
+    assert ambiguous.stats.synth_runs == 1
+
+
 def test_golden_exploration_stats_carry_the_kernel_backend():
     """The embedded EngineStats round-trip the kernel label and counters."""
     document = json.loads((GOLDEN / "exploration_result.json").read_text())
@@ -107,7 +169,7 @@ def test_golden_exploration_includes_stats_and_hasse_edges():
 # ----------------------------------------------------------------------
 def test_schema_version_mismatch_is_rejected():
     document = json.loads((GOLDEN / "exploration_result.json").read_text())
-    for bad_version in (SCHEMA_VERSION + 1, 0, "1", None):
+    for bad_version in (SCHEMA_VERSION + 1, SCHEMA_VERSION - 1, 0, "1", None):
         tampered = copy.deepcopy(document)
         tampered["schema_version"] = bad_version
         with pytest.raises(SchemaVersionError):

@@ -117,7 +117,7 @@ def test_serve_reports_errors_and_keeps_going():
 def test_serve_survives_malformed_embedded_documents():
     # A litmus_test document missing required fields raises KeyError deep in
     # deserialization; the loop must answer ok:false and keep going.
-    bad_test = {"schema": "repro/litmus_test", "schema_version": 1, "name": "x"}
+    bad_test = {"schema": "repro/litmus_test", "schema_version": SCHEMA_VERSION, "name": "x"}
     count, responses = _serve_lines(
         [
             json.dumps({"op": "check", "test": bad_test, "model": "TSO"}),
@@ -153,6 +153,16 @@ def test_socket_serving_disables_path_test_specs(tmp_path):
     # registered names still work with paths disabled
     session.tests.allow_paths = False
     assert handle_request_line(session, json.dumps({"op": "check", "test": "A", "model": "TSO"}))["ok"]
+    # observation test specs go through the same registry, so synthesize
+    # requests honor the restriction too
+    synthesize = {
+        "op": "synthesize",
+        "observations": [{"test": str(path), "allowed": True}],
+        "space": "paper36",
+    }
+    response = handle_request_line(session, json.dumps(synthesize))
+    assert response["ok"] is False
+    assert "unknown test" in response["error"]["message"]
 
 
 def test_serve_rejects_wrong_schema_version_per_line():

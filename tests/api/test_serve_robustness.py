@@ -103,6 +103,65 @@ def test_session_level_fault_is_internal(session):
     assert response["error"]["code"] == "internal"
 
 
+SYNTHESIZE_LINE = json.dumps(
+    {
+        "op": "synthesize",
+        "observations": [
+            {"test": "L1", "allowed": False},
+            {"test": "L8", "allowed": True},
+        ],
+        "space": "paper90",
+    }
+)
+
+
+def test_synthesis_fault_mid_solve_is_internal_and_loop_survives(session):
+    """A synthesize request dying mid-solve answers `internal` with the
+    traceback in the log (not the response), and the loop keeps serving —
+    including a retry of the very same synthesize request."""
+    faults.install("synth.solve=raise*1")
+    log = io.StringIO()
+    state = ServerState(ServeConfig(log_stream=log))
+    responses = _serve_lines(
+        session, [SYNTHESIZE_LINE, SYNTHESIZE_LINE, CHECK_LINE], state=state
+    )
+    assert [r["ok"] for r in responses] == [False, True, True]
+    assert responses[0]["error"]["code"] == "internal"
+    assert "InjectedFault" in responses[0]["error"]["message"]
+    assert "Traceback" not in responses[0]["error"]["message"]
+    events = [json.loads(line) for line in log.getvalue().splitlines()]
+    (internal,) = [e for e in events if e["event"] == "internal_error"]
+    assert "Traceback" in internal["traceback"]
+    # The armed fault is spent; the retry produced a real synthesis result.
+    assert responses[1]["result"]["schema"] == "repro/synthesis_result"
+    assert responses[1]["result"]["consistent_models"]
+
+
+def test_synthesize_dispatch_fault_is_internal(session):
+    faults.install("session.run[op=synthesize]=raise*1")
+    responses = _serve_lines(
+        session, [CHECK_LINE, SYNTHESIZE_LINE, CHECK_LINE], config=_quiet_config()
+    )
+    # The op filter spares the surrounding check requests.
+    assert [r["ok"] for r in responses] == [True, False, True]
+    assert responses[1]["error"]["code"] == "internal"
+
+
+def test_malformed_observations_are_invalid_request_not_internal(session):
+    bad = [
+        {"op": "synthesize", "observations": [{"test": "L1"}]},
+        {"op": "synthesize", "observations": [{"test": "L1", "allowed": 1}]},
+        {"op": "synthesize", "observations": "L1"},
+        {"op": "synthesize", "observations": [], "space": "paper180"},
+        {"op": "synthesize", "observations": [], "backend": "cnf"},
+    ]
+    responses = _serve_lines(session, [json.dumps(b) for b in bad] + [CHECK_LINE])
+    assert [r["ok"] for r in responses] == [False] * 5 + [True]
+    assert all(
+        r["error"]["code"] == "invalid_request" for r in responses if not r["ok"]
+    )
+
+
 # ----------------------------------------------------------------------
 # bounded request lines
 # ----------------------------------------------------------------------

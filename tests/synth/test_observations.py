@@ -1,0 +1,166 @@
+"""Observation parsing, validation, and JSON round trips."""
+
+import pytest
+
+from repro import TEST_A, explore_models
+from repro.core.catalog import SC, TSO
+from repro.core.litmus import LitmusTest
+from repro.generation.named_tests import L_TESTS
+from repro.synth import (
+    Observation,
+    ObservationError,
+    ObservationSet,
+    VerdictDocument,
+    observations_from_document,
+    verdict_document_from_exploration,
+)
+
+
+# ----------------------------------------------------------------------
+# Observation
+# ----------------------------------------------------------------------
+def test_observation_rejects_non_boolean_verdicts():
+    for bad in (1, 0, "true", None, [True]):
+        with pytest.raises(ObservationError):
+            Observation(test="L1", allowed=bad)
+
+
+def test_observation_labels_each_spec_kind():
+    assert Observation(test=TEST_A, allowed=True).label() == TEST_A.name
+    assert Observation(test="L1", allowed=True).label() == "L1"
+    assert Observation(test={"name": "X"}, allowed=True).label() == "X"
+    inline = "T0: St X 1\nT1: Ld X r1\nexists r1 = 0"
+    assert Observation(test=inline, allowed=False).label() == "<inline test>"
+
+
+# ----------------------------------------------------------------------
+# ObservationSet
+# ----------------------------------------------------------------------
+def test_observation_set_roundtrips_exactly():
+    observations = ObservationSet(
+        (
+            Observation(test="L1", allowed=True),
+            Observation(test=TEST_A, allowed=False),
+        )
+    )
+    document = observations.to_json()
+    assert document["schema"] == "repro/observations"
+    rebuilt = ObservationSet.from_json(document)
+    assert rebuilt.to_json() == document
+    assert len(rebuilt) == 2
+    # The embedded litmus_test document carries the full program.
+    assert rebuilt.observations[1].test["name"] == TEST_A.name
+
+
+def test_observation_set_coerces_plain_dicts():
+    observations = ObservationSet(({"test": "L1", "allowed": True},))
+    assert isinstance(observations.observations[0], Observation)
+    assert observations.observations[0].allowed is True
+
+
+@pytest.mark.parametrize(
+    "entry",
+    [
+        {"test": "L1"},  # missing allowed
+        {"allowed": True},  # missing test
+        {"test": "L1", "allowed": True, "extra": 1},  # unknown field
+        "L1",  # not an object
+        {"test": "L1", "allowed": "yes"},  # non-bool verdict
+    ],
+)
+def test_malformed_observation_entries_are_rejected(entry):
+    document = {
+        "schema": "repro/observations",
+        "schema_version": _schema_version(),
+        "observations": [entry],
+    }
+    with pytest.raises(ObservationError):
+        ObservationSet.from_json(document)
+
+
+def test_observations_field_must_be_an_array():
+    document = {
+        "schema": "repro/observations",
+        "schema_version": _schema_version(),
+        "observations": {"test": "L1", "allowed": True},
+    }
+    with pytest.raises(ObservationError):
+        ObservationSet.from_json(document)
+
+
+def _schema_version():
+    from repro.api.serialize import SCHEMA_VERSION
+
+    return SCHEMA_VERSION
+
+
+# ----------------------------------------------------------------------
+# VerdictDocument
+# ----------------------------------------------------------------------
+def _small_matrix():
+    result = explore_models([SC, TSO], list(L_TESTS))
+    return verdict_document_from_exploration(result, space="deps"), result
+
+
+def test_verdict_document_roundtrips_exactly():
+    matrix, result = _small_matrix()
+    document = matrix.to_json()
+    assert document["schema"] == "repro/verdicts"
+    assert document["space"] == "deps"
+    rebuilt = VerdictDocument.from_json(document)
+    assert rebuilt.to_json() == document
+    assert rebuilt.model_names() == list(result.vectors)
+
+
+def test_verdict_document_rows_embed_full_tests():
+    matrix, result = _small_matrix()
+    row = matrix.row("TSO")
+    assert len(row) == len(L_TESTS)
+    for observation, test, verdict in zip(row, matrix.tests, result.vectors["TSO"]):
+        assert isinstance(observation.test, LitmusTest)
+        assert observation.test == test
+        assert observation.allowed == verdict
+
+
+def test_verdict_document_rejects_ragged_vectors():
+    with pytest.raises(ObservationError):
+        VerdictDocument(space="deps", tests=tuple(L_TESTS), vectors={"M": (True,)})
+
+
+def test_verdict_document_row_names_available_models():
+    matrix, _ = _small_matrix()
+    with pytest.raises(ObservationError, match="SC, TSO"):
+        matrix.row("NoSuchModel")
+
+
+# ----------------------------------------------------------------------
+# observations_from_document
+# ----------------------------------------------------------------------
+def test_from_document_accepts_all_three_kinds():
+    matrix, result = _small_matrix()
+
+    direct = observations_from_document(matrix.row("SC").to_json())
+    from_verdicts = observations_from_document(matrix.to_json(), as_model="SC")
+    from_exploration = observations_from_document(result.to_json(), as_model="SC")
+    assert (
+        [(o.label(), o.allowed) for o in from_verdicts]
+        == [(o.label(), o.allowed) for o in from_exploration]
+    )
+    assert [o.allowed for o in direct] == [o.allowed for o in from_verdicts]
+
+
+def test_from_document_as_model_misuse_is_explained():
+    matrix, _ = _small_matrix()
+    with pytest.raises(ObservationError, match="as_model only applies"):
+        observations_from_document(matrix.row("SC").to_json(), as_model="SC")
+    with pytest.raises(ObservationError, match="pass\nas_model|as_model"):
+        observations_from_document(matrix.to_json())
+    with pytest.raises(ObservationError):
+        observations_from_document(matrix.to_json(), as_model="Nope")
+
+
+def test_from_document_rejects_unrelated_kinds():
+    from repro.api.serialize import test_to_json
+
+    with pytest.raises(ObservationError, match="litmus_test"):
+        observations_from_document(test_to_json(TEST_A))

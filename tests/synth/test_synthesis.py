@@ -1,0 +1,183 @@
+"""The synthesis acceptance cases over the paper's 90-model space.
+
+The three outcomes the CLI promises — a complete verdict vector pins the
+unique model, an inconsistent vector yields a minimal conflict core, an
+ambiguous prefix yields distinguishing-test suggestions — each checked
+with the enumeration and SAT strategies agreeing bit-for-bit.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api.registry import UnknownModelError, canonical_space
+from repro.api.requests import SynthesizeRequest
+from repro.api.session import Session
+from repro.engine.engine import CheckEngine, EngineStats
+from repro.synth import SynthesisEngine, SynthesisResult
+from repro.synth.engine import SYNTH_BACKENDS
+
+TARGET = "M4044"
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+@pytest.fixture(scope="module")
+def synth(session):
+    return session.synthesis_engine("paper90")
+
+
+@pytest.fixture(scope="module")
+def target_row(session, synth):
+    """The complete (test, verdict) vector of the target model."""
+    target = session.models.resolve(TARGET)
+    return [
+        (test, session.engine.check(test, target))
+        for test in synth.comparison_tests
+    ]
+
+
+def _comparable(result: SynthesisResult) -> SynthesisResult:
+    """Strip the fields that legitimately differ between strategies."""
+    return dataclasses.replace(result, backend="", stats=None)
+
+
+def _both(synth, observations, **kwargs):
+    enum = synth.synthesize(observations, backend="enum", **kwargs)
+    sat = synth.synthesize(observations, backend="sat", **kwargs)
+    assert _comparable(enum) == _comparable(sat)
+    return enum
+
+
+# ----------------------------------------------------------------------
+# the three acceptance outcomes
+# ----------------------------------------------------------------------
+def test_complete_vector_identifies_the_unique_model(synth, target_row):
+    result = _both(synth, target_row)
+    assert result.models_considered == 90
+    assert result.unique_model == TARGET
+    assert result.weakest == result.strongest == (TARGET,)
+    assert len(result.witnesses) == 89  # every other model has a witness
+    assert not result.conflict_core and not result.suggestions
+
+
+def test_inconsistent_vector_yields_a_minimal_conflict_core(synth, target_row):
+    flipped = [(target_row[0][0], not target_row[0][1])] + target_row[1:]
+    result = _both(synth, flipped)
+    assert not result.consistent
+    assert len(result.witnesses) == 90
+    assert result.conflict_core
+    names = [test.name for test, _ in flipped]
+    assert all(name in names for name in result.conflict_core)
+
+    # Irreducibility: the core alone still excludes every model, and
+    # dropping any single member readmits at least one.
+    by_name = {test.name: (test, verdict) for test, verdict in flipped}
+    core = [by_name[name] for name in result.conflict_core]
+    assert not synth.synthesize(core, backend="enum", suggest_tests=0).consistent
+    for skip in range(len(core)):
+        reduced = core[:skip] + core[skip + 1 :]
+        readmitted = synth.synthesize(reduced, backend="enum", suggest_tests=0)
+        assert readmitted.consistent, f"core member {core[skip][0].name} is redundant"
+
+
+def test_ambiguous_prefix_suggests_distinguishing_tests(synth, target_row):
+    result = _both(synth, target_row[:3])
+    assert len(result.consistent_models) > 1
+    assert TARGET in result.consistent_models
+    assert result.weakest and result.strongest
+    assert result.suggestions, "survivors differ, so a test must split them"
+    first = result.suggestions[0]
+    assert first.separates_pairs > 0
+    assert first.allowed_models > 0 and first.forbidden_models > 0
+    assert first.allowed_models + first.forbidden_models == len(
+        result.consistent_models
+    )
+    # Suggestions come from the comparison suite, never repeat, and are
+    # capped by suggest_tests.
+    names = [suggestion.test for suggestion in result.suggestions]
+    assert len(set(names)) == len(names) <= 3
+    capped = synth.synthesize(target_row[:3], backend="enum", suggest_tests=1)
+    assert len(capped.suggestions) == 1
+    assert capped.suggestions[0] == first
+
+
+def test_no_observations_means_everything_is_consistent(synth):
+    result = _both(synth, [], suggest_tests=2)
+    assert len(result.consistent_models) == 90
+    assert not result.witnesses and not result.conflict_core
+    assert result.suggestions  # the whole space still splits on some test
+
+
+# ----------------------------------------------------------------------
+# session dispatch and space aliases
+# ----------------------------------------------------------------------
+def test_session_dispatch_accepts_space_aliases(session, target_row):
+    request = SynthesizeRequest(
+        observations=tuple(
+            {"test": test.name, "allowed": verdict}
+            for test, verdict in target_row
+            if test.name.startswith("L")
+        ),
+        space="paper90",
+        suggest_tests=2,
+    )
+    result = session.run(request)
+    assert isinstance(result, SynthesisResult)
+    assert result.space == "deps"
+    assert TARGET in result.consistent_models
+
+
+def test_space_aliases_resolve_and_unknowns_fail():
+    assert canonical_space("paper90") == "deps"
+    assert canonical_space("paper36") == "no_deps"
+    assert canonical_space("deps") == "deps"
+    with pytest.raises(UnknownModelError, match="paper90"):
+        canonical_space("paper180")
+
+
+def test_synthesis_engines_are_cached_per_space(session):
+    assert session.synthesis_engine("paper90") is session.synthesis_engine("deps")
+    assert session.synthesis_engine("paper36") is not session.synthesis_engine("deps")
+
+
+# ----------------------------------------------------------------------
+# backends and stats
+# ----------------------------------------------------------------------
+def test_backend_resolution():
+    enum_engine = SynthesisEngine([], [], engine=CheckEngine(backend="explicit"))
+    assert enum_engine.resolve_backend("auto") == "enum"
+    sat_engine = SynthesisEngine([], [], engine=CheckEngine(backend="sat"))
+    assert sat_engine.resolve_backend("auto") == "sat"
+    for explicit in ("enum", "sat"):
+        assert enum_engine.resolve_backend(explicit) == explicit
+    with pytest.raises(ValueError, match="unknown synthesis backend"):
+        enum_engine.resolve_backend("cnf")
+    assert set(SYNTH_BACKENDS) == {"enum", "sat", "auto"}
+
+
+def test_sat_backend_groups_models_by_po_mask(synth, target_row):
+    result = synth.synthesize(target_row[:5], backend="sat")
+    stats = result.stats
+    assert stats.synth_runs == 1
+    assert 0 < stats.synth_solver_calls <= 5 * 90
+    # Mask grouping is the point: far fewer solver calls than checks.
+    assert stats.synth_group_hits > 0
+    assert stats.synth_solver_calls + stats.synth_group_hits == 5 * 90
+
+
+def test_synth_counters_flow_through_merge_since_and_describe():
+    base = EngineStats(synth_runs=2, synth_solver_calls=7, synth_group_hits=11)
+    merged = EngineStats()
+    merged.merge(base.as_dict())
+    assert merged.synth_runs == 2
+    assert merged.synth_solver_calls == 7
+    delta = base.since(EngineStats(synth_runs=1))
+    assert delta.synth_runs == 1
+    assert delta.synth_group_hits == 11
+    assert "2 synthesis runs" in base.describe()
+    assert "7 synthesis SAT calls" in base.describe()
+    assert base.as_dict()["synth_group_hits"] == 11
