@@ -1,0 +1,196 @@
+"""Concurrent serve throughput: worker pool + cache hierarchy vs serialized.
+
+The acceptance experiment for the concurrent server rebuild: 8 TCP
+clients each pipeline a repeat-query check mix over one connection
+against (a) a *serialized* server — one worker, verdict cache off, every
+request through the dispatch queue, the pre-rebuild serving shape — and
+(b) the concurrent server with 4 workers and a warm verdict cache, where
+repeated checks are answered on the connection thread from the
+response-line memo over the cache-hit fast path.
+
+Clients count raw newlines inside the timed window and parse/verify the
+responses afterwards, so the measurement is server throughput rather
+than client-side JSON decoding.  The perf gate records both legs;
+``test_concurrent_warm_is_4x_serialized`` pins the headline claim (>=4x
+throughput, observed ~5.5x on one core) and asserts the two legs'
+responses are bit-identical to a cold single-threaded session, so the
+speedup can never come at the cost of a wrong verdict.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api.serve import ServeConfig, ServerState, serve_socket
+from repro.api.session import Session
+from repro.cache import VerdictCache
+
+#: The repeat-query mix: every cacheable named test x the catalog models
+#: the paper compares, replayed 8 times by each of the 8 clients.
+TESTS = ("A", "L1", "L2", "L3", "L5", "L7")
+MODELS = ("SC", "TSO", "PSO", "RMO", "Alpha")
+PAIRS = tuple((test, model) for test in TESTS for model in MODELS)
+LINES = tuple(
+    json.dumps({"op": "check", "test": test, "model": model}) for test, model in PAIRS
+)
+N_CLIENTS = 8
+REPEATS = 8
+
+
+class _LoadHarness:
+    """A serve transport plus 8 persistent pipelining client connections.
+
+    Setup (server start, connection establishment) happens in the
+    constructor and teardown in :meth:`close`, so :meth:`run` times only
+    the request/response traffic.
+    """
+
+    def __init__(self, session, config):
+        self.state = ServerState(config)
+        self.server = serve_socket(
+            session, "127.0.0.1", 0, config=config, state=self.state
+        )
+        port = self.server.server_address[1]
+        self.thread = threading.Thread(
+            target=lambda: self.server.serve_forever(poll_interval=0.02), daemon=True
+        )
+        self.thread.start()
+        self.payload = ("\n".join(LINES * REPEATS) + "\n").encode("utf-8")
+        self.expected_lines = len(LINES) * REPEATS
+        self.connections = [
+            socket.create_connection(("127.0.0.1", port), timeout=120)
+            for _ in range(N_CLIENTS)
+        ]
+
+    def run(self):
+        """One load round: every client ships its batch, drains responses
+        by newline count.  Returns (elapsed_seconds, parsed responses)."""
+        raw = [None] * N_CLIENTS
+
+        def client(index):
+            connection = self.connections[index]
+            connection.sendall(self.payload)
+            chunks, newlines = [], 0
+            while newlines < self.expected_lines:
+                chunk = connection.recv(1 << 16)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                newlines += chunk.count(b"\n")
+            raw[index] = b"".join(chunks)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(N_CLIENTS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+
+        results = [
+            [json.loads(line) for line in blob.decode("utf-8").splitlines()]
+            for blob in raw
+        ]
+        assert all(len(result) == self.expected_lines for result in results)
+        assert all(response["ok"] for result in results for response in result)
+        return elapsed, results
+
+    def close(self):
+        for connection in self.connections:
+            connection.close()
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=10)
+
+
+def _serialized_session_and_config():
+    return Session(), ServeConfig(log_enabled=False, workers=1, cache_capacity=0)
+
+
+def _concurrent_session_and_config():
+    session = Session()
+    session.engine.verdict_cache = VerdictCache()
+    return session, ServeConfig(log_enabled=False, workers=4)
+
+
+def _requests_per_run():
+    return N_CLIENTS * len(LINES) * REPEATS
+
+
+@pytest.mark.benchmark(group="serve-load")
+def test_serve_serialized_baseline(benchmark):
+    """One worker, no cache: the pre-rebuild serialized serving shape."""
+    harness = _LoadHarness(*_serialized_session_and_config())
+    try:
+        elapsed = benchmark.pedantic(
+            lambda: harness.run()[0], rounds=3, iterations=1
+        )
+    finally:
+        harness.close()
+    benchmark.extra_info["requests"] = _requests_per_run()
+    benchmark.extra_info["req_per_s"] = round(_requests_per_run() / elapsed)
+
+
+@pytest.mark.benchmark(group="serve-load")
+def test_serve_concurrent_warm_cache(benchmark):
+    """Four workers + warm cache: repeats ride the memo/fast path."""
+    session, config = _concurrent_session_and_config()
+    harness = _LoadHarness(session, config)
+    try:
+        harness.run()  # warming pass
+        elapsed = benchmark.pedantic(
+            lambda: harness.run()[0], rounds=3, iterations=1
+        )
+    finally:
+        harness.close()
+    benchmark.extra_info["requests"] = _requests_per_run()
+    benchmark.extra_info["req_per_s"] = round(_requests_per_run() / elapsed)
+    assert session.engine.stats.verdict_cache_hits > 0  # the fast path engaged
+
+
+def test_concurrent_warm_is_4x_serialized():
+    """The headline acceptance claim, asserted: warm concurrent throughput
+    is at least 4x the serialized server's on the same mix, and both
+    servers' verdicts are bit-identical to a cold single-threaded session."""
+    harness = _LoadHarness(*_serialized_session_and_config())
+    try:
+        serialized_elapsed, serialized = harness.run()
+    finally:
+        harness.close()
+
+    harness = _LoadHarness(*_concurrent_session_and_config())
+    try:
+        harness.run()  # warming pass
+        warm_elapsed, warm = harness.run()
+    finally:
+        harness.close()
+
+    from repro.api.requests import CheckRequest
+
+    cold = Session()
+    expected = {
+        (test, model): cold.run(CheckRequest(test=test, model=model)).allowed
+        for test, model in PAIRS
+    }
+    plan = list(PAIRS) * REPEATS
+    for leg in (serialized, warm):
+        for client_responses in leg:
+            for (test, model), response in zip(plan, client_responses):
+                result = response["result"]
+                assert result["test_name"] == test
+                assert result["model_name"] == model
+                assert result["allowed"] == expected[(test, model)]
+    for cold_client, warm_client in zip(serialized, warm):
+        for cold_response, warm_response in zip(cold_client, warm_client):
+            assert cold_response["result"] == warm_response["result"]
+
+    speedup = serialized_elapsed / warm_elapsed
+    assert speedup >= 4.0, (
+        f"warm concurrent serve is only {speedup:.2f}x the serialized "
+        f"baseline ({serialized_elapsed:.3f}s vs {warm_elapsed:.3f}s)"
+    )

@@ -36,6 +36,7 @@ BENCH_MODULES = (
     "benchmarks/bench_enumeration_pipeline.py",
     "benchmarks/bench_model_compile.py",
     "benchmarks/bench_synthesis.py",
+    "benchmarks/bench_serve_load.py",
 )
 
 

@@ -1,0 +1,210 @@
+"""CI load smoke for the concurrent serve transport.  Stdlib only.
+
+Exercises the full serving stack the way the paper's batch tooling would:
+
+1. start ``repro serve --port --cache-dir --metrics-port`` as a subprocess
+   and poll-connect until it accepts;
+2. run concurrent TCP clients, each interleaving cold (miss) and repeated
+   (hit) check requests;
+3. assert every response matches a fresh in-process single-threaded
+   session bit-for-bit (concurrency and caching must never change a
+   verdict);
+4. scrape ``/metrics`` and assert the verdict cache reported nonzero hits;
+5. SIGTERM the server and assert it drains to exit code 0;
+6. restart it on the same ``--cache-dir`` and assert the persistent tier
+   reloaded (``cache_open`` log event with ``loaded > 0`` and a warm
+   first response).
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_load_smoke.py [--clients N] [--log FILE]
+
+Exit status 0 on success; any assertion failure raises and exits nonzero.
+The server's structured stderr log is written to ``--log`` (default
+``serve_load.log``) so CI can attach it to failures.
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+#: The hit/miss mix: each client walks every pair once (misses for the
+#: first client to arrive, hits after) and then repeats the whole walk
+#: (hits for everyone).
+TESTS = ("A", "L1", "L2", "L3", "L5", "L7")
+MODELS = ("SC", "TSO", "PSO", "RMO", "Alpha")
+PAIRS = tuple((test, model) for test in TESTS for model in MODELS)
+REPEATS = 3
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def start_server(port: int, metrics_port: int, cache_dir: str, log_path: str):
+    log_file = open(log_path, "ab")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            str(port),
+            "--metrics-port",
+            str(metrics_port),
+            "--cache-dir",
+            cache_dir,
+        ],
+        stderr=log_file,
+        env=dict(os.environ, PYTHONPATH="src"),
+    )
+    log_file.close()  # the child holds its own descriptor
+    deadline = time.time() + 60
+    while True:
+        try:
+            socket.create_connection(("127.0.0.1", port), timeout=1).close()
+            return process
+        except OSError:
+            if process.poll() is not None:
+                raise SystemExit(
+                    f"server exited {process.returncode} before accepting; see log"
+                )
+            if time.time() > deadline:
+                process.kill()
+                raise SystemExit("server did not accept a connection within 60s")
+            time.sleep(0.05)
+
+
+def run_client(port: int, out: list, index: int) -> None:
+    lines = [
+        json.dumps({"op": "check", "test": test, "model": model})
+        for _ in range(REPEATS)
+        for test, model in PAIRS
+    ]
+    payload = ("\n".join(lines) + "\n").encode("utf-8")
+    with socket.create_connection(("127.0.0.1", port), timeout=120) as connection:
+        connection.sendall(payload)
+        chunks, newlines = [], 0
+        while newlines < len(lines):
+            chunk = connection.recv(1 << 16)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            newlines += chunk.count(b"\n")
+    out[index] = [json.loads(line) for line in b"".join(chunks).decode().splitlines()]
+
+
+def expected_verdicts() -> dict:
+    """Ground truth from a fresh single-threaded in-process session."""
+    sys.path.insert(0, "src")
+    from repro.api.requests import CheckRequest
+    from repro.api.session import Session
+
+    session = Session()
+    return {
+        (test, model): session.run(CheckRequest(test=test, model=model)).allowed
+        for test, model in PAIRS
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--log", default="serve_load.log")
+    args = parser.parse_args()
+    assert args.clients >= 4, "the smoke must exercise real concurrency"
+
+    cache_dir = tempfile.mkdtemp(prefix="serve-load-cache-")
+    port, metrics_port = free_port(), free_port()
+    process = start_server(port, metrics_port, cache_dir, args.log)
+
+    # -- concurrent hit/miss load, verified against ground truth --------
+    results = [None] * args.clients
+    threads = [
+        threading.Thread(target=run_client, args=(port, results, i))
+        for i in range(args.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    truth = expected_verdicts()
+    plan = list(PAIRS) * REPEATS
+    total = 0
+    for responses in results:
+        assert responses is not None and len(responses) == len(plan), "lost responses"
+        for (test, model), response in zip(plan, responses):
+            assert response["ok"], response
+            result = response["result"]
+            assert result["test_name"] == test and result["model_name"] == model
+            assert result["allowed"] == truth[(test, model)], (test, model, result)
+            total += 1
+    print(f"load OK: {args.clients} clients x {len(plan)} requests = {total} verified")
+
+    # -- the metrics endpoint must show the cache working ---------------
+    scrape = urllib.request.urlopen(
+        f"http://127.0.0.1:{metrics_port}/metrics", timeout=30
+    ).read().decode()
+    metrics = {}
+    for line in scrape.splitlines():
+        if line.startswith("#") or "{" in line:
+            continue
+        name, _, value = line.partition(" ")
+        metrics[name] = float(value)
+    assert metrics.get("repro_cache_enabled") == 1, "cache not enabled"
+    assert metrics.get("repro_cache_hits_total", 0) > 0, "no cache hits under repeat load"
+    assert metrics.get("repro_cache_persisted_written_total", 0) > 0, "nothing persisted"
+    served = sum(
+        count
+        for line in scrape.splitlines()
+        if line.startswith("repro_serve_requests_total{")
+        for count in [float(line.rsplit(" ", 1)[1])]
+    )
+    assert served >= total, (served, total)
+    print(
+        "metrics OK: hits=%d persisted=%d served=%d"
+        % (
+            metrics["repro_cache_hits_total"],
+            metrics["repro_cache_persisted_written_total"],
+            served,
+        )
+    )
+
+    # -- SIGTERM drains to exit 0 ---------------------------------------
+    process.send_signal(signal.SIGTERM)
+    returncode = process.wait(timeout=120)
+    assert returncode == 0, f"drain exited {returncode}"
+    print("drain OK: exit 0 on SIGTERM")
+
+    # -- restart on the same cache dir reloads the persistent tier ------
+    process = start_server(port, metrics_port, cache_dir, args.log)
+    try:
+        results = [None]
+        run_client(port, results, 0)
+        assert all(response["ok"] for response in results[0])
+    finally:
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=120) == 0
+    events = [json.loads(line) for line in open(args.log)]
+    opened = [event for event in events if event.get("event") == "cache_open"]
+    assert len(opened) == 2, [event.get("event") for event in events]
+    assert opened[0]["loaded"] == 0, opened[0]
+    assert opened[1]["loaded"] > 0, opened[1]
+    print(f"reload OK: restart recovered {opened[1]['loaded']} cached verdicts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -105,6 +105,23 @@ class ModelRegistry:
     def __len__(self) -> int:
         return len(self._models)
 
+    def view(self) -> "ModelRegistry":
+        """A private overlay of this registry (one per serve connection).
+
+        The view starts with this registry's current models and may
+        register or replace freely without the change leaking back.  The
+        memoized parametric spaces and the parsed-file cache are shared
+        *by reference*: every view resolves the same space/model objects,
+        which is what keeps a shared engine's identity-keyed caches warm
+        across connections.
+        """
+        view = ModelRegistry.__new__(ModelRegistry)
+        view.allow_paths = self.allow_paths
+        view._models = dict(self._models)
+        view._spaces = self._spaces
+        view._files = self._files
+        return view
+
     # ------------------------------------------------------------------
     def load(self, path: Union[str, os.PathLike]) -> MemoryModel:
         """Parse a ``.model`` file, caching the result by absolute path."""
@@ -223,6 +240,22 @@ class TestRegistry:
 
     def __contains__(self, name: str) -> bool:
         return name in self._tests
+
+    def view(self) -> "TestRegistry":
+        """A private overlay of this registry (one per serve connection).
+
+        Registered tests are copied (register/replace stays private); the
+        memoized suites, comparison suites and parsed-file cache are
+        shared by reference so every view returns the *same* test objects
+        — the object identity a shared engine's per-test caches key on.
+        """
+        view = TestRegistry.__new__(TestRegistry)
+        view.allow_paths = self.allow_paths
+        view._tests = dict(self._tests)
+        view._files = self._files
+        view._suites = self._suites
+        view._comparison_suites = self._comparison_suites
+        return view
 
     # ------------------------------------------------------------------
     def load(self, path: Union[str, os.PathLike]) -> LitmusTest:

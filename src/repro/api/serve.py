@@ -11,8 +11,13 @@ reuse is observable.
 Transports:
 
 * stdin/stdout (the default; also ``python -m repro.api.serve``);
-* a TCP socket (``--port``), one JSON-lines conversation per connection,
-  all connections sharing one session behind a lock.
+* a TCP socket (``--port``): one JSON-lines conversation per connection.
+  Each connection gets its own lightweight :meth:`Session.view` (private
+  registries over one shared engine); engine-touching requests execute on
+  a bounded worker pool (``--workers``), while ``check`` requests whose
+  verdict is already in the shared digest-keyed verdict cache
+  (``--cache-dir``; see :mod:`repro.cache`) are answered on the
+  connection thread without queueing at all — the concurrency fast path.
 
 Protocol::
 
@@ -21,12 +26,15 @@ Protocol::
         "op": "check", "result": {...}, "stats": {...}}
 
 Request lines may be bare ``{"op": ...}`` objects or full
-``repro/request`` documents (see :mod:`repro.api.requests`).  Two ops are
-built into the server itself: ``{"op": "health"}`` (liveness, uptime,
-in-flight depth, drain status) and ``{"op": "stats"}`` (request counters
-plus the engine's cumulative :class:`EngineStats`, including the resolved
-``kernel_backend``); both bypass the session lock and the deadline so
-they answer even while the engine is busy.
+``repro/request`` documents (see :mod:`repro.api.requests`).  Three ops
+are built into the server itself: ``{"op": "health"}`` (liveness, uptime,
+in-flight/queue depth, drain status), ``{"op": "stats"}`` (request
+counters plus the engine's cumulative :class:`EngineStats`, including the
+resolved ``kernel_backend``) and ``{"op": "metrics"}`` (the full metrics
+document of :func:`repro.api.metrics.metrics_document`); all three bypass
+the dispatcher and the deadline so they answer even while the engine is
+busy.  With ``--metrics-port`` the same metrics are scrapeable over HTTP
+in the Prometheus text format.
 
 Robustness (see ``docs/operations.md`` for the full operational story):
 
@@ -62,6 +70,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import queue
 import signal
 import sys
 import socketserver
@@ -71,6 +80,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, IO, Iterator, Optional, Sequence, Tuple, Union
 
+from repro.api.metrics import ServeMetrics, metrics_document, start_metrics_server
 from repro.api.requests import request_from_json
 from repro.api.serialize import envelope, to_json
 from repro.api.session import Session
@@ -99,8 +109,8 @@ ERROR_CODES = (
     "internal",
 )
 
-#: Ops answered by the server itself, without touching the session lock.
-BUILTIN_OPS = ("health", "stats")
+#: Ops answered by the server itself, without touching the dispatcher.
+BUILTIN_OPS = ("health", "stats", "metrics")
 
 
 class ServeError(Exception):
@@ -165,6 +175,16 @@ class ServeConfig:
     idle_timeout: Optional[float] = 300.0
     #: how long a drain waits for in-flight requests before giving up
     drain_grace: float = 30.0
+    #: engine-touching requests executing concurrently (the worker pool)
+    workers: int = 4
+    #: requests allowed to queue for a worker before being shed
+    queue_limit: int = 256
+    #: directory for the persistent verdict-cache tier; None = memory only
+    cache_dir: Optional[str] = None
+    #: verdict-cache memory-tier entry cap
+    cache_capacity: int = 1 << 20
+    #: serve Prometheus metrics over HTTP on this port; None = off
+    metrics_port: Optional[int] = None
     #: structured-log destination; None = stderr
     log_stream: Optional[IO[str]] = None
     #: emit structured log events at all
@@ -187,6 +207,11 @@ class ServeConfig:
             ),
             idle_timeout=_env_value("REPRO_SERVE_IDLE_TIMEOUT", float, cls.idle_timeout),
             drain_grace=_env_value("REPRO_SERVE_DRAIN_GRACE", float, cls.drain_grace),
+            workers=_env_value("REPRO_SERVE_WORKERS", int, cls.workers),
+            queue_limit=_env_value("REPRO_SERVE_QUEUE_LIMIT", int, cls.queue_limit),
+            cache_dir=_env_value("REPRO_SERVE_CACHE_DIR", str, None),
+            cache_capacity=_env_value("REPRO_SERVE_CACHE_CAPACITY", int, cls.cache_capacity),
+            metrics_port=_env_value("REPRO_SERVE_METRICS_PORT", int, None),
         )
         for name, value in overrides.items():
             if value is not None:
@@ -215,6 +240,11 @@ class ServerState:
         #: True while the stdio transport is blocked reading the next line
         #: (the drain signal handler may only interrupt an idle read).
         self.reading = False
+        #: per-op request counters and latency histograms
+        self.metrics = ServeMetrics()
+        #: the worker pool, when the socket transport created one (its
+        #: queue depth feeds the snapshot/metrics gauges)
+        self.dispatcher: Optional["Dispatcher"] = None
 
     # -- structured logging --------------------------------------------
     def log(self, event: str, **fields: object) -> None:
@@ -260,19 +290,119 @@ class ServerState:
     def uptime(self) -> float:
         return time.monotonic() - self.started_monotonic
 
-    def snapshot(self) -> Dict[str, object]:
+    def snapshot(self, exclude_self: bool = False) -> Dict[str, object]:
+        """The server counters; truthful by default.
+
+        ``exclude_self`` subtracts the *calling* request from the
+        in-flight gauge — set only when the snapshot is taken from inside
+        a counted builtin request, so that a direct ``snapshot()`` call
+        (tests, the metrics endpoint's scrape thread) reports the real
+        depth instead of the old unconditional ``in_flight - 1`` hack.
+        """
+        dispatcher = self.dispatcher
+        queue_depth = dispatcher.depth() if dispatcher is not None else 0
         with self.lock:
+            in_flight = self.in_flight
+            if exclude_self:
+                in_flight = max(0, in_flight - 1)
             return {
                 "uptime_seconds": round(self.uptime(), 3),
                 "requests_total": self.requests_total,
                 "requests_ok": self.requests_ok,
                 "errors_by_code": dict(self.errors_by_code),
-                "in_flight": max(0, self.in_flight - 1),  # excluding this request
+                "in_flight": in_flight,
+                "queue_depth": queue_depth,
                 "connections_active": self.connections_active,
                 "connections_total": self.connections_total,
                 "connections_shed": self.connections_shed,
                 "draining": self.draining,
             }
+
+
+# ----------------------------------------------------------------------
+# the worker-pool dispatcher
+# ----------------------------------------------------------------------
+class _Job:
+    """One queued request: a thunk plus its completion event."""
+
+    __slots__ = ("fn", "done", "result", "error")
+
+    def __init__(self, fn: Callable[[], Any]) -> None:
+        self.fn = fn
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            self.result = self.fn()
+        except BaseException as error:  # delivered to the waiting caller
+            self.error = error
+        finally:
+            self.done.set()
+
+    def wait(self, timeout: Optional[float]) -> bool:
+        """True when the job finished in time; re-raises what it raised.
+
+        On timeout the job is simply abandoned: the worker finishes it in
+        the background (any lock it needs is acquired inside ``fn``, so
+        an abandoned job cannot leak one to its waiter).
+        """
+        if not self.done.wait(timeout):
+            return False
+        if self.error is not None:
+            raise self.error
+        return True
+
+
+class Dispatcher:
+    """A bounded pool of worker threads executing engine-touching requests.
+
+    Connections enqueue jobs and wait (bounded by the per-request
+    deadline); the queue itself is bounded, so a flood of slow requests
+    sheds with ``overloaded`` instead of accumulating unbounded work.
+    Cache-hit ``check`` requests never come here — the serve fast path
+    answers them on the connection thread.
+    """
+
+    def __init__(self, workers: int = 4, queue_limit: int = 256) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._queue: "queue.Queue[Optional[_Job]]" = queue.Queue(maxsize=max(1, queue_limit))
+        self._threads = [
+            threading.Thread(target=self._loop, daemon=True, name=f"repro-serve-worker-{i}")
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            job.run()
+
+    def submit(self, fn: Callable[[], Any]) -> _Job:
+        """Enqueue a thunk; raises ``overloaded`` when the queue is full."""
+        job = _Job(fn)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            raise ServeError(
+                "overloaded", f"request queue is full ({self._queue.maxsize} waiting)"
+            )
+        return job
+
+    def depth(self) -> int:
+        """Jobs waiting for a worker (approximate, lock-free)."""
+        return self._queue.qsize()
+
+    def close(self) -> None:
+        """Stop the workers after the queue drains (used at shutdown)."""
+        for _ in self._threads:
+            self._queue.put(None)
 
 
 # ----------------------------------------------------------------------
@@ -307,19 +437,109 @@ def _call_with_deadline(fn: Callable[[], Any], timeout: float) -> Tuple[bool, An
     return True, box["result"]
 
 
-def _builtin_result(op: str, session: Session, state: Optional[ServerState]) -> Dict[str, Any]:
-    """Answer a built-in ``health`` / ``stats`` op from server state."""
+def _builtin_result(
+    op: str, session: Session, state: Optional[ServerState], counted: bool = False
+) -> Dict[str, Any]:
+    """Answer a built-in ``health`` / ``stats`` / ``metrics`` op.
+
+    ``counted`` is True when the caller already counted this request
+    in-flight (the serve loops do; direct ``handle_request_line`` calls
+    do not), so the in-flight gauge can exclude exactly the builtin
+    request itself and nothing else.
+    """
+    if state is None:
+        state = ServerState(ServeConfig(log_enabled=False))
     if op == "health":
+        dispatcher = state.dispatcher
+        with state.lock:
+            in_flight = state.in_flight
+        if counted:
+            in_flight = max(0, in_flight - 1)
         return {
-            "status": "draining" if state is not None and state.draining else "ok",
-            "uptime_seconds": round(state.uptime(), 3) if state is not None else 0.0,
-            "in_flight": max(0, state.in_flight - 1) if state is not None else 0,
+            "status": "draining" if state.draining else "ok",
+            "uptime_seconds": round(state.uptime(), 3),
+            "in_flight": in_flight,
+            "queue_depth": dispatcher.depth() if dispatcher is not None else 0,
         }
+    if op == "metrics":
+        return metrics_document(state, session, exclude_self=counted)
     return {
-        "server": state.snapshot() if state is not None else {},
+        "server": state.snapshot(exclude_self=counted),
         "engine": session.engine.stats.as_dict(),
         "session": session.info(),
     }
+
+
+#: Request-document keys the cache fast path understands; anything else
+#: (enveloped documents, unknown fields) takes the full validation path.
+_FAST_CHECK_KEYS = frozenset(("op", "test", "model", "witness"))
+
+
+def _fast_check(session: Session, document: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """Answer a warm ``check`` from the verdict cache, or None to fall through.
+
+    This is the serve concurrency fast path: no request dataclass, no
+    dispatcher queue, no engine dispatch, no full stats snapshot — just
+    two registry dict hits, one cache lookup and one brief engine-lock
+    acquisition for the counters.  Only taken when it provably answers
+    exactly what the slow path would: a bare witness-less ``check`` of a
+    registered test name against a registered model name whose
+    ``(model digest, test digest)`` verdict is already cached.
+    """
+    engine = session.engine
+    vcache = engine.verdict_cache
+    if vcache is None or not engine._cacheable or faults._FAULTS:
+        return None
+    if document.get("witness") or not _FAST_CHECK_KEYS.issuperset(document):
+        return None
+    test_spec = document.get("test")
+    model_spec = document.get("model")
+    if not isinstance(test_spec, str) or not isinstance(model_spec, str):
+        return None
+    if test_spec not in session.tests or model_spec not in session.models:
+        return None
+    test = session.tests.resolve(test_spec)
+    model = session.models.resolve(model_spec)
+    key = vcache.key_for(test, model)
+    if key is None:
+        return None
+    verdict = vcache.get(key)
+    if verdict is None:
+        return None
+    with engine.lock:
+        engine.stats.checks_performed += 1
+        engine.stats.verdict_cache_hits += 1
+        kernel_backend = engine.stats.kernel_backend
+    from repro.checker.result import CheckResult
+    from repro.engine.engine import EngineStats
+
+    result = CheckResult(
+        allowed=verdict, test_name=test.name, model_name=model.name,
+        witness=None, reason="",
+    )
+    delta = EngineStats(
+        checks_performed=1, verdict_cache_hits=1, kernel_backend=kernel_backend
+    )
+    response = envelope("response")
+    response.update(
+        {"ok": True, "op": "check", "result": to_json(result), "stats": delta.as_dict()}
+    )
+    return response
+
+
+#: Per-connection response-memo capacity (distinct request lines).
+_MEMO_LIMIT = 1024
+
+
+def _count_memo_hit(session: Session) -> None:
+    """Book a memoised cache-hit check with exactly the fast path's delta."""
+    engine = session.engine
+    with engine.lock:
+        engine.stats.checks_performed += 1
+        engine.stats.verdict_cache_hits += 1
+    vcache = engine.verdict_cache
+    if vcache is not None:
+        vcache.note_hit()
 
 
 def handle_request_line(
@@ -328,19 +548,42 @@ def handle_request_line(
     state: Optional[ServerState] = None,
     config: Optional[ServeConfig] = None,
     lock: Optional[threading.Lock] = None,
+    dispatcher: Optional[Dispatcher] = None,
+    counted: bool = False,
+    memo: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> Dict[str, Any]:
     """Answer one JSON request line; never raises on any input.
 
-    ``lock`` serialises engine access when several transports share one
-    session; it is acquired *inside* the (possibly deadline-supervised)
-    request body so an abandoned request cannot leak it to the watchdog.
+    ``dispatcher`` routes engine-touching requests through the worker
+    pool; without one, ``lock`` serialises engine access when several
+    transports share one session (both are acquired *inside* the possibly
+    deadline-supervised request body so an abandoned request cannot leak
+    them).  ``counted`` tells builtin ops whether the caller already
+    counted this request in the in-flight gauge.
+
+    ``memo`` is the connection-private response memo (L1 of the cache
+    hierarchy, above the process verdict cache and its persistent tier):
+    a repeated verbatim fast-path check line is answered from it with one
+    dict hit plus the counter bump.  Deterministic verdicts make the
+    repeat response byte-identical, so only registry rebinding can
+    invalidate it — any request that reaches the generic path clears the
+    memo wholesale.
     """
     if config is None:
         config = state.config if state is not None else ServeConfig()
     response = envelope("response")
     op: Optional[str] = None
+    preserve_memo = False
     started = time.monotonic()
     try:
+        if memo is not None and not faults._FAULTS:
+            hit = memo.get(line)
+            if hit is not None:
+                op = "check"
+                _count_memo_hit(session)
+                preserve_memo = True
+                response = hit
+                return response
         try:
             document = json.loads(line)
         except ValueError as error:
@@ -349,10 +592,22 @@ def handle_request_line(
             raw_op = document.get("op")
             op = raw_op if isinstance(raw_op, str) else None
         if op in BUILTIN_OPS:
-            # Built-in ops bypass the session lock and the deadline so they
+            # Built-in ops bypass the dispatcher and the deadline so they
             # answer even while the engine is wedged on a long request.
-            response.update({"ok": True, "op": op, "result": _builtin_result(op, session, state)})
+            preserve_memo = True  # read-only: cannot rebind registries
+            response.update(
+                {"ok": True, "op": op,
+                 "result": _builtin_result(op, session, state, counted=counted)}
+            )
             return response
+        if op == "check":
+            fast = _fast_check(session, document)
+            if fast is not None:
+                if memo is not None and not faults._FAULTS and len(memo) < _MEMO_LIMIT:
+                    memo[line] = fast
+                preserve_memo = True
+                response = fast
+                return response
         request = request_from_json(document)
         op = request.op
 
@@ -363,7 +618,17 @@ def handle_request_line(
                     return _dispatch(session, request)
             return _dispatch(session, request)
 
-        if config.timeout is not None:
+        if dispatcher is not None:
+            job = dispatcher.submit(run)
+            if not job.wait(config.timeout):
+                if state is not None:
+                    state.log("deadline_exceeded", op=op, timeout=config.timeout)
+                raise ServeError(
+                    "deadline_exceeded",
+                    f"request exceeded the {config.timeout:g}s deadline and was abandoned",
+                )
+            value = job.result
+        elif config.timeout is not None:
             finished, value = _call_with_deadline(run, config.timeout)
             if not finished:
                 if state is not None:
@@ -408,21 +673,34 @@ def handle_request_line(
             }
         )
     finally:
+        if memo is not None and not preserve_memo and memo:
+            # Anything that reached the generic path may have rebound a
+            # registry name out from under a memoised response.
+            memo.clear()
         if state is not None:
+            duration = time.monotonic() - started
+            code = (response.get("error") or {}).get("code")
+            state.metrics.record(op, code if code else "ok", duration)
             state.log(
                 "request",
                 op=op,
                 ok=bool(response.get("ok")),
-                code=(response.get("error") or {}).get("code"),
-                duration_ms=round((time.monotonic() - started) * 1000.0, 3),
+                code=code,
+                duration_ms=round(duration * 1000.0, 3),
             )
     return response
 
 
 def _dispatch(session: Session, request: Any) -> Tuple[Any, Any]:
-    before = session.engine.stats.snapshot()
-    result = session.run(request)
-    return result, session.engine.stats.since(before)
+    # The engine lock is held across the whole dispatch so the
+    # snapshot/since delta is exactly this request's work even when other
+    # workers run concurrently (the fast path never comes here — it
+    # builds its own one-counter delta under a brief lock acquisition).
+    engine = session.engine
+    with engine.lock:
+        before = engine.stats.snapshot()
+        result = session.run(request)
+        return result, engine.stats.since(before)
 
 
 # ----------------------------------------------------------------------
@@ -466,6 +744,7 @@ def serve_stream(
     lock: Optional[threading.Lock] = None,
     state: Optional[ServerState] = None,
     config: Optional[ServeConfig] = None,
+    dispatcher: Optional[Dispatcher] = None,
 ) -> int:
     """Answer request lines from ``input_stream`` until end of input.
 
@@ -478,6 +757,12 @@ def serve_stream(
     if config is None:
         config = state.config if state is not None else ServeConfig()
     answered = 0
+    #: connection-private response memo (line -> response dict) plus the
+    #: rendered text of each memoised response, so a repeated line costs
+    #: neither a JSON parse nor a JSON dump.  ``rendered`` entries are
+    #: only trusted when the memo still returns the identical dict.
+    memo: Dict[str, Dict[str, Any]] = {}
+    rendered: Dict[str, Tuple[Dict[str, Any], str]] = {}
     for line in _iter_limited_lines(input_stream, config.max_line_bytes):
         if line is OVERSIZED:
             response = error_response(
@@ -505,9 +790,19 @@ def serve_stream(
         try:
             if response is None:
                 response = handle_request_line(
-                    session, line, state=state, config=config, lock=lock
+                    session, line, state=state, config=config, lock=lock,
+                    dispatcher=dispatcher, counted=state is not None, memo=memo,
                 )
-            output_stream.write(json.dumps(response) + "\n")
+            cached = rendered.get(line)
+            if cached is not None and cached[0] is response:
+                text = cached[1]
+            else:
+                text = json.dumps(response) + "\n"
+                if memo.get(line) is response:
+                    rendered[line] = (response, text)
+                elif not memo and rendered:
+                    rendered.clear()  # the memo was invalidated wholesale
+            output_stream.write(text)
             output_stream.flush()
             answered += 1
         finally:
@@ -521,27 +816,89 @@ def serve_stream(
 # ----------------------------------------------------------------------
 # socket transport
 # ----------------------------------------------------------------------
-class _SocketWriter:
-    """Encode response lines onto the connection's binary write file."""
-
-    def __init__(self, wfile: IO[bytes]) -> None:
-        self._wfile = wfile
-
-    def write(self, text: str) -> None:
-        self._wfile.write(text.encode("utf-8"))
-
-    def flush(self) -> None:
-        self._wfile.flush()
-
-
 class _Utf8LineReader:
-    """Byte-accurate bounded line reads over the connection's read file."""
+    """Byte-accurate bounded line reads over the connection's raw socket.
 
-    def __init__(self, rfile: IO[bytes]) -> None:
+    Buffers reads itself (the handler runs with ``rbufsize=0``) so the
+    writer can ask :meth:`has_buffered_line` — "is another complete
+    request already in hand?" — without risking a blocking read.  That
+    question is what lets the transport batch responses to pipelined
+    clients while still answering lockstep clients immediately.
+    """
+
+    def __init__(self, rfile: IO[bytes], chunk_size: int = 1 << 16) -> None:
         self._rfile = rfile
+        self._chunk_size = chunk_size
+        self._buffer = bytearray()
+        self._eof = False
+
+    def has_buffered_line(self) -> bool:
+        return b"\n" in self._buffer
 
     def readline(self, limit: int = -1) -> str:
-        return self._rfile.readline(limit).decode("utf-8", "replace")
+        """Read one ``\\n``-terminated line, returning at most ``limit``
+        bytes (the ``BufferedReader.readline`` bounded contract)."""
+        buffer = self._buffer
+        while True:
+            newline = buffer.find(b"\n")
+            if newline >= 0 and (limit < 0 or newline < limit):
+                end = newline + 1
+                break
+            if 0 <= limit <= len(buffer):
+                end = limit
+                break
+            if self._eof:
+                end = len(buffer)
+                break
+            chunk = self._rfile.read(self._chunk_size)
+            if not chunk:
+                self._eof = True
+            else:
+                buffer += chunk
+        data = bytes(buffer[:end])
+        del buffer[:end]
+        return data.decode("utf-8", "replace")
+
+
+class _SocketWriter:
+    """Response writer with adaptive batching for pipelined clients.
+
+    Responses accumulate in a local buffer; :meth:`flush` only performs
+    the ``send`` when the paired reader holds no further complete request
+    (or the buffer has grown past ``max_buffered``).  A lockstep client —
+    one request in flight at a time — therefore sees every response
+    immediately, while a client that pipelines N requests receives its N
+    responses in a handful of packets instead of N.
+    """
+
+    def __init__(
+        self,
+        wfile: IO[bytes],
+        reader: Optional[_Utf8LineReader] = None,
+        max_buffered: int = 1 << 20,
+    ) -> None:
+        self._wfile = wfile
+        self._reader = reader
+        self._max_buffered = max_buffered
+        self._buffer = bytearray()
+
+    def write(self, text: str) -> None:
+        self._buffer += text.encode("utf-8")
+
+    def flush(self) -> None:
+        if (
+            self._reader is not None
+            and self._reader.has_buffered_line()
+            and len(self._buffer) < self._max_buffered
+        ):
+            return  # another request is already in hand: keep batching
+        self.flush_hard()
+
+    def flush_hard(self) -> None:
+        if self._buffer:
+            self._wfile.write(bytes(self._buffer))
+            self._buffer.clear()
+        self._wfile.flush()
 
 
 class ServeServer(socketserver.ThreadingTCPServer):
@@ -549,6 +906,9 @@ class ServeServer(socketserver.ThreadingTCPServer):
 
     allow_reuse_address = True
     daemon_threads = True
+    # The socketserver default backlog (5) drops SYNs when a fleet of
+    # clients connects at once, and the 1s retransmit dwarfs any request.
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -561,12 +921,25 @@ class ServeServer(socketserver.ThreadingTCPServer):
         self.session = session
         self.config = config
         self.state = state
-        self.session_lock = threading.Lock()
         self.capacity = threading.Semaphore(config.max_connections)
+        #: engine-touching requests from every connection funnel through
+        #: this pool; cache-hit checks bypass it on the connection thread
+        self.dispatcher = Dispatcher(
+            workers=config.workers, queue_limit=config.queue_limit
+        )
+        state.dispatcher = self.dispatcher
+
+    def server_close(self) -> None:
+        self.dispatcher.close()
+        super().server_close()
 
 
 class _ConnectionHandler(socketserver.StreamRequestHandler):
     server: ServeServer  # narrowed for readability
+
+    #: raw reads: _Utf8LineReader buffers for itself so response batching
+    #: can see whether another pipelined request is already buffered
+    rbufsize = 0
 
     def handle(self) -> None:
         state, config = self.server.state, self.server.config
@@ -583,14 +956,20 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
         try:
             if config.idle_timeout is not None:
                 self.connection.settimeout(config.idle_timeout)
+            # Each connection converses through its own session view:
+            # private registries (a model registered on one connection is
+            # invisible to the others) over the one shared warm engine.
+            reader = _Utf8LineReader(self.rfile)
+            writer = _SocketWriter(self.wfile, reader=reader)
             serve_stream(
-                self.server.session,
-                _Utf8LineReader(self.rfile),
-                _SocketWriter(self.wfile),
-                lock=self.server.session_lock,
+                self.server.session.view(),
+                reader,
+                writer,
                 state=state,
                 config=config,
+                dispatcher=self.server.dispatcher,
             )
+            writer.flush_hard()
         except TimeoutError:
             state.log("conn_idle_timeout", peer=peer, idle_timeout=config.idle_timeout)
         except (OSError, ValueError):
@@ -737,23 +1116,52 @@ def serve(
     """Run the serve loop on stdin/stdout, or on a TCP socket with ``port``.
 
     Either way SIGTERM and SIGINT drain gracefully: stop taking new work,
-    finish in-flight requests (bounded by ``config.drain_grace``), flush,
-    and return 0.
+    finish in-flight requests (bounded by ``config.drain_grace``), flush
+    (including the persistent verdict-cache tier), and return 0.
     """
     session = session if session is not None else Session()
     config = config if config is not None else ServeConfig.from_env()
     state = ServerState(config)
-    if port is not None:
-        return _serve_socket_until_drained(session, host, port, config, state,
-                                           install_signal_handlers)
-    return _serve_stdio_until_drained(
-        session,
-        input_stream if input_stream is not None else sys.stdin,
-        output_stream if output_stream is not None else sys.stdout,
-        config,
-        state,
-        install_signal_handlers,
-    )
+    if session.engine.verdict_cache is None and config.cache_capacity > 0:
+        from repro.cache import VerdictCache
+
+        # The memory tier is always on for serving; --cache-dir adds the
+        # persistent tier (and --cache-capacity 0 turns the cache off).
+        if config.cache_dir is not None:
+            cache = VerdictCache.open(config.cache_dir, capacity=config.cache_capacity)
+            cache_stats = cache.stats
+            state.log(
+                "cache_open",
+                path=cache.store.path,
+                loaded=cache_stats.persisted_loaded,
+                skipped=cache_stats.persisted_skipped,
+            )
+        else:
+            cache = VerdictCache(capacity=config.cache_capacity)
+        session.engine.verdict_cache = cache
+    metrics_server = None
+    if config.metrics_port is not None:
+        metrics_server = start_metrics_server(host, config.metrics_port, state, session)
+        state.log("metrics_start", port=metrics_server.server_address[1])
+    try:
+        if port is not None:
+            return _serve_socket_until_drained(session, host, port, config, state,
+                                               install_signal_handlers)
+        return _serve_stdio_until_drained(
+            session,
+            input_stream if input_stream is not None else sys.stdin,
+            output_stream if output_stream is not None else sys.stdout,
+            config,
+            state,
+            install_signal_handlers,
+        )
+    finally:
+        if metrics_server is not None:
+            metrics_server.shutdown()
+            metrics_server.server_close()
+        cache = session.engine.verdict_cache
+        if cache is not None:
+            cache.close()
 
 
 def _serve_socket_until_drained(
@@ -897,6 +1305,27 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         "--drain-grace", type=float, default=None, metavar="SECONDS",
         help="how long a SIGTERM/SIGINT drain waits for in-flight requests "
         "(default: 30; env REPRO_SERVE_DRAIN_GRACE)")
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="engine worker threads executing requests concurrently "
+        "(default: 4; env REPRO_SERVE_WORKERS)")
+    parser.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        help="requests allowed to queue for a worker before being shed with "
+        "an overloaded error (default: 256; env REPRO_SERVE_QUEUE_LIMIT)")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist verdict-cache entries to DIR/verdicts.jsonl so warm "
+        "verdicts survive restarts and can be shared between replicas "
+        "(default: memory-only cache off; env REPRO_SERVE_CACHE_DIR)")
+    parser.add_argument(
+        "--cache-capacity", type=int, default=None, metavar="N",
+        help="verdict-cache memory-tier entry cap "
+        "(default: 1048576; env REPRO_SERVE_CACHE_CAPACITY)")
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus metrics over HTTP on this port "
+        "(GET /metrics; default: off; env REPRO_SERVE_METRICS_PORT)")
 
 
 def config_from_args(args: argparse.Namespace) -> ServeConfig:
@@ -908,6 +1337,11 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         admission_queue=args.admission_queue,
         idle_timeout=args.idle_timeout,
         drain_grace=args.drain_grace,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        cache_dir=args.cache_dir,
+        cache_capacity=args.cache_capacity,
+        metrics_port=args.metrics_port,
     )
 
 

@@ -113,6 +113,25 @@ class Session:
         self._synth_engines: Dict[Tuple[str, str], SynthesisEngine] = {}
 
     # ------------------------------------------------------------------
+    # per-connection views
+    # ------------------------------------------------------------------
+    def view(self) -> "Session":
+        """A lightweight per-connection view sharing this session's engine.
+
+        The view gets private registry overlays (one connection's
+        ``register``/``replace`` cannot affect another) while the engine —
+        and with it every warm cache, the verdict cache and the counters —
+        is shared.  The registries' memoized suites are shared by
+        reference, so requests through any view resolve the same test
+        objects and hit the shared engine's identity-keyed caches.
+        """
+        return Session(
+            engine=self.engine,
+            models=self.models.view(),
+            tests=self.tests.view(),
+        )
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property

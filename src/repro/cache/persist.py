@@ -1,0 +1,224 @@
+"""The persistent verdict-cache tier: one append-only JSONL file.
+
+Layout of ``<cache_dir>/verdicts.jsonl``::
+
+    {"format": "repro/verdict-cache", "version": 1}      <- header line
+    {"m": "<model digest>", "t": "<test digest>", "v": 1}
+    {"m": ..., "t": ..., "v": 0}
+    ...
+
+Design constraints, in order:
+
+* **Crash safety by construction.**  The file is only ever appended to,
+  one ``\\n``-terminated JSON object per entry, flushed in small batches.
+  A crash can tear at most the final line; it can never corrupt earlier
+  entries.
+* **Corrupt-entry tolerance.**  :meth:`VerdictStore.load` skips anything
+  it cannot parse — a torn tail, a garbage line, an entry with missing or
+  ill-typed fields — and keeps everything else.  A torn file is degraded
+  capacity, never a failed server start.
+* **Versioned header.**  A file whose header names an unknown format or a
+  newer version is left untouched and ignored (loaded as empty, appends
+  disabled) so two releases sharing a cache directory cannot corrupt each
+  other's state.
+* **Shareable between replicas.**  Appends are O_APPEND writes of whole
+  lines, so several server processes may append to one file on a shared
+  directory; each line is independently valid and duplicate entries are
+  harmless (last one wins on load, and all duplicates agree by
+  construction — the verdict is a pure function of the key).
+
+The ``cache.persist`` fault point fires on every flush so the robustness
+suite can inject persistence failures; :func:`repro.util.faults.
+truncate_file` is honoured after each flush to simulate torn writes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.util import faults
+
+#: The header ``format`` field this release writes and accepts.
+STORE_FORMAT = "repro/verdict-cache"
+#: The header ``version`` this release writes; newer versions are ignored.
+STORE_VERSION = 1
+
+#: One cache key: (model IR digest, canonical test-key digest).
+Key = Tuple[str, str]
+
+
+class VerdictStore:
+    """The append-only persistent tier of the verdict cache.
+
+    Thread-safe: appends from concurrent workers are serialised by an
+    internal lock.  Entries are buffered and flushed every
+    ``flush_every`` appends (and on :meth:`close`), bounding both
+    syscalls on the hot path and loss on a crash.
+    """
+
+    def __init__(self, directory: str, flush_every: int = 32) -> None:
+        self.directory = os.path.abspath(directory)
+        self.path = os.path.join(self.directory, "verdicts.jsonl")
+        self.flush_every = max(1, flush_every)
+        self._lock = threading.Lock()
+        self._pending = 0
+        #: entries loaded from disk at open (observability)
+        self.loaded = 0
+        #: lines skipped as corrupt/foreign at open (observability)
+        self.skipped = 0
+        #: entries appended by this process
+        self.written = 0
+        os.makedirs(self.directory, exist_ok=True)
+        self._writable = True
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[Key, bool]:
+        """Read every recoverable entry; tolerate any corruption.
+
+        Returns the recovered mapping and records ``loaded``/``skipped``
+        counts.  A missing file is an empty cache; an unreadable or
+        foreign-format file disables appends (the file is preserved
+        untouched) and loads nothing.
+        """
+        entries: Dict[Key, bool] = {}
+        try:
+            handle = open(self.path, "r", encoding="utf-8", errors="replace")
+        except OSError:
+            return entries
+        with handle:
+            header_seen = False
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    self.skipped += 1
+                    continue
+                if not isinstance(record, dict):
+                    self.skipped += 1
+                    continue
+                if not header_seen:
+                    header_seen = True
+                    if "format" in record or "version" in record:
+                        if (
+                            record.get("format") != STORE_FORMAT
+                            or not isinstance(record.get("version"), int)
+                            or record["version"] > STORE_VERSION
+                        ):
+                            # A foreign or future file: ignore it entirely and
+                            # never append to it.
+                            self._writable = False
+                            self.skipped += 1
+                            return {}
+                        continue
+                    # Headerless file (torn at birth): fall through and try
+                    # the line as an entry.
+                model = record.get("m")
+                test = record.get("t")
+                verdict = record.get("v")
+                if (
+                    isinstance(model, str)
+                    and isinstance(test, str)
+                    and verdict in (0, 1, True, False)
+                ):
+                    entries[(model, test)] = bool(verdict)
+                else:
+                    self.skipped += 1
+        self.loaded = len(entries)
+        return entries
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    def _open_for_append(self):
+        if self._handle is None:
+            fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if fresh:
+                self._handle.write(
+                    json.dumps({"format": STORE_FORMAT, "version": STORE_VERSION})
+                    + "\n"
+                )
+                self._handle.flush()
+        return self._handle
+
+    def append(self, key: Key, verdict: bool) -> None:
+        """Append one entry (buffered; flushed every ``flush_every``)."""
+        if not self._writable:
+            return
+        with self._lock:
+            handle = self._open_for_append()
+            handle.write(
+                json.dumps({"m": key[0], "t": key[1], "v": 1 if verdict else 0}) + "\n"
+            )
+            self.written += 1
+            self._pending += 1
+            if self._pending >= self.flush_every:
+                self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if faults._FAULTS:
+            faults.fire("cache.persist", path=self.path)
+        if self._handle is not None:
+            self._handle.flush()
+        self._pending = 0
+        faults.truncate_file("cache.persist", self.path)
+
+    def flush(self) -> None:
+        """Flush buffered appends (called on drain/close)."""
+        if not self._writable:
+            return
+        with self._lock:
+            if self._handle is not None:
+                self._flush_locked()
+
+    def close(self) -> None:
+        """Flush and close the append handle (the store stays reusable)."""
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._flush_locked()
+                finally:
+                    self._handle.close()
+                    self._handle = None
+
+    # ------------------------------------------------------------------
+    def merge_from(self, paths: Iterable[str]) -> int:
+        """Fold other stores' files into this one (replica cache shipping).
+
+        Returns the number of entries appended.  Unreadable files and
+        corrupt lines are skipped, exactly as :meth:`load` would.
+        """
+        added = 0
+        for path in paths:
+            other = VerdictStore.__new__(VerdictStore)
+            other.path = os.fspath(path)
+            other.skipped = 0
+            other.loaded = 0
+            other._writable = True
+            for key, verdict in other.load().items():
+                self.append(key, verdict)
+                added += 1
+        self.flush()
+        return added
+
+
+def store_info(store: Optional[VerdictStore]) -> Dict[str, object]:
+    """A JSON-safe description of a store (for stats/metrics documents)."""
+    if store is None:
+        return {"enabled": False}
+    return {
+        "enabled": True,
+        "path": store.path,
+        "loaded": store.loaded,
+        "skipped": store.skipped,
+        "written": store.written,
+    }

@@ -24,8 +24,8 @@ the incremental solver are built for.
 from __future__ import annotations
 
 import threading
-from dataclasses import asdict, dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.compile import CompiledModel, compile_model
 from repro.core.litmus import LitmusTest
@@ -33,6 +33,9 @@ from repro.core.model import MemoryModel
 from repro.engine.context import TestContext
 from repro.engine.strategies import CheckStrategy, make_strategy
 from repro.util import faults
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.cache.verdict import VerdictCache
 
 #: One model's verdicts over a test suite, in suite order.
 VerdictVector = Tuple[bool, ...]
@@ -86,9 +89,19 @@ class EngineStats:
     #: synthesis verdicts answered by a model sharing an already-solved
     #: po-pair mask — the SAT strategy's model-grouping metric
     synth_group_hits: int = 0
+    #: checks answered from the digest-keyed verdict cache without touching
+    #: the strategy (or, for serve's fast path, the engine lock)
+    verdict_cache_hits: int = 0
+    #: cacheable checks the verdict cache could not answer
+    verdict_cache_misses: int = 0
+    #: verdicts appended to the cache's persistent tier
+    verdict_cache_persisted: int = 0
 
     def as_dict(self) -> Dict[str, int]:
-        return asdict(self)
+        # Not dataclasses.asdict: that deep-copies recursively and shows up
+        # in serve's per-request profile; a plain attribute walk is ~10x
+        # cheaper and produces the identical dict.
+        return {name: getattr(self, name) for name in _STAT_FIELDS}
 
     def merge(self, other: Dict[str, int]) -> None:
         """Fold a worker's counters into this one.
@@ -140,6 +153,12 @@ class EngineStats:
                 f"({self.synth_solver_calls} synthesis SAT calls, "
                 f"{self.synth_group_hits} mask-group hits)"
             )
+        if self.verdict_cache_hits or self.verdict_cache_misses:
+            parts.append(
+                f"{self.verdict_cache_hits} verdict-cache hits "
+                f"({self.verdict_cache_misses} misses, "
+                f"{self.verdict_cache_persisted} persisted)"
+            )
         if self.kernel_backend:
             searches = (
                 self.native_searches
@@ -148,6 +167,15 @@ class EngineStats:
             )
             parts.append(f"{searches} kernel searches ({self.kernel_backend})")
         return ", ".join(parts)
+
+
+_STAT_FIELDS = tuple(field.name for field in fields(EngineStats))
+
+#: Strategy names whose verdicts the digest-keyed cache may serve.  All
+#: shipped strategies are pure functions of (model IR, canonical test), so
+#: their verdicts agree; legacy checker wrappers are excluded because their
+#: semantics are whatever the wrapped object does.
+_CACHEABLE_STRATEGIES = frozenset(("explicit", "enumeration", "sat"))
 
 
 class CheckEngine:
@@ -164,10 +192,24 @@ class CheckEngine:
             when built), ``"native"``, ``"python"``, ``"bigint"``, or a
             :class:`~repro.native.backend.KernelBackend` instance.  Resolved
             once, at construction; ignored by non-kernel backends.
+        verdict_cache: optional :class:`~repro.cache.verdict.VerdictCache`
+            interposed in :meth:`check`/:meth:`check_column`: cacheable
+            (formula model, canonicalizable test) pairs are answered from
+            the cache when warm and stored after computing otherwise.
+            Verdicts are bit-identical with or without the cache.
+
+    Thread safety: every stats/cache mutation happens under :attr:`lock`
+    (an ``RLock``), so concurrent callers — serve's worker pool — observe
+    exact counters; a cache-hit :meth:`check` takes only the cache's own
+    lock plus one brief :attr:`lock` acquisition for the counters.
     """
 
     def __init__(
-        self, backend: object = "explicit", jobs: int = 1, kernel: object = None
+        self,
+        backend: object = "explicit",
+        jobs: int = 1,
+        kernel: object = None,
+        verdict_cache: Optional["VerdictCache"] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -176,6 +218,11 @@ class CheckEngine:
         self.strategy: CheckStrategy = make_strategy(backend, kernel=kernel)
         #: the resolved kernel backend, when the strategy has one
         self.kernel = getattr(self.strategy, "kernel", None)
+        #: serialises stats/cache mutation; public so the serve dispatcher
+        #: can hold it across a whole request for exact stats attribution
+        self.lock = threading.RLock()
+        self.verdict_cache = verdict_cache
+        self._cacheable = self.strategy.name in _CACHEABLE_STRATEGIES
         self.stats = EngineStats()
         if self.kernel is not None:
             self.stats.kernel_backend = self.kernel.name
@@ -222,17 +269,18 @@ class CheckEngine:
         identity-keyed cache without any chance of a later hit.
         """
         key = id(test)
-        entry = self._contexts.get(key)
-        if entry is not None and entry[0] is test:
-            self.stats.context_cache_hits += 1
-            return entry[1]
-        context = TestContext(test)
-        self.stats.executions_evaluated += 1
-        if context.execution is None:
-            self.stats.execution_failures += 1
-        if cache:
-            self._contexts[key] = (test, context)
-        return context
+        with self.lock:
+            entry = self._contexts.get(key)
+            if entry is not None and entry[0] is test:
+                self.stats.context_cache_hits += 1
+                return entry[1]
+            context = TestContext(test)
+            self.stats.executions_evaluated += 1
+            if context.execution is None:
+                self.stats.execution_failures += 1
+            if cache:
+                self._contexts[key] = (test, context)
+            return context
 
     # ------------------------------------------------------------------
     # model compilation
@@ -247,6 +295,10 @@ class CheckEngine:
         ``ir_cse_hits`` depending on whether an earlier model of this
         engine already contained them (cross-model CSE).
         """
+        with self.lock:
+            return self._compiled_locked(model)
+
+    def _compiled_locked(self, model: MemoryModel) -> CompiledModel:
         key = id(model)
         entry = self._compiled.get(key)
         if entry is not None and entry[0] is model:
@@ -281,17 +333,18 @@ class CheckEngine:
         Counts exactly what per-model :meth:`compiled` calls would count, so
         the compile counters stay deterministic.
         """
-        entry = self._compiled_spaces.get(id(models))
-        if entry is not None and entry[0] is models:
-            self.stats.compile_cache_hits += len(entry[1])
-            return entry[1]
-        compiled = [self.compiled(model) for model in models]
-        if len(self._compiled_spaces) >= 64:
-            # Callers building a fresh list per call would otherwise pin
-            # every list forever; the per-model cache stays warm regardless.
-            self._compiled_spaces.clear()
-        self._compiled_spaces[id(models)] = (models, compiled)
-        return compiled
+        with self.lock:
+            entry = self._compiled_spaces.get(id(models))
+            if entry is not None and entry[0] is models:
+                self.stats.compile_cache_hits += len(entry[1])
+                return entry[1]
+            compiled = [self._compiled_locked(model) for model in models]
+            if len(self._compiled_spaces) >= 64:
+                # Callers building a fresh list per call would otherwise pin
+                # every list forever; the per-model cache stays warm regardless.
+                self._compiled_spaces.clear()
+            self._compiled_spaces[id(models)] = (models, compiled)
+            return compiled
 
     def precompile(self, models: Sequence[MemoryModel]) -> None:
         """Eagerly compile a model space (worker warm-up)."""
@@ -306,12 +359,31 @@ class CheckEngine:
         # check path costs one list check when no fault is injected.
         if faults._FAULTS:
             faults.fire("engine.check", test=test.name, model=model.name)
-        compiled = self.compiled(model)
-        context = self.context(test, cache=cache)
-        self.stats.checks_performed += 1
-        if context.execution is None:
-            return False
-        return self.strategy.check(context, compiled, self.stats)
+        vcache = self.verdict_cache
+        key = None
+        if vcache is not None and self._cacheable:
+            key = vcache.key_for(test, model)
+            if key is not None:
+                verdict = vcache.get(key)
+                if verdict is not None:
+                    with self.lock:
+                        self.stats.checks_performed += 1
+                        self.stats.verdict_cache_hits += 1
+                    return verdict
+        with self.lock:
+            if key is not None:
+                self.stats.verdict_cache_misses += 1
+            compiled = self._compiled_locked(model)
+            context = self.context(test, cache=cache)
+            self.stats.checks_performed += 1
+            if context.execution is None:
+                verdict = False
+            else:
+                verdict = self.strategy.check(context, compiled, self.stats)
+        if key is not None and vcache.put(key, verdict) and vcache.store is not None:
+            with self.lock:
+                self.stats.verdict_cache_persisted += 1
+        return verdict
 
     def verdict_vector(
         self, model: MemoryModel, tests: Sequence[LitmusTest]
@@ -362,20 +434,59 @@ class CheckEngine:
         """
         if faults._FAULTS:
             faults.fire("engine.check_column", test=test.name)
-        compiled_models = self.compiled_all(models)
-        context = self.context(test, cache=retain)
-        self.stats.checks_performed += len(models)
-        if context.execution is None:
-            return [False] * len(models)
-        strategy = self.strategy
-        stats = self.stats
-        # Strategies with a column fast path (the explicit kernel batches
-        # the whole column's masks through one combined program) take it;
-        # verdicts and counters are identical to the per-model loop.
-        column_check = getattr(strategy, "check_column", None)
-        if column_check is not None:
-            return column_check(context, compiled_models, stats)
-        return [strategy.check(context, compiled, stats) for compiled in compiled_models]
+        vcache = self.verdict_cache
+        keys: Optional[List[Optional[Tuple[str, str]]]] = None
+        if vcache is not None and self._cacheable:
+            test_digest = vcache.test_digest(test)
+            if test_digest is not None:
+                keys = []
+                cached: List[Optional[bool]] = []
+                for model in models:
+                    model_digest = vcache.model_digest(model)
+                    key = (model_digest, test_digest) if model_digest else None
+                    keys.append(key)
+                    cached.append(vcache.get(key) if key is not None else None)
+                if cached and all(verdict is not None for verdict in cached):
+                    with self.lock:
+                        self.stats.checks_performed += len(models)
+                        self.stats.verdict_cache_hits += len(models)
+                    return [bool(verdict) for verdict in cached]
+        with self.lock:
+            if keys is not None:
+                self.stats.verdict_cache_misses += sum(
+                    1
+                    for key, verdict in zip(keys, cached)
+                    if key is not None and verdict is None
+                )
+            compiled_models = self.compiled_all(models)
+            context = self.context(test, cache=retain)
+            self.stats.checks_performed += len(models)
+            if context.execution is None:
+                column = [False] * len(models)
+            else:
+                strategy = self.strategy
+                stats = self.stats
+                # Strategies with a column fast path (the explicit kernel
+                # batches the whole column's masks through one combined
+                # program) take it; verdicts and counters are identical to
+                # the per-model loop.
+                column_check = getattr(strategy, "check_column", None)
+                if column_check is not None:
+                    column = column_check(context, compiled_models, stats)
+                else:
+                    column = [
+                        strategy.check(context, compiled, stats)
+                        for compiled in compiled_models
+                    ]
+        if keys is not None:
+            persisted = 0
+            for key, verdict in zip(keys, column):
+                if key is not None and vcache.put(key, verdict):
+                    persisted += 1
+            if persisted and vcache.store is not None:
+                with self.lock:
+                    self.stats.verdict_cache_persisted += persisted
+        return column
 
     # ------------------------------------------------------------------
     # parallel fan-out
@@ -410,9 +521,10 @@ class CheckEngine:
                 _WORKER_STATE = None
 
         columns: List[List[bool]] = [[] for _ in tests]
-        for index, column, worker_stats in results:
-            columns[index] = column
-            self.stats.merge(worker_stats)
+        with self.lock:
+            for index, column, worker_stats in results:
+                columns[index] = column
+                self.stats.merge(worker_stats)
         return columns
 
 

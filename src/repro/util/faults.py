@@ -32,6 +32,9 @@ Spec grammar (entries comma-separated)::
                                        shard 2's checkpoint is cut to 40B
     synth.solve=raise*1                first synthesis verdict column dies
     session.run[op=synthesize]=raise   every synthesize dispatch raises
+    cache.get=raise*1                  first verdict-cache lookup dies
+    cache.persist=truncate:40          every persistent-cache flush is
+                                       torn to 40 bytes (a crashed write)
 
 The optional ``[key=value,...]`` filter matches against the keyword
 context a fire site passes (compared as strings); ``*count`` arms the

@@ -479,3 +479,63 @@ def test_sigterm_socket_server_drains_and_exits_zero():
     proc.stdout.close()
     proc.stderr.close()
     assert proc.returncode == 0
+
+
+# ----------------------------------------------------------------------
+# verdict-cache faults
+# ----------------------------------------------------------------------
+def test_cache_get_fault_mid_request_is_internal_and_loop_survives(session):
+    """A verdict-cache lookup dying mid-request is an `internal` answer,
+    not a dead loop: the very next request (cache disarmed) succeeds."""
+    from repro.cache import VerdictCache
+
+    session.engine.verdict_cache = VerdictCache()
+    faults.install("cache.get=raise*1")
+    first, second = _serve_lines(session, [CHECK_LINE, CHECK_LINE])
+    assert first["ok"] is False
+    assert first["error"]["code"] == "internal"
+    assert second["ok"] is True
+
+
+def test_cache_persist_fault_never_corrupts_a_response(session, tmp_path):
+    """A torn persistent-cache flush (crash mid-write) degrades the cache,
+    never the answer: requests keep succeeding with correct verdicts."""
+    from repro.cache import VerdictCache
+
+    faults.install("cache.persist=truncate:40")
+    session.engine.verdict_cache = VerdictCache.open(str(tmp_path))
+    responses = _serve_lines(session, [CHECK_LINE, CHECK_LINE])
+    assert all(response["ok"] for response in responses)
+    assert responses[0]["result"] == responses[1]["result"]
+    session.engine.verdict_cache.close()
+
+
+def test_torn_persistent_cache_is_skipped_on_serve_reload(tmp_path):
+    """`repro serve --cache-dir` over a torn verdicts.jsonl (a crashed
+    predecessor) starts cleanly: the torn tail is skipped, the surviving
+    entries load, and requests are served."""
+    from repro.cache import VerdictCache
+
+    warm = VerdictCache.open(str(tmp_path))
+    warm.put(("m0", "t0"), True)
+    warm.put(("m1", "t1"), False)
+    warm.close()
+    path = tmp_path / "verdicts.jsonl"
+    path.write_bytes(path.read_bytes()[:-9])  # tear into the last entry
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--cache-dir", str(tmp_path)],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_subprocess_env(),
+    )
+    out, err = proc.communicate(CHECK_LINE + "\n", timeout=60)
+    assert proc.returncode == 0
+    response = json.loads(out.splitlines()[0])
+    assert response["ok"] is True
+    records = [json.loads(line) for line in err.splitlines() if line.startswith("{")]
+    opened = [record for record in records if record["event"] == "cache_open"]
+    assert opened and opened[0]["loaded"] == 1  # torn tail skipped, rest kept
+    assert opened[0]["skipped"] == 1

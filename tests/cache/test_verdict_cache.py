@@ -1,0 +1,270 @@
+"""Unit tests for the verdict cache: LRU semantics, digest-key rules,
+persistence, corruption tolerance and thread safety."""
+
+import dataclasses
+import json
+import threading
+
+import pytest
+
+from repro.cache import STORE_FORMAT, STORE_VERSION, VerdictCache, VerdictStore
+from repro.cache.persist import store_info
+from repro.core.catalog import named_models
+from repro.core.model import MemoryModel
+from repro.generation.named_tests import L_TESTS, all_named_tests
+from repro.util import faults
+
+
+@pytest.fixture(autouse=True)
+def _isolate_faults():
+    saved = faults.snapshot()
+    faults.clear()
+    yield
+    faults.restore(saved)
+
+
+def _keys(n):
+    return [(f"model{i:04d}", f"test{i:04d}") for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# the memory tier
+# ----------------------------------------------------------------------
+def test_get_put_and_counters():
+    cache = VerdictCache()
+    key = ("m", "t")
+    assert cache.get(key) is None
+    assert cache.put(key, True) is True
+    assert cache.put(key, True) is False  # repeat: not a new insert
+    assert cache.get(key) is True
+    stats = cache.stats
+    assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+    assert stats.entries == len(cache) == 1
+    assert key in cache
+
+
+def test_lru_evicts_the_least_recently_used():
+    cache = VerdictCache(capacity=3)
+    a, b, c, d = _keys(4)
+    for key in (a, b, c):
+        cache.put(key, True)
+    assert cache.get(a) is True  # refresh a: b is now the oldest
+    cache.put(d, False)
+    assert b not in cache
+    assert all(key in cache for key in (a, c, d))
+    assert cache.stats.evictions == 1
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        VerdictCache(capacity=0)
+
+
+def test_verdict_is_normalised_to_bool():
+    cache = VerdictCache()
+    cache.put(("m", "t"), 1)
+    assert cache.get(("m", "t")) is True
+
+
+# ----------------------------------------------------------------------
+# key rules: only process-stable identities get a key
+# ----------------------------------------------------------------------
+def test_formula_model_and_canonical_test_get_a_key():
+    cache = VerdictCache()
+    model = named_models()["TSO"]
+    test = L_TESTS[0]
+    key = cache.key_for(test, model)
+    assert key is not None
+    model_digest, test_digest = key
+    assert model_digest and test_digest
+
+
+def test_callable_model_is_never_cached():
+    cache = VerdictCache()
+    opaque = MemoryModel("opaque", lambda execution, x, y: True)
+    assert cache.model_digest(opaque) is None
+    assert cache.key_for(L_TESTS[0], opaque) is None
+
+
+def test_structurally_equal_models_share_a_digest():
+    cache = VerdictCache()
+    first = named_models()["TSO"]
+    second = dataclasses.replace(first, name="renamed")
+    assert cache.model_digest(first) == cache.model_digest(second)
+
+
+def test_digest_memo_is_identity_checked():
+    cache = VerdictCache()
+    model = named_models()["TSO"]
+    first = cache.model_digest(model)
+    # Clearing the memo and re-asking must recompute the same digest.
+    cache._model_digests.clear()
+    assert cache.model_digest(model) == first
+
+
+def test_every_named_test_key_is_deterministic():
+    one, two = VerdictCache(), VerdictCache()
+    for test in all_named_tests().values():
+        assert one.test_digest(test) == two.test_digest(test)
+
+
+# ----------------------------------------------------------------------
+# the persistent tier
+# ----------------------------------------------------------------------
+def test_persistence_roundtrip_and_header(tmp_path):
+    cache = VerdictCache.open(str(tmp_path))
+    for i, key in enumerate(_keys(5)):
+        cache.put(key, i % 2 == 0)
+    cache.close()
+
+    lines = (tmp_path / "verdicts.jsonl").read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header == {"format": STORE_FORMAT, "version": STORE_VERSION}
+    assert len(lines) == 6
+
+    reloaded = VerdictCache.open(str(tmp_path))
+    assert len(reloaded) == 5
+    for i, key in enumerate(_keys(5)):
+        assert reloaded.get(key) is (i % 2 == 0)
+    assert reloaded.stats.persisted_loaded == 5
+    assert reloaded.stats.persisted_skipped == 0
+
+
+def test_torn_tail_is_skipped_not_fatal(tmp_path):
+    cache = VerdictCache.open(str(tmp_path))
+    for key in _keys(4):
+        cache.put(key, True)
+    cache.close()
+    path = tmp_path / "verdicts.jsonl"
+    torn = path.read_text()[:-15]  # cut into the last entry
+    path.write_text(torn)
+
+    reloaded = VerdictCache.open(str(tmp_path))
+    assert len(reloaded) == 3
+    assert reloaded.stats.persisted_skipped == 1
+
+
+def test_garbage_lines_are_skipped(tmp_path):
+    store = VerdictStore(str(tmp_path))
+    store.append(("m", "t"), True)
+    store.close()
+    path = tmp_path / "verdicts.jsonl"
+    with path.open("a") as handle:
+        handle.write("not json at all\n")
+        handle.write('{"m": 3, "t": "bad-types", "v": 1}\n')
+        handle.write('["not", "a", "dict"]\n')
+        handle.write('{"m": "ok", "t": "ok", "v": 1}\n')
+
+    fresh = VerdictStore(str(tmp_path))
+    entries = fresh.load()
+    assert entries == {("m", "t"): True, ("ok", "ok"): True}
+    assert fresh.skipped == 3
+
+
+def test_foreign_or_future_file_is_preserved_untouched(tmp_path):
+    path = tmp_path / "verdicts.jsonl"
+    foreign = json.dumps({"format": "other/thing", "version": 1}) + "\n"
+    path.write_text(foreign)
+    store = VerdictStore(str(tmp_path))
+    assert store.load() == {}
+    store.append(("m", "t"), True)  # silently dropped: appends disabled
+    store.close()
+    assert path.read_text() == foreign  # byte-identical
+
+    future = json.dumps({"format": STORE_FORMAT, "version": STORE_VERSION + 1}) + "\n"
+    path.write_text(future)
+    store = VerdictStore(str(tmp_path))
+    assert store.load() == {}
+    store.close()
+    assert path.read_text() == future
+
+
+def test_merge_from_folds_replica_caches(tmp_path):
+    a = VerdictStore(str(tmp_path / "a"))
+    a.append(("m1", "t1"), True)
+    a.close()
+    b = VerdictStore(str(tmp_path / "b"))
+    b.append(("m2", "t2"), False)
+    b.close()
+
+    merged = VerdictStore(str(tmp_path / "merged"))
+    added = merged.merge_from([a.path, b.path])
+    merged.close()
+    assert added == 2
+    assert VerdictStore(str(tmp_path / "merged")).load() == {
+        ("m1", "t1"): True,
+        ("m2", "t2"): False,
+    }
+
+
+def test_store_info_shapes(tmp_path):
+    assert store_info(None) == {"enabled": False}
+    store = VerdictStore(str(tmp_path))
+    info = store_info(store)
+    assert info["enabled"] is True
+    assert info["path"].endswith("verdicts.jsonl")
+
+
+def test_eviction_does_not_lose_persisted_entries(tmp_path):
+    cache = VerdictCache.open(str(tmp_path), capacity=2)
+    for key in _keys(10):
+        cache.put(key, True)
+    assert len(cache) == 2
+    cache.close()
+    # Every entry was appended on first sight, so a reload (with room)
+    # recovers all of them.
+    assert len(VerdictCache.open(str(tmp_path))) == 10
+
+
+# ----------------------------------------------------------------------
+# fault points
+# ----------------------------------------------------------------------
+def test_cache_get_fault_point_fires():
+    faults.install("cache.get=raise*1")
+    cache = VerdictCache()
+    with pytest.raises(faults.InjectedFault):
+        cache.get(("m", "t"))
+    assert cache.get(("m", "t")) is None  # armed once only
+
+
+def test_cache_persist_truncate_simulates_a_torn_flush(tmp_path):
+    faults.install("cache.persist=truncate:40")
+    store = VerdictStore(str(tmp_path), flush_every=1)
+    for key in _keys(3):
+        store.append(key, True)
+    store.close()
+    faults.clear()
+    fresh = VerdictStore(str(tmp_path))
+    recovered = fresh.load()
+    # The torn file loads whatever survived, without raising.
+    assert len(recovered) < 3
+
+
+# ----------------------------------------------------------------------
+# thread safety
+# ----------------------------------------------------------------------
+def test_concurrent_puts_and_gets_stay_consistent(tmp_path):
+    cache = VerdictCache.open(str(tmp_path), capacity=256)
+    keys = _keys(64)
+    errors = []
+
+    def worker(worker_id):
+        try:
+            for _ in range(50):
+                for i, key in enumerate(keys):
+                    cache.put(key, i % 2 == 0)
+                    value = cache.get(key)
+                    assert value is None or value is (i % 2 == 0)
+        except BaseException as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    cache.close()
+    assert not errors
+    assert len(cache) == 64
+    for i, key in enumerate(keys):
+        assert cache.get(key) is (i % 2 == 0)
