@@ -34,6 +34,7 @@ BENCH_MODULES = (
     "benchmarks/bench_kernel_explicit.py",
     "benchmarks/bench_kernel_native.py",
     "benchmarks/bench_enumeration_pipeline.py",
+    "benchmarks/bench_partition_adaptive.py",
     "benchmarks/bench_model_compile.py",
     "benchmarks/bench_synthesis.py",
     "benchmarks/bench_serve_load.py",

@@ -123,6 +123,14 @@ class ExhaustiveRequest:
     shard_timeout: Optional[float] = None
     #: retries per shard (beyond the first attempt) before quarantine
     shard_retries: int = 2
+    #: partition-guided adaptive layer: profile/frontier skipping with
+    #: certificates, monotone verdict derivation, partition checkpointing
+    adaptive: bool = False
+    #: fraction of skipped tests re-checked end-of-run (requires adaptive)
+    audit_rate: float = 0.0
+    #: partition checkpoint path override (requires adaptive; defaults to
+    #: ``<run_dir>/partition.json`` when a run_dir is set)
+    partition_checkpoint: Optional[str] = None
 
     op = "exhaustive"
 

@@ -60,9 +60,12 @@ from repro.pipeline.report import EquivalenceReport
 
 #: The version every document written by this module carries.  Version 2
 #: added the synthesis document kinds and the synthesis counters in every
-#: serialized ``EngineStats`` payload; version-1 documents are rejected
-#: (regenerate them, or strip the envelope for request documents).
-SCHEMA_VERSION = 2
+#: serialized ``EngineStats`` payload; version 3 added the adaptive
+#: pipeline's counters (``adaptive``/``profile_skips``/``frontier_skips``/
+#: ``audits_performed`` on equivalence reports, ``derived_verdicts`` in
+#: ``EngineStats``).  Older documents are rejected (regenerate them, or
+#: strip the envelope for request documents).
+SCHEMA_VERSION = 3
 
 #: ``schema`` kind strings, one per top-level document type.
 SCHEMA_PREFIX = "repro/"
@@ -447,6 +450,10 @@ def equivalence_report_to_json(report: EquivalenceReport) -> Dict[str, Any]:
             "shards_quarantined": report.shards_quarantined,
             "quarantined_shards": list(report.quarantined_shards),
             "complete": report.complete,
+            "adaptive": report.adaptive,
+            "profile_skips": report.profile_skips,
+            "frontier_skips": report.frontier_skips,
+            "audits_performed": report.audits_performed,
         }
     )
     return document
@@ -481,6 +488,11 @@ def equivalence_report_from_json(document: Dict[str, Any]) -> EquivalenceReport:
         shards_quarantined=document.get("shards_quarantined", 0),
         quarantined_shards=list(document.get("quarantined_shards", [])),
         complete=document.get("complete", True),
+        # Absent in pre-adaptive documents: default to a brute-force run.
+        adaptive=document.get("adaptive", False),
+        profile_skips=document.get("profile_skips", 0),
+        frontier_skips=document.get("frontier_skips", 0),
+        audits_performed=document.get("audits_performed", 0),
     )
 
 

@@ -22,6 +22,9 @@ for the whole batch).
 
 from __future__ import annotations
 
+import hashlib
+import json
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -111,6 +114,15 @@ class Session:
         # One synthesis engine per (space, suite), sharing this session's
         # check engine so repeated synthesize requests stay cache-warm.
         self._synth_engines: Dict[Tuple[str, str], SynthesisEngine] = {}
+        # Digest-keyed memo of whole exploration results, the explore
+        # analogue of serve's verdict-cache fast path: a repeat explore
+        # over the same model set (by semantic digest) and suite returns
+        # the memoized result without touching the engine.  Only active
+        # when the engine has a verdict cache (the digests come from it).
+        self._explore_memo: "OrderedDict[tuple, ExplorationResult]" = OrderedDict()
+        # id(suite) -> (suite ref, digest): suites are memoized objects, so
+        # identity is stable; the ref pins them against id reuse.
+        self._suite_digests: Dict[int, Tuple[object, str]] = {}
 
     # ------------------------------------------------------------------
     # per-connection views
@@ -125,11 +137,17 @@ class Session:
         reference, so requests through any view resolve the same test
         objects and hit the shared engine's identity-keyed caches.
         """
-        return Session(
+        view = Session(
             engine=self.engine,
             models=self.models.view(),
             tests=self.tests.view(),
         )
+        # The explore memo rides with the engine's caches: digest-keyed
+        # results are view-independent (overlays change *which* models a
+        # name resolves to, but the key is the resolved models' digests).
+        view._explore_memo = self._explore_memo
+        view._suite_digests = self._suite_digests
+        return view
 
     # ------------------------------------------------------------------
     # introspection
@@ -233,6 +251,33 @@ class Session:
         comparator = self.comparator(request.suite, request.include_named)
         return comparator.compare(first, second)
 
+    #: explore-memo entries kept (an exploration result is small; 64 of
+    #: them cover any realistic serve rotation of spaces and suites)
+    _EXPLORE_MEMO_LIMIT = 64
+
+    def _suite_digest(self, suite: Sequence[object]) -> str:
+        """A content digest of a memoized suite, computed once per object.
+
+        Deliberately *not* the verdict cache's per-test digest: that one
+        only covers the canonical kernel fragment (dependency-bearing
+        suites would be unkeyable), while the JSON serialization covers
+        every test the registry can hand out.
+        """
+        entry = self._suite_digests.get(id(suite))
+        if entry is not None and entry[0] is suite:
+            return entry[1]
+        from repro.api.serialize import test_to_json
+
+        digest = hashlib.sha256()
+        for test in suite:
+            digest.update(
+                json.dumps(test_to_json(test), sort_keys=True).encode("utf-8")
+            )
+            digest.update(b"\x00")
+        hexdigest = digest.hexdigest()
+        self._suite_digests[id(suite)] = (suite, hexdigest)
+        return hexdigest
+
     def _run_explore(self, request: ExploreRequest) -> ExplorationResult:
         if request.models is not None:
             models = self.models.resolve_all(request.models)
@@ -240,9 +285,34 @@ class Session:
             models = self.models.space(request.space)
         suite = self.tests.suite(request.suite_key())
         preferred = self.tests.preferred_tests() if request.preferred else []
-        return explore_models(
+        # The serve fast path for explore: key the whole result by the
+        # resolved models' semantic digests plus the suite's content
+        # digest.  Any non-digestable model (opaque callables) disables
+        # the memo for that request; verdicts never go stale because the
+        # digest pins the full semantics of both sides.
+        memo_key = None
+        vcache = self.engine.verdict_cache
+        if vcache is not None:
+            model_digests = tuple(vcache.model_digest(model) for model in models)
+            if all(digest is not None for digest in model_digests):
+                memo_key = (
+                    model_digests,
+                    self._suite_digest(suite),
+                    bool(request.preferred),
+                )
+                memoized = self._explore_memo.get(memo_key)
+                if memoized is not None:
+                    self._explore_memo.move_to_end(memo_key)
+                    vcache.note_hit()
+                    return memoized
+        result = explore_models(
             models, suite, checker=self.engine, preferred_tests=preferred
         )
+        if memo_key is not None:
+            self._explore_memo[memo_key] = result
+            while len(self._explore_memo) > self._EXPLORE_MEMO_LIMIT:
+                self._explore_memo.popitem(last=False)
+        return result
 
     def _run_outcomes(self, request: OutcomesRequest) -> OutcomeSet:
         test = self.tests.resolve(request.test)
@@ -294,6 +364,10 @@ class Session:
             # Mirrors the test-spec path restriction: network-facing serve
             # sessions must not let remote clients choose server-side paths.
             raise ValueError("run_dir is not available on path-restricted sessions")
+        if request.partition_checkpoint is not None and not self.tests.allow_paths:
+            raise ValueError(
+                "partition_checkpoint is not available on path-restricted sessions"
+            )
         config = PipelineConfig(
             bound=request.bound,
             space=request.space,
@@ -307,6 +381,9 @@ class Session:
             resume=request.resume,
             shard_timeout=request.shard_timeout,
             shard_retries=request.shard_retries,
+            adaptive=request.adaptive,
+            audit_rate=request.audit_rate,
+            partition_checkpoint=request.partition_checkpoint,
         )
         return run_pipeline(
             config,

@@ -342,6 +342,9 @@ def _cmd_enumerate_verify(args: argparse.Namespace) -> int:
         resume=args.resume,
         shard_timeout=args.shard_timeout,
         shard_retries=args.shard_retries,
+        adaptive=args.adaptive,
+        audit_rate=args.audit_rate,
+        partition_checkpoint=args.partition_checkpoint,
     )
     try:
         report = _run(session, request)
@@ -528,6 +531,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-retries", type=int, default=2, metavar="N",
         help="retries per shard (beyond the first attempt) before the shard "
         "is quarantined and the run reported incomplete (default: 2)")
+    enumerate_verify.add_argument(
+        "--adaptive", action=argparse.BooleanOptionalAction, default=False,
+        help="partition-guided adaptive verification: skip tests whose "
+        "verdict row provably coincides with an already-folded row "
+        "(profile certificate) or cannot refine the partition (frontier "
+        "certificate), derive verdicts by po-mask monotonicity, and "
+        "checkpoint the folded partition itself; --no-adaptive is the "
+        "exact brute force (the differential oracle)")
+    enumerate_verify.add_argument(
+        "--audit-rate", type=float, default=0.0, metavar="RATE",
+        help="re-check this fraction of adaptively skipped tests end-of-run "
+        "and fail if any skip certificate was unsound (requires --adaptive)")
+    enumerate_verify.add_argument(
+        "--partition-checkpoint", default=None, metavar="PATH",
+        help="where to write the digest-sealed partition checkpoint "
+        "(default: <run-dir>/partition.json; requires --adaptive)")
     enumerate_verify.add_argument(
         "--assert-match", action="store_true",
         help="exit non-zero unless the run is complete and the naive "

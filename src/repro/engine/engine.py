@@ -96,6 +96,9 @@ class EngineStats:
     verdict_cache_misses: int = 0
     #: verdicts appended to the cache's persistent tier
     verdict_cache_persisted: int = 0
+    #: column verdicts derived from an already-searched po-mask by the
+    #: monotonicity order instead of a fresh kernel search (derive mode)
+    derived_verdicts: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         # Not dataclasses.asdict: that deep-copies recursively and shows up
@@ -159,6 +162,8 @@ class EngineStats:
                 f"({self.verdict_cache_misses} misses, "
                 f"{self.verdict_cache_persisted} persisted)"
             )
+        if self.derived_verdicts:
+            parts.append(f"{self.derived_verdicts} verdicts derived by monotonicity")
         if self.kernel_backend:
             searches = (
                 self.native_searches
@@ -422,7 +427,11 @@ class CheckEngine:
         return [self.check(test, model) for model in models]
 
     def check_column(
-        self, test: LitmusTest, models: Sequence[MemoryModel], retain: bool = False
+        self,
+        test: LitmusTest,
+        models: Sequence[MemoryModel],
+        retain: bool = False,
+        derive: bool = False,
     ) -> List[bool]:
         """One test's verdicts for every model, then evict the test's context.
 
@@ -431,6 +440,12 @@ class CheckEngine:
         once (sharing the context across the column) and never seen again,
         so by default its context is dropped instead of growing the cache
         unboundedly.  ``retain=True`` keeps it, matching :meth:`check`.
+
+        ``derive=True`` lets strategies with a column fast path derive some
+        verdicts by po-mask monotonicity (a model forcing a superset of
+        another's program order admits a subset of its witnesses) instead
+        of searching each distinct mask; verdicts are identical but the
+        search counters differ, so the brute pipeline keeps it off.
         """
         if faults._FAULTS:
             faults.fire("engine.check_column", test=test.name)
@@ -472,7 +487,9 @@ class CheckEngine:
                 # the per-model loop.
                 column_check = getattr(strategy, "check_column", None)
                 if column_check is not None:
-                    column = column_check(context, compiled_models, stats)
+                    column = column_check(
+                        context, compiled_models, stats, derive=derive
+                    )
                 else:
                     column = [
                         strategy.check(context, compiled, stats)

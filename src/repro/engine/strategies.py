@@ -80,7 +80,11 @@ class ExplicitStrategy:
         return context.kernel_verdict(pairs, kernel=self.kernel, stats=stats)
 
     def check_column(
-        self, context: TestContext, compiled_models, stats: "EngineStats"
+        self,
+        context: TestContext,
+        compiled_models,
+        stats: "EngineStats",
+        derive: bool = False,
     ) -> List[bool]:
         """A whole model column in one pass — the streaming hot path.
 
@@ -92,6 +96,16 @@ class ExplicitStrategy:
         kernel search (further memoized by edge tuple in the context)
         answers every model that shares it.  Verdicts and search counters
         are identical to per-model :meth:`check` calls.
+
+        ``derive=True`` additionally exploits that verdicts are monotone
+        in the forced-po mask: more forced edges means fewer candidate
+        executions, so ``allowed`` at a superset mask implies ``allowed``
+        at every subset, and ``forbidden`` at a subset implies
+        ``forbidden`` at every superset.  Visiting the distinct masks in
+        descending popcount order lets many verdicts be read off already-
+        searched masks; those shortcuts count as ``derived_verdicts``
+        instead of kernel searches, which is why the flag defaults off —
+        the brute pipeline's counters stay byte-identical.
         """
         first_visit = not context.candidate_space_built
         indexed = context.indexed()
@@ -107,6 +121,32 @@ class ExplicitStrategy:
         # subsumes the context's tuple-keyed verdict memo (the context is
         # seen exactly once on this path) without the tuple hashing.
         verdict_of_mask: Dict[int, bool] = {}
+        if derive:
+            ordered = sorted(
+                set(masks), key=lambda mask: (-bin(mask).count("1"), mask)
+            )
+            for mask in ordered:
+                verdict = None
+                for known_mask, known in verdict_of_mask.items():
+                    if known and (mask & known_mask) == mask:
+                        verdict = True  # subset of an allowed mask
+                        break
+                    if not known and (mask & known_mask) == known_mask:
+                        verdict = False  # superset of a forbidden mask
+                        break
+                if verdict is not None:
+                    stats.derived_verdicts += 1
+                else:
+                    pairs = [
+                        pair for p, pair in enumerate(po_pairs) if (mask >> p) & 1
+                    ]
+                    verdict = kernel.allowed(indexed, pairs)
+                    if is_native:
+                        stats.native_searches += 1
+                    else:
+                        stats.fallback_searches += 1
+                verdict_of_mask[mask] = verdict
+            return [verdict_of_mask[mask] for mask in masks]
         verdicts = []
         for mask in masks:
             verdict = verdict_of_mask.get(mask)

@@ -197,6 +197,45 @@ def enumerate_canonical_naive_tests(
         yield key, test_from_items(items, name)
 
 
+def enumerate_raw_naive_items(
+    config: NaiveEnumerationConfig = NaiveEnumerationConfig(),
+) -> Iterator[Tuple[str, Tuple[Tuple[Tuple[str, object, object], ...], ...]]]:
+    """Yield ``(name, abstract_items)`` for every raw location-canonical test.
+
+    The symmetry-redundant stream underneath
+    :func:`enumerate_canonical_naive_items`: every test
+    :func:`count_naive_tests` counts appears exactly once, numbered
+    ``N1, N2, ...`` in enumeration order (the same numbering the canonical
+    stream's surviving representatives carry).  The adaptive verification
+    pipeline consumes this stream directly so its profile-based prefilter
+    can *replace* the canonicalizer as the primary dedup.
+    """
+    shapes = _thread_shapes(config)
+    test_index = 0
+    for combination in product(shapes, repeat=config.num_threads):
+        if _canonical_locations(combination) is None:
+            continue
+        outcome_choices = _outcome_choices(combination)
+        # Per-combination item template: everything except the read values
+        # is outcome-independent (2-tuples mark reads awaiting a value), so
+        # the inner loop only fills values instead of rebuilding the shape.
+        templates = _item_templates(combination)
+        for outcome in product(*outcome_choices):
+            test_index += 1
+            position = 0
+            threads = []
+            for template in templates:
+                row = []
+                for item in template:
+                    if len(item) == 2:
+                        row.append(("R", item[1], outcome[position]))
+                        position += 1
+                    else:
+                        row.append(item)
+                threads.append(tuple(row))
+            yield f"N{test_index}", tuple(threads)
+
+
 def enumerate_canonical_naive_items(
     config: NaiveEnumerationConfig = NaiveEnumerationConfig(),
     limit: Optional[int] = None,
@@ -216,38 +255,15 @@ def enumerate_canonical_naive_items(
 
     if index is None:
         index = CanonicalIndex()
-    shapes = _thread_shapes(config)
     produced = 0
-    test_index = 0
-    for combination in product(shapes, repeat=config.num_threads):
-        if _canonical_locations(combination) is None:
+    for name, items in enumerate_raw_naive_items(config):
+        if limit is not None and produced >= limit:
+            return
+        key = canonical_form(items)
+        if not index.add(key):
             continue
-        outcome_choices = _outcome_choices(combination)
-        # Per-combination item template: everything except the read values
-        # is outcome-independent (2-tuples mark reads awaiting a value), so
-        # the inner loop only fills values instead of rebuilding the shape.
-        templates = _item_templates(combination)
-        for outcome in product(*outcome_choices):
-            test_index += 1
-            if limit is not None and produced >= limit:
-                return
-            position = 0
-            threads = []
-            for template in templates:
-                row = []
-                for item in template:
-                    if len(item) == 2:
-                        row.append(("R", item[1], outcome[position]))
-                        position += 1
-                    else:
-                        row.append(item)
-                threads.append(tuple(row))
-            items = tuple(threads)
-            key = canonical_form(items)
-            if not index.add(key):
-                continue
-            produced += 1
-            yield key, f"N{test_index}", items
+        produced += 1
+        yield key, name, items
 
 
 def test_from_items(

@@ -66,6 +66,46 @@ class PartitionAccumulator:
                 mask |= 1 << index
         self.fold_row(mask)
 
+    def can_refine(self, group_masks: Sequence[int]) -> bool:
+        """Could *any* verdict row constant on each group still refine the
+        matrix?
+
+        ``group_masks`` partitions the model space (e.g. the groups a test
+        profile induces, see :meth:`AdaptiveSpace.groups`): every model in
+        a group is guaranteed the same verdict.  Such a row can only set a
+        ``distinguished[i]`` bit ``j`` for models ``i``, ``j`` in different
+        groups, so when every ordered cross-group pair is already
+        distinguished the row is a guaranteed no-op.  The matrix only
+        grows, so once this returns False for a grouping it stays False.
+        """
+        if len(group_masks) <= 1:
+            return False
+        union = 0
+        for group in group_masks:
+            union |= group
+        for group in group_masks:
+            others = union & ~group
+            remaining = group
+            while remaining:
+                low = remaining & -remaining
+                if (self.distinguished[low.bit_length() - 1] & others) != others:
+                    return True
+                remaining ^= low
+        return False
+
+    def row_would_change(self, allowed_mask: int) -> bool:
+        """Whether folding this row would change the matrix (non-mutating)."""
+        forbidden = ~allowed_mask & self._full_mask
+        if not forbidden or not allowed_mask:
+            return False
+        remaining = allowed_mask
+        while remaining:
+            low = remaining & -remaining
+            if (self.distinguished[low.bit_length() - 1] & forbidden) != forbidden:
+                return True
+            remaining ^= low
+        return False
+
     def merge(self, other: "PartitionAccumulator") -> None:
         """Fold another accumulator (e.g. a resumed shard's) into this one."""
         if other.model_names != self.model_names:
@@ -163,6 +203,16 @@ class EquivalenceReport:
     quarantined_shards: List[int] = field(default_factory=list)
     #: False when quarantined shards mean the partition is only partial
     complete: bool = True
+    #: True when the partition-guided adaptive layer drove the run
+    adaptive: bool = False
+    #: tests skipped because their profile proved the verdict row coincides
+    #: with an already-folded row (certificate: the representative's name)
+    profile_skips: int = 0
+    #: tests skipped because no row constant on the profile's model groups
+    #: could still refine the partition (certificate: the group masks)
+    frontier_skips: int = 0
+    #: sampled skipped tests re-checked end-of-run against the matrix
+    audits_performed: int = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -206,8 +256,13 @@ class EquivalenceReport:
             f"({self.space} space, {len(self.model_names)} models, "
             f"{self.backend} backend)",
             f"  raw tests enumerated : {self.raw_tests}",
-            f"  unique after symmetry: {self.unique_tests} "
-            f"(x{self.reduction_factor():.1f} reduction)",
+            (
+                f"  checked after pruning: {self.unique_tests} "
+                f"(x{self.reduction_factor():.1f} reduction)"
+                if self.adaptive
+                else f"  unique after symmetry: {self.unique_tests} "
+                f"(x{self.reduction_factor():.1f} reduction)"
+            ),
             f"  shards               : {self.shards_total} total, "
             f"{self.shards_checked} checked, {self.shards_resumed} resumed"
             + (f", {self.shards_quarantined} quarantined" if self.shards_quarantined else ""),
@@ -218,6 +273,13 @@ class EquivalenceReport:
             f"{len(self.template_hasse_edges)} Hasse edges "
             f"(suite {self.suite!r})",
         ]
+        if self.adaptive:
+            lines.insert(
+                3,
+                f"  adaptive pruning     : {self.profile_skips} profile skips, "
+                f"{self.frontier_skips} frontier skips, "
+                f"{self.audits_performed} audits",
+            )
         if self.elapsed_seconds:
             rate = self.unique_tests / self.elapsed_seconds if self.elapsed_seconds else 0
             lines.append(

@@ -17,6 +17,14 @@ atomically via rename.  A killed run re-enumerates the (cheap,
 deterministic) canonical stream but answers completed shards from disk —
 ``--resume`` never re-checks a finished shard, which the per-shard key
 digests guard against stale or mismatched checkpoints.
+
+Adaptive mode (:mod:`repro.pipeline.adaptive`) replaces the canonical
+dedup with the stronger profile prefilter (tests whose verdict row
+provably coincides with an already-folded row are skipped with a
+certificate), adds the frontier rule (tests that cannot refine the
+partition are skipped), derives column verdicts by po-mask monotonicity,
+and checkpoints the folded partition itself so ``--resume`` restarts from
+the matrix instead of replaying shard rows.
 """
 
 from __future__ import annotations
@@ -37,7 +45,15 @@ from repro.engine.engine import CheckEngine, EngineStats
 from repro.generation.enumeration import (
     NaiveEnumerationConfig,
     enumerate_canonical_naive_items,
+    enumerate_raw_naive_items,
     test_from_items,
+)
+from repro.pipeline.adaptive import (
+    AdaptiveSpace,
+    PartitionCheckpoint,
+    ProfileIndex,
+    audit_selected,
+    profile_digest,
 )
 from repro.pipeline.canonical import CanonicalIndex, key_digest
 from repro.pipeline.report import EquivalenceReport, PartitionAccumulator
@@ -59,6 +75,9 @@ BOUNDS: Dict[str, NaiveEnumerationConfig] = {
     ),
     "large": NaiveEnumerationConfig(
         max_accesses_per_thread=3, max_locations=2, allow_fences=True
+    ),
+    "xlarge": NaiveEnumerationConfig(
+        max_accesses_per_thread=3, max_locations=3, allow_fences=True
     ),
     "paper": NaiveEnumerationConfig(),
 }
@@ -89,9 +108,11 @@ class PipelineConfig:
         backend: engine backend for the admissibility checks.
         kernel: explicit-strategy kernel backend (``"auto"``, ``"native"``,
             ``"python"`` or ``"bigint"``); each worker process resolves it
-            once when it builds its engine.  Deliberately *not* part of the
-            checkpoint manifest — all kernels are bit-identical, so a run
-            may be resumed under a different kernel.
+            once when it builds its engine.  The *resolved* kernel is
+            recorded in the checkpoint manifest, and ``--resume`` refuses
+            a run_dir whose shards were produced by a different kernel —
+            all shipped kernels are bit-identical, but a checkpoint must
+            never silently mix verdict provenances.
         jobs: worker processes checking shards (1 = serial, in-process).
         shard_size: unique tests per shard (the checkpointing granule).
         limit: optional cap on unique tests (for smoke runs).
@@ -102,6 +123,14 @@ class PipelineConfig:
             on a fresh worker.  None = no limit.
         shard_retries: retries per shard (beyond the first attempt) before
             the shard is quarantined and the run reported incomplete.
+        adaptive: enable the partition-guided adaptive layer (profile
+            prefilter, frontier skipping, monotone verdict derivation,
+            partition checkpointing).  Off = the exact brute force, which
+            doubles as the differential oracle for the adaptive layer.
+        audit_rate: fraction (0..1) of skipped tests to re-check against
+            the final matrix end-of-run; a refining row fails the run.
+        partition_checkpoint: where to write the partition checkpoint;
+            defaults to ``<run_dir>/partition.json`` when a run_dir is set.
     """
 
     bound: str = "small"
@@ -116,6 +145,9 @@ class PipelineConfig:
     resume: bool = False
     shard_timeout: Optional[float] = None
     shard_retries: int = 2
+    adaptive: bool = False
+    audit_rate: float = 0.0
+    partition_checkpoint: Optional[str] = None
 
     def __post_init__(self) -> None:
         from repro.native.backend import KERNEL_CHOICES
@@ -143,6 +175,12 @@ class PipelineConfig:
             raise PipelineError("shard_timeout must be positive")
         if self.shard_retries < 0:
             raise PipelineError("shard_retries must be >= 0")
+        if not 0.0 <= self.audit_rate <= 1.0:
+            raise PipelineError("audit_rate must be between 0 and 1")
+        if self.audit_rate and not self.adaptive:
+            raise PipelineError("audit_rate requires adaptive mode")
+        if self.partition_checkpoint is not None and not self.adaptive:
+            raise PipelineError("partition_checkpoint requires adaptive mode")
 
     def suite_key(self) -> str:
         """The template suite to compare against: explicit, or matched."""
@@ -157,14 +195,21 @@ class PipelineConfig:
 # ----------------------------------------------------------------------
 # checkpoint files
 # ----------------------------------------------------------------------
-def _manifest_payload(config: PipelineConfig, model_names: Sequence[str]) -> Dict[str, object]:
+def _manifest_payload(
+    config: PipelineConfig, model_names: Sequence[str], kernel: str
+) -> Dict[str, object]:
     return {
         "schema": "repro/exhaustive_manifest",
-        "schema_version": 1,
+        "schema_version": 2,
         "bound": config.bound,
         "space": config.space,
         "suite": config.suite_key(),
         "backend": config.backend,
+        # The *resolved* kernel ("native"/"python"/"bigint", "" for
+        # kernel-less backends), not the requested spec: a resume must not
+        # mix verdict rows from differently-resolved kernels.
+        "kernel": kernel,
+        "adaptive": config.adaptive,
         "shard_size": config.shard_size,
         "limit": config.limit,
         "model_names": list(model_names),
@@ -245,6 +290,77 @@ def _write_shard(
     faults.truncate_file("pipeline.checkpoint", path, shard=shard_index)
 
 
+def _write_adaptive_shard(
+    run_dir: str,
+    shard_index: int,
+    extras: Dict[str, object],
+    rows: Sequence[int],
+    num_models: int,
+) -> None:
+    """Persist an adaptive shard: verdict rows *and* skip certificates.
+
+    Records are written in stream order.  A checked test becomes a row
+    keyed by its profile digest; a profile skip records the representative
+    whose folded row its verdicts provably coincide with; a frontier skip
+    records the model-group decomposition under which no verdict row could
+    have refined the partition.  Both certificate kinds are machine-
+    checkable after the fact (and sampled by ``--audit-rate``).
+    """
+    path = _shard_path(run_dir, shard_index)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        for record in extras["records"]:
+            if "row" in record:
+                record = {
+                    "test": record["test"],
+                    "key": record["key"],
+                    "verdicts": _mask_to_bits(rows[record["row"]], num_models),
+                }
+            handle.write(json.dumps(record) + "\n")
+        handle.write(
+            json.dumps(
+                {
+                    "done": True,
+                    "tests": len(rows),
+                    "profile_skips": extras["profile_skips"],
+                    "frontier_skips": extras["frontier_skips"],
+                    "raw_offset": extras["raw_offset"],
+                }
+            )
+            + "\n"
+        )
+    os.replace(tmp, path)
+    faults.truncate_file("pipeline.checkpoint", path, shard=shard_index)
+
+
+def _rebuild_profile_index(run_dir: str, shards_folded: int, pindex: ProfileIndex) -> None:
+    """Re-derive the profile-dedup index from the folded shard prefix.
+
+    Row and frontier records carry the first-occurrence representative per
+    profile digest (skip records reference an earlier representative, so
+    they add nothing).  Unreadable lines are tolerated: a lost digest only
+    means the test is re-checked — sound, just not maximally pruned.
+    """
+    for shard_index in range(shards_folded):
+        try:
+            with open(_shard_path(run_dir, shard_index)) as handle:
+                for line in handle:
+                    if not line.strip():
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if not isinstance(record, dict):
+                        continue
+                    if "test" in record and "key" in record:
+                        pindex.add(record["key"], record["test"])
+                    elif "frontier" in record:
+                        pindex.add(record["profile"], record["frontier"])
+        except OSError:
+            continue
+
+
 def _load_shard(
     run_dir: str, shard_index: int, digests: Sequence[str], num_models: int
 ) -> Optional[List[int]]:
@@ -282,17 +398,22 @@ def _load_shard(
 # ----------------------------------------------------------------------
 # shard checking
 # ----------------------------------------------------------------------
-def _column_mask(engine: CheckEngine, test: LitmusTest, models: Sequence[MemoryModel]) -> int:
+def _column_mask(
+    engine: CheckEngine,
+    test: LitmusTest,
+    models: Sequence[MemoryModel],
+    derive: bool = False,
+) -> int:
     mask = 0
-    for index, allowed in enumerate(engine.check_column(test, models)):
+    for index, allowed in enumerate(engine.check_column(test, models, derive=derive)):
         if allowed:
             mask |= 1 << index
     return mask
 
 
 #: State inherited by forked shard workers (backend name, kernel name,
-#: model list).
-_PIPE_STATE: Optional[Tuple[str, str, List[MemoryModel]]] = None
+#: model list, derive flag).
+_PIPE_STATE: Optional[Tuple[str, str, List[MemoryModel], bool]] = None
 _PIPE_STATE_LOCK = threading.Lock()
 #: The worker process's persistent engine (one per process, lazily built).
 _WORKER_ENGINE: Optional[CheckEngine] = None
@@ -310,7 +431,7 @@ def _pipeline_worker_loop(conn) -> None:
     """
     global _WORKER_ENGINE
     assert _PIPE_STATE is not None
-    backend, kernel, models = _PIPE_STATE
+    backend, kernel, models, derive = _PIPE_STATE
     while True:
         try:
             job = conn.recv()
@@ -336,7 +457,7 @@ def _pipeline_worker_loop(conn) -> None:
             # keeps the pipe carrying small tuples instead of instruction
             # object graphs.
             rows = [
-                _column_mask(engine, test_from_items(items, name), models)
+                _column_mask(engine, test_from_items(items, name), models, derive=derive)
                 for name, items in zip(names, items_list)
             ]
             conn.send(("ok", shard_index, rows, engine.stats.since(before).as_dict()))
@@ -347,10 +468,14 @@ def _pipeline_worker_loop(conn) -> None:
                 return
 
 
-def _shards(
-    config: PipelineConfig, index: CanonicalIndex
-) -> Iterator[Tuple[int, List[str], List[str], List[tuple]]]:
-    """Yield ``(shard_index, names, key_digests, items_list)`` in stream order.
+#: One shard off the stream: ``(shard_index, names, digests, items_list,
+#: extras)``; ``extras`` is None on the brute stream and the adaptive
+#: stream's record/counter snapshot otherwise.
+ShardTuple = Tuple[int, List[str], List[str], List[tuple], Optional[Dict[str, object]]]
+
+
+def _shards(config: PipelineConfig, index: CanonicalIndex) -> Iterator[ShardTuple]:
+    """The brute stream: canonical dedup, every survivor checked.
 
     The stream carries abstract item tuples, not built tests — the consumer
     (a worker process, or the serial loop) calls
@@ -368,11 +493,103 @@ def _shards(
         digests.append(key_digest(key))
         items_list.append(items)
         if len(items_list) == config.shard_size:
-            yield shard_index, names, digests, items_list
+            yield shard_index, names, digests, items_list, None
             shard_index += 1
             names, digests, items_list = [], [], []
     if items_list:
-        yield shard_index, names, digests, items_list
+        yield shard_index, names, digests, items_list, None
+
+
+def _adaptive_shards(
+    config: PipelineConfig,
+    space: AdaptiveSpace,
+    accumulator: PartitionAccumulator,
+    pindex: ProfileIndex,
+    counters: Dict[str, int],
+    audit_candidates: List[Tuple[str, tuple]],
+    start_shard: int = 0,
+    start_raw: int = 0,
+) -> Iterator[ShardTuple]:
+    """The adaptive stream: profile dedup and frontier skipping.
+
+    Works on the *raw* enumeration (the profile is invariant under the
+    full symmetry group, so it subsumes canonical dedup).  Per raw test:
+
+    * profile already indexed -> **profile skip** (certificate: the
+      representative whose folded row the verdicts coincide with);
+    * profile fresh but no row constant on its model groups could refine
+      the accumulator matrix -> **frontier skip** (certificate: the group
+      masks); the matrix only grows, so the decision never needs revisiting
+      and the fresh profile still indexes future duplicates;
+    * otherwise the test is checked.
+
+    Frontier decisions read the live accumulator: in serial runs folds
+    happen between yields (exactly-replayable decisions); in parallel runs
+    the stream may run ahead of the fold, so decisions use a *lagged*
+    matrix — skipping strictly less, never unsoundly more.  Counters are
+    snapshotted into ``extras`` at yield time for the partition checkpoint.
+    ``config.limit`` caps *checked* tests, mirroring the brute stream's cap
+    on unique tests.
+    """
+    raw_stream = enumerate_raw_naive_items(config.enumeration_config())
+    for _ in range(start_raw):
+        if next(raw_stream, None) is None:
+            break
+    counters["raw"] = start_raw
+    shard_index = start_shard
+    names: List[str] = []
+    digests: List[str] = []
+    items_list: List[tuple] = []
+    records: List[Dict[str, object]] = []
+    produced = accumulator.tests_folded
+
+    def extras_snapshot() -> Dict[str, object]:
+        return {
+            "records": records,
+            "raw_offset": counters["raw"],
+            "profile_skips": counters["profile_skips"],
+            "frontier_skips": counters["frontier_skips"],
+        }
+
+    for name, items in raw_stream:
+        if config.limit is not None and produced >= config.limit:
+            break
+        counters["raw"] += 1
+        profile = space.profile(items)
+        digest = profile_digest(profile)
+        representative = pindex.representative(digest)
+        if representative is not None:
+            counters["profile_skips"] += 1
+            records.append({"skip": name, "profile": digest, "rep": representative})
+            if audit_selected(digest, name, config.audit_rate):
+                audit_candidates.append((name, items))
+            continue
+        groups = space.groups(profile)
+        if not accumulator.can_refine(groups):
+            counters["frontier_skips"] += 1
+            pindex.add(digest, name)
+            records.append(
+                {
+                    "frontier": name,
+                    "profile": digest,
+                    "groups": [_mask_to_bits(g, space.num_models) for g in groups],
+                }
+            )
+            if audit_selected(digest, name, config.audit_rate):
+                audit_candidates.append((name, items))
+            continue
+        pindex.add(digest, name)
+        records.append({"row": len(names), "test": name, "key": digest})
+        names.append(name)
+        digests.append(digest)
+        items_list.append(items)
+        produced += 1
+        if len(names) == config.shard_size:
+            yield shard_index, names, digests, items_list, extras_snapshot()
+            shard_index += 1
+            names, digests, items_list, records = [], [], [], []
+    if names or records:
+        yield shard_index, names, digests, items_list, extras_snapshot()
 
 
 # ----------------------------------------------------------------------
@@ -413,11 +630,23 @@ def run_pipeline(
     # serial shard loop and (through the process-global IR intern table)
     # any same-process worker fallback all share the compiled artifacts.
     engine.precompile(models)
+    resolved_kernel = getattr(getattr(engine, "strategy", None), "kernel", None)
+    resolved_kernel = getattr(resolved_kernel, "name", "") or ""
+
+    adaptive_space: Optional[AdaptiveSpace] = None
+    if config.adaptive:
+        adaptive_space = AdaptiveSpace.build(models)
+        if adaptive_space is None:
+            raise PipelineError(
+                "adaptive mode requires a tabulable formula model space "
+                "(straight-line Read/Write/Fence/SameAddr/dependency "
+                "vocabulary); rerun with --no-adaptive"
+            )
 
     run_dir = config.run_dir
     if run_dir is not None:
         os.makedirs(os.path.join(run_dir, "shards"), exist_ok=True)
-        manifest = _manifest_payload(config, model_names)
+        manifest = _manifest_payload(config, model_names, resolved_kernel)
         if config.resume:
             _check_manifest(run_dir, manifest)
         _write_manifest(run_dir, manifest)
@@ -444,14 +673,50 @@ def run_pipeline(
     shards_checked = 0
     shards_resumed = 0
 
+    # ------------------------------------------------------------------
+    # adaptive state: profile index, skip counters, partition checkpoint
+    # ------------------------------------------------------------------
+    pindex = ProfileIndex()
+    counters = {"raw": 0, "profile_skips": 0, "frontier_skips": 0}
+    audit_candidates: List[Tuple[str, tuple]] = []
+    start_shard = 0
+    start_raw = 0
+    partition_path: Optional[str] = None
+    if config.adaptive:
+        partition_path = config.partition_checkpoint
+        if partition_path is None and run_dir is not None:
+            partition_path = os.path.join(run_dir, "partition.json")
+        if config.resume and partition_path is not None:
+            template = _partition_template(
+                config, model_names, adaptive_space.digest()
+            )
+            restored = PartitionCheckpoint.load(partition_path)
+            # A torn, tampered or foreign checkpoint degrades to a cold
+            # start — never to a wrong partition (the digest seals it).
+            if restored is not None and restored.identity() == template.identity():
+                accumulator.distinguished = list(restored.distinguished)
+                accumulator.tests_folded = restored.tests_folded
+                counters["profile_skips"] = restored.profile_skips
+                counters["frontier_skips"] = restored.frontier_skips
+                start_shard = restored.shards_folded
+                start_raw = restored.raw_offset
+                shards_total = shards_resumed = start_shard
+                if run_dir is not None:
+                    _rebuild_profile_index(run_dir, start_shard, pindex)
+    #: next shard index whose fold extends the contiguous folded prefix;
+    #: the partition checkpoint only advances while the prefix is intact
+    #: (a quarantined shard freezes it at the last sound state).
+    next_checkpoint_shard = start_shard
+
     def fold_completed(
         shard_index: int,
         names: Sequence[str],
         digests: Sequence[str],
         rows: Sequence[int],
         resumed: bool,
+        extras: Optional[Dict[str, object]] = None,
     ) -> None:
-        nonlocal shards_checked, shards_resumed
+        nonlocal shards_checked, shards_resumed, next_checkpoint_shard
         for mask in rows:
             accumulator.fold_row(mask)
         if resumed:
@@ -459,17 +724,50 @@ def run_pipeline(
         else:
             shards_checked += 1
             if run_dir is not None:
-                _write_shard(run_dir, shard_index, names, digests, rows, num_models)
-        if progress is not None:
-            progress(
-                "shard",
-                {
-                    "shard": shard_index,
-                    "tests": len(rows),
-                    "resumed": resumed,
-                    "unique_so_far": accumulator.tests_folded,
-                },
+                if extras is not None:
+                    _write_adaptive_shard(
+                        run_dir, shard_index, extras, rows, num_models
+                    )
+                else:
+                    _write_shard(
+                        run_dir, shard_index, names, digests, rows, num_models
+                    )
+        if (
+            partition_path is not None
+            and extras is not None
+            and shard_index == next_checkpoint_shard
+        ):
+            next_checkpoint_shard += 1
+            checkpoint = _partition_template(
+                config, model_names, adaptive_space.digest()
             )
+            checkpoint.shards_folded = next_checkpoint_shard
+            checkpoint.raw_offset = int(extras["raw_offset"])
+            checkpoint.tests_folded = accumulator.tests_folded
+            checkpoint.raw_tests = int(extras["raw_offset"])
+            checkpoint.profile_skips = int(extras["profile_skips"])
+            checkpoint.frontier_skips = int(extras["frontier_skips"])
+            checkpoint.distinguished = list(accumulator.distinguished)
+            checkpoint.write(partition_path)
+        if progress is not None:
+            payload: Dict[str, object] = {
+                "shard": shard_index,
+                "tests": len(rows),
+                "resumed": resumed,
+                "unique_so_far": accumulator.tests_folded,
+            }
+            if extras is not None:
+                payload["profile_skips"] = extras["profile_skips"]
+                payload["frontier_skips"] = extras["frontier_skips"]
+            progress("shard", payload)
+
+    if config.adaptive:
+        stream: Iterator[ShardTuple] = _adaptive_shards(
+            config, adaptive_space, accumulator, pindex, counters,
+            audit_candidates, start_shard, start_raw,
+        )
+    else:
+        stream = _shards(config, index)
 
     # Extra workers beyond the machine's cores only add fork/IPC overhead
     # (the check is CPU-bound), so a single-core host always takes the
@@ -478,14 +776,16 @@ def run_pipeline(
     quarantined: List[int] = []
     if effective_jobs > 1:
         quarantined = _run_shards_parallel(
-            config, models, index, fold_completed, stats, num_models
+            config, models, stream, fold_completed, stats, num_models
         )
         shards_total = shards_checked + shards_resumed + len(quarantined)
     else:
-        for shard_index, names, digests, items_list in _shards(config, index):
+        for shard_index, names, digests, items_list, extras in stream:
             shards_total += 1
             rows = None
-            if config.resume and run_dir is not None:
+            # Adaptive runs never resume from shard rows: the partition
+            # checkpoint already restored the folded prefix wholesale.
+            if config.resume and run_dir is not None and not config.adaptive:
                 rows = _load_shard(run_dir, shard_index, digests, num_models)
             if rows is not None:
                 fold_completed(shard_index, names, digests, rows, resumed=True)
@@ -496,11 +796,34 @@ def run_pipeline(
             faults.fire("pipeline.shard", shard=shard_index, attempt=0)
             before = engine.stats.snapshot()
             rows = [
-                _column_mask(engine, test_from_items(items, name), models)
+                _column_mask(
+                    engine, test_from_items(items, name), models,
+                    derive=config.adaptive,
+                )
                 for name, items in zip(names, items_list)
             ]
             stats.merge(engine.stats.since(before).as_dict())
-            fold_completed(shard_index, names, digests, rows, resumed=False)
+            fold_completed(shard_index, names, digests, rows, False, extras)
+
+    # ------------------------------------------------------------------
+    # end-of-run audits: re-check a deterministic sample of the skipped
+    # tests the long way and verify their certificates — a row that would
+    # still refine the partition means an unsound skip, which fails the run.
+    # (Skipped when shards were quarantined: a representative's row may be
+    # among the lost ones, and ``complete=False`` already flags the run.)
+    # ------------------------------------------------------------------
+    audits_performed = 0
+    if config.adaptive and audit_candidates and not quarantined:
+        before = engine.stats.snapshot()
+        for name, items in audit_candidates:
+            mask = _column_mask(engine, test_from_items(items, name), models)
+            if accumulator.row_would_change(mask):
+                raise PipelineError(
+                    f"adaptive audit failed: skipped test {name!r} would "
+                    f"refine the partition (unsound skip certificate)"
+                )
+            audits_performed += 1
+        stats.merge(engine.stats.since(before).as_dict())
 
     naive_classes = accumulator.equivalence_classes()
     naive_edges = accumulator.hasse_edges()
@@ -513,7 +836,7 @@ def run_pipeline(
         suite=config.suite_key(),
         backend=config.backend,
         model_names=model_names,
-        raw_tests=index.offered,
+        raw_tests=counters["raw"] if config.adaptive else index.offered,
         unique_tests=accumulator.tests_folded,
         shards_total=shards_total,
         shards_checked=shards_checked,
@@ -530,6 +853,10 @@ def run_pipeline(
         shards_quarantined=len(quarantined),
         quarantined_shards=sorted(quarantined),
         complete=not quarantined,
+        adaptive=config.adaptive,
+        profile_skips=counters["profile_skips"],
+        frontier_skips=counters["frontier_skips"],
+        audits_performed=audits_performed,
     )
     if quarantined and run_dir is not None:
         # Record the quarantine in the manifest (an extra key the resume
@@ -560,6 +887,22 @@ def _effective_jobs(config: PipelineConfig) -> int:
     return min(config.jobs, os.cpu_count() or 1)
 
 
+def _partition_template(
+    config: PipelineConfig, model_names: Sequence[str], space_digest: str
+) -> PartitionCheckpoint:
+    """A zero-progress checkpoint carrying this run's identity fields."""
+    return PartitionCheckpoint(
+        bound=config.bound,
+        space=config.space,
+        suite=config.suite_key(),
+        backend=config.backend,
+        shard_size=config.shard_size,
+        limit=config.limit,
+        model_names=list(model_names),
+        space_digest=space_digest,
+    )
+
+
 def _template_suite(key: str) -> List[LitmusTest]:
     from repro.core.predicates import EXTENDED_PREDICATES
     from repro.generation.suite import generate_suite, no_dependency_suite, standard_suite
@@ -579,17 +922,23 @@ class _ShardEntry:
     """One shard's lifecycle in the parallel scheduler."""
 
     __slots__ = (
-        "shard_index", "names", "digests", "items_list",
+        "shard_index", "names", "digests", "items_list", "extras",
         "rows", "resumed", "attempts", "quarantined", "failure",
     )
 
     def __init__(
-        self, shard_index: int, names: List[str], digests: List[str], items_list: List[tuple]
+        self,
+        shard_index: int,
+        names: List[str],
+        digests: List[str],
+        items_list: List[tuple],
+        extras: Optional[Dict[str, object]] = None,
     ) -> None:
         self.shard_index = shard_index
         self.names = names
         self.digests = digests
         self.items_list: Optional[List[tuple]] = items_list
+        self.extras = extras
         self.rows: Optional[List[int]] = None
         self.resumed = False
         #: attempts started so far (the worker sees this as ``attempt``)
@@ -647,8 +996,8 @@ class _WorkerHandle:
 def _run_shards_parallel(
     config: PipelineConfig,
     models: List[MemoryModel],
-    index: CanonicalIndex,
-    fold_completed: Callable[[int, Sequence[str], Sequence[str], Sequence[int], bool], None],
+    stream: Iterator[ShardTuple],
+    fold_completed: Callable[..., None],
     stats: EngineStats,
     num_models: int,
 ) -> List[int]:
@@ -677,9 +1026,9 @@ def _run_shards_parallel(
     except ValueError:
         # No fork on this platform: check serially on one in-process engine.
         engine = CheckEngine(backend=config.backend, kernel=config.kernel)
-        for shard_index, names, digests, items_list in _shards(config, index):
+        for shard_index, names, digests, items_list, extras in stream:
             rows = None
-            if config.resume and config.run_dir is not None:
+            if config.resume and config.run_dir is not None and not config.adaptive:
                 rows = _load_shard(config.run_dir, shard_index, digests, num_models)
             if rows is not None:
                 fold_completed(shard_index, names, digests, rows, resumed=True)
@@ -687,11 +1036,14 @@ def _run_shards_parallel(
             faults.fire("pipeline.shard", shard=shard_index, attempt=0)
             before = engine.stats.snapshot()
             rows = [
-                _column_mask(engine, test_from_items(items, name), models)
+                _column_mask(
+                    engine, test_from_items(items, name), models,
+                    derive=config.adaptive,
+                )
                 for name, items in zip(names, items_list)
             ]
             stats.merge(engine.stats.since(before).as_dict())
-            fold_completed(shard_index, names, digests, rows, resumed=False)
+            fold_completed(shard_index, names, digests, rows, False, extras)
         return []
 
     jobs = _effective_jobs(config)
@@ -700,26 +1052,25 @@ def _run_shards_parallel(
     quarantined: List[int] = []
 
     with _PIPE_STATE_LOCK:
-        _PIPE_STATE = (config.backend, config.kernel, models)
+        _PIPE_STATE = (config.backend, config.kernel, models, config.adaptive)
         workers: List[_WorkerHandle] = []
         try:
             #: shards materialised but not yet folded, in shard order
             entries: List[_ShardEntry] = []
             #: shards awaiting a worker (retries go to the front)
             pending: Deque[_ShardEntry] = deque()
-            stream = _shards(config, index)
             exhausted = False
 
             def fill_window() -> None:
                 nonlocal exhausted
                 while not exhausted and len(entries) < window:
                     try:
-                        shard_index, names, digests, items_list = next(stream)
+                        shard_index, names, digests, items_list, extras = next(stream)
                     except StopIteration:
                         exhausted = True
                         return
-                    entry = _ShardEntry(shard_index, names, digests, items_list)
-                    if config.resume and config.run_dir is not None:
+                    entry = _ShardEntry(shard_index, names, digests, items_list, extras)
+                    if config.resume and config.run_dir is not None and not config.adaptive:
                         rows = _load_shard(config.run_dir, shard_index, digests, num_models)
                         if rows is not None:
                             entry.rows, entry.resumed = rows, True
@@ -736,7 +1087,7 @@ def _run_shards_parallel(
                     assert entry.rows is not None
                     fold_completed(
                         entry.shard_index, entry.names, entry.digests,
-                        entry.rows, entry.resumed,
+                        entry.rows, entry.resumed, entry.extras,
                     )
 
             def fail(worker: _WorkerHandle, reason: str) -> None:

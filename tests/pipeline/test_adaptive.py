@@ -1,0 +1,485 @@
+"""The partition-guided adaptive verification layer.
+
+Covers the soundness backbone (profile-equal tests have identical verdict
+rows; frontier-skipped tests cannot refine the partition; derived verdicts
+are bit-identical to searched ones), the partition checkpoint (roundtrip,
+tamper rejection, merge), adaptive/brute differential equality, resume
+determinism, the audit machinery, and the satellite API surfaces.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api.requests import ExhaustiveRequest, request_from_json, request_to_json
+from repro.api.session import Session
+from repro.cache.verdict import VerdictCache
+from repro.core.parametric import model_space
+from repro.engine.engine import CheckEngine
+from repro.generation.enumeration import enumerate_raw_naive_items
+from repro.generation.enumeration import test_from_items as _test_from_items
+from repro.pipeline.adaptive import (
+    AdaptiveSpace,
+    PartitionCheckpoint,
+    ProfileIndex,
+    audit_selected,
+    profile_digest,
+)
+from repro.pipeline.report import PartitionAccumulator
+from repro.pipeline.run import BOUNDS, PipelineConfig, PipelineError, run_pipeline
+from repro.native.backend import native_available
+
+KERNELS = ["bigint"] + (["native"] if native_available() else [])
+
+MODELS = model_space(include_data_dependencies=False)
+MODEL_NAMES = [model.name for model in MODELS]
+SPACE = AdaptiveSpace.build(MODELS)
+
+#: every raw test of the small bound, materialised once for sampling
+RAW_SMALL = list(enumerate_raw_naive_items(BOUNDS["small"]))
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+
+def _column(engine, name, items):
+    return engine.check_column(_test_from_items(items, name), MODELS)
+
+
+def _mask(column):
+    mask = 0
+    for index, allowed in enumerate(column):
+        if allowed:
+            mask |= 1 << index
+    return mask
+
+
+# ----------------------------------------------------------------------
+# the profile prefilter's certificate: profile-equal => row-equal
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", params=KERNELS)
+def rep_rows(request):
+    """Per kernel: an engine plus a profile-digest -> verdict-row memo."""
+    engine = CheckEngine(kernel=request.param)
+    return engine, {}
+
+
+@_SETTINGS
+@given(index=st.integers(min_value=0, max_value=len(RAW_SMALL) - 1))
+def test_profile_equal_tests_have_identical_verdict_rows(rep_rows, index):
+    engine, memo = rep_rows
+    name, items = RAW_SMALL[index]
+    digest = profile_digest(SPACE.profile(items))
+    column = _column(engine, name, items)
+    previous = memo.setdefault(digest, column)
+    assert column == previous
+
+
+@_SETTINGS
+@given(index=st.integers(min_value=0, max_value=len(RAW_SMALL) - 1))
+def test_verdicts_are_constant_on_each_profile_group(rep_rows, index):
+    engine, _memo = rep_rows
+    name, items = RAW_SMALL[index]
+    groups = SPACE.groups(SPACE.profile(items))
+    mask = _mask(_column(engine, name, items))
+    for group in groups:
+        assert mask & group in (0, group), (
+            f"verdict not constant on group {group:b} for {name}"
+        )
+
+
+def test_frontier_skipped_rows_cannot_refine_the_partition(tmp_path):
+    """Every frontier certificate in a real run's shard files holds against
+    the *final* matrix (monotonicity: skip-time matrix <= final matrix)."""
+    run_dir = str(tmp_path / "run")
+    report = run_pipeline(
+        PipelineConfig(
+            bound="small", kernel="bigint", adaptive=True,
+            shard_size=64, run_dir=run_dir,
+        )
+    )
+    checkpoint = PartitionCheckpoint.load(os.path.join(run_dir, "partition.json"))
+    assert checkpoint is not None and checkpoint.shards_folded == report.shards_total
+    final = PartitionAccumulator(MODEL_NAMES)
+    final.distinguished = list(checkpoint.distinguished)
+    engine = CheckEngine(kernel="bigint")
+    by_name = dict(RAW_SMALL)
+    frontier = []
+    for shard_index in range(report.shards_total):
+        with open(os.path.join(run_dir, "shards", f"shard-{shard_index:05d}.jsonl")) as fh:
+            for line in fh:
+                record = json.loads(line)
+                if "frontier" in record:
+                    frontier.append(record)
+    assert len(frontier) == report.frontier_skips > 0
+    for record in frontier:
+        name = record["frontier"]
+        mask = _mask(_column(engine, name, by_name[name]))
+        # the recorded group decomposition really is verdict-constant...
+        for bits in record["groups"]:
+            group = sum(1 << i for i, b in enumerate(bits) if b == "1")
+            assert mask & group in (0, group)
+        # ...and the actual row cannot change the final matrix
+        assert not final.row_would_change(mask)
+
+
+# ----------------------------------------------------------------------
+# adaptive == brute (the differential oracle)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bound,space", [("tiny", "no_deps"), ("small", "no_deps"), ("tiny", "deps")])
+def test_adaptive_partition_equals_brute_partition(bound, space):
+    brute = run_pipeline(PipelineConfig(bound=bound, space=space, kernel="bigint"))
+    adaptive = run_pipeline(
+        PipelineConfig(bound=bound, space=space, kernel="bigint", adaptive=True)
+    )
+    assert adaptive.equivalence_classes == brute.equivalence_classes
+    assert adaptive.hasse_edges == brute.hasse_edges
+    assert adaptive.matches_template == brute.matches_template
+    assert adaptive.adaptive and not brute.adaptive
+    assert adaptive.unique_tests < brute.unique_tests
+    assert adaptive.profile_skips > 0
+    assert (
+        adaptive.unique_tests + adaptive.profile_skips + adaptive.frontier_skips
+        == adaptive.raw_tests
+    )
+
+
+def test_adaptive_derives_verdicts_and_brute_does_not():
+    brute = run_pipeline(PipelineConfig(bound="tiny", kernel="bigint"))
+    adaptive = run_pipeline(PipelineConfig(bound="tiny", kernel="bigint", adaptive=True))
+    assert brute.stats.derived_verdicts == 0
+    assert adaptive.stats.derived_verdicts > 0
+
+
+def test_derive_flag_is_bit_identical_per_column():
+    plain = CheckEngine(kernel="bigint")
+    derived = CheckEngine(kernel="bigint")
+    for name, items in RAW_SMALL[:200]:
+        test = _test_from_items(items, name)
+        assert plain.check_column(test, MODELS) == derived.check_column(
+            test, MODELS, derive=True
+        )
+    assert derived.stats.derived_verdicts > 0
+    assert plain.stats.derived_verdicts == 0
+    searched = lambda s: s.native_searches + s.fallback_searches  # noqa: E731
+    assert searched(derived.stats) < searched(plain.stats)
+
+
+# ----------------------------------------------------------------------
+# the partition checkpoint document
+# ----------------------------------------------------------------------
+def _checkpoint(**overrides):
+    fields = dict(
+        bound="small", space="no_deps", suite="no_deps", backend="explicit",
+        shard_size=64, limit=None, model_names=["A", "B", "C"],
+        space_digest="deadbeef",
+    )
+    fields.update(overrides)
+    return PartitionCheckpoint(**fields)
+
+
+def test_partition_checkpoint_roundtrips(tmp_path):
+    checkpoint = _checkpoint()
+    checkpoint.distinguished = [0b010, 0b001, 0b100]
+    checkpoint.shards_folded, checkpoint.raw_offset = 3, 120
+    path = str(tmp_path / "partition.json")
+    checkpoint.write(path)
+    loaded = PartitionCheckpoint.load(path)
+    assert loaded is not None
+    assert loaded.identity() == checkpoint.identity()
+    assert loaded.distinguished == checkpoint.distinguished
+    assert loaded.shards_folded == 3 and loaded.raw_offset == 120
+
+
+def test_partition_checkpoint_rejects_tampering_and_tears(tmp_path):
+    checkpoint = _checkpoint()
+    path = str(tmp_path / "partition.json")
+    checkpoint.write(path)
+    text = open(path).read()
+    open(path, "w").write(text.replace('"tests_folded": 0', '"tests_folded": 7'))
+    assert PartitionCheckpoint.load(path) is None  # digest seal broken
+    open(path, "w").write(text[: len(text) // 2])
+    assert PartitionCheckpoint.load(path) is None  # torn write
+    assert PartitionCheckpoint.load(str(tmp_path / "absent.json")) is None
+
+
+def test_partition_checkpoint_merge_is_a_matrix_union():
+    first = _checkpoint()
+    first.distinguished = [0b010, 0b001, 0b100]
+    first.tests_folded, first.profile_skips = 10, 4
+    second = _checkpoint()
+    second.distinguished = [0b100, 0b000, 0b001]
+    second.tests_folded, second.profile_skips = 7, 2
+    merged = first.merge(second)
+    assert merged.distinguished == [0b110, 0b001, 0b101]
+    assert merged.tests_folded == 17 and merged.profile_skips == 6
+    # stream positions are not mergeable: the merged document restarts them
+    assert merged.shards_folded == 0 and merged.raw_offset == 0
+
+
+def test_partition_checkpoint_merge_refuses_identity_conflicts():
+    with pytest.raises(ValueError, match="merge conflict"):
+        _checkpoint().merge(_checkpoint(bound="tiny"))
+    with pytest.raises(ValueError, match="merge conflict"):
+        _checkpoint().merge(_checkpoint(space_digest="0123beef"))
+
+
+def test_merged_checkpoint_warm_starts_a_cold_run(tmp_path):
+    """A merged partition restarts the stream but keeps the matrix — the
+    warm matrix turns already-distinguished work into frontier skips."""
+    cold = run_pipeline(
+        PipelineConfig(bound="small", kernel="bigint", adaptive=True)
+    )
+    run_dir = str(tmp_path / "run")
+    full = run_pipeline(
+        PipelineConfig(
+            bound="small", kernel="bigint", adaptive=True, run_dir=run_dir
+        )
+    )
+    path = os.path.join(run_dir, "partition.json")
+    finished = PartitionCheckpoint.load(path)
+    assert finished is not None
+    merged = finished.merge(finished)
+    merged.write(path)
+    # resume from the merged (stream-restarted) checkpoint: everything is
+    # already distinguished, so no test row needs checking at all
+    resumed = run_pipeline(
+        PipelineConfig(
+            bound="small", kernel="bigint", adaptive=True,
+            run_dir=run_dir, resume=True,
+        )
+    )
+    assert resumed.equivalence_classes == full.equivalence_classes == cold.equivalence_classes
+    assert resumed.frontier_skips >= full.frontier_skips
+
+
+# ----------------------------------------------------------------------
+# resume determinism
+# ----------------------------------------------------------------------
+class _Killed(Exception):
+    pass
+
+
+def _run_small(run_dir, resume=False, kill_after=None, audit_rate=0.0):
+    seen = [0]
+
+    def progress(event, payload):
+        if event == "shard" and kill_after is not None:
+            seen[0] += 1
+            if seen[0] > kill_after:
+                raise _Killed()
+
+    return run_pipeline(
+        PipelineConfig(
+            bound="small", kernel="bigint", adaptive=True, shard_size=24,
+            run_dir=run_dir, resume=resume, audit_rate=audit_rate,
+        ),
+        progress=progress,
+    )
+
+
+def test_adaptive_resume_is_bit_identical(tmp_path):
+    full_dir, killed_dir = str(tmp_path / "full"), str(tmp_path / "killed")
+    full = _run_small(full_dir)
+    with pytest.raises(_Killed):
+        _run_small(killed_dir, kill_after=2)
+    mid = PartitionCheckpoint.load(os.path.join(killed_dir, "partition.json"))
+    assert mid is not None and 0 < mid.shards_folded
+    resumed = _run_small(killed_dir, resume=True)
+    assert resumed.equivalence_classes == full.equivalence_classes
+    assert resumed.hasse_edges == full.hasse_edges
+    assert resumed.unique_tests == full.unique_tests
+    assert resumed.profile_skips == full.profile_skips
+    assert resumed.frontier_skips == full.frontier_skips
+    assert resumed.raw_tests == full.raw_tests
+    assert resumed.shards_resumed == mid.shards_folded
+    final_full = json.load(open(os.path.join(full_dir, "partition.json")))
+    final_resumed = json.load(open(os.path.join(killed_dir, "partition.json")))
+    assert final_full["digest"] == final_resumed["digest"]
+
+
+def test_adaptive_resume_survives_a_torn_partition_checkpoint(tmp_path):
+    """A torn checkpoint degrades to a cold start, never a crash."""
+    run_dir = str(tmp_path / "run")
+    full = _run_small(run_dir)
+    path = os.path.join(run_dir, "partition.json")
+    text = open(path).read()
+    open(path, "w").write(text[: len(text) // 3])
+    again = _run_small(run_dir, resume=True)
+    assert again.equivalence_classes == full.equivalence_classes
+    assert again.shards_resumed == 0  # cold start: nothing restorable
+
+
+def test_resume_refuses_a_different_kernel(tmp_path):
+    run_dir = str(tmp_path / "run")
+    _run_small(run_dir)
+    manifest_path = os.path.join(run_dir, "manifest.json")
+    manifest = json.load(open(manifest_path))
+    assert manifest["kernel"] == "bigint"
+    assert manifest["adaptive"] is True
+    assert manifest["schema_version"] == 2
+    manifest["kernel"] = "somekernel"
+    json.dump(manifest, open(manifest_path, "w"))
+    with pytest.raises(PipelineError, match="kernel"):
+        _run_small(run_dir, resume=True)
+
+
+def test_resume_refuses_crossing_adaptive_and_brute(tmp_path):
+    run_dir = str(tmp_path / "run")
+    run_pipeline(
+        PipelineConfig(bound="tiny", kernel="bigint", shard_size=64, run_dir=run_dir)
+    )
+    with pytest.raises(PipelineError, match="adaptive"):
+        run_pipeline(
+            PipelineConfig(
+                bound="tiny", kernel="bigint", shard_size=64,
+                run_dir=run_dir, resume=True, adaptive=True,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# audits
+# ----------------------------------------------------------------------
+def test_audit_selection_is_deterministic_and_proportional():
+    picks = [audit_selected("d", f"N{i}", 0.25) for i in range(4000)]
+    assert 0.2 < sum(picks) / len(picks) < 0.3
+    assert picks == [audit_selected("d", f"N{i}", 0.25) for i in range(4000)]
+    assert not any(audit_selected("d", f"N{i}", 0.0) for i in range(50))
+    assert all(audit_selected("d", f"N{i}", 1.0) for i in range(50))
+
+
+def test_full_audit_passes_and_is_counted(tmp_path):
+    report = _run_small(str(tmp_path / "run"), audit_rate=1.0)
+    assert report.audits_performed == report.profile_skips + report.frontier_skips > 0
+
+
+def test_audit_fails_on_an_unsound_skip(monkeypatch):
+    """Force every test onto one profile: the dedup becomes unsound, and a
+    full audit must catch it and fail the run."""
+    constant = SPACE.profile(RAW_SMALL[0][1])
+    monkeypatch.setattr(AdaptiveSpace, "profile", lambda self, items: constant)
+    with pytest.raises(PipelineError, match="audit failed"):
+        run_pipeline(
+            PipelineConfig(
+                bound="small", kernel="bigint", adaptive=True, audit_rate=1.0
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# shard records & config plumbing
+# ----------------------------------------------------------------------
+def test_adaptive_shard_files_carry_certificates(tmp_path):
+    run_dir = str(tmp_path / "run")
+    report = _run_small(run_dir)
+    rows = skips = frontiers = 0
+    for shard_index in range(report.shards_total):
+        path = os.path.join(run_dir, "shards", f"shard-{shard_index:05d}.jsonl")
+        lines = [json.loads(line) for line in open(path)]
+        marker = lines[-1]
+        assert marker["done"] is True
+        for record in lines[:-1]:
+            if "test" in record:
+                rows += 1
+                assert set(record) == {"test", "key", "verdicts"}
+                assert len(record["verdicts"]) == len(MODEL_NAMES)
+            elif "skip" in record:
+                skips += 1
+                assert set(record) == {"skip", "profile", "rep"}
+            else:
+                frontiers += 1
+                assert set(record) == {"frontier", "profile", "groups"}
+    assert rows == report.unique_tests
+    assert skips == report.profile_skips
+    assert frontiers == report.frontier_skips
+    assert marker["raw_offset"] == report.raw_tests
+
+
+def test_config_validation_for_adaptive_options():
+    with pytest.raises(PipelineError, match="audit_rate"):
+        PipelineConfig(audit_rate=1.5, adaptive=True)
+    with pytest.raises(PipelineError, match="requires adaptive"):
+        PipelineConfig(audit_rate=0.5)
+    with pytest.raises(PipelineError, match="requires adaptive"):
+        PipelineConfig(partition_checkpoint="/tmp/p.json")
+
+
+def test_xlarge_bound_is_registered():
+    config = BOUNDS["xlarge"]
+    assert config.max_accesses_per_thread == 3
+    assert config.max_locations == 3
+    assert config.allow_fences
+
+
+def test_exhaustive_request_roundtrips_adaptive_fields():
+    request = ExhaustiveRequest(
+        bound="tiny", adaptive=True, audit_rate=0.25,
+        partition_checkpoint="/tmp/p.json",
+    )
+    wire = request_to_json(request)
+    assert wire["adaptive"] is True and wire["audit_rate"] == 0.25
+    assert request_from_json(wire) == request
+
+
+def test_session_rejects_partition_checkpoint_when_path_restricted(tmp_path):
+    session = Session(kernel="bigint")
+    session.tests.allow_paths = False
+    with pytest.raises(ValueError, match="partition_checkpoint"):
+        session.run(
+            ExhaustiveRequest(
+                bound="tiny", adaptive=True,
+                partition_checkpoint=str(tmp_path / "p.json"),
+            )
+        )
+
+
+def test_session_runs_adaptive_exhaustive_end_to_end(tmp_path):
+    session = Session(kernel="bigint")
+    report = session.run(
+        ExhaustiveRequest(
+            bound="tiny", adaptive=True, audit_rate=0.5,
+            run_dir=str(tmp_path / "run"),
+        )
+    )
+    assert report.adaptive and report.profile_skips > 0
+    assert os.path.exists(str(tmp_path / "run" / "partition.json"))
+
+
+# ----------------------------------------------------------------------
+# the explore memo (serve's digest fast path, extended to explore)
+# ----------------------------------------------------------------------
+def test_explore_memo_returns_identical_results_and_counts_hits():
+    from repro.api.requests import ExploreRequest
+
+    cached = Session(engine=CheckEngine(kernel="bigint", verdict_cache=VerdictCache()))
+    uncached = Session(engine=CheckEngine(kernel="bigint"))
+    request = ExploreRequest(space="no_deps")
+    first = cached.run(request)
+    hits_before = cached.engine.verdict_cache.stats.hits
+    second = cached.run(request)
+    assert second is first  # memoized wholesale
+    assert cached.engine.verdict_cache.stats.hits == hits_before + 1
+    plain = uncached.run(request)
+    assert uncached.run(request) is not plain  # no cache, no memo
+    from repro.api.serialize import to_json
+
+    # cache on/off bit-identical, modulo the engine's incidental perf
+    # counters (the verdict cache legitimately changes how much work ran)
+    memo_doc, plain_doc = to_json(first), to_json(plain)
+    memo_doc.pop("stats"), plain_doc.pop("stats")
+    assert memo_doc == plain_doc
+
+
+def test_explore_memo_is_shared_across_session_views():
+    from repro.api.requests import ExploreRequest
+
+    base = Session(engine=CheckEngine(kernel="bigint", verdict_cache=VerdictCache()))
+    first = base.view().run(ExploreRequest(space="no_deps"))
+    assert base.view().run(ExploreRequest(space="no_deps")) is first
